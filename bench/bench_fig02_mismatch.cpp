@@ -1,0 +1,87 @@
+// Fig. 2 — Impact of polarization mismatch on low-cost IoT links.
+// (a) Wi-Fi: ESP8266 Arduino <-> 802.11g AP; (b) BLE: MetaMotionR wearable
+// <-> Raspberry Pi 3. RSSI PDFs for matched vs mismatched orientations.
+// Paper: mismatch shifts the distribution down by ~10 dB in both cases.
+#include <iostream>
+
+#include "src/channel/link_budget.h"
+#include "src/common/math_utils.h"
+#include "src/common/table.h"
+#include "src/radio/devices.h"
+
+using namespace llama;
+
+namespace {
+
+struct LinkSpec {
+  const char* title;
+  radio::DeviceProfile tx_dev;
+  radio::DeviceProfile rx_dev;
+  double distance_m;
+  double hist_lo, hist_hi;
+};
+
+void run_case(const LinkSpec& spec) {
+  const auto f0 = common::Frequency::ghz(2.44);
+  common::Table table{spec.title};
+  table.set_columns({"rssi_dbm", "match_pdf_pct", "mismatch_pdf_pct"});
+
+  std::vector<double> match_samples;
+  std::vector<double> mismatch_samples;
+  for (int mismatched = 0; mismatched <= 1; ++mismatched) {
+    channel::LinkGeometry g;
+    g.tx_rx_distance_m = spec.distance_m;
+    g.tx_surface_distance_m = spec.distance_m / 2.0;
+    const auto rx_angle =
+        common::Angle::degrees(mismatched != 0 ? 90.0 : 0.0);
+    channel::LinkBudget link{
+        channel::Antenna::iot_dipole(common::Angle::degrees(0.0)),
+        channel::Antenna::iot_dipole(rx_angle), g,
+        channel::Environment::absorber_chamber()};
+    const common::PowerDbm rx_power = link.received_power_without_surface(
+        spec.tx_dev.tx_power, f0);
+    radio::RssiReporter reporter{spec.rx_dev,
+                                 common::Rng{17u + (mismatched != 0 ? 1 : 0)}};
+    auto& bucket = mismatched != 0 ? mismatch_samples : match_samples;
+    bucket = reporter.collect(rx_power, 3000);
+  }
+
+  const auto h_match =
+      common::histogram(match_samples, spec.hist_lo, spec.hist_hi, 24);
+  const auto h_mis =
+      common::histogram(mismatch_samples, spec.hist_lo, spec.hist_hi, 24);
+  for (std::size_t i = 0; i < h_match.bin_centers.size(); ++i)
+    table.add_row(
+        {h_match.bin_centers[i], h_match.pdf_percent[i], h_mis.pdf_percent[i]});
+  const double delta =
+      common::mean(match_samples) - common::mean(mismatch_samples);
+  table.add_note("match mean = " +
+                 std::to_string(common::mean(match_samples)) + " dBm");
+  table.add_note("mismatch mean = " +
+                 std::to_string(common::mean(mismatch_samples)) + " dBm");
+  table.add_note("measured match-mismatch delta = " + std::to_string(delta) +
+                 " dB; paper ~= 10 dB");
+  table.print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  run_case(LinkSpec{
+      .title = "Fig. 2(a): Wi-Fi RSSI PDF, ESP8266 <-> 802.11g AP",
+      .tx_dev = radio::DeviceProfile::wifi_ap(),
+      .rx_dev = radio::DeviceProfile::esp8266(),
+      .distance_m = 2.2,
+      .hist_lo = -50.0,
+      .hist_hi = -20.0,
+  });
+  run_case(LinkSpec{
+      .title = "Fig. 2(b): BLE RSSI PDF, MetaMotionR <-> Raspberry Pi 3",
+      .tx_dev = radio::DeviceProfile::ble_wearable(),
+      .rx_dev = radio::DeviceProfile::raspberry_pi(),
+      .distance_m = 4.5,
+      .hist_lo = -80.0,
+      .hist_hi = -50.0,
+  });
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Fig. 16 — Received signal power with/without the metasurface in the
+// mismatched transmissive setup, Tx-Rx distance 24-60 cm.
+// Paper: the surface enhances the link by up to 15 dB, which extends the
+// potential transmission distance ~5.6x under Friis propagation.
+#include <iostream>
+
+#include "src/channel/propagation.h"
+#include "src/common/table.h"
+#include "src/core/scenarios.h"
+
+using namespace llama;
+
+int main() {
+  common::Table table{
+      "Fig. 16: received power with/without metasurface (mismatch)"};
+  table.set_columns({"dist_cm", "with_dbm", "without_dbm", "gain_db",
+                     "range_ext_x"});
+  double best_gain = 0.0;
+  for (double cm = 24.0; cm <= 60.0; cm += 6.0) {
+    core::LlamaSystem sys{core::transmissive_mismatch_config(cm / 100.0)};
+    (void)sys.optimize_link();
+    const double with = sys.measure_with_surface(0.1).value();
+    const double without = sys.measure_without_surface().value();
+    const double gain = with - without;
+    best_gain = std::max(best_gain, gain);
+    table.add_row({cm, with, without, gain,
+                   channel::friis_range_extension(common::GainDb{gain})});
+  }
+  table.add_note("best measured gain = " + std::to_string(best_gain) +
+                 " dB; paper: up to 15 dB (=> 5.6x range)");
+  table.print(std::cout);
+  return 0;
+}

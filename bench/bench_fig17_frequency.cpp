@@ -1,0 +1,29 @@
+// Fig. 17 — Power improvement vs operating frequency across the ISM band
+// (2.4 to 2.5 GHz in 10 MHz steps), mismatched polarization.
+// Paper: > 10 dB of enhancement across the entire band.
+#include <iostream>
+
+#include "src/common/table.h"
+#include "src/core/scenarios.h"
+
+using namespace llama;
+
+int main() {
+  common::Table table{"Fig. 17: power improvement vs operating frequency"};
+  table.set_columns({"freq_ghz", "with_dbm", "without_dbm", "gain_db"});
+  double worst = 1e9;
+  for (double ghz = 2.40; ghz <= 2.5001; ghz += 0.01) {
+    core::SystemConfig cfg = core::transmissive_mismatch_config();
+    cfg.frequency = common::Frequency::ghz(ghz);
+    core::LlamaSystem sys{cfg};
+    (void)sys.optimize_link();
+    const double with = sys.measure_with_surface(0.1).value();
+    const double without = sys.measure_without_surface().value();
+    table.add_row({ghz, with, without, with - without});
+    worst = std::min(worst, with - without);
+  }
+  table.add_note("worst in-band gain = " + std::to_string(worst) +
+                 " dB; paper: > 10 dB across the band");
+  table.print(std::cout);
+  return 0;
+}

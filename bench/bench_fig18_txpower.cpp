@@ -1,0 +1,54 @@
+// Fig. 18 — Channel capacity vs transmit power (0.002 mW to 1 W) in the
+// clean (absorber) environment, for (a) omni and (b) directional antennas.
+// Paper: capacity grows slowly (logarithmically) with transmit power; the
+// surface improves capacity even at 0.002 mW.
+#include <cmath>
+#include <iostream>
+
+#include "src/common/table.h"
+#include "src/core/scenarios.h"
+
+using namespace llama;
+
+namespace {
+
+void run_case(const char* title, bool directional) {
+  common::Table table{title};
+  table.set_columns({"tx_mw", "cap_with_bph", "cap_without_bph",
+                     "delta_bph"});
+  bool improved_at_lowest = false;
+  for (double mw : {0.002, 0.01, 0.1, 1.0, 10.0, 100.0, 1000.0}) {
+    const double dbm = 10.0 * std::log10(mw);
+    core::SystemConfig cfg =
+        core::transmissive_mismatch_config(0.42, common::PowerDbm{dbm});
+    if (!directional) {
+      cfg.tx_antenna = channel::Antenna::omni_6dbi(common::Angle::degrees(0.0));
+      cfg.rx_antenna =
+          channel::Antenna::omni_6dbi(common::Angle::degrees(90.0));
+    }
+    core::LlamaSystem sys{cfg};
+    (void)sys.optimize_link();
+    const double with = sys.capacity_with_surface();
+    const double without = sys.capacity_without_surface();
+    table.add_row({mw, with, without, with - without});
+    if (mw == 0.002 && with > without) improved_at_lowest = true;
+  }
+  table.add_note(improved_at_lowest
+                     ? "surface improves capacity even at 0.002 mW (paper "
+                       "agrees)"
+                     : "no improvement at 0.002 mW (paper expects one)");
+  table.add_note(
+      "capacities are Shannon bit/s/Hz; the paper's Mbps/Hz axis uses its "
+      "own scaling — compare shapes and deltas, not absolute units");
+  table.print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  run_case("Fig. 18(a): capacity vs Tx power, omni antennas, absorber",
+           /*directional=*/false);
+  run_case("Fig. 18(b): capacity vs Tx power, directional antennas, absorber",
+           /*directional=*/true);
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Fig. 19 — Capacity vs transmit power in a rich-multipath laboratory.
+// Paper: (a) with omni antennas, the surface helps only above ~2 mW — below
+// that, insertion loss plus environment effects erase the benefit; (b) with
+// directional antennas the improvement resembles the clean-room result.
+#include <cmath>
+#include <iostream>
+
+#include "src/common/table.h"
+#include "src/core/scenarios.h"
+
+using namespace llama;
+
+namespace {
+
+void run_case(const char* title, bool directional, std::uint64_t env_seed) {
+  common::Table table{title};
+  table.set_columns({"tx_mw", "cap_with_bph", "cap_without_bph",
+                     "delta_bph"});
+  double crossover_mw = -1.0;
+  bool prev_positive = false;
+  for (double mw : {0.002, 0.01, 0.1, 1.0, 2.0, 10.0, 100.0, 1000.0}) {
+    const double dbm = 10.0 * std::log10(mw);
+    common::Rng env_rng{env_seed};
+    core::SystemConfig cfg =
+        core::transmissive_mismatch_config(0.42, common::PowerDbm{dbm});
+    cfg.environment = channel::Environment::laboratory(env_rng);
+    if (!directional) {
+      cfg.tx_antenna = channel::Antenna::omni_6dbi(common::Angle::degrees(0.0));
+      cfg.rx_antenna =
+          channel::Antenna::omni_6dbi(common::Angle::degrees(90.0));
+    }
+    core::LlamaSystem sys{cfg};
+    (void)sys.optimize_link();
+    const double with = sys.capacity_with_surface();
+    const double without = sys.capacity_without_surface();
+    table.add_row({mw, with, without, with - without});
+    const bool positive = with > without + 0.05;
+    if (positive && !prev_positive && crossover_mw < 0.0) crossover_mw = mw;
+    prev_positive = positive;
+  }
+  if (!directional)
+    table.add_note("measured crossover ~= " + std::to_string(crossover_mw) +
+                   " mW; paper reports ~2 mW — compare the existence and "
+                   "direction of the crossover, not its exact position");
+  else
+    table.add_note("paper: directional antennas retain the clean-room gain");
+  table.print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  run_case("Fig. 19(a): capacity vs Tx power, omni antennas, laboratory",
+           /*directional=*/false, 42);
+  run_case(
+      "Fig. 19(b): capacity vs Tx power, directional antennas, laboratory",
+      /*directional=*/true, 42);
+  return 0;
+}

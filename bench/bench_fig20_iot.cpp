@@ -1,0 +1,44 @@
+// Fig. 20 — Low-cost IoT devices (ESP8266 Arduino <-> Wi-Fi router) in the
+// mismatched setup, RSSI PDFs with and without the metasurface.
+// Paper: the surface shifts the distribution up by ~10 dB, restoring the
+// matched-configuration look of Fig. 2.
+#include <iostream>
+
+#include "src/common/math_utils.h"
+#include "src/common/table.h"
+#include "src/core/scenarios.h"
+#include "src/radio/devices.h"
+
+using namespace llama;
+
+int main() {
+  core::SystemConfig cfg =
+      core::transmissive_mismatch_config(1.0, common::PowerDbm{14.0});
+  cfg.tx_antenna = channel::Antenna::iot_dipole(common::Angle::degrees(0.0));
+  cfg.rx_antenna = channel::Antenna::iot_dipole(common::Angle::degrees(90.0));
+  core::LlamaSystem sys{cfg};
+  (void)sys.optimize_link();
+
+  radio::RssiReporter reporter{radio::DeviceProfile::esp8266(),
+                               common::Rng{23}};
+  const auto with = reporter.collect(sys.measure_with_surface(0.1), 3000);
+  const auto without =
+      reporter.collect(sys.measure_without_surface(), 3000);
+
+  const double lo = -50.0;
+  const double hi = -20.0;
+  const auto h_with = common::histogram(with, lo, hi, 24);
+  const auto h_without = common::histogram(without, lo, hi, 24);
+
+  common::Table table{
+      "Fig. 20: ESP8266 RSSI PDF with/without metasurface (mismatch)"};
+  table.set_columns({"rssi_dbm", "with_pdf_pct", "without_pdf_pct"});
+  for (std::size_t i = 0; i < h_with.bin_centers.size(); ++i)
+    table.add_row({h_with.bin_centers[i], h_with.pdf_percent[i],
+                   h_without.pdf_percent[i]});
+  table.add_note("mean shift = " +
+                 std::to_string(common::mean(with) - common::mean(without)) +
+                 " dB; paper ~= 10 dB");
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Fig. 23 — Human respiration sensing at 5 mW transmit power, with and
+// without the metasurface. Paper: breathing is only detectable from the
+// received-power trace when the surface boosts the reflected signal.
+#include <iostream>
+
+#include "src/common/table.h"
+#include "src/core/scenarios.h"
+#include "src/sensing/respiration_detector.h"
+
+using namespace llama;
+
+int main() {
+  const core::SensingScenario scenario = core::respiration_scenario();
+  const double fs = 10.0;
+  const double duration = 60.0;
+  const auto with =
+      core::simulate_respiration_trace(scenario, true, duration, fs);
+  const auto without =
+      core::simulate_respiration_trace(scenario, false, duration, fs);
+
+  common::Table table{"Fig. 23: received power traces (60 s, 5 mW)"};
+  table.set_columns({"time_s", "with_dbm", "without_dbm"});
+  for (std::size_t i = 0; i < with.size(); i += 5)
+    table.add_row({static_cast<double>(i) / fs, with[i], without[i]});
+
+  sensing::RespirationDetector det;
+  const auto r_with = det.analyze(with, fs);
+  const auto r_without = det.analyze(without, fs);
+  table.add_note("with surface: detected=" +
+                 std::to_string(r_with.detected) + ", rate=" +
+                 std::to_string(r_with.rate_hz * 60.0) + " breaths/min, " +
+                 "confidence=" + std::to_string(r_with.confidence));
+  table.add_note("without surface: detected=" +
+                 std::to_string(r_without.detected) +
+                 " (paper: respiration invisible without the surface)");
+  table.add_note("ground truth = 15 breaths/min");
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Google-benchmark microbenchmarks: hot paths of the simulation stack.
+// These quantify the cost of the circuit solver and the control loop so
+// users know what a full-grid sweep or a closed-loop run costs in CPU time.
+#include <benchmark/benchmark.h>
+
+#include "src/core/scenarios.h"
+#include "src/em/jones.h"
+#include "src/metasurface/designs.h"
+
+using namespace llama;
+
+namespace {
+
+void BM_JonesRotatorCompose(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(em::polarization_rotator(0.7, 0.1, -0.2));
+  }
+}
+BENCHMARK(BM_JonesRotatorCompose);
+
+void BM_StackTransmission(benchmark::State& state) {
+  const metasurface::RotatorStack stack = metasurface::optimized_fr4_design();
+  const auto f0 = common::Frequency::ghz(2.44);
+  double v = 0.0;
+  for (auto _ : state) {
+    v += 0.1;
+    if (v > 30.0) v = 0.0;
+    benchmark::DoNotOptimize(
+        stack.transmission(f0, common::Voltage{v}, common::Voltage{v}));
+  }
+}
+BENCHMARK(BM_StackTransmission);
+
+void BM_StackEfficiencySweep(benchmark::State& state) {
+  const metasurface::RotatorStack stack = metasurface::optimized_fr4_design();
+  for (auto _ : state) {
+    double acc = 0.0;
+    for (double ghz = 2.4; ghz <= 2.5; ghz += 0.01)
+      acc += stack.transmission_efficiency_db(common::Frequency::ghz(ghz),
+                                              common::Voltage{5.0},
+                                              common::Voltage{5.0}, false);
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_StackEfficiencySweep);
+
+void BM_LinkBudgetMeasurement(benchmark::State& state) {
+  core::LlamaSystem sys{core::transmissive_mismatch_config()};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sys.measure_with_surface(0.001));
+  }
+}
+BENCHMARK(BM_LinkBudgetMeasurement);
+
+void BM_FullOptimizationRound(benchmark::State& state) {
+  core::LlamaSystem sys{core::transmissive_mismatch_config()};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sys.optimize_link());
+  }
+}
+BENCHMARK(BM_FullOptimizationRound);
+
+}  // namespace
+
+BENCHMARK_MAIN();

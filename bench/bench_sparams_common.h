@@ -1,0 +1,42 @@
+// Shared helper for the Figs. 8-11 S21-efficiency benches.
+#pragma once
+
+#include <iostream>
+
+#include "src/common/table.h"
+#include "src/common/units.h"
+#include "src/metasurface/rotator_stack.h"
+
+namespace llama::bench {
+
+/// Prints the S21 efficiency sweep of a rotator stack over 2.0-2.8 GHz for
+/// both excitations at a fixed mid-sweep bias, plus the -3 dB / -5 dB band
+/// summary the paper annotates.
+inline void print_efficiency_sweep(const char* title,
+                                   const metasurface::RotatorStack& stack,
+                                   const char* paper_note) {
+  common::Table table{title};
+  table.set_columns({"freq_ghz", "x_eff_db", "y_eff_db"});
+  const common::Voltage v{5.0};
+  double best = -1e9;
+  double band_lo = 0.0;
+  double band_hi = 0.0;
+  for (double ghz = 2.0; ghz <= 2.8001; ghz += 0.02) {
+    const auto f = common::Frequency::ghz(ghz);
+    const double x = stack.transmission_efficiency_db(f, v, v, false);
+    const double y = stack.transmission_efficiency_db(f, v, v, true);
+    table.add_row({ghz, x, y});
+    best = std::max(best, x);
+    if (x > -5.0) {
+      if (band_lo == 0.0) band_lo = ghz;
+      band_hi = ghz;
+    }
+  }
+  table.add_note("peak x-efficiency = " + std::to_string(best) + " dB");
+  table.add_note(">-5 dB band = " +
+                 std::to_string((band_hi - band_lo) * 1000.0) + " MHz");
+  table.add_note(paper_note);
+  table.print(std::cout);
+}
+
+}  // namespace llama::bench

@@ -1,0 +1,62 @@
+// Table 1 — Simulated rotation degrees over the (Vx, Vy) bias grid.
+// Paper: rotations from 1.9 to 48.7 degrees; largest at opposite-extreme
+// bias pairs, smallest near the diagonal.
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "src/common/table.h"
+#include "src/metasurface/designs.h"
+
+using namespace llama;
+
+int main() {
+  // Table 1 reports the HFSS-style *simulation*, i.e. the ideal varactor
+  // curve (the fabricated prototype needs double the bias; see Section 3.3).
+  const metasurface::RotatorStack stack = metasurface::optimized_fr4_design();
+  const auto f0 = common::Frequency::ghz(2.44);
+  const double volts[] = {2.0, 3.0, 4.0, 5.0, 6.0, 10.0, 15.0};
+
+  // Paper Table 1 for shape comparison.
+  const double paper[7][7] = {
+      {11.6, 26.1, 36.8, 41.0, 44.3, 48.3, 48.7},
+      {6.5, 12.4, 26.6, 32.2, 35.2, 38.6, 39.2},
+      {23.0, 4.9, 10.9, 17.3, 20.8, 25.0, 25.6},
+      {27.0, 9.3, 7.4, 14.0, 18.0, 22.6, 23.2},
+      {41.8, 25.0, 7.9, 2.1, 4.2, 10.2, 10.7},
+      {45.8, 30.0, 13.7, 7.9, 2.8, 5.1, 5.6},
+      {48.2, 33.1, 18.2, 12.9, 7.3, 1.9, 2.0},
+  };
+
+  common::Table table{
+      "Table 1: simulated rotation degrees (rows Vy, cols Vx), measured"};
+  table.set_columns(
+      {"Vy\\Vx", "2", "3", "4", "5", "6", "10", "15"});
+  double min_rot = 1e9;
+  double max_rot = 0.0;
+  for (double vy : volts) {
+    std::vector<double> row{vy};
+    for (double vx : volts) {
+      const double r = std::abs(
+          stack.rotation_angle(f0, common::Voltage{vx}, common::Voltage{vy})
+              .deg());
+      row.push_back(r);
+      min_rot = std::min(min_rot, r);
+      max_rot = std::max(max_rot, r);
+    }
+    table.add_row(std::move(row));
+  }
+  table.add_note("measured range = [" + std::to_string(min_rot) + ", " +
+                 std::to_string(max_rot) + "] deg; paper range = [1.9, 48.7]");
+  table.print(std::cout);
+
+  common::Table ref{"Table 1 (paper values, for shape comparison)"};
+  ref.set_columns({"Vy\\Vx", "2", "3", "4", "5", "6", "10", "15"});
+  for (int r = 0; r < 7; ++r) {
+    std::vector<double> row{volts[r]};
+    for (int c = 0; c < 7; ++c) row.push_back(paper[r][c]);
+    ref.add_row(std::move(row));
+  }
+  ref.print(std::cout);
+  return 0;
+}

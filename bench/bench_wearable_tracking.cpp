@@ -1,0 +1,56 @@
+// Dynamic-misalignment tracking (the paper's Fig. 1 motivation): a wearable
+// whose antenna orientation swings with the user's arm. The controller's
+// hysteresis loop re-sweeps whenever the link degrades past the threshold.
+// Reported: link power over time with tracking, with a frozen (one-shot)
+// surface, and without the surface.
+#include <iostream>
+
+#include "src/channel/mobility.h"
+#include "src/common/table.h"
+#include "src/core/scenarios.h"
+
+using namespace llama;
+
+int main() {
+  core::SystemConfig cfg =
+      core::transmissive_mismatch_config(1.5, common::PowerDbm{0.0});
+  cfg.rx_antenna = channel::Antenna::iot_dipole(common::Angle::degrees(45.0));
+  cfg.tx_antenna = channel::Antenna::iot_dipole(common::Angle::degrees(0.0));
+
+  channel::ArmSwing::Params swing;
+  swing.mean = common::Angle::degrees(45.0);
+  swing.amplitude = common::Angle::degrees(40.0);
+  swing.swing_rate_hz = 0.15;  // slow posture changes; sweeps take ~1 s
+  channel::ArmSwing arm{swing};
+
+  core::LlamaSystem tracked{cfg};
+  core::LlamaSystem frozen{cfg};
+  core::LlamaSystem bare{cfg};
+  control::Controller tracker{tracked.surface(), tracked.supply()};
+  (void)frozen.optimize_link();  // one-shot optimization, then frozen
+
+  common::Table table{"Wearable tracking: link power vs time (arm swing)"};
+  table.set_columns({"time_s", "orient_deg", "tracked_dbm", "frozen_dbm",
+                     "no_surface_dbm", "resweeps"});
+  int resweeps = 0;
+  const double dt = 0.5;
+  for (double t = 0.0; t <= 20.0; t += dt) {
+    const common::Angle o = arm.orientation_at(t);
+    for (core::LlamaSystem* sys : {&tracked, &frozen, &bare})
+      sys->link().set_rx_antenna(channel::Antenna::iot_dipole(o));
+
+    const auto report = tracked.measure_with_surface(0.02);
+    if (tracker.on_power_report(report, tracked.make_probe()).has_value())
+      ++resweeps;
+
+    table.add_row({t, o.deg(), tracked.measure_with_surface(0.02).value(),
+                   frozen.measure_with_surface(0.02).value(),
+                   bare.measure_without_surface(0.05).value(),
+                   static_cast<double>(resweeps)});
+  }
+  table.add_note(
+      "tracked >= frozen >= bare on average; resweeps fire on deep fades "
+      "(controller hysteresis = 3 dB)");
+  table.print(std::cout);
+  return 0;
+}

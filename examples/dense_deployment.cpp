@@ -1,0 +1,71 @@
+// Dense-deployment demo (the paper's Section 7 outlook): one LLAMA surface
+// serves six IoT devices mounted at arbitrary orientations by time-sharing
+// bias states across compatible groups — "polarization reuse".
+#include <cstdio>
+#include <iostream>
+
+#include "src/channel/ber.h"
+#include "src/control/scheduler.h"
+#include "src/core/scenarios.h"
+
+int main() {
+  using namespace llama;
+
+  const double orientations_deg[] = {82.0, 88.0, 20.0, 75.0, 35.0, 90.0};
+  std::vector<control::DeviceEntry> devices;
+
+  std::cout << "== Dense IoT deployment: 6 devices, 1 surface ==\n";
+  std::cout << "optimizing each device's bias pair (Algorithm 1 per "
+               "device)...\n\n";
+  for (std::size_t i = 0; i < std::size(orientations_deg); ++i) {
+    core::SystemConfig cfg =
+        core::transmissive_mismatch_config(1.0, common::PowerDbm{14.0});
+    cfg.tx_antenna =
+        channel::Antenna::iot_dipole(common::Angle::degrees(0.0));
+    cfg.rx_antenna = channel::Antenna::iot_dipole(
+        common::Angle::degrees(orientations_deg[i]));
+    cfg.seed += i;
+    core::LlamaSystem sys{cfg};
+    const auto report = sys.optimize_link();
+    devices.push_back(control::DeviceEntry{
+        "device-" + std::to_string(i), report.sweep.best_vx,
+        report.sweep.best_vy, sys.measure_with_surface(0.1),
+        sys.measure_without_surface(), 1.0});
+    std::printf(
+        "  %-9s mounted at %4.0f deg: best bias (%.1f, %.1f) V, "
+        "%.1f -> %.1f dBm\n",
+        devices.back().name.c_str(), orientations_deg[i],
+        report.sweep.best_vx.value(), report.sweep.best_vy.value(),
+        devices.back().unoptimized_power.value(),
+        devices.back().optimized_power.value());
+  }
+
+  control::PolarizationScheduler scheduler;
+  const auto slots = scheduler.build_schedule(devices);
+  std::printf("\nschedule: %zu slots\n", slots.size());
+  for (std::size_t s = 0; s < slots.size(); ++s) {
+    std::printf("  slot %zu: bias (%.1f, %.1f) V, %.0f%% airtime, devices:",
+                s, slots[s].vx.value(), slots[s].vy.value(),
+                slots[s].slot_fraction * 100.0);
+    for (std::size_t i : slots[s].device_indices)
+      std::printf(" %s", devices[i].name.c_str());
+    std::printf("\n");
+  }
+
+  const auto powers = scheduler.expected_power(devices, slots);
+  const auto wifi = channel::LinkLayerModel::wifi_80211g();
+  // Effective noise+interference level of a busy building: puts the links
+  // in the rate-sensitive SNR region where polarization loss costs rate.
+  const common::PowerDbm noise{-62.0};
+  double before = 0.0;
+  double after = 0.0;
+  for (std::size_t i = 0; i < devices.size(); ++i) {
+    before += wifi.throughput_mbps(devices[i].unoptimized_power - noise);
+    after += wifi.throughput_mbps(powers[i] - noise);
+  }
+  std::printf(
+      "\nnetwork 802.11g throughput: %.1f Mbps unassisted -> %.1f Mbps "
+      "with polarization scheduling\n",
+      before, after);
+  return 0;
+}

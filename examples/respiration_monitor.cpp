@@ -1,0 +1,50 @@
+// Respiration monitoring (paper Section 5.2.2): a low-power transceiver
+// pair senses a person's breathing from reflected-signal variations. At
+// 5 mW the ripple is buried in noise — until the metasurface, deployed in
+// reflective mode, boosts the signal.
+#include <cstdio>
+#include <iostream>
+
+#include "src/core/scenarios.h"
+#include "src/sensing/respiration_detector.h"
+
+int main() {
+  using namespace llama;
+
+  const core::SensingScenario scenario = core::respiration_scenario();
+  std::cout << "== Respiration monitor: 5 mW, surface 2 m away ==\n";
+  std::cout << "subject breathing at "
+            << scenario.breathing.rate_hz * 60.0 << " breaths/min, chest "
+            << "excursion " << scenario.breathing.chest_excursion_m * 1e3
+            << " mm\n\n";
+
+  const double fs = 10.0;
+  const double duration = 60.0;
+  sensing::RespirationDetector detector;
+
+  for (bool with_surface : {false, true}) {
+    const auto trace = core::simulate_respiration_trace(
+        scenario, with_surface, duration, fs);
+    const auto result = detector.analyze(trace, fs);
+    std::cout << (with_surface ? "WITH surface:    " : "WITHOUT surface: ");
+    if (result.detected) {
+      std::printf(
+          "respiration DETECTED at %.1f breaths/min "
+          "(confidence %.2f, ripple %.2f dB)\n",
+          result.rate_hz * 60.0, result.confidence, result.ripple_db);
+    } else {
+      std::printf("no respiration detected (confidence %.2f)\n",
+                  result.confidence);
+    }
+    // A small strip chart of the first ~20 seconds (stride avoids sampling
+    // exactly at the breathing period).
+    std::cout << "  trace [dBm]: ";
+    for (std::size_t i = 0; i < trace.size() && i < 200; i += 17)
+      std::printf("%.2f ", trace[i]);
+    std::cout << "\n\n";
+  }
+  std::cout << "The surface lifts the reflected signal above the noise "
+               "floor, making the breathing ripple detectable (paper "
+               "Fig. 23).\n";
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Wearable tracking demo (the paper's Fig. 1 scenario): a BLE wearable on a
+// swinging arm. The polarization mismatch is dynamic; the controller's
+// hysteresis loop keeps the link healthy by re-sweeping on deep fades.
+#include <cstdio>
+#include <iostream>
+
+#include "src/channel/ber.h"
+#include "src/channel/mobility.h"
+#include "src/core/scenarios.h"
+
+int main() {
+  using namespace llama;
+
+  core::SystemConfig cfg =
+      core::transmissive_mismatch_config(3.0, common::PowerDbm{0.0});
+  cfg.tx_antenna = channel::Antenna::iot_dipole(common::Angle::degrees(0.0));
+  cfg.rx_antenna = channel::Antenna::iot_dipole(common::Angle::degrees(45.0));
+  core::LlamaSystem system{cfg};
+  control::Controller tracker{system.surface(), system.supply()};
+
+  channel::ArmSwing::Params swing;
+  swing.mean = common::Angle::degrees(45.0);
+  swing.amplitude = common::Angle::degrees(40.0);
+  swing.swing_rate_hz = 0.12;
+  channel::ArmSwing arm{swing};
+
+  const auto ble = channel::LinkLayerModel::ble_1m();
+  // Busy-building noise level: BLE packet losses become visible on fades.
+  const common::PowerDbm noise{-62.0};
+
+  std::cout << "== Wearable on a swinging arm: tracked BLE link ==\n";
+  std::cout << " time  orient   power(dBm)  BLE throughput  action\n";
+  int resweeps = 0;
+  for (double t = 0.0; t <= 25.0; t += 1.0) {
+    const common::Angle o = arm.orientation_at(t);
+    system.link().set_rx_antenna(channel::Antenna::iot_dipole(o));
+    const auto before = system.measure_with_surface(0.02);
+    const bool reswept =
+        tracker.on_power_report(before, system.make_probe()).has_value();
+    if (reswept) ++resweeps;
+    const auto after = system.measure_with_surface(0.02);
+    const double tput = ble.throughput_mbps(after - noise);
+    std::printf(" %4.0fs  %5.1f deg  %8.2f   %6.3f Mbps    %s\n", t, o.deg(),
+                after.value(), tput, reswept ? "RE-SWEPT" : "-");
+  }
+  std::cout << "\nController re-swept " << resweeps
+            << " times over 25 s to follow the arm.\n";
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Antenna models used in the paper's experiments: the cheap linearly
+// polarized IoT dipole (the paper's protagonist), the 6 dBi omni and the
+// 10 dBi directional testbed antennas, and circularly polarized antennas of
+// higher-end devices.
+#pragma once
+
+#include <string>
+
+#include "src/common/units.h"
+#include "src/em/polarization.h"
+
+namespace llama::channel {
+
+/// A (polarization, gain, directivity) bundle. Directivity is modelled as a
+/// simple front-lobe gain plus an off-axis rolloff exponent — enough to
+/// reproduce the paper's directional-vs-omni contrasts (Figs. 18-19), where
+/// directionality matters because it suppresses multipath.
+class Antenna {
+ public:
+  Antenna(std::string name, em::AntennaPolarization polarization,
+          common::GainDb boresight_gain, double directivity_exponent);
+
+  /// 6 dBi indoor omni (paper ref. [1]); linear polarization.
+  [[nodiscard]] static Antenna omni_6dbi(common::Angle orientation);
+  /// 10 dBi directional panel (paper ref. [6]); linear polarization.
+  [[nodiscard]] static Antenna directional_10dbi(common::Angle orientation);
+  /// Cheap IoT dipole: 2 dBi, linear.
+  [[nodiscard]] static Antenna iot_dipole(common::Angle orientation);
+  /// Circularly polarized handset antenna: 2 dBi.
+  [[nodiscard]] static Antenna circular_2dbi();
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const em::AntennaPolarization& polarization() const {
+    return polarization_;
+  }
+  [[nodiscard]] common::GainDb boresight_gain() const { return gain_; }
+
+  /// Gain toward a direction `off_axis` away from boresight. Omni antennas
+  /// (exponent 0) are flat; directional ones roll off as cos^n.
+  [[nodiscard]] common::GainDb gain_towards(common::Angle off_axis) const;
+
+  /// Returns a copy with the polarization rotated (e.g. a turntable step or
+  /// a wearable swinging on an arm).
+  [[nodiscard]] Antenna rotated(common::Angle by) const;
+
+  /// Returns a copy re-oriented to an absolute polarization angle.
+  [[nodiscard]] Antenna oriented(common::Angle orientation) const;
+
+ private:
+  std::string name_;
+  em::AntennaPolarization polarization_;
+  common::GainDb gain_;
+  double directivity_exponent_;
+};
+
+}  // namespace llama::channel

@@ -1,0 +1,96 @@
+#include "src/channel/ber.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace llama::channel {
+
+double q_function(double x) { return 0.5 * std::erfc(x / std::sqrt(2.0)); }
+
+namespace {
+double ebn0_linear(double ebn0_db) { return std::pow(10.0, ebn0_db / 10.0); }
+}  // namespace
+
+double ber_bpsk(double ebn0_db) {
+  return q_function(std::sqrt(2.0 * ebn0_linear(ebn0_db)));
+}
+
+double ber_qpsk(double ebn0_db) {
+  // Gray-coded QPSK has the same BER as BPSK per bit.
+  return ber_bpsk(ebn0_db);
+}
+
+double ber_mqam(int m, double ebn0_db) {
+  if (m != 16 && m != 64)
+    throw std::invalid_argument{"ber_mqam: supported orders are 16 and 64"};
+  const double k = std::log2(m);
+  const double eb = ebn0_linear(ebn0_db);
+  // Standard Gray-coded square-QAM approximation.
+  const double arg = std::sqrt(3.0 * k * eb / (m - 1.0));
+  return 4.0 / k * (1.0 - 1.0 / std::sqrt(static_cast<double>(m))) *
+         q_function(arg);
+}
+
+double ber_gfsk(double ebn0_db) {
+  // Non-coherent binary FSK: 0.5 * exp(-Eb/2N0).
+  return 0.5 * std::exp(-ebn0_linear(ebn0_db) / 2.0);
+}
+
+LinkLayerModel::LinkLayerModel(std::string name, std::vector<PhyRate> rates,
+                               int payload_bytes)
+    : name_(std::move(name)),
+      rates_(std::move(rates)),
+      payload_bytes_(payload_bytes) {
+  if (rates_.empty())
+    throw std::invalid_argument{"LinkLayerModel: need at least one rate"};
+}
+
+LinkLayerModel LinkLayerModel::wifi_80211g() {
+  // SNR thresholds per the usual OFDM receiver sensitivity ladder.
+  return LinkLayerModel{
+      "802.11g",
+      {
+          {"BPSK 1/2", 1, 0.5, 6.0, 5.0},
+          {"BPSK 3/4", 1, 0.75, 9.0, 7.0},
+          {"QPSK 1/2", 2, 0.5, 12.0, 9.0},
+          {"QPSK 3/4", 2, 0.75, 18.0, 12.0},
+          {"16QAM 1/2", 4, 0.5, 24.0, 16.0},
+          {"16QAM 3/4", 4, 0.75, 36.0, 20.0},
+          {"64QAM 2/3", 6, 2.0 / 3.0, 48.0, 24.0},
+          {"64QAM 3/4", 6, 0.75, 54.0, 26.0},
+      },
+      1500};
+}
+
+LinkLayerModel LinkLayerModel::ble_1m() {
+  return LinkLayerModel{"BLE 1M",
+                        {
+                            {"GFSK 1M", 1, 1.0, 1.0, 9.0},
+                        },
+                        251};
+}
+
+const PhyRate* LinkLayerModel::select_rate(common::GainDb snr) const {
+  const PhyRate* best = nullptr;
+  for (const PhyRate& r : rates_)
+    if (snr.value() >= r.snr_threshold_db &&
+        (best == nullptr || r.data_rate_mbps > best->data_rate_mbps))
+      best = &r;
+  return best;
+}
+
+double LinkLayerModel::packet_error_rate(const PhyRate& rate,
+                                         common::GainDb snr) const {
+  const double margin_db = snr.value() - rate.snr_threshold_db;
+  // ~10% PER at threshold, one decade of improvement per 2 dB of margin.
+  const double per = 0.1 * std::pow(10.0, -margin_db / 2.0);
+  return std::min(per, 1.0);
+}
+
+double LinkLayerModel::throughput_mbps(common::GainDb snr) const {
+  const PhyRate* rate = select_rate(snr);
+  if (rate == nullptr) return 0.0;
+  return rate->data_rate_mbps * (1.0 - packet_error_rate(*rate, snr));
+}
+
+}  // namespace llama::channel

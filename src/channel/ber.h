@@ -1,0 +1,71 @@
+// Modulation-aware link-layer models: BER, packet error rate and MAC-layer
+// throughput for the radios the paper evaluates (802.11g OFDM rates, BLE
+// GFSK). Shannon capacity (capacity.h) bounds what is possible; these
+// models translate an SNR into what a commodity chipset actually delivers,
+// which is how a 10-15 dB polarization loss turns into visible throughput
+// and range collapse on real devices (paper Figs. 1-2).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/common/units.h"
+
+namespace llama::channel {
+
+/// Uncoded BER of the standard modulations over AWGN, as a function of
+/// Eb/N0 (dB). Closed forms via the Gaussian Q-function.
+[[nodiscard]] double ber_bpsk(double ebn0_db);
+[[nodiscard]] double ber_qpsk(double ebn0_db);
+[[nodiscard]] double ber_mqam(int m, double ebn0_db);  ///< m in {16, 64}
+/// Non-coherent GFSK (BLE's modulation), approximated as binary FSK.
+[[nodiscard]] double ber_gfsk(double ebn0_db);
+
+/// Gaussian Q-function (upper-tail probability), exposed for tests.
+[[nodiscard]] double q_function(double x);
+
+/// One PHY rate of a protocol: modulation + coding + nominal bit rate.
+struct PhyRate {
+  std::string name;
+  double bits_per_symbol;     ///< modulation order (log2 M)
+  double code_rate;           ///< FEC rate (1.0 = uncoded)
+  double data_rate_mbps;      ///< nominal MAC-visible rate
+  double snr_threshold_db;    ///< minimum SNR for ~10% PER operation
+};
+
+/// A protocol's rate table plus packet geometry.
+class LinkLayerModel {
+ public:
+  /// 802.11g OFDM: 6-54 Mbps ladder (the paper's AP/ESP8266 link).
+  [[nodiscard]] static LinkLayerModel wifi_80211g();
+  /// BLE 1M uncoded PHY (the paper's wearable link).
+  [[nodiscard]] static LinkLayerModel ble_1m();
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const std::vector<PhyRate>& rates() const { return rates_; }
+
+  /// The fastest rate whose SNR threshold is met (ideal rate adaptation);
+  /// nullptr when even the most robust rate cannot operate.
+  [[nodiscard]] const PhyRate* select_rate(common::GainDb snr) const;
+
+  /// Expected MAC throughput at `snr` [Mbit/s]: selected rate scaled by the
+  /// packet success probability at that SNR.
+  [[nodiscard]] double throughput_mbps(common::GainDb snr) const;
+
+  /// Packet error rate at `snr` for a given rate (exponential SNR-margin
+  /// model calibrated to the threshold: ~10% PER at threshold, improving
+  /// 10x per 2 dB of margin).
+  [[nodiscard]] double packet_error_rate(const PhyRate& rate,
+                                         common::GainDb snr) const;
+
+  [[nodiscard]] int payload_bytes() const { return payload_bytes_; }
+
+ private:
+  LinkLayerModel(std::string name, std::vector<PhyRate> rates,
+                 int payload_bytes);
+  std::string name_;
+  std::vector<PhyRate> rates_;
+  int payload_bytes_;
+};
+
+}  // namespace llama::channel

@@ -1,0 +1,30 @@
+#include "src/channel/capacity.h"
+
+#include <cmath>
+
+#include "src/common/constants.h"
+
+namespace llama::channel {
+
+common::PowerDbm noise_floor(common::Frequency bandwidth,
+                             common::GainDb noise_figure) {
+  const double n_watts =
+      common::kBoltzmann * common::kRoomTemperatureK * bandwidth.in_hz();
+  const double n_dbm = 10.0 * std::log10(n_watts * 1e3);
+  return common::PowerDbm{n_dbm} + noise_figure;
+}
+
+common::GainDb snr(common::PowerDbm received, common::PowerDbm noise) {
+  return received - noise;
+}
+
+double spectral_efficiency(common::GainDb snr_db) {
+  return std::log2(1.0 + snr_db.linear());
+}
+
+double capacity_bits_per_hz(common::PowerDbm received,
+                            common::PowerDbm noise) {
+  return spectral_efficiency(snr(received, noise));
+}
+
+}  // namespace llama::channel

@@ -1,0 +1,29 @@
+// Shannon capacity and thermal-noise helpers (the paper's capacity metric
+// in Figs. 18, 19 and 22: "capacity is calculated according to the SNR
+// measurement and channel bandwidth", reported per Hz).
+#pragma once
+
+#include "src/common/units.h"
+
+namespace llama::channel {
+
+/// Thermal noise power over `bandwidth` at room temperature plus a receiver
+/// noise figure: N = kTB * NF.
+[[nodiscard]] common::PowerDbm noise_floor(common::Frequency bandwidth,
+                                           common::GainDb noise_figure);
+
+/// SNR of a received power against a noise floor.
+[[nodiscard]] common::GainDb snr(common::PowerDbm received,
+                                 common::PowerDbm noise);
+
+/// Shannon spectral efficiency log2(1 + SNR) [bit/s/Hz]. The paper's
+/// "Mbps/Hz" axis scales this by 1e-... (the paper's unit is spectral
+/// efficiency divided by 1000, i.e. Kbit/s/Hz -> Mbit/s/Hz); we report
+/// bit/s/Hz and the benches convert for display.
+[[nodiscard]] double spectral_efficiency(common::GainDb snr_db);
+
+/// Convenience: capacity per Hz from received power directly.
+[[nodiscard]] double capacity_bits_per_hz(common::PowerDbm received,
+                                          common::PowerDbm noise);
+
+}  // namespace llama::channel

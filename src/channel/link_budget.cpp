@@ -1,0 +1,139 @@
+#include "src/channel/link_budget.h"
+
+#include <cmath>
+
+#include "src/common/constants.h"
+
+namespace llama::channel {
+
+namespace {
+
+using em::Complex;
+using em::JonesVector;
+
+/// Plane-wave propagation factor over distance d: Friis amplitude with
+/// carrier phase. Phase matters in the reflective geometry, where the
+/// surface path interferes with the direct path.
+Complex propagation(common::Frequency f, double distance_m) {
+  const double k = 2.0 * common::kPi * f.in_hz() / common::kSpeedOfLight;
+  return friis_amplitude(f, distance_m) *
+         std::exp(Complex{0.0, -k * distance_m});
+}
+
+/// Representative off-axis angle of environmental reflections; used to
+/// compute how much endpoint directivity suppresses multipath.
+constexpr double kMultipathOffAxisDeg = 60.0;
+
+}  // namespace
+
+double LinkGeometry::rx_surface_distance_m() const {
+  if (mode == metasurface::SurfaceMode::kTransmissive)
+    return std::max(tx_rx_distance_m - tx_surface_distance_m, 1e-3);
+  // Reflective: surface sits on the perpendicular bisector of the
+  // transceiver pair (paper Section 5.2.1), so both legs are equal.
+  const double half = tx_rx_distance_m / 2.0;
+  return std::sqrt(tx_surface_distance_m * tx_surface_distance_m +
+                   half * half);
+}
+
+double LinkGeometry::surface_path_m() const {
+  if (mode == metasurface::SurfaceMode::kTransmissive)
+    return tx_rx_distance_m;
+  return 2.0 * rx_surface_distance_m();
+}
+
+LinkBudget::LinkBudget(Antenna tx_antenna, Antenna rx_antenna,
+                       LinkGeometry geometry, Environment environment)
+    : tx_(std::move(tx_antenna)),
+      rx_(std::move(rx_antenna)),
+      geometry_(geometry),
+      env_(std::move(environment)) {}
+
+em::JonesVector LinkBudget::field_at_receiver(
+    common::PowerDbm tx_power, common::Frequency f,
+    const metasurface::Metasurface* surface) const {
+  const double p_mw = tx_power.to_mw().value();
+  const double tx_gain = tx_.boresight_gain().linear();
+  // Launch amplitude: sqrt(EIRP in mW); field "power" bookkeeping is done in
+  // mW so |field|^2 at the receiver is directly a power in mW.
+  const JonesVector tx_state =
+      Complex{std::sqrt(p_mw * tx_gain), 0.0} * tx_.polarization().jones();
+
+  JonesVector at_rx{Complex{0.0, 0.0}, Complex{0.0, 0.0}};
+  // Surface transmission scale applied to environmental rays when the
+  // surface stands between the endpoints (they must cross it too).
+  double ray_surface_scale = 1.0;
+
+  if (geometry_.mode == metasurface::SurfaceMode::kTransmissive) {
+    // Endpoints face each other; the surface sits on the direct path.
+    const Complex prop = propagation(f, geometry_.tx_rx_distance_m);
+    if (surface != nullptr) {
+      const em::JonesMatrix j =
+          surface->response(f, metasurface::SurfaceMode::kTransmissive);
+      at_rx = prop * (j * tx_state);
+      // Scattered paths between the Tx and Rx half-spaces also traverse the
+      // surface; scale their amplitude by its mean co-polar transmission.
+      ray_surface_scale =
+          0.5 * (std::abs(j.at(0, 0)) + std::abs(j.at(1, 1)));
+    } else {
+      at_rx = prop * tx_state;
+    }
+  } else {
+    // Reflective (paper Fig. 14 right): both endpoints aim AT the surface,
+    // so the bounced path is on boresight and the direct Tx->Rx path sits
+    // far off both antennas' axes.
+    const double boresight_to_los_rad = std::atan2(
+        geometry_.tx_surface_distance_m, geometry_.tx_rx_distance_m / 2.0);
+    const common::Angle los_off = common::Angle::radians(boresight_to_los_rad);
+    const double los_pattern_scale =
+        std::sqrt(tx_.gain_towards(los_off).linear() / tx_gain) *
+        std::sqrt(rx_.gain_towards(los_off).linear() /
+                  rx_.boresight_gain().linear());
+    at_rx = (propagation(f, geometry_.tx_rx_distance_m) * los_pattern_scale) *
+            tx_state;
+    if (surface != nullptr) {
+      const em::JonesMatrix j =
+          surface->response(f, metasurface::SurfaceMode::kReflective);
+      const Complex prop = propagation(f, geometry_.surface_path_m());
+      at_rx = at_rx + prop * (j * tx_state);
+    }
+  }
+
+  // Environmental multipath. Rays are referenced to the LoS Friis
+  // amplitude; endpoint directivity suppresses them (the paper's Fig. 19
+  // directional-vs-omni contrast), and in the transmissive geometry they
+  // cross the surface like everything else.
+  if (env_.has_multipath()) {
+    const common::Angle off = common::Angle::degrees(kMultipathOffAxisDeg);
+    const double suppression =
+        std::sqrt(tx_.gain_towards(off).linear() / tx_gain) *
+        std::sqrt(rx_.gain_towards(off).linear() /
+                  rx_.boresight_gain().linear());
+    const double ray_ref_amp = friis_amplitude(f, geometry_.tx_rx_distance_m) *
+                               suppression * ray_surface_scale;
+    at_rx = combine_multipath(at_rx, tx_state, ray_ref_amp, env_);
+  }
+  return at_rx;
+}
+
+common::PowerDbm LinkBudget::power_from_field(
+    const em::JonesVector& field) const {
+  const double plf = rx_.polarization().match(field);
+  double p_mw = field.power() * plf * rx_.boresight_gain().linear();
+  // Ambient in-band interference adds incoherently at the receiver.
+  p_mw += env_.interference_floor().to_mw().value();
+  return common::PowerMw{std::max(p_mw, 1e-15)}.to_dbm();
+}
+
+common::PowerDbm LinkBudget::received_power_without_surface(
+    common::PowerDbm tx_power, common::Frequency f) const {
+  return power_from_field(field_at_receiver(tx_power, f, nullptr));
+}
+
+common::PowerDbm LinkBudget::received_power_with_surface(
+    common::PowerDbm tx_power, common::Frequency f,
+    const metasurface::Metasurface& surface) const {
+  return power_from_field(field_at_receiver(tx_power, f, &surface));
+}
+
+}  // namespace llama::channel

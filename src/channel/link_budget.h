@@ -1,0 +1,78 @@
+// End-to-end link computation: transmitter antenna -> (optional metasurface,
+// transmissive or reflective geometry) -> environment -> receiver antenna.
+//
+// This is the simulation stand-in for the paper's USRP testbed: it produces
+// the received signal power that the paper's controller observes, for both
+// experimental geometries of Fig. 14.
+#pragma once
+
+#include <optional>
+
+#include "src/common/units.h"
+#include "src/channel/antenna.h"
+#include "src/channel/propagation.h"
+#include "src/em/jones.h"
+#include "src/metasurface/metasurface.h"
+
+namespace llama::channel {
+
+/// Geometry of the paper's two experimental setups (Fig. 14).
+struct LinkGeometry {
+  /// Transmitter-to-receiver separation [m] (transmissive: through the
+  /// surface; reflective: the direct LoS distance).
+  double tx_rx_distance_m = 0.42;
+  /// Transmitter-to-surface distance [m]; used in both modes. In the
+  /// transmissive mode the surface sits between the endpoints at this
+  /// distance from the transmitter.
+  double tx_surface_distance_m = 0.21;
+  /// Surface operating mode for this deployment.
+  metasurface::SurfaceMode mode = metasurface::SurfaceMode::kTransmissive;
+
+  /// Receiver-to-surface distance implied by the geometry [m].
+  [[nodiscard]] double rx_surface_distance_m() const;
+  /// Total surface-path length [m] (Tx->surface->Rx).
+  [[nodiscard]] double surface_path_m() const;
+};
+
+/// A complete point-to-point link.
+class LinkBudget {
+ public:
+  LinkBudget(Antenna tx_antenna, Antenna rx_antenna, LinkGeometry geometry,
+             Environment environment);
+
+  /// Received power for transmit power `tx_power`, with the surface absent.
+  [[nodiscard]] common::PowerDbm received_power_without_surface(
+      common::PowerDbm tx_power, common::Frequency f) const;
+
+  /// Received power with the metasurface deployed at its current bias.
+  [[nodiscard]] common::PowerDbm received_power_with_surface(
+      common::PowerDbm tx_power, common::Frequency f,
+      const metasurface::Metasurface& surface) const;
+
+  /// The Jones state arriving at the receiver (pre-antenna), with surface.
+  [[nodiscard]] em::JonesVector field_at_receiver(
+      common::PowerDbm tx_power, common::Frequency f,
+      const metasurface::Metasurface* surface) const;
+
+  [[nodiscard]] const Antenna& tx_antenna() const { return tx_; }
+  [[nodiscard]] const Antenna& rx_antenna() const { return rx_; }
+  [[nodiscard]] const LinkGeometry& geometry() const { return geometry_; }
+  [[nodiscard]] const Environment& environment() const { return env_; }
+
+  /// Replaces an endpoint antenna (e.g. turntable rotation during the
+  /// rotation-angle estimation procedure of paper Section 3.4).
+  void set_tx_antenna(Antenna a) { tx_ = std::move(a); }
+  void set_rx_antenna(Antenna a) { rx_ = std::move(a); }
+  void set_geometry(const LinkGeometry& g) { geometry_ = g; }
+
+ private:
+  [[nodiscard]] common::PowerDbm power_from_field(
+      const em::JonesVector& field) const;
+
+  Antenna tx_;
+  Antenna rx_;
+  LinkGeometry geometry_;
+  Environment env_;
+};
+
+}  // namespace llama::channel

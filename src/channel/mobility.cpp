@@ -1,0 +1,33 @@
+#include "src/channel/mobility.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "src/common/constants.h"
+
+namespace llama::channel {
+
+common::Angle ArmSwing::orientation_at(double t_s) {
+  const double swing =
+      std::sin(2.0 * common::kPi * params_.swing_rate_hz * t_s +
+               params_.phase_rad);
+  return params_.mean + params_.amplitude * swing;
+}
+
+RandomRemount::RandomRemount(common::Rng rng, double mean_hold_s,
+                             common::Angle initial)
+    : rng_(rng), mean_hold_s_(mean_hold_s), current_(initial) {
+  if (mean_hold_s_ <= 0.0)
+    throw std::invalid_argument{"RandomRemount: hold time must be positive"};
+  next_jump_s_ = -mean_hold_s_ * std::log(rng_.uniform(1e-12, 1.0));
+}
+
+common::Angle RandomRemount::orientation_at(double t_s) {
+  while (t_s >= next_jump_s_) {
+    current_ = common::Angle::degrees(rng_.uniform(0.0, 180.0));
+    next_jump_s_ += -mean_hold_s_ * std::log(rng_.uniform(1e-12, 1.0));
+  }
+  return current_;
+}
+
+}  // namespace llama::channel

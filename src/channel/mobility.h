@@ -1,0 +1,71 @@
+// Endpoint mobility: time-varying antenna orientation processes.
+//
+// Fig. 1 of the paper motivates LLAMA with a wearable whose antenna swings
+// with the user's arm — the polarization mismatch is *dynamic*. These
+// processes generate orientation-vs-time trajectories the controller must
+// track (its hysteresis loop re-sweeps when the link degrades).
+#pragma once
+
+#include "src/common/rng.h"
+#include "src/common/units.h"
+
+namespace llama::channel {
+
+/// Abstract orientation trajectory theta(t).
+class OrientationProcess {
+ public:
+  virtual ~OrientationProcess() = default;
+  /// Antenna polarization orientation at time t.
+  [[nodiscard]] virtual common::Angle orientation_at(double t_s) = 0;
+};
+
+/// A statically (mis)mounted device: constant orientation.
+class StaticMount final : public OrientationProcess {
+ public:
+  explicit StaticMount(common::Angle orientation)
+      : orientation_(orientation) {}
+  [[nodiscard]] common::Angle orientation_at(double) override {
+    return orientation_;
+  }
+
+ private:
+  common::Angle orientation_;
+};
+
+/// A wearable on a swinging arm: sinusoidal sweep around a mean posture
+/// (walking arm swing is ~0.8-1 Hz with tens of degrees of excursion).
+class ArmSwing final : public OrientationProcess {
+ public:
+  struct Params {
+    common::Angle mean = common::Angle::degrees(45.0);
+    common::Angle amplitude = common::Angle::degrees(40.0);
+    double swing_rate_hz = 0.9;
+    double phase_rad = 0.0;
+  };
+
+  explicit ArmSwing(Params params) : params_(params) {}
+
+  [[nodiscard]] common::Angle orientation_at(double t_s) override;
+
+ private:
+  Params params_;
+};
+
+/// Occasional abrupt re-orientations (the user sits down, re-mounts the
+/// device, ...): a piecewise-constant jump process with exponential holding
+/// times and uniformly random new orientations.
+class RandomRemount final : public OrientationProcess {
+ public:
+  RandomRemount(common::Rng rng, double mean_hold_s,
+                common::Angle initial = common::Angle::degrees(0.0));
+
+  [[nodiscard]] common::Angle orientation_at(double t_s) override;
+
+ private:
+  common::Rng rng_;
+  double mean_hold_s_;
+  double next_jump_s_;
+  common::Angle current_;
+};
+
+}  // namespace llama::channel

@@ -1,0 +1,39 @@
+// Physical and system-wide constants used throughout LLAMA.
+#pragma once
+
+namespace llama::common {
+
+/// Speed of light in vacuum [m/s].
+inline constexpr double kSpeedOfLight = 299'792'458.0;
+
+/// Free-space impedance [ohm].
+inline constexpr double kFreeSpaceImpedance = 376.730313668;
+
+/// Boltzmann constant [J/K].
+inline constexpr double kBoltzmann = 1.380649e-23;
+
+/// Reference room temperature for thermal-noise computations [K].
+inline constexpr double kRoomTemperatureK = 290.0;
+
+/// Vacuum permittivity [F/m].
+inline constexpr double kEpsilon0 = 8.8541878128e-12;
+
+/// Vacuum permeability [H/m].
+inline constexpr double kMu0 = 1.25663706212e-6;
+
+/// Pi, to double precision.
+inline constexpr double kPi = 3.14159265358979323846;
+
+/// 2.4 GHz ISM band edges [Hz] (paper's target band).
+inline constexpr double kIsmBandLowHz = 2.400e9;
+inline constexpr double kIsmBandHighHz = 2.500e9;
+
+/// Default operating frequency used in the paper's experiments [Hz].
+inline constexpr double kDefaultCenterFrequencyHz = 2.440e9;
+
+/// Wavelength at a given frequency [m].
+[[nodiscard]] constexpr double wavelength(double frequency_hz) {
+  return kSpeedOfLight / frequency_hz;
+}
+
+}  // namespace llama::common

@@ -1,0 +1,4 @@
+#include "src/common/rng.h"
+
+// Header-only today; this translation unit anchors the target and keeps a
+// stable place for future out-of-line additions (e.g. counter-based streams).

@@ -1,0 +1,89 @@
+#include "src/common/table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <stdexcept>
+
+namespace llama::common {
+
+void Table::set_columns(std::vector<std::string> names) {
+  columns_ = std::move(names);
+}
+
+void Table::add_row(std::vector<double> values) {
+  if (!columns_.empty() && values.size() != columns_.size())
+    throw std::invalid_argument{"Table::add_row: column count mismatch"};
+  rows_.push_back(std::move(values));
+}
+
+void Table::add_note(std::string note) { notes_.push_back(std::move(note)); }
+
+void Table::print(std::ostream& os) const {
+  os << "== " << title_ << " ==\n";
+  constexpr int kWidth = 14;
+  char buf[64];
+  if (!columns_.empty()) {
+    for (const auto& c : columns_) {
+      std::snprintf(buf, sizeof(buf), "%*s", kWidth, c.c_str());
+      os << buf;
+    }
+    os << '\n';
+  }
+  for (const auto& row : rows_) {
+    for (double v : row) {
+      std::snprintf(buf, sizeof(buf), "%*.3f", kWidth, v);
+      os << buf;
+    }
+    os << '\n';
+  }
+  for (const auto& n : notes_) os << "  note: " << n << '\n';
+  os << '\n';
+}
+
+void print_ascii_heatmap(std::ostream& os, const std::string& title,
+                         std::span<const double> row_labels,
+                         std::span<const double> col_labels,
+                         const std::vector<std::vector<double>>& values) {
+  os << "== " << title << " ==\n";
+  if (values.empty()) {
+    os << "(empty)\n\n";
+    return;
+  }
+  double lo = values[0][0];
+  double hi = values[0][0];
+  for (const auto& row : values)
+    for (double v : row) {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+  static constexpr char kRamp[] = " .:-=+*#%@";
+  constexpr int kLevels = static_cast<int>(sizeof(kRamp)) - 2;
+  char buf[64];
+  os << "        ";
+  for (double c : col_labels) {
+    std::snprintf(buf, sizeof(buf), "%5.0f", c);
+    os << buf;
+  }
+  os << "   (columns)\n";
+  for (std::size_t r = 0; r < values.size(); ++r) {
+    const double label =
+        r < row_labels.size() ? row_labels[r] : static_cast<double>(r);
+    std::snprintf(buf, sizeof(buf), "%7.1f ", label);
+    os << buf;
+    for (double v : values[r]) {
+      int level = 0;
+      if (hi > lo)
+        level = static_cast<int>(std::lround((v - lo) / (hi - lo) * kLevels));
+      level = std::clamp(level, 0, kLevels);
+      const char ch = kRamp[level];
+      os << "    " << ch;
+    }
+    os << '\n';
+  }
+  std::snprintf(buf, sizeof(buf), "  range: [%.2f, %.2f]\n\n", lo, hi);
+  os << buf;
+}
+
+}  // namespace llama::common

@@ -1,0 +1,52 @@
+// Console table / series printers used by the benchmark harnesses so every
+// figure and table from the paper is regenerated in a uniform textual form.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace llama::common {
+
+/// A labelled column of doubles (one series of a figure).
+struct Series {
+  std::string name;
+  std::vector<double> values;
+};
+
+/// Fixed-width plain-text table writer.
+///
+/// Usage:
+///   Table t{"Fig. 16: received power vs distance"};
+///   t.set_columns({"dist_cm", "with_dBm", "without_dBm"});
+///   t.add_row({24, -9.8, -24.1});
+///   t.print(std::cout);
+class Table {
+ public:
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  void set_columns(std::vector<std::string> names);
+  void add_row(std::vector<double> values);
+  /// Optional free-form note printed under the table (paper expectations).
+  void add_note(std::string note);
+
+  void print(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<double>> rows_;
+  std::vector<std::string> notes_;
+};
+
+/// Renders a compact ASCII heatmap (values mapped onto a shade ramp), used
+/// for the voltage-combination heatmaps of Figs. 15 and 21.
+void print_ascii_heatmap(std::ostream& os, const std::string& title,
+                         std::span<const double> row_labels,
+                         std::span<const double> col_labels,
+                         const std::vector<std::vector<double>>& values);
+
+}  // namespace llama::common

@@ -1,0 +1,39 @@
+#include "src/common/units.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "src/common/constants.h"
+
+namespace llama::common {
+
+Angle Angle::normalized() const {
+  const double two_pi = 2.0 * kPi;
+  double r = std::fmod(rad_, two_pi);
+  if (r < 0.0) r += two_pi;
+  return Angle::radians(r);
+}
+
+Angle Angle::normalized_signed() const {
+  const double two_pi = 2.0 * kPi;
+  double r = std::fmod(rad_ + kPi, two_pi);
+  if (r < 0.0) r += two_pi;
+  return Angle::radians(r - kPi);
+}
+
+namespace {
+std::string format(const char* fmt, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), fmt, v);
+  return buf;
+}
+}  // namespace
+
+std::string to_string(PowerDbm p) { return format("%.2f dBm", p.value()); }
+std::string to_string(PowerMw p) { return format("%.4g mW", p.value()); }
+std::string to_string(GainDb g) { return format("%.2f dB", g.value()); }
+std::string to_string(Frequency f) { return format("%.4f GHz", f.in_ghz()); }
+std::string to_string(Voltage v) { return format("%.2f V", v.value()); }
+std::string to_string(Angle a) { return format("%.2f deg", a.deg()); }
+
+}  // namespace llama::common

@@ -1,0 +1,221 @@
+// Strong unit types and conversions for RF power, gain, frequency and voltage.
+//
+// Mixing dBm (absolute, logarithmic), dB (relative, logarithmic) and mW
+// (absolute, linear) is the most common class of bug in link-budget code.
+// These thin value types make the unit part of the type so the compiler
+// rejects such mix-ups, while remaining trivially copyable and free of
+// runtime overhead.
+#pragma once
+
+#include <cmath>
+#include <compare>
+#include <string>
+
+namespace llama::common {
+
+class PowerDbm;
+
+/// Absolute power in milliwatts (linear domain).
+class PowerMw {
+ public:
+  constexpr PowerMw() = default;
+  constexpr explicit PowerMw(double mw) : mw_(mw) {}
+
+  [[nodiscard]] constexpr double value() const { return mw_; }
+  [[nodiscard]] constexpr double watts() const { return mw_ * 1e-3; }
+
+  /// Convert to the logarithmic domain. Requires a strictly positive power.
+  [[nodiscard]] PowerDbm to_dbm() const;
+
+  constexpr PowerMw& operator+=(PowerMw other) {
+    mw_ += other.mw_;
+    return *this;
+  }
+  friend constexpr PowerMw operator+(PowerMw a, PowerMw b) {
+    return PowerMw{a.mw_ + b.mw_};
+  }
+  friend constexpr PowerMw operator*(PowerMw p, double scale) {
+    return PowerMw{p.mw_ * scale};
+  }
+  friend constexpr PowerMw operator*(double scale, PowerMw p) {
+    return PowerMw{p.mw_ * scale};
+  }
+  friend constexpr double operator/(PowerMw a, PowerMw b) {
+    return a.mw_ / b.mw_;
+  }
+  friend constexpr auto operator<=>(PowerMw, PowerMw) = default;
+
+ private:
+  double mw_ = 0.0;
+};
+
+/// Relative gain/loss in decibels.
+class GainDb {
+ public:
+  constexpr GainDb() = default;
+  constexpr explicit GainDb(double db) : db_(db) {}
+
+  [[nodiscard]] constexpr double value() const { return db_; }
+  [[nodiscard]] double linear() const { return std::pow(10.0, db_ / 10.0); }
+
+  /// Gain corresponding to a linear power ratio.
+  [[nodiscard]] static GainDb from_linear(double ratio) {
+    return GainDb{10.0 * std::log10(ratio)};
+  }
+
+  friend constexpr GainDb operator+(GainDb a, GainDb b) {
+    return GainDb{a.db_ + b.db_};
+  }
+  friend constexpr GainDb operator-(GainDb a, GainDb b) {
+    return GainDb{a.db_ - b.db_};
+  }
+  friend constexpr GainDb operator-(GainDb g) { return GainDb{-g.db_}; }
+  friend constexpr auto operator<=>(GainDb, GainDb) = default;
+
+ private:
+  double db_ = 0.0;
+};
+
+/// Absolute power in dBm (logarithmic domain, referenced to 1 mW).
+class PowerDbm {
+ public:
+  constexpr PowerDbm() = default;
+  constexpr explicit PowerDbm(double dbm) : dbm_(dbm) {}
+
+  [[nodiscard]] constexpr double value() const { return dbm_; }
+  [[nodiscard]] PowerMw to_mw() const {
+    return PowerMw{std::pow(10.0, dbm_ / 10.0)};
+  }
+
+  /// Applying a relative gain to an absolute power yields an absolute power.
+  friend constexpr PowerDbm operator+(PowerDbm p, GainDb g) {
+    return PowerDbm{p.value() + g.value()};
+  }
+  friend constexpr PowerDbm operator-(PowerDbm p, GainDb g) {
+    return PowerDbm{p.value() - g.value()};
+  }
+  /// The difference of two absolute powers is a relative gain.
+  friend constexpr GainDb operator-(PowerDbm a, PowerDbm b) {
+    return GainDb{a.value() - b.value()};
+  }
+  friend constexpr auto operator<=>(PowerDbm, PowerDbm) = default;
+
+ private:
+  double dbm_ = 0.0;
+};
+
+inline PowerDbm PowerMw::to_dbm() const {
+  return PowerDbm{10.0 * std::log10(mw_)};
+}
+
+/// Frequency in hertz.
+class Frequency {
+ public:
+  constexpr Frequency() = default;
+  constexpr explicit Frequency(double hz) : hz_(hz) {}
+
+  [[nodiscard]] static constexpr Frequency hz(double v) {
+    return Frequency{v};
+  }
+  [[nodiscard]] static constexpr Frequency khz(double v) {
+    return Frequency{v * 1e3};
+  }
+  [[nodiscard]] static constexpr Frequency mhz(double v) {
+    return Frequency{v * 1e6};
+  }
+  [[nodiscard]] static constexpr Frequency ghz(double v) {
+    return Frequency{v * 1e9};
+  }
+
+  [[nodiscard]] constexpr double in_hz() const { return hz_; }
+  [[nodiscard]] constexpr double in_mhz() const { return hz_ / 1e6; }
+  [[nodiscard]] constexpr double in_ghz() const { return hz_ / 1e9; }
+  /// Free-space wavelength [m].
+  [[nodiscard]] constexpr double wavelength_m() const {
+    return 299'792'458.0 / hz_;
+  }
+
+  friend constexpr Frequency operator+(Frequency a, Frequency b) {
+    return Frequency{a.hz_ + b.hz_};
+  }
+  friend constexpr Frequency operator-(Frequency a, Frequency b) {
+    return Frequency{a.hz_ - b.hz_};
+  }
+  friend constexpr Frequency operator*(Frequency f, double s) {
+    return Frequency{f.hz_ * s};
+  }
+  friend constexpr auto operator<=>(Frequency, Frequency) = default;
+
+ private:
+  double hz_ = 0.0;
+};
+
+/// Bias voltage in volts (the metasurface control variable).
+class Voltage {
+ public:
+  constexpr Voltage() = default;
+  constexpr explicit Voltage(double v) : volts_(v) {}
+
+  [[nodiscard]] constexpr double value() const { return volts_; }
+
+  friend constexpr Voltage operator+(Voltage a, Voltage b) {
+    return Voltage{a.volts_ + b.volts_};
+  }
+  friend constexpr Voltage operator-(Voltage a, Voltage b) {
+    return Voltage{a.volts_ - b.volts_};
+  }
+  friend constexpr Voltage operator*(Voltage v, double s) {
+    return Voltage{v.volts_ * s};
+  }
+  friend constexpr auto operator<=>(Voltage, Voltage) = default;
+
+ private:
+  double volts_ = 0.0;
+};
+
+/// Angle with explicit degree/radian accessors; stored in radians.
+class Angle {
+ public:
+  constexpr Angle() = default;
+
+  [[nodiscard]] static constexpr Angle radians(double r) { return Angle{r}; }
+  [[nodiscard]] static constexpr Angle degrees(double d) {
+    return Angle{d * 3.14159265358979323846 / 180.0};
+  }
+
+  [[nodiscard]] constexpr double rad() const { return rad_; }
+  [[nodiscard]] constexpr double deg() const {
+    return rad_ * 180.0 / 3.14159265358979323846;
+  }
+
+  /// Normalized to [0, 2*pi).
+  [[nodiscard]] Angle normalized() const;
+  /// Normalized to [-pi, pi).
+  [[nodiscard]] Angle normalized_signed() const;
+
+  friend constexpr Angle operator+(Angle a, Angle b) {
+    return Angle{a.rad_ + b.rad_};
+  }
+  friend constexpr Angle operator-(Angle a, Angle b) {
+    return Angle{a.rad_ - b.rad_};
+  }
+  friend constexpr Angle operator*(Angle a, double s) {
+    return Angle{a.rad_ * s};
+  }
+  friend constexpr Angle operator-(Angle a) { return Angle{-a.rad_}; }
+  friend constexpr auto operator<=>(Angle, Angle) = default;
+
+ private:
+  constexpr explicit Angle(double r) : rad_(r) {}
+  double rad_ = 0.0;
+};
+
+/// Formats a power as e.g. "-32.4 dBm" (for logs and bench output).
+[[nodiscard]] std::string to_string(PowerDbm p);
+[[nodiscard]] std::string to_string(PowerMw p);
+[[nodiscard]] std::string to_string(GainDb g);
+[[nodiscard]] std::string to_string(Frequency f);
+[[nodiscard]] std::string to_string(Voltage v);
+[[nodiscard]] std::string to_string(Angle a);
+
+}  // namespace llama::common

@@ -1,0 +1,45 @@
+#include "src/control/controller.h"
+
+namespace llama::control {
+
+Controller::Controller(metasurface::Metasurface& surface, PowerSupply& supply)
+    : Controller(surface, supply, Options{}) {}
+
+Controller::Controller(metasurface::Metasurface& surface, PowerSupply& supply,
+                       Options options)
+    : surface_(surface), supply_(supply), options_(options) {}
+
+void Controller::apply(common::Voltage vx, common::Voltage vy) {
+  vx_ = vx;
+  vy_ = vy;
+  surface_.set_bias(vx, vy);
+}
+
+OptimizationReport Controller::optimize(const PowerProbe& probe) {
+  OptimizationReport report;
+  report.baseline = probe(vx_, vy_);
+  // The probe is responsible for programming the surface; wrap it so every
+  // sweep measurement also updates the live surface bias.
+  const PowerProbe wrapped = [&](common::Voltage vx, common::Voltage vy) {
+    surface_.set_bias(vx, vy);
+    return probe(vx, vy);
+  };
+  CoarseToFineSweep sweep{supply_, options_.sweep};
+  report.sweep = sweep.run(wrapped);
+  apply(report.sweep.best_vx, report.sweep.best_vy);
+  report.improvement = report.sweep.best_power - report.baseline;
+  last_optimum_ = report.sweep.best_power;
+  return report;
+}
+
+std::optional<OptimizationReport> Controller::on_power_report(
+    common::PowerDbm report, const PowerProbe& probe) {
+  if (last_optimum_.has_value() &&
+      report.value() >=
+          last_optimum_->value() - options_.reoptimize_threshold.value()) {
+    return std::nullopt;  // link still healthy
+  }
+  return optimize(probe);
+}
+
+}  // namespace llama::control

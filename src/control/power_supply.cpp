@@ -1,0 +1,22 @@
+#include "src/control/power_supply.h"
+
+namespace llama::control {
+
+PowerSupply::PowerSupply(common::Voltage max_voltage, double switch_rate_hz)
+    : max_v_(max_voltage), rate_hz_(switch_rate_hz) {
+  if (max_v_.value() <= 0.0)
+    throw SupplyRangeError{"PowerSupply: max voltage must be positive"};
+  if (rate_hz_ <= 0.0)
+    throw SupplyRangeError{"PowerSupply: switch rate must be positive"};
+}
+
+void PowerSupply::set_outputs(common::Voltage vx, common::Voltage vy) {
+  if (vx.value() < 0.0 || vx > max_v_ || vy.value() < 0.0 || vy > max_v_)
+    throw SupplyRangeError{"PowerSupply: commanded voltage out of range"};
+  vx_ = vx;
+  vy_ = vy;
+  elapsed_s_ += switch_period_s();
+  ++switches_;
+}
+
+}  // namespace llama::control

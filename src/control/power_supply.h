@@ -1,0 +1,56 @@
+// Programmable DC power supply model (Tektronix Series 2230G, paper ref.
+// [3]): two independent 0-30 V channels driven over VISA, with a bounded
+// switch rate of 50 Hz. The timing model matters: Algorithm 1's cost is
+// quoted as 0.02 s per switch, and the synchronization scheme of paper
+// Eq. 13 relies on the switch period being constant.
+#pragma once
+
+#include <stdexcept>
+
+#include "src/common/units.h"
+
+namespace llama::control {
+
+/// Thrown when a command exceeds the instrument's limits.
+class SupplyRangeError : public std::out_of_range {
+ public:
+  using std::out_of_range::out_of_range;
+};
+
+class PowerSupply {
+ public:
+  /// max 30 V per channel, 50 Hz switch rate (paper Section 3.3).
+  PowerSupply(common::Voltage max_voltage = common::Voltage{30.0},
+              double switch_rate_hz = 50.0);
+
+  [[nodiscard]] common::Voltage max_voltage() const { return max_v_; }
+  [[nodiscard]] double switch_rate_hz() const { return rate_hz_; }
+  /// Time cost of a single voltage switch [s] (paper: Ts = 0.02 s).
+  [[nodiscard]] double switch_period_s() const { return 1.0 / rate_hz_; }
+
+  /// Programs both channels; advances the instrument clock by one switch
+  /// period. Throws SupplyRangeError on out-of-range commands.
+  void set_outputs(common::Voltage vx, common::Voltage vy);
+
+  [[nodiscard]] common::Voltage output_x() const { return vx_; }
+  [[nodiscard]] common::Voltage output_y() const { return vy_; }
+
+  /// Instrument time elapsed since construction [s]. Every set_outputs
+  /// costs exactly one switch period — this is what makes the full 0-30 V
+  /// scan take ~30 s (31*31 switches at 50 Hz ~= 19 s of switching plus
+  /// measurement dwell) and motivates the coarse-to-fine sweep.
+  [[nodiscard]] double elapsed_s() const { return elapsed_s_; }
+
+  /// Number of switches issued so far.
+  [[nodiscard]] long switch_count() const { return switches_; }
+
+ private:
+  common::Voltage max_v_;
+  double rate_hz_;
+  common::Voltage vx_{0.0};
+  common::Voltage vy_{0.0};
+  double elapsed_s_ = 0.0;
+  long switches_ = 0;
+};
+
+}  // namespace llama::control

@@ -1,0 +1,95 @@
+#include "src/control/rotation_estimator.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace llama::control {
+
+RotationEstimator::RotationEstimator() : RotationEstimator(Options{}) {}
+
+RotationEstimator::RotationEstimator(Options options) : options_(options) {
+  if (options_.orientation_step_deg <= 0.0)
+    throw std::invalid_argument{
+        "RotationEstimator: orientation step must be positive"};
+  if (options_.v_step.value() <= 0.0)
+    throw std::invalid_argument{"RotationEstimator: v_step must be positive"};
+}
+
+std::vector<OrientationSample> RotationEstimator::orientation_scan(
+    const OrientationProbe& probe) const {
+  std::vector<OrientationSample> scan;
+  for (double deg = 0.0; deg < 180.0; deg += options_.orientation_step_deg) {
+    const common::Angle o = common::Angle::degrees(deg);
+    scan.push_back({o, probe(o)});
+  }
+  return scan;
+}
+
+common::Angle RotationEstimator::argmax_orientation(
+    const std::vector<OrientationSample>& scan) {
+  if (scan.empty())
+    throw std::invalid_argument{"argmax_orientation: empty scan"};
+  const OrientationSample* best = &scan.front();
+  for (const OrientationSample& s : scan)
+    if (s.power > best->power) best = &s;
+  return best->orientation;
+}
+
+RotationEstimate RotationEstimator::estimate(const BiasSetter& set_bias,
+                                             const OrientationProbe& probe) {
+  RotationEstimate out;
+
+  // Step 1: neutral bias, find the matched orientation theta_0.
+  set_bias(common::Voltage{0.0}, common::Voltage{0.0});
+  out.theta0 = argmax_orientation(orientation_scan(probe));
+
+  // Step 2: with the receiver fixed at theta_0, sweep the bias grid for the
+  // weakest and strongest received power.
+  const common::Angle fixed = out.theta0;
+  common::PowerDbm weakest{1e9};
+  common::PowerDbm strongest{-1e9};
+  for (double vy = options_.v_min.value(); vy <= options_.v_max.value() + 1e-9;
+       vy += options_.v_step.value()) {
+    for (double vx = options_.v_min.value();
+         vx <= options_.v_max.value() + 1e-9; vx += options_.v_step.value()) {
+      set_bias(common::Voltage{vx}, common::Voltage{vy});
+      const common::PowerDbm p = probe(fixed);
+      if (p < weakest) {
+        weakest = p;
+        out.vmin_x = common::Voltage{vx};
+        out.vmin_y = common::Voltage{vy};
+      }
+      if (p > strongest) {
+        strongest = p;
+        out.vmax_x = common::Voltage{vx};
+        out.vmax_y = common::Voltage{vy};
+      }
+    }
+  }
+
+  // Step 3: at each extreme bias, re-scan the turntable; the offset of the
+  // new best orientation from theta_0 is the rotation the surface imparts.
+  set_bias(out.vmax_x, out.vmax_y);
+  const common::Angle theta_min_rot =
+      argmax_orientation(orientation_scan(probe));
+  set_bias(out.vmin_x, out.vmin_y);
+  const common::Angle theta_max_rot =
+      argmax_orientation(orientation_scan(probe));
+
+  // The max-power bias is the one whose rotation best matches the current
+  // antenna arrangement (minimum residual rotation); the min-power bias
+  // maximally rotates the wave away.
+  out.min_rotation = orientation_offset(out.theta0, theta_min_rot);
+  out.max_rotation = orientation_offset(out.theta0, theta_max_rot);
+  if (out.max_rotation < out.min_rotation)
+    std::swap(out.max_rotation, out.min_rotation);
+  return out;
+}
+
+common::Angle orientation_offset(common::Angle a, common::Angle b) {
+  double d = std::fmod(std::abs(a.deg() - b.deg()), 180.0);
+  if (d > 90.0) d = 180.0 - d;
+  return common::Angle::degrees(d);
+}
+
+}  // namespace llama::control

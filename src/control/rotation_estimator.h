@@ -1,0 +1,89 @@
+// Polarization-rotation-degree estimation (paper Section 3.4, Figure 12).
+//
+// The achieved rotation angle cannot be read off the metasurface directly;
+// the paper infers it from received-power measurements using a turntable-
+// mounted receiver:
+//   Step 1: rotate the receiver to find the orientation of maximum power
+//           (theta_0, the polarization-matched orientation).
+//   Step 2: sweep the bias voltages to find the combinations of minimum and
+//           maximum received power (Vmin, Vmax).
+//   Step 3: at each of those bias states, rotate the receiver through 180
+//           degrees to find the new best orientation; the offsets
+//           |theta_0 - theta_min| and |theta_0 - theta_max| are the minimum
+//           and maximum rotation angles the surface can impart.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "src/common/units.h"
+#include "src/control/sweep.h"
+
+namespace llama::control {
+
+/// Measurement oracle for the turntable: orients the receiver's antenna to
+/// an absolute polarization angle and returns the received power at the
+/// current bias state.
+using OrientationProbe =
+    std::function<common::PowerDbm(common::Angle rx_orientation)>;
+
+/// Plant control for the estimation procedure: program a bias pair.
+using BiasSetter = std::function<void(common::Voltage vx, common::Voltage vy)>;
+
+/// Result of the three-step procedure.
+struct RotationEstimate {
+  common::Angle theta0;         ///< matched orientation with surface neutral
+  common::Voltage vmin_x{0.0};  ///< bias of weakest power
+  common::Voltage vmin_y{0.0};
+  common::Voltage vmax_x{0.0};  ///< bias of strongest power
+  common::Voltage vmax_y{0.0};
+  common::Angle min_rotation;   ///< |theta0 - theta_max-power-orientation|
+  common::Angle max_rotation;   ///< |theta0 - theta_min-power-orientation|
+};
+
+/// One sampled point of a turntable scan (for Fig. 12-style plots).
+struct OrientationSample {
+  common::Angle orientation;
+  common::PowerDbm power;
+};
+
+class RotationEstimator {
+ public:
+  struct Options {
+    /// Turntable scan resolution (degrees between power measurements).
+    double orientation_step_deg = 2.0;
+    /// Bias sweep grid used in Step 2.
+    common::Voltage v_min{0.0};
+    common::Voltage v_max{30.0};
+    common::Voltage v_step{2.0};
+  };
+
+  /// Default paper-grade options.
+  RotationEstimator();
+  explicit RotationEstimator(Options options);
+
+  /// Runs Steps 1-3. `set_bias` programs the surface; `probe` measures at a
+  /// receiver orientation. The surface should be deployed in the
+  /// transmissive geometry, endpoints initially polarization-matched.
+  [[nodiscard]] RotationEstimate estimate(const BiasSetter& set_bias,
+                                          const OrientationProbe& probe);
+
+  /// Scans power over receiver orientation [0, 180) deg at the current bias
+  /// (used standalone for Fig. 12 (a-b) style traces).
+  [[nodiscard]] std::vector<OrientationSample> orientation_scan(
+      const OrientationProbe& probe) const;
+
+ private:
+  /// Best orientation of a scan.
+  [[nodiscard]] static common::Angle argmax_orientation(
+      const std::vector<OrientationSample>& scan);
+
+  Options options_;
+};
+
+/// Helper used by benches: the fold of two linear-polarization orientations
+/// into a rotation magnitude in [0, 90] deg.
+[[nodiscard]] common::Angle orientation_offset(common::Angle a,
+                                               common::Angle b);
+
+}  // namespace llama::control

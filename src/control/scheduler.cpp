@@ -1,0 +1,84 @@
+#include "src/control/scheduler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace llama::control {
+
+PolarizationScheduler::PolarizationScheduler(Options options)
+    : options_(options) {
+  if (options_.bias_tolerance.value() < 0.0)
+    throw std::invalid_argument{
+        "PolarizationScheduler: tolerance must be non-negative"};
+}
+
+std::vector<ScheduleSlot> PolarizationScheduler::build_schedule(
+    const std::vector<DeviceEntry>& devices) const {
+  std::vector<ScheduleSlot> slots;
+  const double tol = options_.bias_tolerance.value();
+
+  // Greedy clustering in descending traffic order: heavy devices seed
+  // slots, lighter compatible devices join them.
+  std::vector<std::size_t> order(devices.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return devices[a].traffic_weight > devices[b].traffic_weight;
+  });
+
+  for (std::size_t idx : order) {
+    const DeviceEntry& d = devices[idx];
+    ScheduleSlot* home = nullptr;
+    for (ScheduleSlot& slot : slots) {
+      if (std::abs(slot.vx.value() - d.best_vx.value()) <= tol &&
+          std::abs(slot.vy.value() - d.best_vy.value()) <= tol) {
+        home = &slot;
+        break;
+      }
+    }
+    if (home == nullptr) {
+      slots.push_back(ScheduleSlot{d.best_vx, d.best_vy, {}, 0.0});
+      home = &slots.back();
+    }
+    home->device_indices.push_back(idx);
+  }
+
+  // Airtime shares proportional to summed traffic weights.
+  double total_weight = 0.0;
+  for (const ScheduleSlot& slot : slots)
+    for (std::size_t i : slot.device_indices)
+      total_weight += devices[i].traffic_weight;
+  for (ScheduleSlot& slot : slots) {
+    double w = 0.0;
+    for (std::size_t i : slot.device_indices)
+      w += devices[i].traffic_weight;
+    slot.slot_fraction = total_weight > 0.0 ? w / total_weight : 0.0;
+  }
+  return slots;
+}
+
+std::vector<common::PowerDbm> PolarizationScheduler::expected_power(
+    const std::vector<DeviceEntry>& devices,
+    const std::vector<ScheduleSlot>& schedule) const {
+  std::vector<common::PowerDbm> out;
+  out.reserve(devices.size());
+  for (std::size_t i = 0; i < devices.size(); ++i) {
+    double in_slot_fraction = 0.0;
+    for (const ScheduleSlot& slot : schedule) {
+      if (std::find(slot.device_indices.begin(), slot.device_indices.end(),
+                    i) != slot.device_indices.end()) {
+        in_slot_fraction = slot.slot_fraction;
+        break;
+      }
+    }
+    const double opt_mw = devices[i].optimized_power.to_mw().value();
+    const double raw_mw = devices[i].unoptimized_power.to_mw().value();
+    const double mean_mw =
+        in_slot_fraction * opt_mw + (1.0 - in_slot_fraction) * raw_mw;
+    out.push_back(common::PowerMw{std::max(mean_mw, 1e-15)}.to_dbm());
+  }
+  return out;
+}
+
+}  // namespace llama::control

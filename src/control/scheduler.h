@@ -1,0 +1,70 @@
+// Multi-device polarization scheduling — the paper's Section 7 outlook:
+// "When there are multiple IoT devices in different polarization
+// orientations, tuning the signal polarization can lead to a new form of
+// polarization reuse or access control and improve the network throughput
+// for dense IoT deployments."
+//
+// One surface serves many devices by time-sharing: the scheduler groups
+// devices whose optimal bias pairs are compatible (their rotated
+// polarizations all land close enough to their receivers), then cycles
+// through the groups, programming one bias pair per slot. Devices in the
+// active group get a polarization-corrected link; the rest wait.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/common/units.h"
+#include "src/control/sweep.h"
+
+namespace llama::control {
+
+/// One served endpoint: its identity and the bias pair that maximizes its
+/// link (found by a per-device Algorithm 1 run).
+struct DeviceEntry {
+  std::string name;
+  common::Voltage best_vx{0.0};
+  common::Voltage best_vy{0.0};
+  common::PowerDbm optimized_power{-120.0};
+  common::PowerDbm unoptimized_power{-120.0};
+  double traffic_weight = 1.0;  ///< relative airtime demand
+};
+
+/// A scheduling group: devices sharing one programmed bias pair.
+struct ScheduleSlot {
+  common::Voltage vx{0.0};
+  common::Voltage vy{0.0};
+  std::vector<std::size_t> device_indices;
+  double slot_fraction = 0.0;  ///< share of airtime given to this slot
+};
+
+/// Greedy bias-clustering scheduler.
+class PolarizationScheduler {
+ public:
+  struct Options {
+    /// Devices whose optima differ by at most this much (per axis) share a
+    /// slot; the surface cannot satisfy incompatible polarizations at once.
+    common::Voltage bias_tolerance{3.0};
+  };
+
+  explicit PolarizationScheduler(Options options);
+  PolarizationScheduler() : PolarizationScheduler(Options{}) {}
+
+  /// Clusters devices into slots and assigns airtime proportional to the
+  /// summed traffic weights.
+  [[nodiscard]] std::vector<ScheduleSlot> build_schedule(
+      const std::vector<DeviceEntry>& devices) const;
+
+  /// Expected per-device mean power under the schedule: optimized power
+  /// during the device's slot, unoptimized power elsewhere (linear-domain
+  /// average, returned in dBm). This is the quantity a throughput model
+  /// consumes.
+  [[nodiscard]] std::vector<common::PowerDbm> expected_power(
+      const std::vector<DeviceEntry>& devices,
+      const std::vector<ScheduleSlot>& schedule) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace llama::control

@@ -1,0 +1,77 @@
+// Alternative bias-search strategies, used as ablation baselines against
+// the paper's Algorithm 1 (sweep.h). All share the PowerProbe plant
+// interface and cost one supply switch per probe, so search quality and
+// wall-clock cost are directly comparable.
+#pragma once
+
+#include "src/common/rng.h"
+#include "src/control/sweep.h"
+
+namespace llama::control {
+
+/// Uniform random probing with a fixed budget — the no-structure baseline.
+class RandomSearch {
+ public:
+  struct Options {
+    int probes = 50;  ///< match Algorithm 1's N*T^2 budget by default
+    common::Voltage v_min{0.0};
+    common::Voltage v_max{30.0};
+  };
+
+  RandomSearch(PowerSupply& supply, Options options, common::Rng rng);
+
+  [[nodiscard]] SweepResult run(const PowerProbe& probe);
+
+ private:
+  PowerSupply& supply_;
+  Options options_;
+  common::Rng rng_;
+};
+
+/// Coordinate hill climbing: alternate axes, step toward improvement,
+/// halve the step on failure. Cheap but can stall on ridges of the power
+/// landscape (the bias map's diagonal valleys, cf. Fig. 15 heatmaps).
+class HillClimb {
+ public:
+  struct Options {
+    int max_probes = 50;
+    common::Voltage initial_step{8.0};
+    common::Voltage min_step{0.5};
+    common::Voltage v_min{0.0};
+    common::Voltage v_max{30.0};
+    common::Voltage start_x{15.0};
+    common::Voltage start_y{15.0};
+  };
+
+  HillClimb(PowerSupply& supply, Options options);
+
+  [[nodiscard]] SweepResult run(const PowerProbe& probe);
+
+ private:
+  PowerSupply& supply_;
+  Options options_;
+};
+
+/// Simulated annealing over the bias plane.
+class SimulatedAnnealing {
+ public:
+  struct Options {
+    int max_probes = 50;
+    double initial_temperature_db = 6.0;  ///< accept ~6 dB uphill initially
+    double cooling = 0.92;                ///< per-probe temperature factor
+    common::Voltage step{6.0};
+    common::Voltage v_min{0.0};
+    common::Voltage v_max{30.0};
+  };
+
+  SimulatedAnnealing(PowerSupply& supply, Options options, common::Rng rng);
+
+  [[nodiscard]] SweepResult run(const PowerProbe& probe);
+
+ private:
+  PowerSupply& supply_;
+  Options options_;
+  common::Rng rng_;
+};
+
+}  // namespace llama::control

@@ -1,0 +1,112 @@
+#include "src/control/sweep.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "src/common/math_utils.h"
+
+namespace llama::control {
+
+CoarseToFineSweep::CoarseToFineSweep(PowerSupply& supply, Options options)
+    : supply_(supply), options_(options) {
+  if (options_.iterations < 1)
+    throw std::invalid_argument{"CoarseToFineSweep: iterations must be >= 1"};
+  if (options_.steps_per_axis < 2)
+    throw std::invalid_argument{"CoarseToFineSweep: need >= 2 steps per axis"};
+  if (options_.v_max <= options_.v_min)
+    throw std::invalid_argument{"CoarseToFineSweep: empty voltage range"};
+}
+
+SweepResult CoarseToFineSweep::run(const PowerProbe& probe) {
+  trace_.clear();
+  const double t0 = supply_.elapsed_s();
+  SweepResult result;
+  // Current sweep window, shared by both axes at iteration start
+  // (paper Algorithm 1: Vr_{x,1} = [vmin, vmax], Vr_{y,1} likewise).
+  double x_lo = options_.v_min.value();
+  double x_hi = options_.v_max.value();
+  double y_lo = x_lo;
+  double y_hi = x_hi;
+  const int t_steps = options_.steps_per_axis;
+
+  for (int n = 0; n < options_.iterations; ++n) {
+    const double x_step = (x_hi - x_lo) / t_steps;
+    const double y_step = (y_hi - y_lo) / t_steps;
+    double best_x = x_lo;
+    double best_y = y_lo;
+    common::PowerDbm best{-1e9};
+    // Scan the T x T grid over the current window.
+    for (int i = 1; i <= t_steps; ++i) {
+      for (int j = 1; j <= t_steps; ++j) {
+        const common::Voltage vx{x_lo + x_step * i};
+        const common::Voltage vy{y_lo + y_step * j};
+        supply_.set_outputs(vx, vy);
+        const common::PowerDbm p = probe(vx, vy);
+        trace_.push_back({vx, vy, p});
+        ++result.probes;
+        if (p > best) {
+          best = p;
+          best_x = vx.value();
+          best_y = vy.value();
+        }
+      }
+    }
+    result.best_vx = common::Voltage{best_x};
+    result.best_vy = common::Voltage{best_y};
+    result.best_power = best;
+    // Zoom: next window is the step-sized neighbourhood below the winner
+    // (paper: Vr_{x,n+1} = [v - Vs, v]).
+    x_lo = std::max(best_x - x_step, options_.v_min.value());
+    x_hi = best_x;
+    y_lo = std::max(best_y - y_step, options_.v_min.value());
+    y_hi = best_y;
+    if (x_hi <= x_lo) x_hi = x_lo + 1e-3;
+    if (y_hi <= y_lo) y_hi = y_lo + 1e-3;
+  }
+  result.time_cost_s = supply_.elapsed_s() - t0;
+  return result;
+}
+
+FullGridSweep::FullGridSweep(PowerSupply& supply, Options options)
+    : supply_(supply), options_(options) {
+  if (options_.step.value() <= 0.0)
+    throw std::invalid_argument{"FullGridSweep: step must be positive"};
+  if (options_.v_max <= options_.v_min)
+    throw std::invalid_argument{"FullGridSweep: empty voltage range"};
+}
+
+SweepResult FullGridSweep::run(const PowerProbe& probe) {
+  grid_.clear();
+  vxs_.clear();
+  vys_.clear();
+  const double t0 = supply_.elapsed_s();
+  SweepResult result;
+  const double lo = options_.v_min.value();
+  const double hi = options_.v_max.value();
+  const double step = options_.step.value();
+  for (double v = lo; v <= hi + 1e-9; v += step) vxs_.push_back(v);
+  vys_ = vxs_;
+  common::PowerDbm best{-1e9};
+  for (double vy : vys_) {
+    std::vector<double> row;
+    row.reserve(vxs_.size());
+    for (double vx : vxs_) {
+      supply_.set_outputs(common::Voltage{vx}, common::Voltage{vy});
+      const common::PowerDbm p =
+          probe(common::Voltage{vx}, common::Voltage{vy});
+      row.push_back(p.value());
+      ++result.probes;
+      if (p > best) {
+        best = p;
+        result.best_vx = common::Voltage{vx};
+        result.best_vy = common::Voltage{vy};
+      }
+    }
+    grid_.push_back(std::move(row));
+  }
+  result.best_power = best;
+  result.time_cost_s = supply_.elapsed_s() - t0;
+  return result;
+}
+
+}  // namespace llama::control

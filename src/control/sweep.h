@@ -1,0 +1,99 @@
+// Bias-voltage search strategies.
+//
+// The paper's Algorithm 1 is a coarse-to-fine sweep: N iterations, T voltage
+// steps per axis per iteration; each iteration scans a TxT grid over the
+// current range, then zooms into the step-sized neighbourhood of the best
+// cell. Cost is 0.02 x N x T^2 seconds (at the supply's 50 Hz switch rate)
+// versus ~30 s for an exhaustive 1 V-step scan of the 0-30 V plane.
+//
+// The sweep is decoupled from the plant through a measurement callback so it
+// drives the simulated link, the USRP model, or unit-test stubs alike.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "src/common/units.h"
+#include "src/control/power_supply.h"
+
+namespace llama::control {
+
+/// Measurement oracle: programs (vx, vy) on the plant and returns the
+/// received signal power observed at the endpoint.
+using PowerProbe = std::function<common::PowerDbm(common::Voltage vx,
+                                                  common::Voltage vy)>;
+
+/// Outcome of a sweep.
+struct SweepResult {
+  common::Voltage best_vx{0.0};
+  common::Voltage best_vy{0.0};
+  common::PowerDbm best_power{-120.0};
+  int probes = 0;          ///< number of voltage combinations measured
+  double time_cost_s = 0;  ///< supply switching time spent
+};
+
+/// One measured point of a sweep trace (for heatmaps and diagnostics).
+struct SweepSample {
+  common::Voltage vx{0.0};
+  common::Voltage vy{0.0};
+  common::PowerDbm power{-120.0};
+};
+
+/// Paper Algorithm 1: coarse-to-fine biasing-voltage sweep.
+class CoarseToFineSweep {
+ public:
+  struct Options {
+    int iterations = 2;          ///< paper: N = 2
+    int steps_per_axis = 5;      ///< paper: T = 5
+    common::Voltage v_min{0.0};  ///< sweep range start (both axes)
+    common::Voltage v_max{30.0};  ///< sweep range end (both axes)
+  };
+
+  CoarseToFineSweep(PowerSupply& supply, Options options);
+
+  /// Runs the search; probes the plant via `probe` after programming each
+  /// voltage pair on the supply.
+  [[nodiscard]] SweepResult run(const PowerProbe& probe);
+
+  /// Full trace of measurements from the last run().
+  [[nodiscard]] const std::vector<SweepSample>& trace() const {
+    return trace_;
+  }
+
+ private:
+  PowerSupply& supply_;
+  Options options_;
+  std::vector<SweepSample> trace_;
+};
+
+/// Exhaustive grid sweep (the paper's "full scan takes ~30 seconds"
+/// baseline, and the instrument used for the heatmaps of Figs. 15 and 21).
+class FullGridSweep {
+ public:
+  struct Options {
+    common::Voltage v_min{0.0};
+    common::Voltage v_max{30.0};
+    common::Voltage step{1.0};
+  };
+
+  FullGridSweep(PowerSupply& supply, Options options);
+
+  [[nodiscard]] SweepResult run(const PowerProbe& probe);
+
+  /// Row-major grid of measured powers from the last run (rows = Vy values,
+  /// columns = Vx values), plus the axis labels.
+  [[nodiscard]] const std::vector<std::vector<double>>& grid_dbm() const {
+    return grid_;
+  }
+  [[nodiscard]] const std::vector<double>& vx_values() const { return vxs_; }
+  [[nodiscard]] const std::vector<double>& vy_values() const { return vys_; }
+
+ private:
+  PowerSupply& supply_;
+  Options options_;
+  std::vector<std::vector<double>> grid_;
+  std::vector<double> vxs_;
+  std::vector<double> vys_;
+};
+
+}  // namespace llama::control

@@ -1,0 +1,44 @@
+#include "src/control/synchronization.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace llama::control {
+
+SampleVoltageSync::SampleVoltageSync(VoltageRamp x, VoltageRamp y,
+                                     double start_offset_s)
+    : x_(x), y_(y), td_(start_offset_s) {
+  if (x_.switch_period_s <= 0.0 || y_.switch_period_s <= 0.0)
+    throw std::invalid_argument{"SampleVoltageSync: Ts must be positive"};
+}
+
+common::Voltage SampleVoltageSync::voltage_x_at(double t_s) const {
+  // Paper Eq. 13.
+  return x_.v0 +
+         x_.delta * ((t_s - td_) / x_.switch_period_s);
+}
+
+common::Voltage SampleVoltageSync::voltage_y_at(double t_s) const {
+  return y_.v0 +
+         y_.delta * ((t_s - td_) / y_.switch_period_s);
+}
+
+long SampleVoltageSync::step_index_at(double t_s) const {
+  return static_cast<long>(std::floor((t_s - td_) / x_.switch_period_s));
+}
+
+common::Voltage SampleVoltageSync::quantized_x_at(double t_s) const {
+  return x_.v0 + x_.delta * static_cast<double>(step_index_at(t_s));
+}
+
+common::Voltage SampleVoltageSync::quantized_y_at(double t_s) const {
+  const long k =
+      static_cast<long>(std::floor((t_s - td_) / y_.switch_period_s));
+  return y_.v0 + y_.delta * static_cast<double>(k);
+}
+
+double SampleVoltageSync::time_of_step(long k) const {
+  return td_ + static_cast<double>(k) * x_.switch_period_s;
+}
+
+}  // namespace llama::control

@@ -1,0 +1,53 @@
+// Sample <-> voltage-state synchronization (paper Eq. 13).
+//
+// During a sweep the receiver streams samples while the supply steps
+// voltages; to attribute each power measurement to the bias pair that
+// produced it, LLAMA exploits that both clocks are constant-rate: sample at
+// time t maps to voltage state
+//   V_{x,t} = V_{x,0} + (VD_x / Ts) * (t - td)
+// (and likewise for Y), where VD is the per-switch voltage increment, Ts
+// the switch period and td the start-time offset between receiver and
+// supply. No dedicated sync hardware is needed (contrast paper ref. [12]).
+#pragma once
+
+#include "src/common/units.h"
+
+namespace llama::control {
+
+/// Linear voltage staircase descriptor for one sweep axis.
+struct VoltageRamp {
+  common::Voltage v0{0.0};      ///< voltage at supply-local time zero
+  common::Voltage delta{1.0};   ///< increment per switch (VD)
+  double switch_period_s = 0.02;  ///< Ts
+};
+
+/// Maps receiver timestamps to voltage states and back.
+class SampleVoltageSync {
+ public:
+  /// `start_offset_s` is td: receiver clock minus supply clock at start.
+  SampleVoltageSync(VoltageRamp x, VoltageRamp y, double start_offset_s);
+
+  /// Paper Eq. 13: continuous voltage state at receiver time t.
+  [[nodiscard]] common::Voltage voltage_x_at(double t_s) const;
+  [[nodiscard]] common::Voltage voltage_y_at(double t_s) const;
+
+  /// Index of the discrete supply step active at receiver time t
+  /// (floor of elapsed switch periods; negative before the ramp starts).
+  [[nodiscard]] long step_index_at(double t_s) const;
+
+  /// Quantized (actual) voltage state at receiver time t: the staircase
+  /// value rather than the linear interpolation.
+  [[nodiscard]] common::Voltage quantized_x_at(double t_s) const;
+  [[nodiscard]] common::Voltage quantized_y_at(double t_s) const;
+
+  /// Receiver time at which the supply enters step k (inverse mapping, used
+  /// to slice a capture into per-voltage windows).
+  [[nodiscard]] double time_of_step(long k) const;
+
+ private:
+  VoltageRamp x_;
+  VoltageRamp y_;
+  double td_;
+};
+
+}  // namespace llama::control

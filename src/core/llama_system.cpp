@@ -1,0 +1,84 @@
+#include "src/core/llama_system.h"
+
+namespace llama::core {
+
+LlamaSystem::LlamaSystem(SystemConfig config, metasurface::Metasurface surface)
+    : config_(std::move(config)),
+      surface_(std::move(surface)),
+      link_(config_.tx_antenna, config_.rx_antenna, config_.geometry,
+            config_.environment),
+      supply_(),
+      controller_(surface_, supply_, config_.controller),
+      receiver_(config_.receiver, common::Rng{config_.seed}),
+      interference_rng_(config_.seed ^ 0xB0B0ULL) {}
+
+common::PowerDbm LlamaSystem::with_interference_burst(
+    common::PowerDbm channel_power) {
+  const double burst_std = config_.environment.interference_burst_std_db();
+  if (burst_std <= 0.0) return channel_power;
+  // The link budget already includes the mean interference floor; bursts
+  // (other 2.4 GHz traffic) add a log-normal component per measurement.
+  // When the wanted signal sinks toward the floor, these bursts corrupt the
+  // controller's probe comparisons — the mechanism behind the low-power
+  // breakdown of Fig. 19a.
+  const double floor_mw =
+      config_.environment.interference_floor().to_mw().value();
+  const double burst_mw =
+      floor_mw * std::pow(10.0, interference_rng_.gaussian(0.0, burst_std) /
+                                    10.0);
+  return common::PowerMw{channel_power.to_mw().value() + burst_mw}.to_dbm();
+}
+
+common::PowerDbm LlamaSystem::measure_with_surface(double window_s) {
+  const common::PowerDbm channel_power = link_.received_power_with_surface(
+      config_.tx_power, config_.frequency, surface_);
+  return receiver_.measure(with_interference_burst(channel_power), window_s);
+}
+
+common::PowerDbm LlamaSystem::measure_without_surface(double window_s) {
+  const common::PowerDbm channel_power =
+      link_.received_power_without_surface(config_.tx_power,
+                                           config_.frequency);
+  return receiver_.measure(with_interference_burst(channel_power), window_s);
+}
+
+control::PowerProbe LlamaSystem::make_probe(double window_s) {
+  return [this, window_s](common::Voltage vx, common::Voltage vy) {
+    surface_.set_bias(vx, vy);
+    return measure_with_surface(window_s);
+  };
+}
+
+control::OptimizationReport LlamaSystem::optimize_link() {
+  return controller_.optimize(make_probe());
+}
+
+common::GainDb LlamaSystem::improvement() {
+  return measure_with_surface(/*window_s=*/0.1) - measure_without_surface();
+}
+
+double LlamaSystem::capacity_with_surface() {
+  return channel::capacity_bits_per_hz(measure_with_surface(0.1),
+                                       receiver_.noise_floor_dbm());
+}
+
+double LlamaSystem::capacity_without_surface() {
+  return channel::capacity_bits_per_hz(measure_without_surface(),
+                                       receiver_.noise_floor_dbm());
+}
+
+control::RotationEstimate LlamaSystem::estimate_rotation(
+    control::RotationEstimator::Options options) {
+  control::RotationEstimator estimator{options};
+  const control::BiasSetter set_bias = [this](common::Voltage vx,
+                                              common::Voltage vy) {
+    surface_.set_bias(vx, vy);
+  };
+  const control::OrientationProbe probe = [this](common::Angle orientation) {
+    link_.set_rx_antenna(link_.rx_antenna().oriented(orientation));
+    return measure_with_surface(/*window_s=*/0.02);
+  };
+  return estimator.estimate(set_bias, probe);
+}
+
+}  // namespace llama::core

@@ -1,0 +1,114 @@
+// LlamaSystem — the end-to-end system of paper Figure 5: endpoints, the
+// metasurface deployed in the environment, the programmable power supply,
+// and the centralized controller, wired over a simulated radio channel.
+//
+// This is the primary public entry point of the library. A typical use:
+//
+//   auto system = core::LlamaSystem(core::SystemConfig{...});
+//   auto report = system.optimize_link();   // runs paper Algorithm 1
+//   auto gain = system.improvement();       // dB over the no-surface link
+#pragma once
+
+#include <optional>
+
+#include "src/channel/capacity.h"
+#include "src/channel/link_budget.h"
+#include "src/common/rng.h"
+#include "src/common/units.h"
+#include "src/control/controller.h"
+#include "src/control/power_supply.h"
+#include "src/control/rotation_estimator.h"
+#include "src/metasurface/metasurface.h"
+#include "src/radio/transceiver.h"
+
+namespace llama::core {
+
+/// Everything needed to stand up an experiment.
+struct SystemConfig {
+  /// Carrier frequency (paper default: 2.44 GHz).
+  common::Frequency frequency = common::Frequency::ghz(2.44);
+  /// Transmit power (paper USRP default ~0 dBm unless swept).
+  common::PowerDbm tx_power{0.0};
+  /// Endpoint antennas.
+  channel::Antenna tx_antenna =
+      channel::Antenna::directional_10dbi(common::Angle::degrees(0.0));
+  channel::Antenna rx_antenna =
+      channel::Antenna::directional_10dbi(common::Angle::degrees(90.0));
+  /// Deployment geometry (mode + distances).
+  channel::LinkGeometry geometry{};
+  /// Propagation environment.
+  channel::Environment environment = channel::Environment::absorber_chamber();
+  /// Receiver sampling configuration.
+  radio::ReceiverConfig receiver{};
+  /// Controller sweep options (paper: N = 2, T = 5).
+  control::Controller::Options controller{};
+  /// RNG seed for the measurement chain.
+  std::uint64_t seed = 0x11A0'2021ULL;
+};
+
+/// End-to-end LLAMA deployment.
+class LlamaSystem {
+ public:
+  explicit LlamaSystem(SystemConfig config,
+                       metasurface::Metasurface surface =
+                           metasurface::Metasurface::llama_prototype());
+
+  /// Measured received power with the surface at its current bias.
+  [[nodiscard]] common::PowerDbm measure_with_surface(
+      double window_s = 0.02);
+
+  /// Measured baseline: surface absent (paper's 30 s averaged baseline,
+  /// shortened by the simulator's noise-free averaging).
+  [[nodiscard]] common::PowerDbm measure_without_surface(
+      double window_s = 0.5);
+
+  /// Runs the controller's optimization round (Algorithm 1) and leaves the
+  /// surface at the winning bias.
+  control::OptimizationReport optimize_link();
+
+  /// Link-power improvement of the optimized surface over the no-surface
+  /// baseline.
+  [[nodiscard]] common::GainDb improvement();
+
+  /// Spectral efficiency [bit/s/Hz] with/without the surface at the current
+  /// bias (paper's capacity metric).
+  [[nodiscard]] double capacity_with_surface();
+  [[nodiscard]] double capacity_without_surface();
+
+  /// Runs the Section 3.4 rotation-degree estimation on this deployment.
+  [[nodiscard]] control::RotationEstimate estimate_rotation(
+      control::RotationEstimator::Options options = {});
+
+  /// Access to the composed parts (benches sweep their parameters).
+  [[nodiscard]] metasurface::Metasurface& surface() { return surface_; }
+  [[nodiscard]] const metasurface::Metasurface& surface() const {
+    return surface_;
+  }
+  [[nodiscard]] channel::LinkBudget& link() { return link_; }
+  [[nodiscard]] control::PowerSupply& supply() { return supply_; }
+  [[nodiscard]] const SystemConfig& config() const { return config_; }
+
+  /// Reconfigures geometry / frequency / power without rebuilding state.
+  void set_geometry(const channel::LinkGeometry& g) { link_.set_geometry(g); }
+  void set_frequency(common::Frequency f) { config_.frequency = f; }
+  void set_tx_power(common::PowerDbm p) { config_.tx_power = p; }
+
+  /// The probe the controller uses: programs a bias pair on the surface and
+  /// measures received power over one supply dwell.
+  [[nodiscard]] control::PowerProbe make_probe(double window_s = 0.02);
+
+ private:
+  /// Channel power plus one draw of the environment's bursty interference.
+  [[nodiscard]] common::PowerDbm with_interference_burst(
+      common::PowerDbm channel_power);
+
+  SystemConfig config_;
+  metasurface::Metasurface surface_;
+  channel::LinkBudget link_;
+  control::PowerSupply supply_;
+  control::Controller controller_;
+  radio::Receiver receiver_;
+  common::Rng interference_rng_;
+};
+
+}  // namespace llama::core

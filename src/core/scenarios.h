@@ -1,0 +1,50 @@
+// Pre-wired experiment scenarios matching the paper's evaluation setups, so
+// benches, examples and integration tests share one source of truth for
+// geometry and parameters.
+#pragma once
+
+#include "src/core/llama_system.h"
+#include "src/sensing/breathing_target.h"
+#include "src/sensing/respiration_detector.h"
+
+namespace llama::core {
+
+/// Transmissive mismatch setup of Section 5.1: directional antennas at 0/90
+/// degrees (fully mismatched), surface midway, absorber environment.
+[[nodiscard]] SystemConfig transmissive_mismatch_config(
+    double tx_rx_distance_m = 0.42,
+    common::PowerDbm tx_power = common::PowerDbm{0.0});
+
+/// Matched-polarization variant (both endpoints at 0 degrees).
+[[nodiscard]] SystemConfig transmissive_match_config(
+    double tx_rx_distance_m = 0.42,
+    common::PowerDbm tx_power = common::PowerDbm{0.0});
+
+/// Reflective setup of Section 5.2: endpoints 70 cm apart on the same side,
+/// surface on the perpendicular bisector at `tx_surface_distance_m`.
+[[nodiscard]] SystemConfig reflective_mismatch_config(
+    double tx_surface_distance_m = 0.42,
+    common::PowerDbm tx_power = common::PowerDbm{0.0});
+
+/// Respiration-sensing scenario of Section 5.2.2: reflective geometry with
+/// the surface 2 m from the transceiver-pair center, 5 mW transmit power,
+/// and a breathing subject between the pair and the surface.
+struct SensingScenario {
+  SystemConfig system;
+  sensing::BreathingPattern breathing{};
+  /// Body-scattered path length [m] and scattering strength.
+  double body_path_m = 2.6;
+  double body_scatter_amplitude = 0.18;
+};
+[[nodiscard]] SensingScenario respiration_scenario();
+
+/// Simulates a received-power time series for the sensing scenario:
+/// duration at `sample_rate_hz`, with or without the metasurface deployed.
+/// The body-scattered component rides on the (much stronger) static paths;
+/// the surface's extra signal power is what lifts the breathing ripple above
+/// the receiver noise (paper Fig. 23).
+[[nodiscard]] std::vector<double> simulate_respiration_trace(
+    const SensingScenario& scenario, bool with_surface, double duration_s,
+    double sample_rate_hz, std::uint64_t seed = 0x5E5EULL);
+
+}  // namespace llama::core

@@ -1,0 +1,89 @@
+#include "src/em/polarization.h"
+
+#include <cmath>
+
+#include "src/common/constants.h"
+
+namespace llama::em {
+
+Stokes Stokes::from_jones(const JonesVector& j) {
+  const double ix = std::norm(j.ex());
+  const double iy = std::norm(j.ey());
+  const Complex cross = std::conj(j.ex()) * j.ey();
+  return Stokes{
+      .s0 = ix + iy,
+      .s1 = ix - iy,
+      .s2 = 2.0 * std::real(cross),
+      .s3 = 2.0 * std::imag(cross),
+  };
+}
+
+double Stokes::degree_of_polarization() const {
+  if (s0 <= 0.0) return 0.0;
+  return std::sqrt(s1 * s1 + s2 * s2 + s3 * s3) / s0;
+}
+
+AntennaPolarization AntennaPolarization::linear(common::Angle orientation,
+                                                double xpd_db) {
+  return {PolarizationKind::kLinear, orientation, xpd_db};
+}
+
+AntennaPolarization AntennaPolarization::circular() {
+  return {PolarizationKind::kCircular, common::Angle::radians(0.0), 1e9};
+}
+
+JonesVector AntennaPolarization::jones() const {
+  switch (kind_) {
+    case PolarizationKind::kLinear: {
+      // Main component along the orientation plus a quadrature-phased
+      // cross-polarized leak at the XPD level.
+      const double eps = std::pow(10.0, -xpd_db_ / 20.0);
+      const double c = std::cos(orientation_.rad());
+      const double s = std::sin(orientation_.rad());
+      const Complex j{0.0, 1.0};
+      const JonesVector v{Complex{c, 0.0} + j * (eps * -s),
+                          Complex{s, 0.0} + j * (eps * c)};
+      return v.normalized();
+    }
+    case PolarizationKind::kCircular:
+      return JonesVector::circular_right();
+  }
+  return JonesVector::horizontal();
+}
+
+double AntennaPolarization::match(const JonesVector& wave) const {
+  return wave.polarization_match(jones());
+}
+
+common::GainDb AntennaPolarization::match_loss_db(const JonesVector& wave,
+                                                  double floor_db) const {
+  const double plf = match(wave);
+  if (plf <= std::pow(10.0, -floor_db / 10.0))
+    return common::GainDb{floor_db};
+  return common::GainDb{-10.0 * std::log10(plf)};
+}
+
+AntennaPolarization AntennaPolarization::rotated(common::Angle by) const {
+  if (kind_ == PolarizationKind::kCircular) return *this;
+  return linear(orientation_ + by, xpd_db_);
+}
+
+std::string AntennaPolarization::describe() const {
+  switch (kind_) {
+    case PolarizationKind::kLinear:
+      return "linear @ " + common::to_string(orientation_);
+    case PolarizationKind::kCircular:
+      return "circular (RHCP)";
+  }
+  return "unknown";
+}
+
+common::Angle mismatch_angle(common::Angle a, common::Angle b) {
+  // Linear polarization is orientation mod 180 degrees; the physically
+  // meaningful mismatch folds into [0, 90].
+  double d = std::fmod(std::abs(a.deg() - b.deg()), 180.0);
+  if (d > 90.0) d = 180.0 - d;
+  return common::Angle::degrees(d);
+}
+
+}  // namespace llama::em

@@ -1,0 +1,80 @@
+// Higher-level polarization descriptions: Stokes parameters and named
+// antenna polarization states used by the channel model.
+#pragma once
+
+#include <string>
+
+#include "src/common/units.h"
+#include "src/em/jones.h"
+
+namespace llama::em {
+
+/// Stokes 4-vector (S0, S1, S2, S3) of a fully polarized wave.
+struct Stokes {
+  double s0 = 0.0;  ///< total power
+  double s1 = 0.0;  ///< horizontal-vs-vertical preponderance
+  double s2 = 0.0;  ///< +45 vs -45 preponderance
+  double s3 = 0.0;  ///< circular preponderance (RHC negative in our basis)
+
+  [[nodiscard]] static Stokes from_jones(const JonesVector& j);
+
+  /// Degree of polarization; exactly 1 for a pure Jones state.
+  [[nodiscard]] double degree_of_polarization() const;
+};
+
+/// The antenna polarization kinds used in the paper's experiments.
+enum class PolarizationKind {
+  kLinear,    ///< cheap IoT dipole — orientation matters (the paper's focus)
+  kCircular,  ///< higher-end devices — 3 dB loss against any linear antenna
+};
+
+/// A transmit/receive polarization: kind + orientation (for linear).
+///
+/// Real antennas are not perfectly polarized: a physical dipole leaks an
+/// orthogonal, quadrature-phased component bounded by its cross-polarization
+/// discrimination (XPD). This floor is what makes the paper's mismatch
+/// penalty a finite 10-15 dB (Fig. 2) rather than a perfect null.
+class AntennaPolarization {
+ public:
+  /// Linear polarization at `orientation` from the horizontal axis, with a
+  /// cross-polarized leakage component `xpd_db` below the main one
+  /// (default 20 dB, typical for cheap dipoles).
+  [[nodiscard]] static AntennaPolarization linear(common::Angle orientation,
+                                                  double xpd_db = 20.0);
+  /// Right-hand circular polarization (orientation is irrelevant).
+  [[nodiscard]] static AntennaPolarization circular();
+
+  [[nodiscard]] PolarizationKind kind() const { return kind_; }
+  [[nodiscard]] common::Angle orientation() const { return orientation_; }
+
+  /// The Jones state this antenna launches / is matched to.
+  [[nodiscard]] JonesVector jones() const;
+
+  /// Polarization loss factor against an incoming wave state, in [0, 1].
+  [[nodiscard]] double match(const JonesVector& wave) const;
+
+  /// Same, expressed as a (non-negative) loss in dB. Returns +inf dB for a
+  /// perfectly orthogonal state (clamped to `floor_db`).
+  [[nodiscard]] common::GainDb match_loss_db(const JonesVector& wave,
+                                             double floor_db = 60.0) const;
+
+  /// Antenna rotated by an additional angle (e.g. a wearable swinging).
+  [[nodiscard]] AntennaPolarization rotated(common::Angle by) const;
+
+  [[nodiscard]] std::string describe() const;
+
+  [[nodiscard]] double xpd_db() const { return xpd_db_; }
+
+ private:
+  AntennaPolarization(PolarizationKind k, common::Angle o, double xpd_db)
+      : kind_(k), orientation_(o), xpd_db_(xpd_db) {}
+  PolarizationKind kind_;
+  common::Angle orientation_;
+  double xpd_db_;
+};
+
+/// Mismatch angle between two linear polarizations folded into [0, 90] deg —
+/// the angle that determines polarization loss.
+[[nodiscard]] common::Angle mismatch_angle(common::Angle a, common::Angle b);
+
+}  // namespace llama::em

@@ -1,0 +1,92 @@
+#include "src/metasurface/board.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "src/common/constants.h"
+#include "src/microwave/transmission_line.h"
+
+namespace llama::metasurface {
+
+using microwave::Abcd;
+using microwave::Complex;
+
+Complex FacePattern::admittance(common::Frequency f, common::Voltage bias,
+                                const microwave::Varactor& varactor,
+                                double substrate_tan_d) const {
+  if (empty()) return Complex{0.0, 0.0};
+  const double omega = 2.0 * common::kPi * f.in_hz();
+  const Complex j{0.0, 1.0};
+  Complex y_total{0.0, 0.0};
+  // Inductive strip branch.
+  if (inductance_h > 0.0) {
+    const Complex z_l = Complex{r_inductor_ohm, 0.0} + j * omega * inductance_h;
+    y_total += 1.0 / z_l;
+  }
+  // Capacitive gap branch (optionally varactor-loaded).
+  if (capacitance_f > 0.0 || varactor_loaded) {
+    Complex z_c{0.0, 0.0};
+    if (capacitance_f > 0.0) {
+      // Lossy gap capacitance: complex C models dielectric dissipation in
+      // the substrate between the metal edges.
+      const Complex c_eff = capacitance_f * Complex{1.0, -substrate_tan_d};
+      z_c += 1.0 / (j * omega * c_eff);
+    }
+    if (varactor_loaded) {
+      const double c_var = varactor.capacitance(bias);
+      z_c += Complex{varactor.series_resistance(), 0.0} +
+             1.0 / (j * omega * c_var);
+    }
+    if (std::abs(z_c) < 1e-9) z_c = Complex{1e-9, 0.0};
+    y_total += 1.0 / z_c;
+  }
+  return y_total;
+}
+
+Board::Board(std::string name, microwave::Substrate substrate,
+             double thickness_m, AxisPatterns x_axis, AxisPatterns y_axis,
+             microwave::Varactor varactor)
+    : name_(std::move(name)),
+      substrate_(std::move(substrate)),
+      thickness_m_(thickness_m),
+      x_(x_axis),
+      y_(y_axis),
+      varactor_(varactor) {
+  if (thickness_m_ <= 0.0)
+    throw std::invalid_argument{"Board: thickness must be positive"};
+}
+
+microwave::SParams Board::axis_sparams(common::Frequency f,
+                                       common::Voltage bias,
+                                       bool y_axis) const {
+  const AxisPatterns& ax = y_axis ? y_ : x_;
+  const double tan_d = substrate_.loss_tangent();
+  Abcd chain = Abcd::identity();
+  if (!ax.front.empty())
+    chain = chain * Abcd::shunt(ax.front.admittance(f, bias, varactor_, tan_d));
+  chain =
+      chain * microwave::DielectricSlab{substrate_, thickness_m_}.abcd(f);
+  if (!ax.back.empty())
+    chain = chain * Abcd::shunt(ax.back.admittance(f, bias, varactor_, tan_d));
+  return chain.to_sparams();
+}
+
+Complex Board::axis_transmission(common::Frequency f, common::Voltage bias,
+                                 bool y_axis) const {
+  return axis_sparams(f, bias, y_axis).s21;
+}
+
+Complex Board::axis_reflection(common::Frequency f, common::Voltage bias,
+                               bool y_axis) const {
+  return axis_sparams(f, bias, y_axis).s11;
+}
+
+em::JonesMatrix Board::jones_transmission(common::Frequency f,
+                                          common::Voltage vx,
+                                          common::Voltage vy) const {
+  const Complex tx = axis_transmission(f, vx, /*y_axis=*/false);
+  const Complex ty = axis_transmission(f, vy, /*y_axis=*/true);
+  return em::JonesMatrix{tx, Complex{0.0, 0.0}, Complex{0.0, 0.0}, ty};
+}
+
+}  // namespace llama::metasurface

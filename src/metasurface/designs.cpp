@@ -1,0 +1,185 @@
+#include "src/metasurface/designs.h"
+
+#include <cmath>
+
+#include "src/common/constants.h"
+
+namespace llama::metasurface {
+
+namespace {
+
+using microwave::Substrate;
+
+constexpr double kTwoPi = 2.0 * common::kPi;
+
+/// QWP face pair: the X axis sees a tank resonant above the band (net
+/// inductive susceptance, phase lead) and the Y axis a tank resonant below
+/// (net capacitive, phase lag). `target_b` is the susceptance magnitude at
+/// f0 that sets the per-face phase shift: phi = -atan(Z0 B / 2). The phase
+/// budget is spread over both faces of both boards of a QWP group (8 faces
+/// at +-11.25 deg differential = the 90 deg quarter-wave condition), which
+/// keeps per-face reflections small.
+struct QwpFaces {
+  FacePattern x;
+  FacePattern y;
+};
+
+QwpFaces make_qwp_faces(double f0_hz, double tank_c_f, double target_b,
+                        double conductor_loss_ohm) {
+  const double omega = kTwoPi * f0_hz;
+  QwpFaces faces;
+  // X axis: B_x = wC - 1/(wL_x) = -target_b (net inductive, phase lead).
+  faces.x.capacitance_f = tank_c_f;
+  faces.x.inductance_h = 1.0 / (omega * (omega * tank_c_f + target_b));
+  faces.x.r_inductor_ohm = conductor_loss_ohm;
+  // Y axis: B_y = +target_b (net capacitive, phase lag).
+  faces.y.capacitance_f = tank_c_f;
+  faces.y.inductance_h = 1.0 / (omega * (omega * tank_c_f - target_b));
+  faces.y.r_inductor_ohm = conductor_loss_ohm;
+  return faces;
+}
+
+/// BFS face: tank whose capacitive branch is a fixed series capacitor plus
+/// the varactor (the paper's "varactor diode used as part of an LC tank
+/// circuit"). The tank inductance is chosen so the susceptance crosses zero
+/// mid-sweep, giving a symmetric phase swing around the band center.
+FacePattern make_bfs_face(double tank_l_h, double series_c_f,
+                          double conductor_loss_ohm) {
+  FacePattern face;
+  face.inductance_h = tank_l_h;
+  face.r_inductor_ohm = conductor_loss_ohm;
+  face.capacitance_f = series_c_f;
+  face.varactor_loaded = true;
+  return face;
+}
+
+/// Builds the canonical 6-board rotator stack:
+///   QWP outer (+45) | QWP inner (+45) | BFS 1 | BFS 2 |
+///   QWP inner (-45) | QWP outer (-45)
+/// Gap values follow paper Fig. 6a (6 mm / 11 mm / 7 mm spacings). QWP
+/// boards are patterned on both faces; BFS boards carry the varactor-loaded
+/// pattern on the front face and bias routing (electrically idle) on the
+/// back.
+RotatorStack build_stack(const Substrate& substrate, double thickness_m,
+                         const QwpFaces& qwp, const FacePattern& bfs_x,
+                         const FacePattern& bfs_y,
+                         const microwave::Varactor& varactor) {
+  const common::Angle plus45 = common::Angle::degrees(45.0);
+  const common::Angle minus45 = common::Angle::degrees(-45.0);
+  auto qwp_board = [&](const char* name) {
+    return Board{name,
+                 substrate,
+                 thickness_m,
+                 AxisPatterns{.front = qwp.x, .back = qwp.x},
+                 AxisPatterns{.front = qwp.y, .back = qwp.y},
+                 varactor};
+  };
+  auto bfs_board = [&](const char* name) {
+    return Board{name,
+                 substrate,
+                 thickness_m,
+                 AxisPatterns{.front = bfs_x, .back = {}},
+                 AxisPatterns{.front = bfs_y, .back = {}},
+                 varactor};
+  };
+  std::vector<StackElement> elems;
+  elems.push_back({qwp_board("QWP outer front"), plus45, 6e-3, false});
+  elems.push_back({qwp_board("QWP inner front"), plus45, 11e-3, false});
+  elems.push_back(
+      {bfs_board("BFS 1"), common::Angle::degrees(0.0), 7e-3, true});
+  elems.push_back(
+      {bfs_board("BFS 2"), common::Angle::degrees(0.0), 11e-3, true});
+  elems.push_back({qwp_board("QWP inner back"), minus45, 6e-3, false});
+  elems.push_back({qwp_board("QWP outer back"), minus45, 0.0, false});
+  return RotatorStack{std::move(elems)};
+}
+
+/// Per-face differential phase target: 90 deg split over 8 QWP faces.
+double qwp_target_b() {
+  return 2.0 * std::tan(11.25 * common::kPi / 180.0) / microwave::kZ0;
+}
+
+}  // namespace
+
+RotatorStack optimized_fr4_design(const DesignParams& p) {
+  const double f0 = p.center_frequency_hz;
+  const QwpFaces qwp =
+      make_qwp_faces(f0, p.qwp_tank_c_f, qwp_target_b(), p.conductor_loss_ohm);
+  const FacePattern bfs_x =
+      make_bfs_face(p.bfs_tank_l_h, p.bfs_series_c_f, p.conductor_loss_ohm);
+  const FacePattern bfs_y =
+      make_bfs_face(p.bfs_tank_l_h * p.bfs_axis_asymmetry, p.bfs_series_c_f,
+                    p.conductor_loss_ohm);
+  const microwave::Varactor varactor =
+      microwave::Varactor::smv1233().derated(p.varactor_bias_derating);
+  return build_stack(Substrate::fr4(), p.board_thickness_m, qwp, bfs_x, bfs_y,
+                     varactor);
+}
+
+RotatorStack prototype_fr4_design() {
+  DesignParams p;
+  p.varactor_bias_derating = 2.0;
+  return optimized_fr4_design(p);
+}
+
+RotatorStack rfid_900mhz_design() {
+  // Frequency scaling by k = 2.44/0.915: the printed reactances scale with
+  // wavelength (L and C both by k), but the varactor diode does NOT — its
+  // C(V) is fixed silicon. This is precisely why the paper reports needing
+  // "additional scaling": the BFS tank inductance must be re-centered
+  // against the unscaled diode rather than naively multiplied by k.
+  DesignParams p;
+  const double k = 2.44e9 / 0.915e9;
+  p.center_frequency_hz = 0.915e9;
+  p.qwp_tank_c_f *= k;       // QWP patterns scale cleanly (no diode)
+  p.bfs_series_c_f *= k;     // printed series capacitance scales
+  p.board_thickness_m = 1.6e-3;  // thicker laminate at the longer wavelength
+  // Additional scaling: null the tank at the midpoint of the effective
+  // capacitance range of (k*C_s in series with the unscaled varactor).
+  const double omega = kTwoPi * p.center_frequency_hz;
+  const double c_eff_lo =
+      p.bfs_series_c_f * 0.84e-12 / (p.bfs_series_c_f + 0.84e-12);
+  const double c_eff_hi =
+      p.bfs_series_c_f * 2.41e-12 / (p.bfs_series_c_f + 2.41e-12);
+  const double c_mid = 0.5 * (c_eff_lo + c_eff_hi);
+  p.bfs_tank_l_h = 1.0 / (omega * omega * c_mid);
+  return optimized_fr4_design(p);
+}
+
+namespace {
+
+/// Shared geometry of the 10 GHz-derived reference design, scaled to
+/// 2.4 GHz: thicker boards (1.57 mm) and higher-Q patterns (2x the tank
+/// capacitance => 2x the resonant stored energy and dissipation — fine on
+/// Rogers, fatal on FR4).
+RotatorStack reference_geometry(const Substrate& substrate) {
+  DesignParams p;
+  const double f0 = p.center_frequency_hz;
+  const double tank_c = 1.2e-12;
+  const QwpFaces qwp = make_qwp_faces(f0, tank_c, qwp_target_b(), 0.15);
+  // Reference BFS: same topology, proportionally larger tank. The tank L
+  // nulls the mid-sweep effective capacitance (midpoint of C_eff over the
+  // 2-15 V varactor range) so the phase swing is symmetric about the band.
+  const double series_c = 1.8e-12;
+  const double omega = kTwoPi * f0;
+  const double c_eff_lo = series_c * 0.84e-12 / (series_c + 0.84e-12);
+  const double c_eff_hi = series_c * 2.41e-12 / (series_c + 2.41e-12);
+  const double c_mid = 0.5 * (c_eff_lo + c_eff_hi);
+  const double tank_l = 1.0 / (omega * omega * c_mid);
+  const FacePattern bfs_x = make_bfs_face(tank_l, series_c, 0.15);
+  const FacePattern bfs_y = make_bfs_face(tank_l * 0.94, series_c, 0.15);
+  return build_stack(substrate, 1.57e-3, qwp, bfs_x, bfs_y,
+                     microwave::Varactor::smv1233());
+}
+
+}  // namespace
+
+RotatorStack reference_rogers_design() {
+  return reference_geometry(Substrate::rogers5880());
+}
+
+RotatorStack naive_fr4_design() {
+  return reference_geometry(Substrate::fr4());
+}
+
+}  // namespace llama::metasurface

@@ -1,0 +1,59 @@
+// Catalog of metasurface designs evaluated in the paper (Figs. 8-10):
+//  * the high-performance Rogers 5880 reference (derived from the 10 GHz
+//    rotator of Wu et al., scaled to 2.4 GHz),
+//  * the naive FR4 transplant of that reference (lossy — the problem), and
+//  * LLAMA's optimized FR4 stack: fewer, thinner layers with lower-Q
+//    patterns (the paper's contribution).
+#pragma once
+
+#include "src/metasurface/rotator_stack.h"
+
+namespace llama::metasurface {
+
+/// Tuning constants shared by the designs; exposed so ablation benches can
+/// sweep them (layer thickness, tank capacitance, board count).
+struct DesignParams {
+  double center_frequency_hz = 2.44e9;
+  double board_thickness_m = 0.8e-3;   ///< per-board laminate thickness
+  double qwp_tank_c_f = 0.2e-12;       ///< QWP pattern tank capacitance
+  double bfs_series_c_f = 1.35e-12;    ///< fixed C in series with varactor
+  double bfs_tank_l_h = 6.15e-9;       ///< BFS tank inductance (X axis)
+  double bfs_axis_asymmetry = 0.94;    ///< Y-axis L ratio (fabrication skew)
+  double conductor_loss_ohm = 0.15;    ///< strip conductor resistance
+  /// Varactor bias-axis stretch: 1.0 = ideal datasheet curve (used for the
+  /// HFSS-style simulation benches, Table 1 / Figs. 8-11); 2.0 = the
+  /// fabricated prototype, whose effective reverse bias "may need to be as
+  /// high as 30 V due to the fabrication and assemble errors" (paper 3.3).
+  double varactor_bias_derating = 1.0;
+};
+
+/// Reference design on Rogers 5880 (paper Fig. 8): six 1.57 mm boards with
+/// higher-Q resonant patterns. High efficiency, cost-prohibitive substrate.
+[[nodiscard]] RotatorStack reference_rogers_design();
+
+/// The same geometry naively transplanted to FR4 (paper Fig. 9): the 22x
+/// higher loss tangent multiplies every pattern's dissipation, and the
+/// different permittivity detunes the slabs — transmission collapses.
+[[nodiscard]] RotatorStack naive_fr4_design();
+
+/// LLAMA's optimized FR4 design (paper Fig. 10 and the fabricated
+/// prototype, Fig. 13): six 0.8 mm boards — QWP outer/inner pair (+45°),
+/// two varactor-loaded BFS boards, QWP inner/outer pair (-45°) — with
+/// reduced pattern capacitance. Comparable efficiency to Rogers at ~1/10
+/// the substrate cost.
+[[nodiscard]] RotatorStack optimized_fr4_design(
+    const DesignParams& params = {});
+
+/// The fabricated prototype: the optimized FR4 design with the derated
+/// (fabrication-skewed) varactor curve, requiring the full 0-30 V sweep
+/// range the paper's control loop uses.
+[[nodiscard]] RotatorStack prototype_fr4_design();
+
+/// The 900 MHz RFID-band scaling the paper reports trying ("We have also
+/// simulated the polarization rotator structure in the 900 MHz band used
+/// for RFID and found comparable performance after additional scaling",
+/// Section 3.2): patterns re-resonated at 915 MHz, proportionally thicker
+/// boards and wider gaps.
+[[nodiscard]] RotatorStack rfid_900mhz_design();
+
+}  // namespace llama::metasurface

@@ -1,0 +1,56 @@
+#include "src/metasurface/metasurface.h"
+
+#include "src/common/math_utils.h"
+
+namespace llama::metasurface {
+
+Metasurface::Metasurface(RotatorStack stack, LatticeSpec spec)
+    : stack_(std::move(stack)), spec_(spec) {}
+
+Metasurface Metasurface::llama_prototype() {
+  return Metasurface{prototype_fr4_design()};
+}
+
+void Metasurface::set_bias(common::Voltage vx, common::Voltage vy) {
+  vx_ = common::Voltage{common::clamp(vx.value(), 0.0, 30.0)};
+  vy_ = common::Voltage{common::clamp(vy.value(), 0.0, 30.0)};
+}
+
+em::JonesMatrix Metasurface::response(common::Frequency f,
+                                      SurfaceMode mode) const {
+  switch (mode) {
+    case SurfaceMode::kTransmissive:
+      return stack_.transmission(f, vx_, vy_);
+    case SurfaceMode::kReflective:
+      return stack_.reflection(f, vx_, vy_);
+  }
+  return em::JonesMatrix::identity();
+}
+
+common::Angle Metasurface::rotation_angle(common::Frequency f) const {
+  return stack_.rotation_angle(f, vx_, vy_);
+}
+
+double Metasurface::transmission_efficiency_db(common::Frequency f,
+                                               bool y_excitation) const {
+  return stack_.transmission_efficiency_db(f, vx_, vy_, y_excitation);
+}
+
+double Metasurface::dc_power_w() const {
+  return (vx_.value() + vy_.value()) * spec_.leakage_current_a;
+}
+
+CostBreakdown Metasurface::cost() const {
+  CostBreakdown c;
+  c.varactors_usd = static_cast<double>(spec_.varactor_count) *
+                    spec_.varactor_unit_cost_usd;
+  c.pcb_usd = spec_.pcb_cost_usd;
+  c.total_usd = c.varactors_usd + c.pcb_usd;
+  c.per_unit_usd =
+      spec_.unit_count > 0
+          ? c.total_usd / static_cast<double>(spec_.unit_count)
+          : 0.0;
+  return c;
+}
+
+}  // namespace llama::metasurface

@@ -1,0 +1,83 @@
+// The deployed metasurface: a lattice of rotator unit cells plus the
+// physical bookkeeping the paper reports (Section 4): aperture size, unit
+// count, varactor count, leakage current and bill-of-materials cost.
+#pragma once
+
+#include <cstddef>
+
+#include "src/common/units.h"
+#include "src/em/jones.h"
+#include "src/metasurface/designs.h"
+#include "src/metasurface/rotator_stack.h"
+
+namespace llama::metasurface {
+
+/// Operating mode: wave passes through the surface, or bounces off it.
+enum class SurfaceMode { kTransmissive, kReflective };
+
+/// Physical description of the fabricated lattice.
+struct LatticeSpec {
+  double width_m = 0.48;          ///< paper: 480 mm
+  double height_m = 0.48;         ///< paper: 480 mm
+  double thickness_m = 5e-3;      ///< paper: 5 mm of PCB
+  std::size_t unit_count = 180;   ///< paper: 180 functional units
+  std::size_t varactor_count = 720;  ///< paper: 720 diodes
+  double leakage_current_a = 15e-9;  ///< paper: 15 nA
+  double varactor_unit_cost_usd = 0.50;
+  double pcb_cost_usd = 540.0;
+};
+
+/// Cost summary per paper Section 4.
+struct CostBreakdown {
+  double varactors_usd = 0.0;
+  double pcb_usd = 0.0;
+  double total_usd = 0.0;
+  double per_unit_usd = 0.0;
+};
+
+/// A programmable polarization-rotating surface.
+///
+/// The two bias voltages (Vx, Vy) are the only control inputs — matching the
+/// paper's prototype, where all unit cells share the two DC bias rails.
+class Metasurface {
+ public:
+  explicit Metasurface(RotatorStack stack, LatticeSpec spec = {});
+
+  /// Convenience: LLAMA's fabricated design.
+  [[nodiscard]] static Metasurface llama_prototype();
+
+  [[nodiscard]] const LatticeSpec& spec() const { return spec_; }
+  [[nodiscard]] const RotatorStack& stack() const { return stack_; }
+
+  /// Sets the bias pair; values are clamped to the supply range [0, 30] V.
+  void set_bias(common::Voltage vx, common::Voltage vy);
+  [[nodiscard]] common::Voltage bias_x() const { return vx_; }
+  [[nodiscard]] common::Voltage bias_y() const { return vy_; }
+
+  /// Jones matrix applied to a wave traversing (or reflecting off) the
+  /// surface at frequency f under the current bias.
+  [[nodiscard]] em::JonesMatrix response(common::Frequency f,
+                                         SurfaceMode mode) const;
+
+  /// Polarization rotation imparted in transmissive mode at frequency f.
+  [[nodiscard]] common::Angle rotation_angle(common::Frequency f) const;
+
+  /// Transmission efficiency (paper Eq. 11) at the current bias.
+  [[nodiscard]] double transmission_efficiency_db(common::Frequency f,
+                                                  bool y_excitation) const;
+
+  /// DC power drawn from the bias supply: V * I_leak summed over both rails
+  /// — nanowatts, the paper's "can work even with one buffer capacitor".
+  [[nodiscard]] double dc_power_w() const;
+
+  /// Bill-of-materials summary (paper: $900 prototype, $5 per unit).
+  [[nodiscard]] CostBreakdown cost() const;
+
+ private:
+  RotatorStack stack_;
+  LatticeSpec spec_;
+  common::Voltage vx_{0.0};
+  common::Voltage vy_{0.0};
+};
+
+}  // namespace llama::metasurface

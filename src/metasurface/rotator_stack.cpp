@@ -1,0 +1,141 @@
+#include "src/metasurface/rotator_stack.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "src/common/constants.h"
+
+namespace llama::metasurface {
+
+using em::JonesMatrix;
+using microwave::Complex;
+
+RotatorStack::RotatorStack(std::vector<StackElement> elements)
+    : elements_(std::move(elements)) {
+  if (elements_.empty())
+    throw std::invalid_argument{"RotatorStack: need at least one element"};
+}
+
+namespace {
+
+/// Isotropic air-gap propagation factor e^{-j k d}.
+Complex gap_phase(common::Frequency f, double gap_m) {
+  const double k = 2.0 * common::kPi * f.in_hz() / common::kSpeedOfLight;
+  return std::exp(Complex{0.0, -k * gap_m});
+}
+
+JonesMatrix element_jones(const StackElement& e, common::Frequency f,
+                          common::Voltage vx, common::Voltage vy) {
+  const common::Voltage bias_x = e.tunable ? vx : common::Voltage{0.0};
+  const common::Voltage bias_y = e.tunable ? vy : common::Voltage{0.0};
+  const JonesMatrix in_eigenbasis =
+      e.board.jones_transmission(f, bias_x, bias_y);
+  return in_eigenbasis.rotated(e.rotation);
+}
+
+}  // namespace
+
+JonesMatrix RotatorStack::transmission(common::Frequency f, common::Voltage vx,
+                                       common::Voltage vy) const {
+  // Paper Eq. 2: J_out = M_N ... M_2 M_1 J_in — the first element hit by the
+  // wave multiplies from the right.
+  JonesMatrix total = JonesMatrix::identity();
+  for (const StackElement& e : elements_) {
+    total = element_jones(e, f, vx, vy) * total;
+    if (e.gap_after_m > 0.0) total = gap_phase(f, e.gap_after_m) * total;
+  }
+  return total;
+}
+
+JonesMatrix RotatorStack::reflection(common::Frequency f, common::Voltage vx,
+                                     common::Voltage vy) const {
+  // Dominant single-bounce model: propagate through the leading fixed
+  // boards, reflect off the tunable section (per-axis S11 in its eigenbasis),
+  // and traverse the leading boards backwards. For a reciprocal layer the
+  // backward Jones matrix is the transpose of the forward one.
+  JonesMatrix forward = JonesMatrix::identity();
+  const StackElement* tunable = nullptr;
+  for (const StackElement& e : elements_) {
+    if (e.tunable) {
+      tunable = &e;
+      break;
+    }
+    forward = element_jones(e, f, vx, vy) * forward;
+    if (e.gap_after_m > 0.0) forward = gap_phase(f, e.gap_after_m) * forward;
+  }
+  if (tunable == nullptr) {
+    // No tunable section: reflect off the last board instead.
+    tunable = &elements_.back();
+    forward = JonesMatrix::identity();
+    for (std::size_t i = 0; i + 1 < elements_.size(); ++i) {
+      forward = element_jones(elements_[i], f, vx, vy) * forward;
+      if (elements_[i].gap_after_m > 0.0)
+        forward = gap_phase(f, elements_[i].gap_after_m) * forward;
+    }
+  }
+  const common::Voltage bx = tunable->tunable ? vx : common::Voltage{0.0};
+  const common::Voltage by = tunable->tunable ? vy : common::Voltage{0.0};
+  const Complex rx = tunable->board.axis_reflection(f, bx, /*y_axis=*/false);
+  const Complex ry = tunable->board.axis_reflection(f, by, /*y_axis=*/true);
+  const JonesMatrix gamma_deep =
+      JonesMatrix{rx, Complex{0, 0}, Complex{0, 0}, ry}.rotated(
+          tunable->rotation);
+  // Bias-independent specular reflection off the very first patterned face
+  // (the dominant return): its birefringence (rx != ry in its own frame)
+  // converts a small amount of cross- to co-polarization, while the wave
+  // that penetrates to the tunable section adds the bias-DEPENDENT part.
+  // This split is why reflective heatmaps show much weaker voltage contrast
+  // than transmissive ones (paper Section 5.2.1).
+  const StackElement& first = elements_.front();
+  const common::Voltage fx = first.tunable ? vx : common::Voltage{0.0};
+  const common::Voltage fy = first.tunable ? vy : common::Voltage{0.0};
+  const Complex r0x = first.board.axis_reflection(f, fx, /*y_axis=*/false);
+  const Complex r0y = first.board.axis_reflection(f, fy, /*y_axis=*/true);
+  // The specular zeroth-order return off sub-wavelength patterns largely
+  // preserves polarization; only a fraction of the face's birefringence
+  // couples into the reflected wave.
+  const Complex r_mean = 0.5 * (r0x + r0y);
+  constexpr Complex kFrontBirefringence{0.3, 0.0};
+  const JonesMatrix gamma_aniso =
+      JonesMatrix{r0x - r_mean, Complex{0, 0}, Complex{0, 0}, r0y - r_mean}
+          .rotated(first.rotation);
+  const JonesMatrix gamma_front =
+      r_mean * JonesMatrix::identity() + kFrontBirefringence * gamma_aniso;
+  // Round trip of the deep component: forward in, reflect, transpose out.
+  // It is attenuated by re-traversal spillover off the finite aperture (the
+  // 0.48 m panel does not recapture the full divergent wavefront on the
+  // second pass).
+  constexpr Complex kDeepPathWeight{0.15, 0.0};
+  const JonesMatrix deep = forward.transpose() * gamma_deep * forward;
+  return gamma_front + kDeepPathWeight * deep;
+}
+
+double RotatorStack::transmission_efficiency_db(common::Frequency f,
+                                                common::Voltage vx,
+                                                common::Voltage vy,
+                                                bool y_excitation) const {
+  const JonesMatrix t = transmission(f, vx, vy);
+  // Paper Eq. 11: eff = |S_xx21|^2 + |S_yx21|^2 for an x-polarized wave
+  // (column of the Jones matrix corresponding to the excitation).
+  const int col = y_excitation ? 1 : 0;
+  const double p =
+      std::norm(t.at(0, col)) + std::norm(t.at(1, col));
+  return 10.0 * std::log10(std::max(p, 1e-30));
+}
+
+common::Angle RotatorStack::rotation_angle(common::Frequency f,
+                                           common::Voltage vx,
+                                           common::Voltage vy) const {
+  return em::rotation_angle_of(transmission(f, vx, vy));
+}
+
+double RotatorStack::total_thickness_m() const {
+  double t = 0.0;
+  for (const StackElement& e : elements_) {
+    t += e.board.thickness_m();
+    t += e.gap_after_m;
+  }
+  return t;
+}
+
+}  // namespace llama::metasurface

@@ -1,0 +1,69 @@
+// The full polarization-rotator stack: QWP(+45°) | BFS boards | QWP(-45°),
+// combined at the Jones level (paper Eq. 2 and Fig. 6a).
+#pragma once
+
+#include <vector>
+
+#include "src/common/units.h"
+#include "src/em/jones.h"
+#include "src/metasurface/board.h"
+
+namespace llama::metasurface {
+
+/// One element of the stack: a board physically rotated in the surface
+/// plane, followed by an air gap to the next board.
+struct StackElement {
+  Board board;
+  common::Angle rotation;     ///< physical rotation of the board's axes
+  double gap_after_m = 0.0;   ///< air spacing to the next element
+  bool tunable = false;       ///< biased by the (Vx, Vy) control pair
+};
+
+/// Layered polarization rotator driven by two bias voltages.
+class RotatorStack {
+ public:
+  explicit RotatorStack(std::vector<StackElement> elements);
+
+  [[nodiscard]] const std::vector<StackElement>& elements() const {
+    return elements_;
+  }
+
+  /// Transmission Jones matrix of the entire stack at frequency f under
+  /// bias (vx, vy). Boards are composed per paper Eq. 2; air gaps add a
+  /// common propagation phase (they are isotropic).
+  [[nodiscard]] em::JonesMatrix transmission(common::Frequency f,
+                                             common::Voltage vx,
+                                             common::Voltage vy) const;
+
+  /// Reflection Jones matrix seen from the front face. The dominant
+  /// contribution travels through the front boards, reflects off the first
+  /// strongly mismatched interface of the tunable section, and returns; on
+  /// the return pass the geometric rotation is traversed in the opposite
+  /// sense, which is why rotation largely cancels in reflective operation
+  /// (the paper's Section 5.2.1 observation).
+  [[nodiscard]] em::JonesMatrix reflection(common::Frequency f,
+                                           common::Voltage vx,
+                                           common::Voltage vy) const;
+
+  /// Transmission efficiency of paper Eq. 11 for an x- or y-polarized
+  /// excitation: |S_co|^2 + |S_cross|^2 in dB.
+  [[nodiscard]] double transmission_efficiency_db(common::Frequency f,
+                                                  common::Voltage vx,
+                                                  common::Voltage vy,
+                                                  bool y_excitation) const;
+
+  /// Net polarization rotation angle imparted on a linearly polarized wave
+  /// (the paper's theta_r = delta/2).
+  [[nodiscard]] common::Angle rotation_angle(common::Frequency f,
+                                             common::Voltage vx,
+                                             common::Voltage vy) const;
+
+  /// Total board thickness plus gaps [m] (the paper's prototype is 5 mm of
+  /// PCB in a 480x480 mm aperture).
+  [[nodiscard]] double total_thickness_m() const;
+
+ private:
+  std::vector<StackElement> elements_;
+};
+
+}  // namespace llama::metasurface

@@ -1,0 +1,78 @@
+#include "src/metasurface/unit_cell.h"
+
+#include <cmath>
+
+#include "src/common/constants.h"
+#include "src/microwave/transmission_line.h"
+
+namespace llama::metasurface {
+
+PatternGeometry PatternGeometry::qwp_outer() {
+  return PatternGeometry{
+      .cell_w = 32e-3,
+      .cell_h = 32e-3,
+      .strip_l = 12.4e-3,
+      .strip_w = 0.8e-3,
+      .gap = 5.6e-3,
+      .stub_l = 20.8e-3,
+  };
+}
+
+PatternGeometry PatternGeometry::qwp_inner() {
+  return PatternGeometry{
+      .cell_w = 32e-3,
+      .cell_h = 32e-3,
+      .strip_l = 10.8e-3,
+      .strip_w = 0.8e-3,
+      .gap = 7.2e-3,
+      .stub_l = 10.4e-3,
+  };
+}
+
+PatternGeometry PatternGeometry::bfs() {
+  return PatternGeometry{
+      .cell_w = 40e-3,
+      .cell_h = 40e-3,
+      .strip_l = 23.2e-3,
+      .strip_w = 4e-3,
+      .gap = 0.4e-3,
+      .stub_l = 0.0,
+  };
+}
+
+double PatternGeometry::strip_inductance_h(
+    const microwave::Substrate& substrate, double board_thickness_m) const {
+  const microwave::Microstrip strip{substrate, strip_w, board_thickness_m};
+  double l = strip.inductance_per_m() * strip_l;
+  if (stub_l > 0.0) l += strip.inductance_per_m() * stub_l * 0.5;
+  return l;
+}
+
+double PatternGeometry::gap_capacitance_f(
+    const microwave::Substrate& substrate, double copper_thickness_m) const {
+  if (gap <= 0.0) return 0.0;
+  // Parallel-edge capacitance: facing copper edges of area (strip width x
+  // copper thickness) separated by the gap, with the substrate filling
+  // roughly half the fringing volume. A fringing multiplier of ~8 accounts
+  // for the field spreading beyond the facing edges (typical for coplanar
+  // gaps at these aspect ratios).
+  const double eps_eff =
+      common::kEpsilon0 * (1.0 + substrate.epsilon_r()) / 2.0;
+  const double plate_area = strip_w * copper_thickness_m;
+  constexpr double kFringingFactor = 8.0;
+  return kFringingFactor * eps_eff * plate_area / gap;
+}
+
+double PatternGeometry::copper_fill_fraction() const {
+  const double cell_area = cell_w * cell_h;
+  double copper = strip_l * strip_w;
+  if (stub_l > 0.0) copper += stub_l * strip_w;
+  return copper / cell_area;
+}
+
+double mean_cell_pitch_m() {
+  // 180 units in a 480x480 mm aperture: ~sqrt(0.48^2 / 180) per cell.
+  return std::sqrt(0.48 * 0.48 / 180.0);
+}
+
+}  // namespace llama::metasurface

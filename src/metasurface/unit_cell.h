@@ -1,0 +1,57 @@
+// Unit-cell geometry of the fabricated metasurface (paper Fig. 6b) and the
+// quasi-static derivation of pattern inductance/capacitance from it.
+//
+// The paper gives exact printed dimensions for the three pattern types
+// (QWP outer, QWP inner, BFS). This module records them and provides
+// first-order L/C estimates from strip/gap geometry via the microstrip
+// model — the bridge between the drawn artwork and the circuit-level
+// FacePattern parameters used by the solver. The estimates land within a
+// small factor of the calibrated design values, which is the expected
+// accuracy of quasi-static formulas at these feature sizes.
+#pragma once
+
+#include "src/common/units.h"
+#include "src/microwave/substrate.h"
+
+namespace llama::metasurface {
+
+/// Printed dimensions of one unit-cell pattern [m] (paper Fig. 6b).
+struct PatternGeometry {
+  double cell_w = 0.0;       ///< unit cell width
+  double cell_h = 0.0;       ///< unit cell height
+  double strip_l = 0.0;      ///< main strip length
+  double strip_w = 0.0;      ///< main strip width
+  double gap = 0.0;          ///< capacitive gap between strips
+  double stub_l = 0.0;       ///< secondary stub length (0 = none)
+
+  /// QWP outer pattern: 32x32 mm cell, 12.4 / 7.2 mm strips, 5.6 / 20.8 mm
+  /// features, 0.8 mm traces (paper Fig. 6b left).
+  [[nodiscard]] static PatternGeometry qwp_outer();
+  /// QWP inner pattern: 32x32 mm cell, 10.8 / 10.4 mm features
+  /// (paper Fig. 6b middle).
+  [[nodiscard]] static PatternGeometry qwp_inner();
+  /// BFS pattern: 40 mm cell, 23.2 mm strip, 4 mm pads, 0.4 mm gap where
+  /// the varactor is mounted (paper Fig. 6b right).
+  [[nodiscard]] static PatternGeometry bfs();
+
+  /// Strip inductance estimate [H]: quasi-TEM per-length inductance of the
+  /// printed strip over the board (microstrip model) times its length.
+  [[nodiscard]] double strip_inductance_h(
+      const microwave::Substrate& substrate, double board_thickness_m) const;
+
+  /// Gap capacitance estimate [F]: parallel-edge capacitance of the gap
+  /// with the substrate's permittivity filling half the field volume.
+  [[nodiscard]] double gap_capacitance_f(
+      const microwave::Substrate& substrate, double copper_thickness_m =
+                                                 35e-6) const;
+
+  /// Fraction of the unit cell covered by copper (affects the surface's
+  /// optical transparency and weight; reported for completeness).
+  [[nodiscard]] double copper_fill_fraction() const;
+};
+
+/// The lattice pitch implied by the paper's 480 mm aperture and 180 units
+/// (mixed 32 and 40 mm cells): mean cell pitch [m].
+[[nodiscard]] double mean_cell_pitch_m();
+
+}  // namespace llama::metasurface

@@ -1,0 +1,63 @@
+#include "src/microwave/phase_shifter.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "src/common/constants.h"
+
+namespace llama::microwave {
+
+PhaseShifterAxis::PhaseShifterAxis(Varactor varactor, double inductance_h,
+                                   double pattern_c_f, double r_loss_ohm)
+    : varactor_(varactor),
+      l_(inductance_h),
+      c_fixed_(pattern_c_f),
+      r_loss_(r_loss_ohm) {
+  if (l_ <= 0.0)
+    throw std::invalid_argument{"PhaseShifterAxis: inductance must be > 0"};
+  if (c_fixed_ < 0.0)
+    throw std::invalid_argument{"PhaseShifterAxis: capacitance must be >= 0"};
+}
+
+Complex PhaseShifterAxis::shunt_admittance(common::Frequency f,
+                                           common::Voltage v) const {
+  const double omega = 2.0 * common::kPi * f.in_hz();
+  const Complex j{0.0, 1.0};
+  // Series branch: pattern inductance + varactor (C with series Rs).
+  const double c_var = varactor_.capacitance(v);
+  const Complex z_var =
+      Complex{varactor_.series_resistance(), 0.0} + 1.0 / (j * omega * c_var);
+  const Complex z_branch = Complex{r_loss_, 0.0} + j * omega * l_ + z_var;
+  Complex y = 1.0 / z_branch;
+  // Fixed pattern capacitance in parallel (gap capacitance of the print).
+  y += j * omega * c_fixed_;
+  return y;
+}
+
+Abcd PhaseShifterAxis::abcd(common::Frequency f, common::Voltage v) const {
+  return Abcd::shunt(shunt_admittance(f, v));
+}
+
+common::Frequency PhaseShifterAxis::resonance(common::Voltage v) const {
+  const double c_total = varactor_.capacitance(v) + c_fixed_;
+  return common::Frequency::hz(1.0 /
+                               (2.0 * common::kPi * std::sqrt(l_ * c_total)));
+}
+
+double phase_shifter_bandwidth_hz(double f0_hz, double m, double gamma_max,
+                                  double z0, double zl) {
+  if (m <= 0.0) throw std::invalid_argument{"bandwidth: m must be positive"};
+  if (gamma_max <= 0.0 || gamma_max >= 1.0)
+    throw std::invalid_argument{"bandwidth: Gamma must lie in (0,1)"};
+  if (z0 <= 0.0 || zl <= 0.0 || z0 == zl)
+    throw std::invalid_argument{"bandwidth: need distinct positive impedances"};
+  const double arg = gamma_max / std::sqrt(1.0 - gamma_max * gamma_max) *
+                     (2.0 * std::sqrt(z0 * zl)) / std::abs(zl - z0);
+  // The arccos argument can exceed 1 when the mismatch is small enough that
+  // the whole band satisfies the reflection bound; clamp => full bandwidth.
+  const double clamped = std::min(arg, 1.0);
+  // Paper Eq. 12: df = f0 * (2 - (m/pi) * arccos(clamped)).
+  return f0_hz * (2.0 - (m / common::kPi) * std::acos(clamped));
+}
+
+}  // namespace llama::microwave

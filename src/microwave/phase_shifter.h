@@ -1,0 +1,57 @@
+// Varactor-loaded phase-shifter layer model and its bandwidth law
+// (paper Eq. 12).
+//
+// Each BFS axis is a transmission-line section loaded by an LC tank whose
+// capacitance is the varactor junction capacitance: changing the bias
+// voltage moves the tank resonance, which changes the transmission phase of
+// that axis. The X and Y axes are loaded independently, so a bias pair
+// (Vx, Vy) sets the differential phase delta that the Jones model turns into
+// a polarization rotation of delta/2.
+#pragma once
+
+#include "src/common/units.h"
+#include "src/microwave/substrate.h"
+#include "src/microwave/two_port.h"
+#include "src/microwave/varactor.h"
+
+namespace llama::microwave {
+
+/// One varactor-loaded resonant layer for a single polarization axis.
+class PhaseShifterAxis {
+ public:
+  /// inductance_h: pattern (slot/strip) inductance of the printed layer;
+  /// pattern_c_f: fixed pattern capacitance in parallel with the varactor;
+  /// r_loss_ohm: conductor + substrate shunt loss.
+  PhaseShifterAxis(Varactor varactor, double inductance_h, double pattern_c_f,
+                   double r_loss_ohm);
+
+  /// Shunt admittance of the loaded pattern at bias v and frequency f.
+  [[nodiscard]] Complex shunt_admittance(common::Frequency f,
+                                         common::Voltage v) const;
+
+  /// ABCD of the loaded sheet (shunt element between slab sections).
+  [[nodiscard]] Abcd abcd(common::Frequency f, common::Voltage v) const;
+
+  /// Tank resonant frequency at bias v.
+  [[nodiscard]] common::Frequency resonance(common::Voltage v) const;
+
+  [[nodiscard]] const Varactor& varactor() const { return varactor_; }
+
+ private:
+  Varactor varactor_;
+  double l_;
+  double c_fixed_;
+  double r_loss_;
+};
+
+/// Paper Eq. 12 — fractional bandwidth of a quarter-wave-like matching /
+/// phase-shifting section whose line length is lambda/m:
+///   df = f0 * (2 - (m/pi) * arccos( Gamma / sqrt(1-Gamma^2)
+///                                   * 2 sqrt(Z0 ZL) / |ZL - Z0| )).
+/// Longer lines (smaller m) have narrower bandwidth; the paper uses this to
+/// argue for exactly two thin phase-shifting layers.
+[[nodiscard]] double phase_shifter_bandwidth_hz(double f0_hz, double m,
+                                                double gamma_max, double z0,
+                                                double zl);
+
+}  // namespace llama::microwave

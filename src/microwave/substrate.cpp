@@ -1,0 +1,55 @@
+#include "src/microwave/substrate.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "src/common/constants.h"
+
+namespace llama::microwave {
+
+Substrate::Substrate(std::string name, double epsilon_r, double loss_tangent,
+                     double cost_usd_per_m2)
+    : name_(std::move(name)),
+      epsilon_r_(epsilon_r),
+      loss_tangent_(loss_tangent),
+      cost_usd_per_m2_(cost_usd_per_m2) {
+  if (epsilon_r_ < 1.0)
+    throw std::invalid_argument{"Substrate: epsilon_r must be >= 1"};
+  if (loss_tangent_ < 0.0)
+    throw std::invalid_argument{"Substrate: loss tangent must be >= 0"};
+}
+
+Substrate Substrate::rogers5880() {
+  // Datasheet values; cost reflects the ~10x laminate price premium that
+  // motivates the paper's switch to FR4.
+  return Substrate{"Rogers 5880", 2.2, 0.0009, 850.0};
+}
+
+Substrate Substrate::fr4() {
+  return Substrate{"FR4 TG135", 4.4, 0.02, 65.0};
+}
+
+std::complex<double> Substrate::complex_epsilon_r() const {
+  return {epsilon_r_, -epsilon_r_ * loss_tangent_};
+}
+
+std::complex<double> Substrate::wave_impedance() const {
+  return common::kFreeSpaceImpedance / std::sqrt(complex_epsilon_r());
+}
+
+std::complex<double> Substrate::propagation_constant(
+    common::Frequency f) const {
+  const double omega = 2.0 * common::kPi * f.in_hz();
+  const std::complex<double> j{0.0, 1.0};
+  // gamma = j * omega/c * sqrt(er_complex); the imaginary part of the root
+  // turns into the attenuation constant alpha.
+  return j * (omega / common::kSpeedOfLight) * std::sqrt(complex_epsilon_r());
+}
+
+double Substrate::attenuation_db_per_mm(common::Frequency f) const {
+  const double alpha_np_per_m = propagation_constant(f).real();
+  // 1 Np = 20/ln(10) dB; per millimeter.
+  return alpha_np_per_m * (20.0 / std::log(10.0)) * 1e-3;
+}
+
+}  // namespace llama::microwave

@@ -1,0 +1,59 @@
+#include "src/microwave/transmission_line.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "src/common/constants.h"
+
+namespace llama::microwave {
+
+DielectricSlab::DielectricSlab(Substrate substrate, double thickness_m)
+    : substrate_(std::move(substrate)), thickness_m_(thickness_m) {
+  if (thickness_m_ <= 0.0)
+    throw std::invalid_argument{"DielectricSlab: thickness must be positive"};
+}
+
+Abcd DielectricSlab::abcd(common::Frequency f) const {
+  return Abcd::line(substrate_.wave_impedance(),
+                    substrate_.propagation_constant(f), thickness_m_);
+}
+
+double DielectricSlab::bulk_loss_db(common::Frequency f) const {
+  return substrate_.attenuation_db_per_mm(f) * thickness_m_ * 1e3;
+}
+
+Microstrip::Microstrip(const Substrate& substrate, double width_m,
+                       double height_m) {
+  if (width_m <= 0.0 || height_m <= 0.0)
+    throw std::invalid_argument{"Microstrip: dimensions must be positive"};
+  const double er = substrate.epsilon_r();
+  const double u = width_m / height_m;
+  // Hammerstad-Jensen effective permittivity.
+  const double a =
+      1.0 + (1.0 / 49.0) * std::log((std::pow(u, 4) + std::pow(u / 52.0, 2)) /
+                                    (std::pow(u, 4) + 0.432)) +
+      (1.0 / 18.7) * std::log(1.0 + std::pow(u / 18.1, 3));
+  const double b = 0.564 * std::pow((er - 0.9) / (er + 3.0), 0.053);
+  eps_eff_ = (er + 1.0) / 2.0 +
+             (er - 1.0) / 2.0 * std::pow(1.0 + 10.0 / u, -a * b);
+  // Characteristic impedance (Hammerstad-Jensen).
+  const double f_u =
+      6.0 + (2.0 * common::kPi - 6.0) * std::exp(-std::pow(30.666 / u, 0.7528));
+  const double z0_air = (common::kFreeSpaceImpedance / (2.0 * common::kPi)) *
+                        std::log(f_u / u + std::sqrt(1.0 + 4.0 / (u * u)));
+  z0_ = z0_air / std::sqrt(eps_eff_);
+}
+
+double Microstrip::inductance_per_m() const {
+  return z0_ * std::sqrt(eps_eff_) / common::kSpeedOfLight;
+}
+
+double Microstrip::capacitance_per_m() const {
+  return std::sqrt(eps_eff_) / (z0_ * common::kSpeedOfLight);
+}
+
+double Microstrip::guided_wavelength_m(common::Frequency f) const {
+  return common::kSpeedOfLight / (f.in_hz() * std::sqrt(eps_eff_));
+}
+
+}  // namespace llama::microwave

@@ -1,0 +1,59 @@
+// Transmission-line helpers: dielectric slab sections for the layered
+// metasurface solver and a microstrip model for the printed feed features.
+#pragma once
+
+#include <complex>
+
+#include "src/common/units.h"
+#include "src/microwave/substrate.h"
+#include "src/microwave/two_port.h"
+
+namespace llama::microwave {
+
+/// A planar dielectric slab of a given substrate and thickness, treated as a
+/// transmission-line section for a normally incident plane wave.
+class DielectricSlab {
+ public:
+  DielectricSlab(Substrate substrate, double thickness_m);
+
+  [[nodiscard]] const Substrate& substrate() const { return substrate_; }
+  [[nodiscard]] double thickness_m() const { return thickness_m_; }
+
+  /// ABCD matrix at frequency f.
+  [[nodiscard]] Abcd abcd(common::Frequency f) const;
+
+  /// One-way dielectric insertion loss [dB] at f (ignores interface
+  /// mismatch; isolates the tan-delta mechanism).
+  [[nodiscard]] double bulk_loss_db(common::Frequency f) const;
+
+ private:
+  Substrate substrate_;
+  double thickness_m_;
+};
+
+/// Quasi-static microstrip line model (Hammerstad-Jensen closed forms):
+/// effective permittivity and characteristic impedance from trace width,
+/// substrate height and er. Used to derive pattern inductance/capacitance
+/// surrogates from the geometries in paper Fig. 6(b).
+class Microstrip {
+ public:
+  /// width_m: trace width; height_m: substrate height under the trace.
+  Microstrip(const Substrate& substrate, double width_m, double height_m);
+
+  [[nodiscard]] double effective_epsilon() const { return eps_eff_; }
+  [[nodiscard]] double characteristic_impedance() const { return z0_; }
+
+  /// Per-length inductance [H/m] and capacitance [F/m] of the quasi-TEM
+  /// line: L' = Z0 sqrt(eps_eff)/c, C' = sqrt(eps_eff)/(Z0 c).
+  [[nodiscard]] double inductance_per_m() const;
+  [[nodiscard]] double capacitance_per_m() const;
+
+  /// Guided wavelength at f [m].
+  [[nodiscard]] double guided_wavelength_m(common::Frequency f) const;
+
+ private:
+  double eps_eff_;
+  double z0_;
+};
+
+}  // namespace llama::microwave

@@ -1,0 +1,55 @@
+#include "src/microwave/varactor.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "src/common/math_utils.h"
+
+namespace llama::microwave {
+
+Varactor::Varactor(double cj0_farad, double vj_volt, double m,
+                   double c_parasitic_farad, double series_resistance_ohm)
+    : cj0_(cj0_farad),
+      vj_(vj_volt),
+      m_(m),
+      cpar_(c_parasitic_farad),
+      rs_(series_resistance_ohm) {
+  if (cj0_ <= 0.0 || vj_ <= 0.0 || m_ <= 0.0)
+    throw std::invalid_argument{"Varactor: invalid junction parameters"};
+}
+
+Varactor Varactor::smv1233() {
+  // Fit of C(V) = Cj0/(1+V/Vj)^M + Cp to the paper's anchors
+  // (2 V, 2.41 pF) and (15 V, 0.84 pF) with SMV1233-like Vj and Cp.
+  // With Vj = 0.79 V, M = 0.67, Cp = 0.124 pF:
+  //   C(2) = 5.325e-12/(1+2/0.79)^0.67 + 0.124e-12  = 2.410 pF
+  //   C(15)= 5.325e-12/(1+15/0.79)^0.67 + 0.124e-12 = 0.840 pF
+  return Varactor{5.325e-12, 0.79, 0.67, 0.124e-12, 1.6};
+}
+
+Varactor Varactor::derated(double bias_derating) const {
+  if (bias_derating <= 0.0)
+    throw std::invalid_argument{"Varactor: derating must be positive"};
+  Varactor copy = *this;
+  // Stretching V by k is equivalent to scaling the junction potential.
+  copy.vj_ = vj_ * bias_derating;
+  return copy;
+}
+
+double Varactor::capacitance(common::Voltage v) const {
+  const double bias = std::max(v.value(), 0.0);
+  return cj0_ / std::pow(1.0 + bias / vj_, m_) + cpar_;
+}
+
+common::Voltage Varactor::bias_for_capacitance(double c_farad) const {
+  // Invert C(V); clamp to the usable junction region first.
+  const double c_min = capacitance(common::Voltage{30.0});
+  const double c_max = capacitance(common::Voltage{0.0});
+  const double c = common::clamp(c_farad, c_min, c_max);
+  const double core = c - cpar_;
+  if (core <= 0.0) return common::Voltage{30.0};
+  const double v = vj_ * (std::pow(cj0_ / core, 1.0 / m_) - 1.0);
+  return common::Voltage{common::clamp(v, 0.0, 30.0)};
+}
+
+}  // namespace llama::microwave

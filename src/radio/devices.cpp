@@ -1,0 +1,69 @@
+#include "src/radio/devices.h"
+
+#include <cmath>
+
+namespace llama::radio {
+
+DeviceProfile DeviceProfile::esp8266() {
+  return DeviceProfile{
+      .name = "ESP8266 Arduino",
+      .tx_power = common::PowerDbm{14.0},
+      .antenna_gain = common::GainDb{1.0},
+      .rssi_quantum_db = 1.0,
+      .rssi_jitter_db = 1.5,
+      .bandwidth = common::Frequency::mhz(20.0),
+  };
+}
+
+DeviceProfile DeviceProfile::wifi_ap() {
+  return DeviceProfile{
+      .name = "802.11g AP",
+      .tx_power = common::PowerDbm{20.0},
+      .antenna_gain = common::GainDb{3.0},
+      .rssi_quantum_db = 1.0,
+      .rssi_jitter_db = 1.0,
+      .bandwidth = common::Frequency::mhz(20.0),
+  };
+}
+
+DeviceProfile DeviceProfile::ble_wearable() {
+  return DeviceProfile{
+      .name = "MetaMotionR BLE wearable",
+      .tx_power = common::PowerDbm{0.0},
+      .antenna_gain = common::GainDb{0.0},
+      .rssi_quantum_db = 1.0,
+      .rssi_jitter_db = 1.8,
+      .bandwidth = common::Frequency::mhz(2.0),
+  };
+}
+
+DeviceProfile DeviceProfile::raspberry_pi() {
+  return DeviceProfile{
+      .name = "Raspberry Pi 3",
+      .tx_power = common::PowerDbm{4.0},
+      .antenna_gain = common::GainDb{0.0},
+      .rssi_quantum_db = 1.0,
+      .rssi_jitter_db = 1.2,
+      .bandwidth = common::Frequency::mhz(2.0),
+  };
+}
+
+RssiReporter::RssiReporter(DeviceProfile profile, common::Rng rng)
+    : profile_(std::move(profile)), rng_(rng) {}
+
+common::PowerDbm RssiReporter::sample(common::PowerDbm true_power) {
+  const double jittered =
+      true_power.value() + rng_.gaussian(0.0, profile_.rssi_jitter_db);
+  const double q = profile_.rssi_quantum_db;
+  return common::PowerDbm{std::round(jittered / q) * q};
+}
+
+std::vector<double> RssiReporter::collect(common::PowerDbm true_power,
+                                          int n) {
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) out.push_back(sample(true_power).value());
+  return out;
+}
+
+}  // namespace llama::radio

@@ -1,0 +1,60 @@
+// Low-cost IoT endpoint models (paper Figs. 2 and 20): a cheap ESP8266-based
+// Wi-Fi node talking to an 802.11g access point, and a BLE wearable talking
+// to a Raspberry Pi. Each device pairs an antenna with transmit power and an
+// RSSI reporting path (quantization + measurement jitter), which is all the
+// paper's experiments observe.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/units.h"
+#include "src/channel/antenna.h"
+
+namespace llama::radio {
+
+/// A commodity radio endpoint.
+struct DeviceProfile {
+  std::string name;
+  common::PowerDbm tx_power{14.0};
+  common::GainDb antenna_gain{2.0};
+  /// RSSI register resolution (commodity chipsets report whole dB).
+  double rssi_quantum_db = 1.0;
+  /// Slow fading / AGC jitter observed on commodity RSSI, std-dev in dB.
+  double rssi_jitter_db = 1.2;
+  /// Protocol channel bandwidth (for capacity conversions).
+  common::Frequency bandwidth = common::Frequency::mhz(20.0);
+
+  /// ESP8266-based Arduino Wi-Fi node (paper ref. [11]).
+  [[nodiscard]] static DeviceProfile esp8266();
+  /// Netgear N300-class 802.11g access point (paper ref. [2]).
+  [[nodiscard]] static DeviceProfile wifi_ap();
+  /// MetaMotionR BLE wearable (paper ref. [23]).
+  [[nodiscard]] static DeviceProfile ble_wearable();
+  /// Raspberry Pi 3 BLE receiver (paper ref. [29]).
+  [[nodiscard]] static DeviceProfile raspberry_pi();
+};
+
+/// Produces RSSI readings the way a commodity chipset would: true channel
+/// power + jitter, quantized to the register resolution.
+class RssiReporter {
+ public:
+  RssiReporter(DeviceProfile profile, common::Rng rng);
+
+  [[nodiscard]] const DeviceProfile& profile() const { return profile_; }
+
+  /// One RSSI sample for a true received power.
+  [[nodiscard]] common::PowerDbm sample(common::PowerDbm true_power);
+
+  /// A batch of n RSSI samples (values in dBm), e.g. to build the PDF plots
+  /// of Figs. 2 and 20.
+  [[nodiscard]] std::vector<double> collect(common::PowerDbm true_power,
+                                            int n);
+
+ private:
+  DeviceProfile profile_;
+  common::Rng rng_;
+};
+
+}  // namespace llama::radio

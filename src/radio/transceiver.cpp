@@ -1,0 +1,61 @@
+#include "src/radio/transceiver.h"
+
+#include <cmath>
+
+#include "src/common/constants.h"
+#include "src/channel/capacity.h"
+
+namespace llama::radio {
+
+Receiver::Receiver(ReceiverConfig config, common::Rng rng)
+    : config_(config), rng_(rng) {}
+
+common::PowerDbm Receiver::noise_floor_dbm() const {
+  return channel::noise_floor(config_.noise_bandwidth, config_.noise_figure);
+}
+
+IqCapture Receiver::capture(common::PowerDbm signal_power, int n,
+                            double start_time_s) {
+  IqCapture iq;
+  iq.sample_rate_hz = config_.sample_rate_hz;
+  iq.start_time_s = start_time_s;
+  iq.samples.reserve(static_cast<std::size_t>(n));
+  // Tone amplitude such that mean |x|^2 equals the signal power in mW.
+  const double p_mw = signal_power.to_mw().value();
+  const double amp = std::sqrt(p_mw);
+  // Complex AWGN with total power equal to the noise floor: each quadrature
+  // carries half.
+  const double n_mw = noise_floor_dbm().to_mw().value();
+  const double sigma = std::sqrt(n_mw / 2.0);
+  const double w = 2.0 * common::kPi * config_.tone_offset_hz;
+  const double dt = 1.0 / config_.sample_rate_hz;
+  for (int i = 0; i < n; ++i) {
+    const double t = start_time_s + i * dt;
+    const std::complex<double> tone =
+        amp * std::exp(std::complex<double>{0.0, w * t});
+    const std::complex<double> noise{rng_.gaussian(0.0, sigma),
+                                     rng_.gaussian(0.0, sigma)};
+    iq.samples.push_back(tone + noise);
+  }
+  return iq;
+}
+
+common::PowerDbm Receiver::estimate_power(const IqCapture& iq) {
+  if (iq.samples.empty()) return common::PowerDbm{-120.0};
+  double acc = 0.0;
+  for (const auto& s : iq.samples) acc += std::norm(s);
+  const double p_mw = acc / static_cast<double>(iq.samples.size());
+  return common::PowerMw{std::max(p_mw, 1e-15)}.to_dbm();
+}
+
+common::PowerDbm Receiver::measure(common::PowerDbm signal_power,
+                                   double window_s, double start_time_s) {
+  // Cap the synthesized block: beyond ~100k samples the estimator variance
+  // is negligible, so longer windows only waste cycles.
+  const int n = static_cast<int>(
+      std::min(window_s * config_.sample_rate_hz, 100e3));
+  return estimate_power(capture(signal_power, std::max(n, 16),
+                                start_time_s));
+}
+
+}  // namespace llama::radio

@@ -1,0 +1,39 @@
+#include "src/sensing/breathing_target.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "src/common/constants.h"
+
+namespace llama::sensing {
+
+BreathingTarget::BreathingTarget(BreathingPattern pattern,
+                                 double path_length_m,
+                                 double scatter_amplitude)
+    : pattern_(pattern),
+      path_length_m_(path_length_m),
+      scatter_amplitude_(scatter_amplitude) {
+  if (path_length_m_ <= 0.0)
+    throw std::invalid_argument{"BreathingTarget: path length must be > 0"};
+  if (scatter_amplitude_ < 0.0 || scatter_amplitude_ > 1.0)
+    throw std::invalid_argument{
+        "BreathingTarget: scatter amplitude must be in [0, 1]"};
+}
+
+double BreathingTarget::displacement_m(double t_s) const {
+  return pattern_.chest_excursion_m *
+         std::sin(2.0 * common::kPi * pattern_.rate_hz * t_s +
+                  pattern_.phase_rad);
+}
+
+em::Complex BreathingTarget::scatter_coefficient(common::Frequency f,
+                                                 double t_s) const {
+  const double k = 2.0 * common::kPi * f.in_hz() / common::kSpeedOfLight;
+  // Round-trip modulation: the wave travels to the chest and back, so the
+  // path delta is twice the displacement.
+  const double extra = 2.0 * displacement_m(t_s);
+  return scatter_amplitude_ *
+         std::exp(em::Complex{0.0, -k * (path_length_m_ + extra)});
+}
+
+}  // namespace llama::sensing

@@ -1,0 +1,63 @@
+#include "src/sensing/respiration_detector.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "src/common/math_utils.h"
+
+namespace llama::sensing {
+
+RespirationDetector::RespirationDetector()
+    : RespirationDetector(Options{}) {}
+
+RespirationDetector::RespirationDetector(Options options) : options_(options) {
+  if (options_.min_rate_hz <= 0.0 ||
+      options_.max_rate_hz <= options_.min_rate_hz)
+    throw std::invalid_argument{"RespirationDetector: bad rate band"};
+}
+
+DetectionResult RespirationDetector::analyze(std::span<const double> power_dbm,
+                                             double sample_rate_hz) const {
+  DetectionResult out;
+  if (power_dbm.size() < 16 || sample_rate_hz <= 0.0) return out;
+
+  // Detrend: remove the slow component (window longer than the slowest
+  // breath) to isolate the breathing-band ripple, then smooth out noise
+  // faster than the fastest breath.
+  const int slow_window = std::max(
+      static_cast<int>(sample_rate_hz / options_.min_rate_hz), 2);
+  const int fast_window = std::max(
+      static_cast<int>(sample_rate_hz / (4.0 * options_.max_rate_hz)), 1);
+  const std::vector<double> trend =
+      common::moving_average(power_dbm, slow_window);
+  std::vector<double> band(power_dbm.size());
+  for (std::size_t i = 0; i < power_dbm.size(); ++i)
+    band[i] = power_dbm[i] - trend[i];
+  band = common::moving_average(band, fast_window);
+
+  out.ripple_db = common::max_element(band) - common::min_element(band);
+
+  // Autocorrelation scan over candidate breathing periods.
+  const int lag_min = static_cast<int>(sample_rate_hz / options_.max_rate_hz);
+  const int lag_max = static_cast<int>(sample_rate_hz / options_.min_rate_hz);
+  double best_r = -1.0;
+  int best_lag = 0;
+  for (int lag = std::max(lag_min, 1);
+       lag <= lag_max && static_cast<std::size_t>(lag) < band.size() / 2;
+       ++lag) {
+    const double r = common::autocorrelation(band, lag);
+    if (r > best_r) {
+      best_r = r;
+      best_lag = lag;
+    }
+  }
+  if (best_lag == 0) return out;
+  out.confidence = std::max(best_r, 0.0);
+  out.rate_hz = sample_rate_hz / static_cast<double>(best_lag);
+  out.detected = out.confidence >= options_.confidence_threshold &&
+                 out.ripple_db >= options_.min_ripple_db;
+  return out;
+}
+
+}  // namespace llama::sensing

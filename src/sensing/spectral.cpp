@@ -1,0 +1,76 @@
+#include "src/sensing/spectral.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "src/common/constants.h"
+#include "src/common/math_utils.h"
+
+namespace llama::sensing {
+
+double goertzel_power(std::span<const double> xs, double sample_rate_hz,
+                      double frequency_hz) {
+  if (xs.empty() || sample_rate_hz <= 0.0) return 0.0;
+  const double omega =
+      2.0 * common::kPi * frequency_hz / sample_rate_hz;
+  const double coeff = 2.0 * std::cos(omega);
+  double s_prev = 0.0;
+  double s_prev2 = 0.0;
+  for (double x : xs) {
+    const double s = x + coeff * s_prev - s_prev2;
+    s_prev2 = s_prev;
+    s_prev = s;
+  }
+  const double power = s_prev * s_prev + s_prev2 * s_prev2 -
+                       coeff * s_prev * s_prev2;
+  return power / static_cast<double>(xs.size() * xs.size());
+}
+
+SpectralRespirationAnalyzer::SpectralRespirationAnalyzer(Options options)
+    : options_(options) {
+  if (options_.min_rate_hz <= 0.0 ||
+      options_.max_rate_hz <= options_.min_rate_hz)
+    throw std::invalid_argument{"SpectralRespirationAnalyzer: bad band"};
+  if (options_.scan_step_hz <= 0.0)
+    throw std::invalid_argument{
+        "SpectralRespirationAnalyzer: bad scan step"};
+}
+
+SpectralEstimate SpectralRespirationAnalyzer::analyze(
+    std::span<const double> power_dbm, double sample_rate_hz) const {
+  SpectralEstimate out;
+  if (power_dbm.size() < 16 || sample_rate_hz <= 0.0) return out;
+
+  // Detrend: remove the mean and slow drift so low-frequency leakage does
+  // not mask the breathing line.
+  const int slow_window = std::max(
+      static_cast<int>(sample_rate_hz / options_.min_rate_hz), 2);
+  const std::vector<double> trend =
+      common::moving_average(power_dbm, slow_window);
+  std::vector<double> band(power_dbm.size());
+  for (std::size_t i = 0; i < power_dbm.size(); ++i)
+    band[i] = power_dbm[i] - trend[i];
+
+  std::vector<double> powers;
+  for (double f = options_.min_rate_hz; f <= options_.max_rate_hz + 1e-12;
+       f += options_.scan_step_hz) {
+    const double p = goertzel_power(band, sample_rate_hz, f);
+    out.spectrum.push_back({f, p});
+    powers.push_back(p);
+    if (p > out.peak_power) {
+      out.peak_power = p;
+      out.peak_frequency_hz = f;
+    }
+  }
+  if (powers.empty()) return out;
+  std::vector<double> sorted = powers;
+  std::nth_element(sorted.begin(), sorted.begin() + sorted.size() / 2,
+                   sorted.end());
+  const double median = sorted[sorted.size() / 2];
+  out.prominence = median > 0.0 ? out.peak_power / median : 0.0;
+  out.detected = out.prominence >= options_.prominence_threshold;
+  return out;
+}
+
+}  // namespace llama::sensing

@@ -1,0 +1,59 @@
+// Frequency-domain respiration analysis: a Goertzel-based spectral scanner
+// over the breathing band, complementing the autocorrelation detector.
+// Spectral estimation separates closely spaced rates and quantifies the
+// breathing line's prominence over the noise floor — useful for the
+// extension scenarios the paper gestures at ("other low SNR sensing
+// applications", Section 5.2.2).
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace llama::sensing {
+
+/// Single-bin DFT power via the Goertzel recurrence — O(n) per frequency,
+/// ideal for scanning a handful of candidate rates.
+[[nodiscard]] double goertzel_power(std::span<const double> xs,
+                                    double sample_rate_hz,
+                                    double frequency_hz);
+
+/// One scanned line of the spectrum.
+struct SpectralLine {
+  double frequency_hz = 0.0;
+  double power = 0.0;  ///< detrended signal power at this frequency
+};
+
+/// Result of a spectral scan over the breathing band.
+struct SpectralEstimate {
+  std::vector<SpectralLine> spectrum;
+  double peak_frequency_hz = 0.0;
+  double peak_power = 0.0;
+  /// Peak power over the median scanned power: the line's prominence.
+  double prominence = 0.0;
+  bool detected = false;
+};
+
+class SpectralRespirationAnalyzer {
+ public:
+  struct Options {
+    double min_rate_hz = 0.1;
+    double max_rate_hz = 0.6;
+    double scan_step_hz = 0.01;
+    /// Minimum peak/median power ratio to declare a breathing line. The
+    /// maximum of ~50 noise-only bins reaches ~6x the median, so the
+    /// threshold sits well above that.
+    double prominence_threshold = 10.0;
+  };
+
+  SpectralRespirationAnalyzer() : SpectralRespirationAnalyzer(Options{}) {}
+  explicit SpectralRespirationAnalyzer(Options options);
+
+  /// Scans the breathing band of a (detrended internally) power trace.
+  [[nodiscard]] SpectralEstimate analyze(std::span<const double> power_dbm,
+                                         double sample_rate_hz) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace llama::sensing

@@ -1,0 +1,86 @@
+#include "src/channel/antenna.h"
+
+#include <gtest/gtest.h>
+
+namespace llama::channel {
+namespace {
+
+using common::Angle;
+using common::GainDb;
+
+TEST(Antenna, FactoryGainsMatchPaperHardware) {
+  // Paper Section 5.1.2: omni 6 dBi, directional 10 dBi.
+  EXPECT_DOUBLE_EQ(
+      Antenna::omni_6dbi(Angle::degrees(0.0)).boresight_gain().value(), 6.0);
+  EXPECT_DOUBLE_EQ(
+      Antenna::directional_10dbi(Angle::degrees(0.0)).boresight_gain().value(),
+      10.0);
+  EXPECT_DOUBLE_EQ(
+      Antenna::iot_dipole(Angle::degrees(0.0)).boresight_gain().value(), 2.0);
+}
+
+TEST(Antenna, OmniIsFlatOverAngle) {
+  const Antenna a = Antenna::omni_6dbi(Angle::degrees(0.0));
+  for (double deg : {0.0, 30.0, 60.0, 90.0, 150.0})
+    EXPECT_DOUBLE_EQ(a.gain_towards(Angle::degrees(deg)).value(), 6.0);
+}
+
+TEST(Antenna, DirectionalRollsOffMonotonically) {
+  const Antenna a = Antenna::directional_10dbi(Angle::degrees(0.0));
+  double prev = a.gain_towards(Angle::degrees(0.0)).value();
+  for (double deg = 10.0; deg <= 80.0; deg += 10.0) {
+    const double g = a.gain_towards(Angle::degrees(deg)).value();
+    EXPECT_LE(g, prev + 1e-12) << "deg=" << deg;
+    prev = g;
+  }
+}
+
+TEST(Antenna, DirectionalBoresightHasFullGain) {
+  const Antenna a = Antenna::directional_10dbi(Angle::degrees(0.0));
+  EXPECT_DOUBLE_EQ(a.gain_towards(Angle::degrees(0.0)).value(), 10.0);
+}
+
+TEST(Antenna, SideLobeFloorBoundsSuppression) {
+  const Antenna a = Antenna::directional_10dbi(Angle::degrees(0.0));
+  // Behind the antenna the gain floors 15 dB below boresight.
+  EXPECT_DOUBLE_EQ(a.gain_towards(Angle::degrees(180.0)).value(), -5.0);
+  EXPECT_DOUBLE_EQ(a.gain_towards(Angle::degrees(89.9)).value(), -5.0);
+}
+
+TEST(Antenna, RotatedShiftsPolarizationOnly) {
+  const Antenna a = Antenna::iot_dipole(Angle::degrees(10.0));
+  const Antenna r = a.rotated(Angle::degrees(35.0));
+  EXPECT_NEAR(r.polarization().orientation().deg(), 45.0, 1e-9);
+  EXPECT_DOUBLE_EQ(r.boresight_gain().value(), a.boresight_gain().value());
+}
+
+TEST(Antenna, OrientedSetsAbsoluteAngle) {
+  const Antenna a = Antenna::omni_6dbi(Angle::degrees(123.0));
+  const Antenna o = a.oriented(Angle::degrees(90.0));
+  EXPECT_NEAR(o.polarization().orientation().deg(), 90.0, 1e-9);
+}
+
+TEST(Antenna, OrientingCircularIsNoop) {
+  const Antenna c = Antenna::circular_2dbi();
+  const Antenna o = c.oriented(Angle::degrees(45.0));
+  EXPECT_EQ(o.polarization().kind(), em::PolarizationKind::kCircular);
+}
+
+TEST(Antenna, TestbedAntennasHaveDeeperXpdThanIotDipole) {
+  const Antenna usrp = Antenna::directional_10dbi(Angle::degrees(0.0));
+  const Antenna iot = Antenna::iot_dipole(Angle::degrees(0.0));
+  EXPECT_GT(usrp.polarization().xpd_db(), iot.polarization().xpd_db());
+}
+
+TEST(Antenna, OrthogonalIotDipolesLeakTenishDb) {
+  // The Fig. 2 scale: mismatch costs ~10-15 dB for cheap IoT hardware.
+  const Antenna a = Antenna::iot_dipole(Angle::degrees(0.0));
+  const Antenna b = Antenna::iot_dipole(Angle::degrees(90.0));
+  const double plf = b.polarization().match(a.polarization().jones());
+  const double loss_db = -10.0 * std::log10(plf);
+  EXPECT_GT(loss_db, 7.0);
+  EXPECT_LT(loss_db, 18.0);
+}
+
+}  // namespace
+}  // namespace llama::channel

@@ -1,0 +1,126 @@
+#include "src/channel/ber.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace llama::channel {
+namespace {
+
+using common::GainDb;
+
+TEST(QFunction, KnownValues) {
+  EXPECT_NEAR(q_function(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(q_function(1.0), 0.15866, 1e-4);
+  EXPECT_NEAR(q_function(3.0), 1.3499e-3, 1e-6);
+  EXPECT_NEAR(q_function(-1.0), 1.0 - 0.15866, 1e-4);
+}
+
+TEST(Ber, BpskKnownPoints) {
+  // Classic anchor: BPSK at Eb/N0 ~= 9.6 dB gives BER ~= 1e-5.
+  EXPECT_NEAR(std::log10(ber_bpsk(9.6)), -5.0, 0.15);
+  EXPECT_NEAR(ber_bpsk(0.0), 0.0786, 1e-3);
+}
+
+TEST(Ber, QpskEqualsBpskPerBit) {
+  for (double ebn0 : {0.0, 4.0, 8.0, 12.0})
+    EXPECT_DOUBLE_EQ(ber_qpsk(ebn0), ber_bpsk(ebn0));
+}
+
+TEST(Ber, HigherOrderModulationNeedsMoreSnr) {
+  const double ebn0 = 10.0;
+  EXPECT_LT(ber_bpsk(ebn0), ber_mqam(16, ebn0));
+  EXPECT_LT(ber_mqam(16, ebn0), ber_mqam(64, ebn0));
+}
+
+TEST(Ber, AllCurvesMonotoneInSnr) {
+  auto check_monotone = [](auto f) {
+    double prev = 1.0;
+    for (double ebn0 = -5.0; ebn0 <= 20.0; ebn0 += 1.0) {
+      const double b = f(ebn0);
+      EXPECT_LT(b, prev + 1e-15);
+      prev = b;
+    }
+  };
+  check_monotone([](double e) { return ber_bpsk(e); });
+  check_monotone([](double e) { return ber_gfsk(e); });
+  check_monotone([](double e) { return ber_mqam(16, e); });
+  check_monotone([](double e) { return ber_mqam(64, e); });
+}
+
+TEST(Ber, GfskWorseThanCoherentBpsk) {
+  for (double ebn0 : {2.0, 6.0, 10.0})
+    EXPECT_GT(ber_gfsk(ebn0), ber_bpsk(ebn0));
+}
+
+TEST(Ber, RejectsUnsupportedQamOrder) {
+  EXPECT_THROW((void)ber_mqam(32, 10.0), std::invalid_argument);
+}
+
+TEST(LinkLayer, WifiRateLadderIsOrdered) {
+  const LinkLayerModel wifi = LinkLayerModel::wifi_80211g();
+  ASSERT_EQ(wifi.rates().size(), 8u);
+  for (std::size_t i = 1; i < wifi.rates().size(); ++i) {
+    EXPECT_GT(wifi.rates()[i].data_rate_mbps,
+              wifi.rates()[i - 1].data_rate_mbps);
+    EXPECT_GT(wifi.rates()[i].snr_threshold_db,
+              wifi.rates()[i - 1].snr_threshold_db);
+  }
+}
+
+TEST(LinkLayer, RateSelectionRespectsThresholds) {
+  const LinkLayerModel wifi = LinkLayerModel::wifi_80211g();
+  const PhyRate* r = wifi.select_rate(GainDb{30.0});
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->name, "64QAM 3/4");
+  r = wifi.select_rate(GainDb{10.0});
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->name, "QPSK 1/2");
+  EXPECT_EQ(wifi.select_rate(GainDb{2.0}), nullptr);
+}
+
+TEST(LinkLayer, ThroughputZeroBelowSensitivity) {
+  const LinkLayerModel wifi = LinkLayerModel::wifi_80211g();
+  EXPECT_DOUBLE_EQ(wifi.throughput_mbps(GainDb{0.0}), 0.0);
+}
+
+TEST(LinkLayer, ThroughputMonotoneInSnr) {
+  const LinkLayerModel wifi = LinkLayerModel::wifi_80211g();
+  double prev = -1.0;
+  for (double snr = 4.0; snr <= 40.0; snr += 2.0) {
+    const double t = wifi.throughput_mbps(GainDb{snr});
+    EXPECT_GE(t, prev - 1e-9) << "snr=" << snr;
+    prev = t;
+  }
+}
+
+TEST(LinkLayer, TenDbPolarizationLossCollapsesWifiRate) {
+  // The paper's story quantified: a link parked at 26 dB SNR (64QAM) loses
+  // 12 dB to polarization mismatch and falls to QPSK-class rates.
+  const LinkLayerModel wifi = LinkLayerModel::wifi_80211g();
+  const double healthy = wifi.throughput_mbps(GainDb{26.0});
+  const double mismatched = wifi.throughput_mbps(GainDb{14.0});
+  EXPECT_GT(healthy, 45.0);
+  EXPECT_LT(mismatched, 20.0);
+}
+
+TEST(LinkLayer, PerImprovesWithMargin) {
+  const LinkLayerModel ble = LinkLayerModel::ble_1m();
+  const PhyRate& rate = ble.rates().front();
+  EXPECT_NEAR(ble.packet_error_rate(rate, GainDb{rate.snr_threshold_db}),
+              0.1, 1e-9);
+  EXPECT_LT(ble.packet_error_rate(rate, GainDb{rate.snr_threshold_db + 4.0}),
+            0.0011);
+  EXPECT_DOUBLE_EQ(
+      ble.packet_error_rate(rate, GainDb{rate.snr_threshold_db - 10.0}),
+      1.0);
+}
+
+TEST(LinkLayer, BleIsSingleRate) {
+  const LinkLayerModel ble = LinkLayerModel::ble_1m();
+  EXPECT_EQ(ble.rates().size(), 1u);
+  EXPECT_DOUBLE_EQ(ble.rates().front().data_rate_mbps, 1.0);
+}
+
+}  // namespace
+}  // namespace llama::channel

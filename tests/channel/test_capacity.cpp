@@ -1,0 +1,85 @@
+#include "src/channel/capacity.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace llama::channel {
+namespace {
+
+using common::Frequency;
+using common::GainDb;
+using common::PowerDbm;
+
+TEST(NoiseFloor, ThermalNoiseAtOneHz) {
+  // kTB at 290 K over 1 Hz is -174 dBm; noise figure adds on top.
+  const PowerDbm n = noise_floor(Frequency::hz(1.0), GainDb{0.0});
+  EXPECT_NEAR(n.value(), -173.98, 0.05);
+}
+
+TEST(NoiseFloor, FiveHundredKhzWithSevenDbNf) {
+  // The paper's receive chain: 500 kHz bandwidth, ~7 dB noise figure:
+  // -174 + 10log10(5e5) + 7 ~= -110 dBm.
+  const PowerDbm n = noise_floor(Frequency::khz(500.0), GainDb{7.0});
+  EXPECT_NEAR(n.value(), -110.0, 0.2);
+}
+
+TEST(NoiseFloor, BandwidthScalesLogarithmically) {
+  const double n1 = noise_floor(Frequency::mhz(1.0), GainDb{0.0}).value();
+  const double n10 = noise_floor(Frequency::mhz(10.0), GainDb{0.0}).value();
+  EXPECT_NEAR(n10 - n1, 10.0, 1e-9);
+}
+
+TEST(Snr, IsSimpleDifference) {
+  EXPECT_NEAR(snr(PowerDbm{-40.0}, PowerDbm{-100.0}).value(), 60.0, 1e-12);
+}
+
+TEST(SpectralEfficiency, KnownShannonPoints) {
+  EXPECT_NEAR(spectral_efficiency(GainDb{0.0}), 1.0, 1e-9);  // SNR = 1
+  EXPECT_NEAR(spectral_efficiency(GainDb{10.0 * std::log10(3.0)}), 2.0,
+              1e-9);  // SNR = 3
+  EXPECT_NEAR(spectral_efficiency(GainDb{10.0 * std::log10(15.0)}), 4.0,
+              1e-9);  // SNR = 15
+}
+
+TEST(SpectralEfficiency, MonotoneInSnr) {
+  double prev = -1.0;
+  for (double snr_db = -20.0; snr_db <= 60.0; snr_db += 5.0) {
+    const double c = spectral_efficiency(GainDb{snr_db});
+    EXPECT_GT(c, prev);
+    prev = c;
+  }
+}
+
+TEST(SpectralEfficiency, DeepNegativeSnrApproachesZero) {
+  EXPECT_LT(spectral_efficiency(GainDb{-40.0}), 2e-4);
+}
+
+TEST(CapacityBitsPerHz, ComposesSnrAndShannon) {
+  const double c = capacity_bits_per_hz(PowerDbm{-60.0}, PowerDbm{-90.0});
+  EXPECT_NEAR(c, spectral_efficiency(GainDb{30.0}), 1e-12);
+  EXPECT_NEAR(c, std::log2(1.0 + 1000.0), 1e-9);
+}
+
+TEST(CapacityBitsPerHz, MoreReceivedPowerMoreCapacity) {
+  const PowerDbm noise{-90.0};
+  EXPECT_GT(capacity_bits_per_hz(PowerDbm{-50.0}, noise),
+            capacity_bits_per_hz(PowerDbm{-70.0}, noise));
+}
+
+/// Property: a 15 dB link-power gain (the paper's headline) translates to
+/// roughly 5 bit/s/Hz of extra spectral efficiency in the high-SNR regime.
+class CapacityGain : public ::testing::TestWithParam<double> {};
+
+TEST_P(CapacityGain, HighSnrSlopeIsLog2PerThreeDb) {
+  const double base_snr = GetParam();
+  const double c0 = spectral_efficiency(GainDb{base_snr});
+  const double c1 = spectral_efficiency(GainDb{base_snr + 15.0});
+  EXPECT_NEAR(c1 - c0, 15.0 / 3.0103, 0.1) << "snr=" << base_snr;
+}
+
+INSTANTIATE_TEST_SUITE_P(HighSnr, CapacityGain,
+                         ::testing::Values(30.0, 40.0, 50.0, 60.0));
+
+}  // namespace
+}  // namespace llama::channel

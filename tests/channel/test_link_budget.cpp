@@ -1,0 +1,206 @@
+#include "src/channel/link_budget.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace llama::channel {
+namespace {
+
+using common::Angle;
+using common::Frequency;
+using common::PowerDbm;
+using common::Voltage;
+
+const Frequency kF0 = Frequency::ghz(2.44);
+
+LinkBudget transmissive_link(double rx_deg, double dist_m = 0.42) {
+  LinkGeometry g;
+  g.mode = metasurface::SurfaceMode::kTransmissive;
+  g.tx_rx_distance_m = dist_m;
+  g.tx_surface_distance_m = dist_m / 2.0;
+  return LinkBudget{Antenna::directional_10dbi(Angle::degrees(0.0)),
+                    Antenna::directional_10dbi(Angle::degrees(rx_deg)), g,
+                    Environment::absorber_chamber()};
+}
+
+TEST(LinkGeometry, TransmissiveDistances) {
+  LinkGeometry g;
+  g.mode = metasurface::SurfaceMode::kTransmissive;
+  g.tx_rx_distance_m = 0.42;
+  g.tx_surface_distance_m = 0.20;
+  EXPECT_NEAR(g.rx_surface_distance_m(), 0.22, 1e-12);
+  EXPECT_NEAR(g.surface_path_m(), 0.42, 1e-12);
+}
+
+TEST(LinkGeometry, ReflectivePathUsesBisector) {
+  LinkGeometry g;
+  g.mode = metasurface::SurfaceMode::kReflective;
+  g.tx_rx_distance_m = 0.70;
+  g.tx_surface_distance_m = 0.42;
+  const double leg = std::sqrt(0.42 * 0.42 + 0.35 * 0.35);
+  EXPECT_NEAR(g.rx_surface_distance_m(), leg, 1e-12);
+  EXPECT_NEAR(g.surface_path_m(), 2.0 * leg, 1e-12);
+}
+
+TEST(LinkBudget, MatchedLinkNearFriisExpectation) {
+  LinkBudget link = transmissive_link(0.0);
+  const double got =
+      link.received_power_without_surface(PowerDbm{0.0}, kF0).value();
+  // 0 dBm + 10 + 10 dBi - Friis(0.42 m, 2.44 GHz) ~= -12.7 dBm.
+  const double expected = 0.0 + 20.0 - friis_loss_db(kF0, 0.42).value();
+  EXPECT_NEAR(got, expected, 0.5);
+}
+
+TEST(LinkBudget, MismatchCostsTensOfDb) {
+  LinkBudget matched = transmissive_link(0.0);
+  LinkBudget crossed = transmissive_link(90.0);
+  const double pm =
+      matched.received_power_without_surface(PowerDbm{0.0}, kF0).value();
+  const double pc =
+      crossed.received_power_without_surface(PowerDbm{0.0}, kF0).value();
+  EXPECT_GT(pm - pc, 10.0);
+  EXPECT_LT(pm - pc, 30.0);
+}
+
+TEST(LinkBudget, PowerScalesWithTxPower) {
+  LinkBudget link = transmissive_link(0.0);
+  const double p0 =
+      link.received_power_without_surface(PowerDbm{0.0}, kF0).value();
+  const double p10 =
+      link.received_power_without_surface(PowerDbm{10.0}, kF0).value();
+  EXPECT_NEAR(p10 - p0, 10.0, 1e-6);
+}
+
+TEST(LinkBudget, PowerFallsWithDistance) {
+  const double near_d =
+      transmissive_link(0.0, 0.24)
+          .received_power_without_surface(PowerDbm{0.0}, kF0)
+          .value();
+  const double far_d =
+      transmissive_link(0.0, 0.60)
+          .received_power_without_surface(PowerDbm{0.0}, kF0)
+          .value();
+  EXPECT_GT(near_d, far_d + 6.0);
+}
+
+TEST(LinkBudget, OptimizedSurfaceRecoversMismatchedLink) {
+  LinkBudget link = transmissive_link(90.0);
+  metasurface::Metasurface surface =
+      metasurface::Metasurface::llama_prototype();
+  const double baseline =
+      link.received_power_without_surface(PowerDbm{0.0}, kF0).value();
+  // Sweep the grid for the best bias (what the controller would find).
+  double best = -1e9;
+  for (double vx = 0.0; vx <= 30.0; vx += 3.0)
+    for (double vy = 0.0; vy <= 30.0; vy += 3.0) {
+      surface.set_bias(Voltage{vx}, Voltage{vy});
+      best = std::max(
+          best,
+          link.received_power_with_surface(PowerDbm{0.0}, kF0, surface)
+              .value());
+    }
+  // Paper Fig. 16: gains in the 10-15 dB class.
+  EXPECT_GT(best - baseline, 8.0);
+  EXPECT_LT(best - baseline, 20.0);
+}
+
+TEST(LinkBudget, SurfaceInsertionLossOnMatchedLink) {
+  // On an already-matched link the surface can only hurt (its insertion
+  // loss exceeds any rotation benefit).
+  LinkBudget link = transmissive_link(0.0);
+  metasurface::Metasurface surface =
+      metasurface::Metasurface::llama_prototype();
+  surface.set_bias(Voltage{10.0}, Voltage{10.0});
+  const double with_surface =
+      link.received_power_with_surface(PowerDbm{0.0}, kF0, surface).value();
+  const double without =
+      link.received_power_without_surface(PowerDbm{0.0}, kF0).value();
+  EXPECT_LT(with_surface, without);
+  EXPECT_GT(with_surface, without - 12.0);
+}
+
+TEST(LinkBudget, ReflectiveSurfaceAddsPath) {
+  LinkGeometry g;
+  g.mode = metasurface::SurfaceMode::kReflective;
+  g.tx_rx_distance_m = 0.70;
+  g.tx_surface_distance_m = 0.42;
+  LinkBudget link{Antenna::directional_10dbi(Angle::degrees(0.0)),
+                  Antenna::directional_10dbi(Angle::degrees(90.0)), g,
+                  Environment::absorber_chamber()};
+  metasurface::Metasurface surface =
+      metasurface::Metasurface::llama_prototype();
+  surface.set_bias(Voltage{5.0}, Voltage{25.0});
+  const double with_surface =
+      link.received_power_with_surface(PowerDbm{0.0}, kF0, surface).value();
+  const double without =
+      link.received_power_without_surface(PowerDbm{0.0}, kF0).value();
+  EXPECT_GT(with_surface, without + 5.0);
+}
+
+TEST(LinkBudget, InterferenceFloorBoundsMinimumPower) {
+  common::Rng rng{3};
+  LinkGeometry g;
+  g.mode = metasurface::SurfaceMode::kTransmissive;
+  g.tx_rx_distance_m = 0.42;
+  g.tx_surface_distance_m = 0.21;
+  LinkBudget link{Antenna::omni_6dbi(Angle::degrees(0.0)),
+                  Antenna::omni_6dbi(Angle::degrees(90.0)), g,
+                  Environment::laboratory(rng)};
+  // At absurdly low transmit power the measurement bottoms out at the
+  // laboratory interference floor, not at -infinity.
+  const double p =
+      link.received_power_without_surface(PowerDbm{-80.0}, kF0).value();
+  EXPECT_GT(p, -75.0);
+}
+
+TEST(LinkBudget, MultipathRaisesCrossPolarizedBaseline) {
+  common::Rng rng{17};
+  LinkGeometry g;
+  g.mode = metasurface::SurfaceMode::kTransmissive;
+  g.tx_rx_distance_m = 0.42;
+  g.tx_surface_distance_m = 0.21;
+  LinkBudget clean{Antenna::omni_6dbi(Angle::degrees(0.0)),
+                   Antenna::omni_6dbi(Angle::degrees(90.0)), g,
+                   Environment::absorber_chamber()};
+  LinkBudget lab{Antenna::omni_6dbi(Angle::degrees(0.0)),
+                 Antenna::omni_6dbi(Angle::degrees(90.0)), g,
+                 Environment::laboratory(rng)};
+  // Scattered rays arrive with scrambled polarization, so the mismatched
+  // baseline is stronger in the lab (paper Section 5.1.2: "the multipath
+  // reflections ... cause the received signal to be stronger").
+  EXPECT_GT(lab.received_power_without_surface(PowerDbm{0.0}, kF0).value(),
+            clean.received_power_without_surface(PowerDbm{0.0}, kF0).value());
+}
+
+TEST(LinkBudget, DirectionalAntennasSuppressMultipath) {
+  common::Rng rng{17};
+  const Environment lab = Environment::laboratory(rng);
+  LinkGeometry g;
+  g.mode = metasurface::SurfaceMode::kTransmissive;
+  g.tx_rx_distance_m = 0.42;
+  g.tx_surface_distance_m = 0.21;
+  LinkBudget omni{Antenna::omni_6dbi(Angle::degrees(0.0)),
+                  Antenna::omni_6dbi(Angle::degrees(90.0)), g, lab};
+  LinkBudget dir{Antenna::directional_10dbi(Angle::degrees(0.0)),
+                 Antenna::directional_10dbi(Angle::degrees(90.0)), g, lab};
+  // Normalize out boresight gain difference (20 vs 12 dBi pair) and compare
+  // the multipath contribution: the directional pair should sit closer to
+  // its clean-room cross-pol floor.
+  LinkBudget omni_clean{Antenna::omni_6dbi(Angle::degrees(0.0)),
+                        Antenna::omni_6dbi(Angle::degrees(90.0)), g,
+                        Environment::absorber_chamber()};
+  LinkBudget dir_clean{Antenna::directional_10dbi(Angle::degrees(0.0)),
+                       Antenna::directional_10dbi(Angle::degrees(90.0)), g,
+                       Environment::absorber_chamber()};
+  const double omni_lift =
+      omni.received_power_without_surface(PowerDbm{0.0}, kF0).value() -
+      omni_clean.received_power_without_surface(PowerDbm{0.0}, kF0).value();
+  const double dir_lift =
+      dir.received_power_without_surface(PowerDbm{0.0}, kF0).value() -
+      dir_clean.received_power_without_surface(PowerDbm{0.0}, kF0).value();
+  EXPECT_GT(omni_lift, dir_lift);
+}
+
+}  // namespace
+}  // namespace llama::channel

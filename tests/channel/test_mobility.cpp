@@ -1,0 +1,91 @@
+#include "src/channel/mobility.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace llama::channel {
+namespace {
+
+using common::Angle;
+
+TEST(StaticMount, ConstantOverTime) {
+  StaticMount mount{Angle::degrees(37.0)};
+  for (double t : {0.0, 1.0, 100.0})
+    EXPECT_NEAR(mount.orientation_at(t).deg(), 37.0, 1e-12);
+}
+
+TEST(ArmSwing, OscillatesAroundMean) {
+  ArmSwing::Params p;
+  p.mean = Angle::degrees(45.0);
+  p.amplitude = Angle::degrees(40.0);
+  p.swing_rate_hz = 0.9;
+  ArmSwing swing{p};
+  double lo = 1e9;
+  double hi = -1e9;
+  for (double t = 0.0; t < 5.0; t += 0.01) {
+    const double o = swing.orientation_at(t).deg();
+    lo = std::min(lo, o);
+    hi = std::max(hi, o);
+  }
+  EXPECT_NEAR(lo, 5.0, 0.5);
+  EXPECT_NEAR(hi, 85.0, 0.5);
+}
+
+TEST(ArmSwing, PeriodMatchesRate) {
+  ArmSwing::Params p;
+  p.swing_rate_hz = 0.5;  // 2 s period
+  ArmSwing swing{p};
+  EXPECT_NEAR(swing.orientation_at(0.3).deg(),
+              swing.orientation_at(2.3).deg(), 1e-9);
+}
+
+TEST(ArmSwing, PhaseShiftsWaveform) {
+  ArmSwing::Params a;
+  ArmSwing::Params b;
+  b.phase_rad = 3.14159265358979;
+  ArmSwing sa{a};
+  ArmSwing sb{b};
+  // Opposite phases are mirrored about the mean.
+  const double da = sa.orientation_at(0.1).deg() - a.mean.deg();
+  const double db = sb.orientation_at(0.1).deg() - b.mean.deg();
+  EXPECT_NEAR(da, -db, 1e-9);
+}
+
+TEST(RandomRemount, HoldsBetweenJumps) {
+  RandomRemount mount{common::Rng{3}, /*mean_hold_s=*/1000.0};
+  const double o1 = mount.orientation_at(0.1).deg();
+  const double o2 = mount.orientation_at(0.2).deg();
+  EXPECT_DOUBLE_EQ(o1, o2);
+}
+
+TEST(RandomRemount, EventuallyJumps) {
+  RandomRemount mount{common::Rng{5}, /*mean_hold_s=*/1.0,
+                      Angle::degrees(0.0)};
+  // Over 100 mean hold times at least one jump lands with overwhelming
+  // probability, and orientations stay inside [0, 180).
+  bool changed = false;
+  double prev = mount.orientation_at(0.0).deg();
+  for (double t = 1.0; t < 100.0; t += 1.0) {
+    const double o = mount.orientation_at(t).deg();
+    EXPECT_GE(o, 0.0);
+    EXPECT_LT(o, 180.0);
+    if (std::abs(o - prev) > 1e-9) changed = true;
+    prev = o;
+  }
+  EXPECT_TRUE(changed);
+}
+
+TEST(RandomRemount, MonotoneTimeQueriesAreConsistent) {
+  RandomRemount a{common::Rng{7}, 2.0};
+  RandomRemount b{common::Rng{7}, 2.0};
+  for (double t = 0.0; t < 20.0; t += 0.5)
+    EXPECT_DOUBLE_EQ(a.orientation_at(t).deg(), b.orientation_at(t).deg());
+}
+
+TEST(RandomRemount, RejectsBadHoldTime) {
+  EXPECT_THROW(RandomRemount(common::Rng{1}, 0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace llama::channel

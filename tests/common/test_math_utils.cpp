@@ -1,0 +1,145 @@
+#include "src/common/math_utils.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace llama::common {
+namespace {
+
+TEST(Stats, MeanOfKnownSamples) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+}
+
+TEST(Stats, MeanOfEmptyIsZero) {
+  EXPECT_DOUBLE_EQ(mean(std::vector<double>{}), 0.0);
+}
+
+TEST(Stats, VarianceIsUnbiased) {
+  const std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  // Known dataset: population variance 4, sample variance 32/7.
+  EXPECT_NEAR(variance(xs), 32.0 / 7.0, 1e-12);
+}
+
+TEST(Stats, StddevOfConstantIsZero) {
+  const std::vector<double> xs{3.0, 3.0, 3.0};
+  EXPECT_DOUBLE_EQ(stddev(xs), 0.0);
+}
+
+TEST(Stats, MinMaxElements) {
+  const std::vector<double> xs{-4.0, 7.5, 0.0, -11.0};
+  EXPECT_DOUBLE_EQ(min_element(xs), -11.0);
+  EXPECT_DOUBLE_EQ(max_element(xs), 7.5);
+}
+
+TEST(Stats, MinMaxThrowOnEmpty) {
+  EXPECT_THROW((void)min_element(std::vector<double>{}),
+               std::invalid_argument);
+  EXPECT_THROW((void)max_element(std::vector<double>{}),
+               std::invalid_argument);
+}
+
+TEST(Linspace, EndpointsAndSpacing) {
+  const auto v = linspace(2.4, 2.5, 11);
+  ASSERT_EQ(v.size(), 11u);
+  EXPECT_DOUBLE_EQ(v.front(), 2.4);
+  EXPECT_DOUBLE_EQ(v.back(), 2.5);
+  EXPECT_NEAR(v[1] - v[0], 0.01, 1e-12);
+}
+
+TEST(Linspace, SinglePointAndErrors) {
+  EXPECT_EQ(linspace(1.0, 5.0, 1), std::vector<double>{1.0});
+  EXPECT_THROW((void)linspace(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(Interp1, ExactAtKnotsLinearBetween) {
+  const std::vector<double> xs{0.0, 1.0, 2.0};
+  const std::vector<double> ys{0.0, 10.0, 40.0};
+  EXPECT_DOUBLE_EQ(interp1(xs, ys, 1.0), 10.0);
+  EXPECT_DOUBLE_EQ(interp1(xs, ys, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(interp1(xs, ys, 1.5), 25.0);
+}
+
+TEST(Interp1, ClampsOutsideRange) {
+  const std::vector<double> xs{0.0, 1.0};
+  const std::vector<double> ys{3.0, 7.0};
+  EXPECT_DOUBLE_EQ(interp1(xs, ys, -5.0), 3.0);
+  EXPECT_DOUBLE_EQ(interp1(xs, ys, 9.0), 7.0);
+}
+
+TEST(Interp1, RejectsMismatchedInputs) {
+  const std::vector<double> xs{0.0, 1.0};
+  const std::vector<double> ys{3.0};
+  EXPECT_THROW((void)interp1(xs, ys, 0.5), std::invalid_argument);
+}
+
+TEST(HistogramTest, ProbabilitiesSumTo100) {
+  std::vector<double> xs;
+  for (int i = 0; i < 1000; ++i) xs.push_back(-40.0 + (i % 10));
+  const Histogram h = histogram(xs, -45.0, -25.0, 20);
+  double total = 0.0;
+  for (double p : h.pdf_percent) total += p;
+  EXPECT_NEAR(total, 100.0, 1e-9);
+}
+
+TEST(HistogramTest, OutOfRangeSamplesDropped) {
+  const std::vector<double> xs{-100.0, 0.0, 100.0};
+  const Histogram h = histogram(xs, -1.0, 1.0, 2);
+  double total = 0.0;
+  for (double p : h.pdf_percent) total += p;
+  // Only the middle sample lands in range: 1/3 of the mass.
+  EXPECT_NEAR(total, 100.0 / 3.0, 1e-9);
+}
+
+TEST(HistogramTest, BinCentersAreCentered) {
+  const Histogram h = histogram(std::vector<double>{0.5}, 0.0, 1.0, 2);
+  ASSERT_EQ(h.bin_centers.size(), 2u);
+  EXPECT_NEAR(h.bin_centers[0], 0.25, 1e-12);
+  EXPECT_NEAR(h.bin_centers[1], 0.75, 1e-12);
+}
+
+TEST(MovingAverage, SmoothsAndPreservesLength) {
+  const std::vector<double> xs{0.0, 10.0, 0.0, 10.0, 0.0, 10.0};
+  const auto smoothed = moving_average(xs, 2);
+  ASSERT_EQ(smoothed.size(), xs.size());
+  for (std::size_t i = 1; i < smoothed.size(); ++i)
+    EXPECT_NEAR(smoothed[i], 5.0, 1e-12);
+}
+
+TEST(MovingAverage, WindowOneIsIdentity) {
+  const std::vector<double> xs{1.0, -2.0, 3.5};
+  EXPECT_EQ(moving_average(xs, 1), xs);
+}
+
+TEST(Autocorrelation, PeriodicSignalPeaksAtPeriod) {
+  std::vector<double> xs;
+  const int period = 20;
+  for (int i = 0; i < 400; ++i)
+    xs.push_back(std::sin(2.0 * 3.14159265358979 * i / period));
+  EXPECT_GT(autocorrelation(xs, period), 0.9);
+  EXPECT_LT(autocorrelation(xs, period / 2), -0.9);
+}
+
+TEST(Autocorrelation, LagZeroIsOne) {
+  const std::vector<double> xs{1.0, 5.0, -3.0, 2.0};
+  EXPECT_NEAR(autocorrelation(xs, 0), 1.0, 1e-12);
+}
+
+TEST(Autocorrelation, DegenerateInputsReturnZero) {
+  const std::vector<double> xs{2.0, 2.0, 2.0};
+  EXPECT_DOUBLE_EQ(autocorrelation(xs, 1), 0.0);  // zero variance
+  EXPECT_DOUBLE_EQ(autocorrelation(xs, 10), 0.0);  // lag beyond data
+}
+
+TEST(ClampLerp, BasicBehaviour) {
+  EXPECT_DOUBLE_EQ(clamp(5.0, 0.0, 3.0), 3.0);
+  EXPECT_DOUBLE_EQ(clamp(-1.0, 0.0, 3.0), 0.0);
+  EXPECT_DOUBLE_EQ(lerp(0.0, 10.0, 0.25), 2.5);
+  EXPECT_TRUE(near(1.0, 1.0 + 1e-12));
+  EXPECT_FALSE(near(1.0, 1.1));
+}
+
+}  // namespace
+}  // namespace llama::common

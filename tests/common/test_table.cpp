@@ -1,0 +1,67 @@
+#include "src/common/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+namespace llama::common {
+namespace {
+
+TEST(TableTest, PrintsTitleColumnsAndRows) {
+  Table t{"demo"};
+  t.set_columns({"a", "b"});
+  t.add_row({1.0, 2.0});
+  t.add_row({3.5, -4.25});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("== demo =="), std::string::npos);
+  EXPECT_NE(out.find("a"), std::string::npos);
+  EXPECT_NE(out.find("3.500"), std::string::npos);
+  EXPECT_NE(out.find("-4.250"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TableTest, RejectsMismatchedRowWidth) {
+  Table t{"demo"};
+  t.set_columns({"a", "b", "c"});
+  EXPECT_THROW(t.add_row({1.0}), std::invalid_argument);
+}
+
+TEST(TableTest, NotesAreAppended) {
+  Table t{"demo"};
+  t.add_note("paper expects ~15 dB");
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("paper expects ~15 dB"), std::string::npos);
+}
+
+TEST(HeatmapTest, RendersAllRowsWithRange) {
+  std::ostringstream os;
+  const std::vector<double> rows{0.0, 1.0};
+  const std::vector<double> cols{0.0, 1.0, 2.0};
+  const std::vector<std::vector<double>> values{{-30.0, -20.0, -10.0},
+                                                {-25.0, -15.0, -5.0}};
+  print_ascii_heatmap(os, "hm", rows, cols, values);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("== hm =="), std::string::npos);
+  EXPECT_NE(out.find("range: [-30.00, -5.00]"), std::string::npos);
+}
+
+TEST(HeatmapTest, EmptyGridIsHandled) {
+  std::ostringstream os;
+  print_ascii_heatmap(os, "empty", {}, {}, {});
+  EXPECT_NE(os.str().find("(empty)"), std::string::npos);
+}
+
+TEST(HeatmapTest, ConstantGridDoesNotDivideByZero) {
+  std::ostringstream os;
+  const std::vector<double> labels{0.0};
+  const std::vector<std::vector<double>> values{{5.0, 5.0}};
+  print_ascii_heatmap(os, "flat", labels, labels, values);
+  EXPECT_NE(os.str().find("range: [5.00, 5.00]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace llama::common

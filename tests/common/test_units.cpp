@@ -1,0 +1,116 @@
+#include "src/common/units.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace llama::common {
+namespace {
+
+TEST(PowerUnits, DbmToMwRoundTrip) {
+  const PowerDbm p{-30.0};
+  EXPECT_NEAR(p.to_mw().value(), 1e-3, 1e-9);
+  EXPECT_NEAR(p.to_mw().to_dbm().value(), -30.0, 1e-9);
+}
+
+TEST(PowerUnits, ZeroDbmIsOneMilliwatt) {
+  EXPECT_NEAR(PowerDbm{0.0}.to_mw().value(), 1.0, 1e-12);
+}
+
+TEST(PowerUnits, MwAdditionIsLinear) {
+  const PowerMw a{1.0};
+  const PowerMw b{1.0};
+  EXPECT_NEAR((a + b).to_dbm().value(), 3.0103, 1e-3);
+}
+
+TEST(PowerUnits, GainAppliesInLogDomain) {
+  const PowerDbm p{-40.0};
+  const GainDb g{15.0};
+  EXPECT_NEAR((p + g).value(), -25.0, 1e-12);
+  EXPECT_NEAR((p - g).value(), -55.0, 1e-12);
+}
+
+TEST(PowerUnits, PowerDifferenceIsGain) {
+  const GainDb g = PowerDbm{-10.0} - PowerDbm{-25.0};
+  EXPECT_NEAR(g.value(), 15.0, 1e-12);
+}
+
+TEST(GainUnits, LinearConversionRoundTrip) {
+  const GainDb g{7.3};
+  EXPECT_NEAR(GainDb::from_linear(g.linear()).value(), 7.3, 1e-9);
+}
+
+TEST(GainUnits, ThreeDbIsDoublePower) {
+  EXPECT_NEAR(GainDb{3.0103}.linear(), 2.0, 1e-4);
+}
+
+TEST(GainUnits, NegationFlipsSign) {
+  EXPECT_NEAR((-GainDb{4.0}).value(), -4.0, 1e-12);
+}
+
+TEST(FrequencyUnits, FactoriesAgree) {
+  EXPECT_DOUBLE_EQ(Frequency::ghz(2.44).in_hz(), 2.44e9);
+  EXPECT_DOUBLE_EQ(Frequency::mhz(2440.0).in_hz(), 2.44e9);
+  EXPECT_DOUBLE_EQ(Frequency::khz(2.44e6).in_hz(), 2.44e9);
+  EXPECT_DOUBLE_EQ(Frequency::ghz(2.44).in_mhz(), 2440.0);
+}
+
+TEST(FrequencyUnits, WavelengthAt2440MHz) {
+  // lambda = c / f ~= 12.3 cm in the 2.4 GHz band.
+  EXPECT_NEAR(Frequency::ghz(2.44).wavelength_m(), 0.12287, 1e-4);
+}
+
+TEST(AngleUnits, DegreesRadiansRoundTrip) {
+  const Angle a = Angle::degrees(37.5);
+  EXPECT_NEAR(Angle::radians(a.rad()).deg(), 37.5, 1e-12);
+}
+
+TEST(AngleUnits, NormalizedIntoZeroTwoPi) {
+  EXPECT_NEAR(Angle::degrees(-90.0).normalized().deg(), 270.0, 1e-9);
+  EXPECT_NEAR(Angle::degrees(725.0).normalized().deg(), 5.0, 1e-9);
+}
+
+TEST(AngleUnits, NormalizedSignedIntoPlusMinusPi) {
+  EXPECT_NEAR(Angle::degrees(270.0).normalized_signed().deg(), -90.0, 1e-9);
+  EXPECT_NEAR(Angle::degrees(-185.0).normalized_signed().deg(), 175.0, 1e-9);
+}
+
+TEST(AngleUnits, ArithmeticComposes) {
+  const Angle sum = Angle::degrees(30.0) + Angle::degrees(60.0);
+  EXPECT_NEAR(sum.deg(), 90.0, 1e-12);
+  EXPECT_NEAR((sum * 0.5).deg(), 45.0, 1e-12);
+  EXPECT_NEAR((-sum).deg(), -90.0, 1e-12);
+}
+
+TEST(VoltageUnits, ArithmeticAndComparisons) {
+  const Voltage a{12.0};
+  const Voltage b{3.0};
+  EXPECT_NEAR((a - b).value(), 9.0, 1e-12);
+  EXPECT_NEAR((a + b).value(), 15.0, 1e-12);
+  EXPECT_NEAR((a * 0.5).value(), 6.0, 1e-12);
+  EXPECT_TRUE(a > b);
+}
+
+TEST(UnitFormatting, ToStringsAreHumanReadable) {
+  EXPECT_EQ(to_string(PowerDbm{-32.41}), "-32.41 dBm");
+  EXPECT_EQ(to_string(GainDb{15.0}), "15.00 dB");
+  EXPECT_EQ(to_string(Frequency::ghz(2.44)), "2.4400 GHz");
+  EXPECT_EQ(to_string(Voltage{30.0}), "30.00 V");
+  EXPECT_EQ(to_string(Angle::degrees(45.0)), "45.00 deg");
+}
+
+/// Property sweep: dBm <-> mW round trip across the dynamic range used by
+/// the experiments (noise floor to 1 W).
+class PowerRoundTrip : public ::testing::TestWithParam<double> {};
+
+TEST_P(PowerRoundTrip, Invertible) {
+  const PowerDbm p{GetParam()};
+  EXPECT_NEAR(p.to_mw().to_dbm().value(), GetParam(), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(DynamicRange, PowerRoundTrip,
+                         ::testing::Values(-95.0, -60.0, -30.0, -15.0, 0.0,
+                                           14.0, 20.0, 30.0));
+
+}  // namespace
+}  // namespace llama::common

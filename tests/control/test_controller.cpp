@@ -1,0 +1,128 @@
+#include "src/control/controller.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/metasurface/designs.h"
+
+namespace llama::control {
+namespace {
+
+using common::PowerDbm;
+using common::Voltage;
+
+/// A plant whose power landscape depends on the surface bias state, so the
+/// controller's surface programming is observable.
+struct BiasPlant {
+  metasurface::Metasurface* surface = nullptr;
+  double peak_vx = 18.0;
+  double peak_vy = 6.0;
+
+  [[nodiscard]] PowerDbm measure() const {
+    const double dx = surface->bias_x().value() - peak_vx;
+    const double dy = surface->bias_y().value() - peak_vy;
+    return PowerDbm{-25.0 - 0.08 * (dx * dx + dy * dy)};
+  }
+};
+
+struct Fixture {
+  metasurface::Metasurface surface = metasurface::Metasurface::llama_prototype();
+  PowerSupply supply;
+  BiasPlant plant;
+
+  Fixture() { plant.surface = &surface; }
+
+  PowerProbe probe() {
+    return [this](Voltage, Voltage) { return plant.measure(); };
+  }
+};
+
+TEST(Controller, OptimizeFindsTheBiasPeak) {
+  Fixture f;
+  Controller controller{f.surface, f.supply};
+  const OptimizationReport r = controller.optimize(f.probe());
+  EXPECT_NEAR(controller.current_vx().value(), f.plant.peak_vx, 4.0);
+  EXPECT_NEAR(controller.current_vy().value(), f.plant.peak_vy, 4.0);
+  EXPECT_GT(r.improvement.value(), 0.0);
+}
+
+TEST(Controller, SurfaceEndsAtWinningBias) {
+  Fixture f;
+  Controller controller{f.surface, f.supply};
+  const OptimizationReport r = controller.optimize(f.probe());
+  EXPECT_DOUBLE_EQ(f.surface.bias_x().value(), r.sweep.best_vx.value());
+  EXPECT_DOUBLE_EQ(f.surface.bias_y().value(), r.sweep.best_vy.value());
+}
+
+TEST(Controller, ReportsBaselineAndImprovement) {
+  Fixture f;
+  Controller controller{f.surface, f.supply};
+  f.surface.set_bias(Voltage{0.0}, Voltage{30.0});  // poor starting point
+  const OptimizationReport r = controller.optimize(f.probe());
+  EXPECT_NEAR(r.improvement.value(),
+              r.sweep.best_power.value() - r.baseline.value(), 1e-9);
+  EXPECT_GT(r.improvement.value(), 10.0);
+}
+
+TEST(Controller, HealthyLinkDoesNotRetrigger) {
+  Fixture f;
+  Controller controller{f.surface, f.supply};
+  (void)controller.optimize(f.probe());
+  const auto followup =
+      controller.on_power_report(f.plant.measure(), f.probe());
+  EXPECT_FALSE(followup.has_value());
+}
+
+TEST(Controller, DegradedLinkRetriggersSweep) {
+  Fixture f;
+  Controller controller{f.surface, f.supply};
+  (void)controller.optimize(f.probe());
+  const long switches_before = f.supply.switch_count();
+  // The environment shifts: the peak moves, current bias now far off.
+  f.plant.peak_vx = 4.0;
+  f.plant.peak_vy = 26.0;
+  const auto followup =
+      controller.on_power_report(f.plant.measure(), f.probe());
+  ASSERT_TRUE(followup.has_value());
+  EXPECT_GT(f.supply.switch_count(), switches_before);
+  EXPECT_NEAR(controller.current_vx().value(), 4.0, 4.0);
+  EXPECT_NEAR(controller.current_vy().value(), 26.0, 4.0);
+}
+
+TEST(Controller, HysteresisThresholdIsRespected) {
+  Fixture f;
+  Controller::Options opt;
+  opt.reoptimize_threshold = common::GainDb{10.0};
+  Controller controller{f.surface, f.supply, opt};
+  (void)controller.optimize(f.probe());
+  const auto last = controller.last_optimum();
+  ASSERT_TRUE(last.has_value());
+  // A drop smaller than the threshold is tolerated.
+  const auto r1 = controller.on_power_report(
+      PowerDbm{last->value() - 5.0}, f.probe());
+  EXPECT_FALSE(r1.has_value());
+  // A larger drop triggers.
+  const auto r2 = controller.on_power_report(
+      PowerDbm{last->value() - 15.0}, f.probe());
+  EXPECT_TRUE(r2.has_value());
+}
+
+TEST(Controller, FirstReportWithoutHistoryOptimizes) {
+  Fixture f;
+  Controller controller{f.surface, f.supply};
+  const auto r = controller.on_power_report(PowerDbm{-60.0}, f.probe());
+  EXPECT_TRUE(r.has_value());
+}
+
+TEST(Controller, SweepTimeBudgetIsOneSecond) {
+  // Paper: N = 2, T = 5 at 50 Hz => 0.02 * 2 * 25 = 1 s per optimization —
+  // the "real-time" claim.
+  Fixture f;
+  Controller controller{f.surface, f.supply};
+  const OptimizationReport r = controller.optimize(f.probe());
+  EXPECT_NEAR(r.sweep.time_cost_s, 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace llama::control

@@ -1,0 +1,64 @@
+#include "src/control/power_supply.h"
+
+#include <gtest/gtest.h>
+
+namespace llama::control {
+namespace {
+
+using common::Voltage;
+
+TEST(PowerSupply, DefaultsMatchTektronix2230G) {
+  const PowerSupply psu;
+  EXPECT_DOUBLE_EQ(psu.max_voltage().value(), 30.0);
+  EXPECT_DOUBLE_EQ(psu.switch_rate_hz(), 50.0);
+  EXPECT_DOUBLE_EQ(psu.switch_period_s(), 0.02);  // paper: Ts = 0.02 s
+}
+
+TEST(PowerSupply, SetOutputsProgramsBothChannels) {
+  PowerSupply psu;
+  psu.set_outputs(Voltage{12.5}, Voltage{27.0});
+  EXPECT_DOUBLE_EQ(psu.output_x().value(), 12.5);
+  EXPECT_DOUBLE_EQ(psu.output_y().value(), 27.0);
+}
+
+TEST(PowerSupply, EachSwitchCostsOnePeriod) {
+  PowerSupply psu;
+  for (int i = 0; i < 10; ++i) psu.set_outputs(Voltage{1.0}, Voltage{1.0});
+  EXPECT_NEAR(psu.elapsed_s(), 0.2, 1e-12);
+  EXPECT_EQ(psu.switch_count(), 10);
+}
+
+TEST(PowerSupply, FullGridScanTakesTensOfSeconds) {
+  // The paper's motivation for Algorithm 1: a full 0-30 V scan at 1 V steps
+  // (31 x 31 combinations at 50 Hz) costs ~19 s of switching alone.
+  PowerSupply psu;
+  for (int vy = 0; vy <= 30; ++vy)
+    for (int vx = 0; vx <= 30; ++vx)
+      psu.set_outputs(Voltage{static_cast<double>(vx)},
+                      Voltage{static_cast<double>(vy)});
+  EXPECT_GT(psu.elapsed_s(), 15.0);
+  EXPECT_LT(psu.elapsed_s(), 30.0);
+}
+
+TEST(PowerSupply, RejectsOutOfRangeCommands) {
+  PowerSupply psu;
+  EXPECT_THROW(psu.set_outputs(Voltage{31.0}, Voltage{0.0}),
+               SupplyRangeError);
+  EXPECT_THROW(psu.set_outputs(Voltage{0.0}, Voltage{-0.1}),
+               SupplyRangeError);
+  // A failed command must not advance the clock.
+  EXPECT_DOUBLE_EQ(psu.elapsed_s(), 0.0);
+}
+
+TEST(PowerSupply, RejectsNonPhysicalConstruction) {
+  EXPECT_THROW(PowerSupply(Voltage{0.0}, 50.0), SupplyRangeError);
+  EXPECT_THROW(PowerSupply(Voltage{30.0}, 0.0), SupplyRangeError);
+}
+
+TEST(PowerSupply, CustomRateChangesPeriod) {
+  const PowerSupply fast{Voltage{30.0}, 100.0};
+  EXPECT_DOUBLE_EQ(fast.switch_period_s(), 0.01);
+}
+
+}  // namespace
+}  // namespace llama::control

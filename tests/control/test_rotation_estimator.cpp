@@ -1,0 +1,136 @@
+#include "src/control/rotation_estimator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace llama::control {
+namespace {
+
+using common::Angle;
+using common::PowerDbm;
+using common::Voltage;
+
+/// Synthetic plant for the estimator: the surface rotates the wave by an
+/// angle that grows with |Vx - Vy| plus a base offset, and insertion loss
+/// grows mildly with rotation. The receiver measures Malus-law power.
+struct SyntheticRotator {
+  double base_rotation_deg = 4.0;
+  double gain_per_volt = 1.5;
+  Voltage vx{0.0};
+  Voltage vy{0.0};
+
+  [[nodiscard]] double rotation_deg() const {
+    return base_rotation_deg +
+           gain_per_volt * std::abs(vx.value() - vy.value());
+  }
+
+  [[nodiscard]] PowerDbm measure(Angle rx_orientation) const {
+    const double wave_deg = rotation_deg();  // wave emerges at this angle
+    const double mismatch =
+        (wave_deg - rx_orientation.deg()) * 3.14159265358979 / 180.0;
+    const double plf = std::max(std::pow(std::cos(mismatch), 2), 1e-4);
+    const double insertion_db = 3.0 + 0.03 * rotation_deg();
+    return PowerDbm{-20.0 + 10.0 * std::log10(plf) - insertion_db};
+  }
+};
+
+TEST(OrientationOffset, FoldsIntoZeroNinety) {
+  EXPECT_NEAR(orientation_offset(Angle::degrees(10.0), Angle::degrees(50.0))
+                  .deg(),
+              40.0, 1e-9);
+  EXPECT_NEAR(orientation_offset(Angle::degrees(0.0), Angle::degrees(170.0))
+                  .deg(),
+              10.0, 1e-9);
+  EXPECT_NEAR(orientation_offset(Angle::degrees(179.0), Angle::degrees(1.0))
+                  .deg(),
+              2.0, 1e-9);
+}
+
+TEST(RotationEstimator, OrientationScanCoversHalfTurn) {
+  RotationEstimator::Options opt;
+  opt.orientation_step_deg = 5.0;
+  RotationEstimator est{opt};
+  SyntheticRotator plant;
+  const auto scan = est.orientation_scan(
+      [&](Angle o) { return plant.measure(o); });
+  EXPECT_EQ(scan.size(), 36u);
+  EXPECT_NEAR(scan.front().orientation.deg(), 0.0, 1e-9);
+  EXPECT_LT(scan.back().orientation.deg(), 180.0);
+}
+
+TEST(RotationEstimator, RecoversMinAndMaxRotation) {
+  RotationEstimator::Options opt;
+  opt.orientation_step_deg = 1.0;
+  opt.v_step = Voltage{3.0};
+  RotationEstimator est{opt};
+  SyntheticRotator plant;
+  const RotationEstimate r = est.estimate(
+      [&](Voltage vx, Voltage vy) {
+        plant.vx = vx;
+        plant.vy = vy;
+      },
+      [&](Angle o) { return plant.measure(o); });
+  // The plant's rotation spans 4 deg (Vx == Vy) to 4 + 1.5*30 = 49 deg.
+  // The procedure measures rotation RELATIVE to the neutral-bias state
+  // (theta0 is found with the surface at 0 V), so the recovered span is
+  // [0, 45] degrees.
+  EXPECT_NEAR(r.min_rotation.deg(), 0.0, 2.0);
+  EXPECT_NEAR(r.max_rotation.deg(), 45.0, 3.0);
+}
+
+TEST(RotationEstimator, MinPowerBiasIsMostRotated) {
+  RotationEstimator::Options opt;
+  opt.orientation_step_deg = 2.0;
+  opt.v_step = Voltage{5.0};
+  RotationEstimator est{opt};
+  SyntheticRotator plant;
+  const RotationEstimate r = est.estimate(
+      [&](Voltage vx, Voltage vy) {
+        plant.vx = vx;
+        plant.vy = vy;
+      },
+      [&](Angle o) { return plant.measure(o); });
+  // Weakest power at theta0 occurs when rotation is largest.
+  EXPECT_NEAR(std::abs(r.vmin_x.value() - r.vmin_y.value()), 30.0, 1e-9);
+  // Strongest when rotation is smallest (Vx == Vy).
+  EXPECT_NEAR(std::abs(r.vmax_x.value() - r.vmax_y.value()), 0.0, 1e-9);
+}
+
+TEST(RotationEstimator, MinNeverExceedsMax) {
+  RotationEstimator est{};
+  SyntheticRotator plant;
+  const RotationEstimate r = est.estimate(
+      [&](Voltage vx, Voltage vy) {
+        plant.vx = vx;
+        plant.vy = vy;
+      },
+      [&](Angle o) { return plant.measure(o); });
+  EXPECT_LE(r.min_rotation.deg(), r.max_rotation.deg());
+}
+
+TEST(RotationEstimator, Theta0FindsMatchedOrientation) {
+  RotationEstimator::Options opt;
+  opt.orientation_step_deg = 1.0;
+  RotationEstimator est{opt};
+  SyntheticRotator plant;  // neutral bias rotation = 4 deg
+  const RotationEstimate r = est.estimate(
+      [&](Voltage vx, Voltage vy) {
+        plant.vx = vx;
+        plant.vy = vy;
+      },
+      [&](Angle o) { return plant.measure(o); });
+  EXPECT_NEAR(r.theta0.deg(), 4.0, 1.5);
+}
+
+TEST(RotationEstimator, RejectsBadOptions) {
+  RotationEstimator::Options bad;
+  bad.orientation_step_deg = 0.0;
+  EXPECT_THROW(RotationEstimator{bad}, std::invalid_argument);
+  bad.orientation_step_deg = 2.0;
+  bad.v_step = Voltage{0.0};
+  EXPECT_THROW(RotationEstimator{bad}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace llama::control

@@ -1,0 +1,127 @@
+#include "src/control/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace llama::control {
+namespace {
+
+using common::PowerDbm;
+using common::Voltage;
+
+DeviceEntry make_device(const std::string& name, double vx, double vy,
+                        double opt_dbm = -20.0, double raw_dbm = -35.0,
+                        double weight = 1.0) {
+  return DeviceEntry{name,           Voltage{vx},       Voltage{vy},
+                     PowerDbm{opt_dbm}, PowerDbm{raw_dbm}, weight};
+}
+
+TEST(PolarizationScheduler, CompatibleDevicesShareOneSlot) {
+  PolarizationScheduler sched;
+  const std::vector<DeviceEntry> devices{
+      make_device("a", 10.0, 20.0),
+      make_device("b", 11.5, 21.0),  // within the 3 V tolerance of "a"
+  };
+  const auto slots = sched.build_schedule(devices);
+  ASSERT_EQ(slots.size(), 1u);
+  EXPECT_EQ(slots[0].device_indices.size(), 2u);
+  EXPECT_NEAR(slots[0].slot_fraction, 1.0, 1e-12);
+}
+
+TEST(PolarizationScheduler, IncompatibleDevicesSplit) {
+  PolarizationScheduler sched;
+  const std::vector<DeviceEntry> devices{
+      make_device("a", 5.0, 25.0),
+      make_device("b", 25.0, 5.0),  // opposite corner of the bias plane
+  };
+  const auto slots = sched.build_schedule(devices);
+  ASSERT_EQ(slots.size(), 2u);
+  EXPECT_NEAR(slots[0].slot_fraction + slots[1].slot_fraction, 1.0, 1e-12);
+}
+
+TEST(PolarizationScheduler, AirtimeProportionalToTraffic) {
+  PolarizationScheduler sched;
+  const std::vector<DeviceEntry> devices{
+      make_device("heavy", 5.0, 25.0, -20.0, -35.0, /*weight=*/3.0),
+      make_device("light", 25.0, 5.0, -20.0, -35.0, /*weight=*/1.0),
+  };
+  const auto slots = sched.build_schedule(devices);
+  ASSERT_EQ(slots.size(), 2u);
+  // Heavy device seeds the first slot (descending traffic order).
+  EXPECT_NEAR(slots[0].slot_fraction, 0.75, 1e-12);
+  EXPECT_NEAR(slots[1].slot_fraction, 0.25, 1e-12);
+}
+
+TEST(PolarizationScheduler, ExpectedPowerInterpolatesBySlotShare) {
+  PolarizationScheduler sched;
+  const std::vector<DeviceEntry> devices{
+      make_device("a", 5.0, 25.0, -20.0, -40.0),
+      make_device("b", 25.0, 5.0, -20.0, -40.0),
+  };
+  const auto slots = sched.build_schedule(devices);
+  const auto powers = sched.expected_power(devices, slots);
+  ASSERT_EQ(powers.size(), 2u);
+  // Half airtime optimized (-20 dBm), half raw (-40 dBm): linear-domain
+  // mean = (10 uW + 0.1 uW)/2 -> about -23 dBm.
+  EXPECT_NEAR(powers[0].value(), -22.96, 0.1);
+  // Better than never optimizing, worse than always.
+  EXPECT_GT(powers[0].value(), -40.0);
+  EXPECT_LT(powers[0].value(), -20.0);
+}
+
+TEST(PolarizationScheduler, SingleDeviceGetsFullAirtime) {
+  PolarizationScheduler sched;
+  const std::vector<DeviceEntry> devices{make_device("solo", 12.0, 18.0)};
+  const auto slots = sched.build_schedule(devices);
+  ASSERT_EQ(slots.size(), 1u);
+  const auto powers = sched.expected_power(devices, slots);
+  EXPECT_NEAR(powers[0].value(), -20.0, 1e-9);
+}
+
+TEST(PolarizationScheduler, EmptyInputYieldsEmptySchedule) {
+  PolarizationScheduler sched;
+  EXPECT_TRUE(sched.build_schedule({}).empty());
+}
+
+TEST(PolarizationScheduler, ToleranceControlsClustering) {
+  PolarizationScheduler::Options strict;
+  strict.bias_tolerance = Voltage{0.5};
+  PolarizationScheduler tight{strict};
+  PolarizationScheduler loose;  // default 3 V
+  const std::vector<DeviceEntry> devices{
+      make_device("a", 10.0, 10.0),
+      make_device("b", 12.0, 12.0),
+  };
+  EXPECT_EQ(tight.build_schedule(devices).size(), 2u);
+  EXPECT_EQ(loose.build_schedule(devices).size(), 1u);
+}
+
+TEST(PolarizationScheduler, RejectsNegativeTolerance) {
+  PolarizationScheduler::Options bad;
+  bad.bias_tolerance = Voltage{-1.0};
+  EXPECT_THROW(PolarizationScheduler{bad}, std::invalid_argument);
+}
+
+TEST(PolarizationScheduler, ManyDevicesClusterSensibly) {
+  PolarizationScheduler sched;
+  std::vector<DeviceEntry> devices;
+  // Three natural clusters of mounting orientations.
+  for (int i = 0; i < 4; ++i)
+    devices.push_back(make_device("c1_" + std::to_string(i), 5.0 + i * 0.5,
+                                  25.0 - i * 0.5));
+  for (int i = 0; i < 3; ++i)
+    devices.push_back(make_device("c2_" + std::to_string(i), 15.0 + i * 0.5,
+                                  15.0));
+  for (int i = 0; i < 3; ++i)
+    devices.push_back(
+        make_device("c3_" + std::to_string(i), 26.0, 4.0 + i * 0.5));
+  const auto slots = sched.build_schedule(devices);
+  EXPECT_EQ(slots.size(), 3u);
+  std::size_t covered = 0;
+  for (const auto& slot : slots) covered += slot.device_indices.size();
+  EXPECT_EQ(covered, devices.size());
+}
+
+}  // namespace
+}  // namespace llama::control

@@ -1,0 +1,180 @@
+#include "src/control/sweep.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace llama::control {
+namespace {
+
+using common::PowerDbm;
+using common::Voltage;
+
+/// Synthetic plant: a smooth power landscape with one global optimum.
+PowerProbe gaussian_peak(double vx_star, double vy_star, double width = 8.0) {
+  return [=](Voltage vx, Voltage vy) {
+    const double dx = vx.value() - vx_star;
+    const double dy = vy.value() - vy_star;
+    return PowerDbm{-30.0 - (dx * dx + dy * dy) / (width * width) * 10.0};
+  };
+}
+
+TEST(CoarseToFineSweep, FindsThePeakWithPaperParameters) {
+  PowerSupply psu;
+  // Paper: N = 2, T = 5.
+  CoarseToFineSweep sweep{psu, {}};
+  const SweepResult r = sweep.run(gaussian_peak(18.0, 6.0));
+  EXPECT_NEAR(r.best_vx.value(), 18.0, 3.0);
+  EXPECT_NEAR(r.best_vy.value(), 6.0, 3.0);
+}
+
+TEST(CoarseToFineSweep, ProbeCountIsNTimesTSquared) {
+  PowerSupply psu;
+  CoarseToFineSweep::Options opt;
+  opt.iterations = 2;
+  opt.steps_per_axis = 5;
+  CoarseToFineSweep sweep{psu, opt};
+  const SweepResult r = sweep.run(gaussian_peak(15.0, 15.0));
+  EXPECT_EQ(r.probes, 2 * 5 * 5);
+}
+
+TEST(CoarseToFineSweep, TimeCostMatchesPaperFormula) {
+  // Paper Section 3.3: time cost is 0.02 x N x T^2 seconds.
+  PowerSupply psu;
+  CoarseToFineSweep::Options opt;
+  opt.iterations = 2;
+  opt.steps_per_axis = 5;
+  CoarseToFineSweep sweep{psu, opt};
+  const SweepResult r = sweep.run(gaussian_peak(10.0, 20.0));
+  EXPECT_NEAR(r.time_cost_s, 0.02 * 2 * 5 * 5, 1e-9);
+}
+
+TEST(CoarseToFineSweep, MuchFasterThanFullScan) {
+  PowerSupply psu_fast;
+  PowerSupply psu_slow;
+  CoarseToFineSweep fast{psu_fast, {}};
+  FullGridSweep slow{psu_slow, {}};
+  (void)fast.run(gaussian_peak(12.0, 3.0));
+  (void)slow.run(gaussian_peak(12.0, 3.0));
+  EXPECT_LT(psu_fast.elapsed_s() * 10.0, psu_slow.elapsed_s());
+}
+
+TEST(CoarseToFineSweep, SecondIterationRefines) {
+  PowerSupply psu1;
+  PowerSupply psu2;
+  CoarseToFineSweep::Options one;
+  one.iterations = 1;
+  CoarseToFineSweep::Options two;
+  two.iterations = 2;
+  const SweepResult r1 = CoarseToFineSweep{psu1, one}.run(
+      gaussian_peak(17.3, 7.7, /*width=*/4.0));
+  const SweepResult r2 = CoarseToFineSweep{psu2, two}.run(
+      gaussian_peak(17.3, 7.7, /*width=*/4.0));
+  EXPECT_GE(r2.best_power.value(), r1.best_power.value() - 1e-12);
+}
+
+TEST(CoarseToFineSweep, TraceRecordsEveryProbe) {
+  PowerSupply psu;
+  CoarseToFineSweep sweep{psu, {}};
+  const SweepResult r = sweep.run(gaussian_peak(5.0, 5.0));
+  EXPECT_EQ(static_cast<int>(sweep.trace().size()), r.probes);
+}
+
+TEST(CoarseToFineSweep, StaysWithinVoltageRange) {
+  PowerSupply psu;
+  CoarseToFineSweep::Options opt;
+  opt.v_min = Voltage{0.0};
+  opt.v_max = Voltage{30.0};
+  CoarseToFineSweep sweep{psu, opt};
+  // Peak outside the allowed window: the sweep must still stay inside.
+  (void)sweep.run(gaussian_peak(40.0, -5.0));
+  for (const SweepSample& s : sweep.trace()) {
+    EXPECT_GE(s.vx.value(), 0.0);
+    EXPECT_LE(s.vx.value(), 30.0);
+    EXPECT_GE(s.vy.value(), 0.0);
+    EXPECT_LE(s.vy.value(), 30.0);
+  }
+}
+
+TEST(CoarseToFineSweep, RejectsBadOptions) {
+  PowerSupply psu;
+  CoarseToFineSweep::Options bad;
+  bad.iterations = 0;
+  EXPECT_THROW(CoarseToFineSweep(psu, bad), std::invalid_argument);
+  bad.iterations = 2;
+  bad.steps_per_axis = 1;
+  EXPECT_THROW(CoarseToFineSweep(psu, bad), std::invalid_argument);
+  bad.steps_per_axis = 5;
+  bad.v_max = Voltage{0.0};
+  EXPECT_THROW(CoarseToFineSweep(psu, bad), std::invalid_argument);
+}
+
+TEST(FullGridSweep, GridDimensionsMatchRangeAndStep) {
+  PowerSupply psu;
+  FullGridSweep::Options opt;
+  opt.v_min = Voltage{0.0};
+  opt.v_max = Voltage{30.0};
+  opt.step = Voltage{5.0};
+  FullGridSweep sweep{psu, opt};
+  (void)sweep.run(gaussian_peak(10.0, 10.0));
+  EXPECT_EQ(sweep.vx_values().size(), 7u);
+  EXPECT_EQ(sweep.vy_values().size(), 7u);
+  EXPECT_EQ(sweep.grid_dbm().size(), 7u);
+  EXPECT_EQ(sweep.grid_dbm()[0].size(), 7u);
+}
+
+TEST(FullGridSweep, FindsExactGridOptimum) {
+  PowerSupply psu;
+  FullGridSweep::Options opt;
+  opt.step = Voltage{1.0};
+  FullGridSweep sweep{psu, opt};
+  const SweepResult r = sweep.run(gaussian_peak(22.0, 9.0));
+  EXPECT_DOUBLE_EQ(r.best_vx.value(), 22.0);
+  EXPECT_DOUBLE_EQ(r.best_vy.value(), 9.0);
+}
+
+TEST(FullGridSweep, GridValuesMatchProbe) {
+  PowerSupply psu;
+  FullGridSweep::Options opt;
+  opt.step = Voltage{10.0};
+  FullGridSweep sweep{psu, opt};
+  const PowerProbe probe = gaussian_peak(0.0, 0.0);
+  (void)sweep.run(probe);
+  EXPECT_NEAR(sweep.grid_dbm()[0][0],
+              probe(Voltage{0.0}, Voltage{0.0}).value(), 1e-12);
+  EXPECT_NEAR(sweep.grid_dbm()[3][3],
+              probe(Voltage{30.0}, Voltage{30.0}).value(), 1e-12);
+}
+
+TEST(FullGridSweep, RejectsBadOptions) {
+  PowerSupply psu;
+  FullGridSweep::Options bad;
+  bad.step = Voltage{0.0};
+  EXPECT_THROW(FullGridSweep(psu, bad), std::invalid_argument);
+}
+
+/// Property: for any peak location on the grid, Algorithm 1 with paper
+/// parameters lands within one coarse step of the optimum.
+class SweepConvergence
+    : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(SweepConvergence, LandsNearPeak) {
+  const auto [px, py] = GetParam();
+  PowerSupply psu;
+  CoarseToFineSweep sweep{psu, {}};
+  const SweepResult r = sweep.run(gaussian_peak(px, py));
+  // Coarse step is 6 V; the refinement narrows further unless the peak sits
+  // at the range edge.
+  EXPECT_NEAR(r.best_vx.value(), px, 6.0);
+  EXPECT_NEAR(r.best_vy.value(), py, 6.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PeakLocations, SweepConvergence,
+    ::testing::Values(std::make_pair(3.0, 3.0), std::make_pair(27.0, 27.0),
+                      std::make_pair(3.0, 27.0), std::make_pair(27.0, 3.0),
+                      std::make_pair(15.0, 15.0), std::make_pair(8.0, 22.0),
+                      std::make_pair(29.0, 1.0)));
+
+}  // namespace
+}  // namespace llama::control

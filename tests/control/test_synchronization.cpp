@@ -1,0 +1,96 @@
+#include "src/control/synchronization.h"
+
+#include <gtest/gtest.h>
+
+namespace llama::control {
+namespace {
+
+using common::Voltage;
+
+SampleVoltageSync make_sync(double td = 0.0) {
+  VoltageRamp x{Voltage{0.0}, Voltage{1.0}, 0.02};
+  VoltageRamp y{Voltage{5.0}, Voltage{2.0}, 0.02};
+  return SampleVoltageSync{x, y, td};
+}
+
+TEST(SampleVoltageSync, Eq13AtKnownTimes) {
+  const SampleVoltageSync sync = make_sync();
+  // Paper Eq. 13: V(t) = V0 + VD/Ts * (t - td).
+  EXPECT_NEAR(sync.voltage_x_at(0.0).value(), 0.0, 1e-12);
+  EXPECT_NEAR(sync.voltage_x_at(0.02).value(), 1.0, 1e-12);
+  EXPECT_NEAR(sync.voltage_x_at(0.1).value(), 5.0, 1e-12);
+  EXPECT_NEAR(sync.voltage_y_at(0.1).value(), 5.0 + 2.0 * 5.0, 1e-12);
+}
+
+TEST(SampleVoltageSync, StartOffsetShiftsTheMapping) {
+  const SampleVoltageSync sync = make_sync(/*td=*/0.05);
+  EXPECT_NEAR(sync.voltage_x_at(0.05).value(), 0.0, 1e-12);
+  EXPECT_NEAR(sync.voltage_x_at(0.07).value(), 1.0, 1e-12);
+}
+
+TEST(SampleVoltageSync, StepIndexFloorsElapsedPeriods) {
+  const SampleVoltageSync sync = make_sync();
+  EXPECT_EQ(sync.step_index_at(0.0), 0);
+  EXPECT_EQ(sync.step_index_at(0.019), 0);
+  EXPECT_EQ(sync.step_index_at(0.021), 1);
+  EXPECT_EQ(sync.step_index_at(0.399), 19);
+}
+
+TEST(SampleVoltageSync, NegativeTimeGivesNegativeStep) {
+  const SampleVoltageSync sync = make_sync(/*td=*/0.1);
+  EXPECT_LT(sync.step_index_at(0.0), 0);
+}
+
+TEST(SampleVoltageSync, QuantizedMatchesStaircase) {
+  const SampleVoltageSync sync = make_sync();
+  // Mid-step the quantized value holds the step's programmed voltage.
+  EXPECT_NEAR(sync.quantized_x_at(0.031).value(), 1.0, 1e-12);
+  EXPECT_NEAR(sync.quantized_y_at(0.031).value(), 7.0, 1e-12);
+}
+
+TEST(SampleVoltageSync, TimeOfStepInvertsStepIndex) {
+  const SampleVoltageSync sync = make_sync(/*td=*/0.013);
+  for (long k : {0L, 1L, 7L, 42L}) {
+    const double t = sync.time_of_step(k);
+    EXPECT_EQ(sync.step_index_at(t + 1e-9), k);
+  }
+}
+
+TEST(SampleVoltageSync, LabelingIsConsistentAcrossAxes) {
+  // Both axes switch simultaneously in the paper's sweep; the labels at the
+  // same instant must correspond to the same step index.
+  const SampleVoltageSync sync = make_sync();
+  const double t = 0.137;
+  const long k = sync.step_index_at(t);
+  EXPECT_NEAR(sync.quantized_x_at(t).value(),
+              0.0 + 1.0 * static_cast<double>(k), 1e-12);
+  EXPECT_NEAR(sync.quantized_y_at(t).value(),
+              5.0 + 2.0 * static_cast<double>(k), 1e-12);
+}
+
+TEST(SampleVoltageSync, RejectsNonPositivePeriod) {
+  VoltageRamp bad{Voltage{0.0}, Voltage{1.0}, 0.0};
+  VoltageRamp ok{Voltage{0.0}, Voltage{1.0}, 0.02};
+  EXPECT_THROW(SampleVoltageSync(bad, ok, 0.0), std::invalid_argument);
+  EXPECT_THROW(SampleVoltageSync(ok, bad, 0.0), std::invalid_argument);
+}
+
+/// Property: recovering the voltage label of a sample taken anywhere inside
+/// step k yields the programmed voltage of step k — the invariant the
+/// paper's dedicated-hardware-free synchronization relies on.
+class SyncLabeling : public ::testing::TestWithParam<double> {};
+
+TEST_P(SyncLabeling, MidStepSamplesLabelCorrectly) {
+  const double frac = GetParam();  // position inside the step (0..1)
+  const SampleVoltageSync sync = make_sync(/*td=*/0.004);
+  for (long k = 0; k < 30; ++k) {
+    const double t = sync.time_of_step(k) + frac * 0.02;
+    EXPECT_EQ(sync.step_index_at(t), k) << "k=" << k << " frac=" << frac;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(IntraStepPositions, SyncLabeling,
+                         ::testing::Values(0.01, 0.25, 0.5, 0.75, 0.99));
+
+}  // namespace
+}  // namespace llama::control

@@ -1,0 +1,79 @@
+#include "src/core/scenarios.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/math_utils.h"
+
+namespace llama::core {
+namespace {
+
+TEST(Scenarios, TransmissiveMismatchIsOrthogonal) {
+  const SystemConfig cfg = transmissive_mismatch_config();
+  const double tx_deg =
+      cfg.tx_antenna.polarization().orientation().deg();
+  const double rx_deg =
+      cfg.rx_antenna.polarization().orientation().deg();
+  EXPECT_NEAR(std::abs(tx_deg - rx_deg), 90.0, 1e-9);
+  EXPECT_EQ(cfg.geometry.mode, metasurface::SurfaceMode::kTransmissive);
+}
+
+TEST(Scenarios, MatchConfigAlignsAntennas) {
+  const SystemConfig cfg = transmissive_match_config();
+  EXPECT_NEAR(cfg.tx_antenna.polarization().orientation().deg(),
+              cfg.rx_antenna.polarization().orientation().deg(), 1e-9);
+}
+
+TEST(Scenarios, SurfaceSitsMidwayInTransmissive) {
+  const SystemConfig cfg = transmissive_mismatch_config(0.48);
+  EXPECT_NEAR(cfg.geometry.tx_surface_distance_m, 0.24, 1e-12);
+}
+
+TEST(Scenarios, ReflectiveUsesSeventyCmSeparation) {
+  const SystemConfig cfg = reflective_mismatch_config(0.42);
+  EXPECT_EQ(cfg.geometry.mode, metasurface::SurfaceMode::kReflective);
+  EXPECT_NEAR(cfg.geometry.tx_rx_distance_m, 0.70, 1e-12);
+  EXPECT_NEAR(cfg.geometry.tx_surface_distance_m, 0.42, 1e-12);
+}
+
+TEST(Scenarios, RespirationScenarioMatchesPaperSetup) {
+  const SensingScenario s = respiration_scenario();
+  // Paper Section 5.2.2: surface 2 m away, 5 mW transmit power.
+  EXPECT_NEAR(s.system.geometry.tx_surface_distance_m, 2.0, 1e-12);
+  EXPECT_NEAR(s.system.tx_power.to_mw().value(), 5.0, 0.2);
+  EXPECT_NEAR(s.breathing.rate_hz, 0.25, 1e-12);
+}
+
+TEST(Scenarios, RespirationTraceHasRequestedLength) {
+  const SensingScenario s = respiration_scenario();
+  const auto trace = simulate_respiration_trace(s, false, 10.0, 5.0);
+  EXPECT_EQ(trace.size(), 50u);
+}
+
+TEST(Scenarios, SurfaceRaisesRespirationSignalLevel) {
+  const SensingScenario s = respiration_scenario();
+  const auto with = simulate_respiration_trace(s, true, 12.0, 5.0);
+  const auto without = simulate_respiration_trace(s, false, 12.0, 5.0);
+  EXPECT_GT(common::mean(with), common::mean(without) + 5.0);
+}
+
+TEST(Scenarios, BreathingRippleVisibleOnlyWithSurface) {
+  // The Fig. 23 observation, as a detectability statement.
+  const SensingScenario s = respiration_scenario();
+  const auto with = simulate_respiration_trace(s, true, 60.0, 10.0);
+  const auto without = simulate_respiration_trace(s, false, 60.0, 10.0);
+  sensing::RespirationDetector det;
+  EXPECT_TRUE(det.analyze(with, 10.0).detected);
+  EXPECT_FALSE(det.analyze(without, 10.0).detected);
+}
+
+TEST(Scenarios, RespirationTraceIsSeedDeterministic) {
+  const SensingScenario s = respiration_scenario();
+  const auto a = simulate_respiration_trace(s, false, 5.0, 10.0, 99);
+  const auto b = simulate_respiration_trace(s, false, 5.0, 10.0, 99);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace llama::core

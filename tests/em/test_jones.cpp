@@ -1,0 +1,190 @@
+#include "src/em/jones.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/constants.h"
+
+namespace llama::em {
+namespace {
+
+using common::Angle;
+
+constexpr double kTol = 1e-10;
+
+TEST(JonesVector, LinearStatesHaveUnitPower) {
+  for (double deg : {0.0, 30.0, 45.0, 90.0, 135.0})
+    EXPECT_NEAR(JonesVector::linear(Angle::degrees(deg)).power(), 1.0, kTol);
+}
+
+TEST(JonesVector, HorizontalVerticalAreOrthogonal) {
+  const auto h = JonesVector::horizontal();
+  const auto v = JonesVector::vertical();
+  EXPECT_NEAR(std::abs(h.dot(v)), 0.0, kTol);
+  EXPECT_NEAR(h.polarization_match(v), 0.0, kTol);
+}
+
+TEST(JonesVector, MalusLawForLinearPair) {
+  // PLF between two linear states at relative angle phi is cos^2(phi).
+  for (double phi : {0.0, 15.0, 30.0, 45.0, 60.0, 75.0, 90.0}) {
+    const auto a = JonesVector::linear(Angle::degrees(0.0));
+    const auto b = JonesVector::linear(Angle::degrees(phi));
+    const double expected = std::pow(std::cos(phi * common::kPi / 180.0), 2);
+    EXPECT_NEAR(a.polarization_match(b), expected, 1e-9) << "phi=" << phi;
+  }
+}
+
+TEST(JonesVector, CircularAgainstLinearLosesThreeDb) {
+  // Paper Section 2: "Theoretical 3 dB degradation ... when one of the
+  // antennas is circularly polarized while the other is linearly polarized".
+  const auto c = JonesVector::circular_right();
+  for (double deg : {0.0, 45.0, 90.0}) {
+    const auto lin = JonesVector::linear(Angle::degrees(deg));
+    EXPECT_NEAR(c.polarization_match(lin), 0.5, 1e-9);
+  }
+}
+
+TEST(JonesVector, CircularStatesAreOrthogonal) {
+  EXPECT_NEAR(JonesVector::circular_right().polarization_match(
+                  JonesVector::circular_left()),
+              0.0, kTol);
+}
+
+TEST(JonesVector, CircularityIdentifiesHandedness) {
+  EXPECT_NEAR(JonesVector::circular_right().circularity(), -1.0, kTol);
+  EXPECT_NEAR(JonesVector::circular_left().circularity(), 1.0, kTol);
+  EXPECT_NEAR(JonesVector::horizontal().circularity(), 0.0, kTol);
+}
+
+TEST(JonesVector, OrientationOfLinearStates) {
+  for (double deg : {0.0, 20.0, 45.0, 80.0}) {
+    const auto v = JonesVector::linear(Angle::degrees(deg));
+    EXPECT_NEAR(v.orientation().deg(), deg, 1e-9);
+  }
+}
+
+TEST(JonesVector, NormalizedHasUnitPower) {
+  const JonesVector v{Complex{3.0, 1.0}, Complex{-2.0, 0.5}};
+  EXPECT_NEAR(v.normalized().power(), 1.0, kTol);
+}
+
+TEST(JonesVector, NormalizedZeroVectorStaysZero) {
+  const JonesVector z{Complex{0.0, 0.0}, Complex{0.0, 0.0}};
+  EXPECT_NEAR(z.normalized().power(), 0.0, kTol);
+}
+
+TEST(JonesVector, EllipticalMatchesPaperEquationOne) {
+  // Paper Eq. 1: J = [a, b e^{j pi/2}]^T.
+  const auto v = JonesVector::elliptical(0.6, 0.8);
+  EXPECT_NEAR(v.power(), 1.0, kTol);
+  EXPECT_NEAR(std::real(v.ex()), 0.6, kTol);
+  EXPECT_NEAR(std::real(v.ey()), 0.0, kTol);
+  EXPECT_NEAR(std::imag(v.ey()), 0.8, kTol);
+}
+
+TEST(JonesMatrix, RotationMatrixRotatesLinearStates) {
+  const auto r = JonesMatrix::rotation(Angle::degrees(30.0));
+  const auto out = r * JonesVector::linear(Angle::degrees(10.0));
+  EXPECT_NEAR(out.orientation().deg(), 40.0, 1e-9);
+}
+
+TEST(JonesMatrix, RotationIsUnitary) {
+  EXPECT_TRUE(JonesMatrix::rotation(Angle::degrees(73.0)).is_unitary());
+}
+
+TEST(JonesMatrix, RotationsCompose) {
+  const auto r1 = JonesMatrix::rotation(Angle::degrees(20.0));
+  const auto r2 = JonesMatrix::rotation(Angle::degrees(25.0));
+  const auto both = r2 * r1;
+  EXPECT_NEAR(rotation_angle_of(both).deg(), 45.0, 1e-9);
+}
+
+TEST(JonesMatrix, QuarterWavePlateIsUnitary) {
+  EXPECT_TRUE(JonesMatrix::quarter_wave_plate().is_unitary());
+}
+
+TEST(JonesMatrix, QwpAt45ConvertsLinearToCircular) {
+  const auto qwp45 =
+      JonesMatrix::quarter_wave_plate().rotated(Angle::degrees(45.0));
+  const auto out = qwp45 * JonesVector::horizontal();
+  EXPECT_NEAR(std::abs(out.circularity()), 1.0, 1e-9);
+}
+
+TEST(JonesMatrix, LinearPolarizerProjects) {
+  const auto p = JonesMatrix::linear_polarizer(Angle::degrees(0.0));
+  const auto out = p * JonesVector::linear(Angle::degrees(60.0));
+  // cos^2(60 deg) = 1/4 of the power passes.
+  EXPECT_NEAR(out.power(), 0.25, 1e-9);
+  EXPECT_NEAR(out.orientation().deg(), 0.0, 1e-9);
+}
+
+TEST(JonesMatrix, PolarizerIsPassiveNotUnitary) {
+  const auto p = JonesMatrix::linear_polarizer(Angle::degrees(30.0));
+  EXPECT_FALSE(p.is_unitary());
+  EXPECT_LE(p.norm_bound(), 1.0 + 1e-9);
+}
+
+TEST(JonesMatrix, NormBoundOfScaledIdentity) {
+  const auto m = Complex{0.5, 0.0} * JonesMatrix::identity();
+  EXPECT_NEAR(m.norm_bound(), 0.25, 1e-9);  // largest |s|^2
+}
+
+TEST(JonesMatrix, TransposeAndAdjointAgree) {
+  const JonesMatrix m{Complex{1.0, 2.0}, Complex{3.0, -1.0}, Complex{0.5, 0.5},
+                      Complex{-2.0, 0.0}};
+  EXPECT_EQ(m.transpose().at(0, 1), m.at(1, 0));
+  EXPECT_EQ(m.adjoint().at(0, 1), std::conj(m.at(1, 0)));
+}
+
+TEST(JonesMatrix, DeterminantOfRotationIsOne) {
+  const auto r = JonesMatrix::rotation(Angle::degrees(51.0));
+  EXPECT_NEAR(std::abs(r.determinant()), 1.0, kTol);
+}
+
+/// The paper's central algebraic result (Eq. 8): QWP(+45) B(delta) QWP(-45)
+/// is a pure rotation by delta/2, up to a common phase.
+class PolarizationRotatorProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(PolarizationRotatorProperty, RotatesByHalfDelta) {
+  const double delta_deg = GetParam();
+  const auto p =
+      polarization_rotator(delta_deg * common::kPi / 180.0, 0.3, -0.7);
+  // Magnitude of every input state is preserved (unitary composite)...
+  EXPECT_TRUE((std::abs(p.determinant()) - 1.0) < 1e-9);
+  // ...and a linear input emerges rotated by delta/2.
+  const auto in = JonesVector::linear(Angle::degrees(20.0));
+  const auto out = p * in;
+  EXPECT_NEAR(out.power(), 1.0, 1e-9);
+  const double got =
+      common::Angle::degrees(out.orientation().deg() - 20.0)
+          .normalized_signed()
+          .deg();
+  double expect = delta_deg / 2.0;
+  // Orientation is only defined mod 180.
+  double diff = std::fmod(std::abs(got - expect), 180.0);
+  if (diff > 90.0) diff = 180.0 - diff;
+  EXPECT_NEAR(diff, 0.0, 1e-6) << "delta=" << delta_deg;
+}
+
+INSTANTIATE_TEST_SUITE_P(DeltaSweep, PolarizationRotatorProperty,
+                         ::testing::Values(-120.0, -90.0, -45.0, -10.0, 0.0,
+                                           3.8, 23.2, 48.7, 90.0, 97.4,
+                                           120.0));
+
+TEST(PolarizationRotator, MatchesRotationAngleExtraction) {
+  for (double delta_deg : {10.0, 40.0, 80.0}) {
+    const auto p = polarization_rotator(delta_deg * common::kPi / 180.0);
+    EXPECT_NEAR(rotation_angle_of(p).deg(), delta_deg / 2.0, 1e-6);
+  }
+}
+
+TEST(PolarizationRotator, ZeroDeltaIsIdentityUpToPhase) {
+  const auto p = polarization_rotator(0.0);
+  EXPECT_NEAR(std::abs(p.at(0, 1)), 0.0, 1e-9);
+  EXPECT_NEAR(std::abs(p.at(1, 0)), 0.0, 1e-9);
+  EXPECT_NEAR(std::abs(p.at(0, 0)), 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace llama::em

@@ -1,0 +1,145 @@
+#include "src/em/polarization.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace llama::em {
+namespace {
+
+using common::Angle;
+
+TEST(Stokes, PureLinearState) {
+  const auto s = Stokes::from_jones(JonesVector::horizontal());
+  EXPECT_NEAR(s.s0, 1.0, 1e-12);
+  EXPECT_NEAR(s.s1, 1.0, 1e-12);
+  EXPECT_NEAR(s.s2, 0.0, 1e-12);
+  EXPECT_NEAR(s.s3, 0.0, 1e-12);
+  EXPECT_NEAR(s.degree_of_polarization(), 1.0, 1e-12);
+}
+
+TEST(Stokes, FortyFiveDegreeState) {
+  const auto s =
+      Stokes::from_jones(JonesVector::linear(Angle::degrees(45.0)));
+  EXPECT_NEAR(s.s1, 0.0, 1e-12);
+  EXPECT_NEAR(s.s2, 1.0, 1e-12);
+}
+
+TEST(Stokes, CircularState) {
+  const auto s = Stokes::from_jones(JonesVector::circular_left());
+  EXPECT_NEAR(s.s3, 1.0, 1e-12);
+  EXPECT_NEAR(s.s1, 0.0, 1e-12);
+}
+
+TEST(Stokes, ZeroFieldHasZeroDop) {
+  const auto s =
+      Stokes::from_jones(JonesVector{Complex{0, 0}, Complex{0, 0}});
+  EXPECT_DOUBLE_EQ(s.degree_of_polarization(), 0.0);
+}
+
+TEST(AntennaPolarization, PerfectLinearHasNoLeak) {
+  const auto ideal = AntennaPolarization::linear(Angle::degrees(0.0),
+                                                 /*xpd_db=*/300.0);
+  const auto orthogonal = JonesVector::vertical();
+  EXPECT_LT(ideal.match(orthogonal), 1e-12);
+}
+
+TEST(AntennaPolarization, XpdSetsTheMismatchFloor) {
+  // Two orthogonal 20 dB-XPD antennas leak ~4 eps^2 ~= -14 dB into each
+  // other — the paper's Fig. 2 mismatch penalty scale.
+  const auto a = AntennaPolarization::linear(Angle::degrees(0.0), 20.0);
+  const auto b = AntennaPolarization::linear(Angle::degrees(90.0), 20.0);
+  const double floor = a.match(b.jones());
+  EXPECT_GT(floor, 1e-3);
+  EXPECT_LT(floor, 0.1);
+}
+
+TEST(AntennaPolarization, BetterXpdMeansDeeperFloor) {
+  const auto rx17 = AntennaPolarization::linear(Angle::degrees(90.0), 17.0);
+  const auto rx26 = AntennaPolarization::linear(Angle::degrees(90.0), 26.0);
+  const auto tx = AntennaPolarization::linear(Angle::degrees(0.0), 300.0);
+  EXPECT_GT(rx17.match(tx.jones()), rx26.match(tx.jones()));
+}
+
+TEST(AntennaPolarization, MatchedPairIsNearUnity) {
+  const auto a = AntennaPolarization::linear(Angle::degrees(35.0));
+  EXPECT_NEAR(a.match(a.jones()), 1.0, 1e-9);
+}
+
+TEST(AntennaPolarization, MatchLossDbOfMatchedPairIsZeroish) {
+  const auto a = AntennaPolarization::linear(Angle::degrees(0.0));
+  EXPECT_LT(a.match_loss_db(a.jones()).value(), 0.1);
+}
+
+TEST(AntennaPolarization, MatchLossClampsAtFloor) {
+  const auto a = AntennaPolarization::linear(Angle::degrees(0.0), 300.0);
+  const auto b = JonesVector::vertical();
+  EXPECT_NEAR(a.match_loss_db(b, 60.0).value(), 60.0, 1e-9);
+}
+
+TEST(AntennaPolarization, CircularMatchesAnyLinearAtHalf) {
+  const auto c = AntennaPolarization::circular();
+  for (double deg : {0.0, 30.0, 90.0}) {
+    EXPECT_NEAR(
+        c.match(JonesVector::linear(Angle::degrees(deg))), 0.5, 1e-9);
+  }
+}
+
+TEST(AntennaPolarization, RotationShiftsOrientationKeepsXpd) {
+  const auto a = AntennaPolarization::linear(Angle::degrees(10.0), 22.0);
+  const auto r = a.rotated(Angle::degrees(35.0));
+  EXPECT_NEAR(r.orientation().deg(), 45.0, 1e-9);
+  EXPECT_NEAR(r.xpd_db(), 22.0, 1e-12);
+}
+
+TEST(AntennaPolarization, RotatingCircularIsNoop) {
+  const auto c = AntennaPolarization::circular();
+  const auto r = c.rotated(Angle::degrees(45.0));
+  EXPECT_EQ(r.kind(), PolarizationKind::kCircular);
+}
+
+TEST(AntennaPolarization, DescribeMentionsKind) {
+  EXPECT_NE(AntennaPolarization::linear(Angle::degrees(45.0))
+                .describe()
+                .find("linear"),
+            std::string::npos);
+  EXPECT_NE(AntennaPolarization::circular().describe().find("circular"),
+            std::string::npos);
+}
+
+TEST(MismatchAngle, FoldsModuloNinety) {
+  EXPECT_NEAR(
+      mismatch_angle(Angle::degrees(0.0), Angle::degrees(90.0)).deg(), 90.0,
+      1e-9);
+  EXPECT_NEAR(
+      mismatch_angle(Angle::degrees(0.0), Angle::degrees(135.0)).deg(), 45.0,
+      1e-9);
+  EXPECT_NEAR(
+      mismatch_angle(Angle::degrees(170.0), Angle::degrees(10.0)).deg(), 20.0,
+      1e-9);
+  EXPECT_NEAR(
+      mismatch_angle(Angle::degrees(30.0), Angle::degrees(210.0)).deg(), 0.0,
+      1e-9);
+}
+
+/// Property: polarization match between two XPD-limited linear antennas is
+/// monotone decreasing in mismatch angle on [0, 90].
+class MatchMonotonicity : public ::testing::TestWithParam<double> {};
+
+TEST_P(MatchMonotonicity, DecreasesWithMismatch) {
+  const double step = GetParam();
+  const auto tx = AntennaPolarization::linear(Angle::degrees(0.0), 24.0);
+  double prev = 2.0;
+  for (double deg = 0.0; deg <= 90.0; deg += step) {
+    const auto rx = AntennaPolarization::linear(Angle::degrees(deg), 24.0);
+    const double m = rx.match(tx.jones());
+    EXPECT_LT(m, prev + 1e-9) << "deg=" << deg;
+    prev = m;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Steps, MatchMonotonicity,
+                         ::testing::Values(5.0, 10.0, 15.0, 30.0));
+
+}  // namespace
+}  // namespace llama::em

@@ -1,0 +1,135 @@
+#include "src/metasurface/designs.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace llama::metasurface {
+namespace {
+
+using common::Frequency;
+using common::Voltage;
+
+const Frequency kF0 = Frequency::ghz(2.44);
+const Voltage kVmid{5.0};
+
+double in_band_efficiency(const RotatorStack& stack) {
+  return stack.transmission_efficiency_db(kF0, kVmid, kVmid, false);
+}
+
+TEST(Designs, RogersBeatsNaiveFr4) {
+  // The paper's central material finding (Figs. 8 vs 9): transplanting the
+  // reference geometry onto FR4 collapses efficiency.
+  const double rogers = in_band_efficiency(reference_rogers_design());
+  const double naive = in_band_efficiency(naive_fr4_design());
+  EXPECT_GT(rogers, naive + 3.0);
+}
+
+TEST(Designs, OptimizedFr4ComparableToRogers) {
+  // Fig. 10: the optimized FR4 stack recovers to within ~2 dB of Rogers.
+  const double rogers = in_band_efficiency(reference_rogers_design());
+  const double optimized = in_band_efficiency(optimized_fr4_design());
+  EXPECT_GT(optimized, rogers - 2.0);
+}
+
+TEST(Designs, OptimizedFr4BeatsNaiveFr4) {
+  const double optimized = in_band_efficiency(optimized_fr4_design());
+  const double naive = in_band_efficiency(naive_fr4_design());
+  EXPECT_GT(optimized, naive + 2.0);
+}
+
+TEST(Designs, OptimizedBandwidthExceeds150MHz) {
+  // Paper Section 3.2: "Our two layer design achieves 150 MHz of bandwidth
+  // with efficiency > -5 dB" (we allow a small model tolerance on the
+  // threshold).
+  const RotatorStack stack = optimized_fr4_design();
+  double lo = 0.0;
+  double hi = 0.0;
+  const double threshold = -5.6;
+  for (double ghz = 2.2; ghz <= 2.7; ghz += 0.005) {
+    const double eff = stack.transmission_efficiency_db(
+        Frequency::ghz(ghz), kVmid, kVmid, false);
+    if (eff > threshold) {
+      if (lo == 0.0) lo = ghz;
+      hi = ghz;
+    }
+  }
+  EXPECT_GT((hi - lo) * 1000.0, 150.0);  // MHz
+}
+
+TEST(Designs, NaiveFr4IsBelowMinus7InBand) {
+  // Fig. 9's in-band plateau sits below about -7 dB.
+  EXPECT_LT(in_band_efficiency(naive_fr4_design()), -7.0);
+}
+
+TEST(Designs, XAndYExcitationsComparable) {
+  // Figs. 8-10 show near-identical x- and y-excitation curves.
+  const RotatorStack stack = optimized_fr4_design();
+  const double x = stack.transmission_efficiency_db(kF0, kVmid, kVmid, false);
+  const double y = stack.transmission_efficiency_db(kF0, kVmid, kVmid, true);
+  EXPECT_NEAR(x, y, 1.5);
+}
+
+TEST(Designs, PrototypeNeedsDoubleBiasForSameState) {
+  // Paper Section 3.3: the fabricated prototype needs up to 30 V where the
+  // simulation uses 15 V.
+  const RotatorStack sim = optimized_fr4_design();
+  const RotatorStack proto = prototype_fr4_design();
+  const double rot_sim =
+      std::abs(sim.rotation_angle(kF0, Voltage{2.0}, Voltage{15.0}).deg());
+  const double rot_proto =
+      std::abs(proto.rotation_angle(kF0, Voltage{4.0}, Voltage{30.0}).deg());
+  EXPECT_NEAR(rot_sim, rot_proto, 1.0);
+}
+
+TEST(Designs, CustomParamsChangeTheStack) {
+  DesignParams p;
+  p.board_thickness_m = 1.6e-3;
+  const RotatorStack thick = optimized_fr4_design(p);
+  EXPECT_NEAR(thick.elements()[0].board.thickness_m(), 1.6e-3, 1e-12);
+}
+
+TEST(Designs, ThickerBoardsLoseMore) {
+  DesignParams thin;
+  DesignParams thick;
+  thick.board_thickness_m = 3.2e-3;
+  const double e_thin = in_band_efficiency(optimized_fr4_design(thin));
+  const double e_thick = in_band_efficiency(optimized_fr4_design(thick));
+  EXPECT_GT(e_thin, e_thick);
+}
+
+/// Property: the Table 1 structure — rotation grows with bias separation
+/// along every row of the (Vx, Vy) grid.
+class Table1RowProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(Table1RowProperty, RotationGrowsAwayFromDiagonal) {
+  const double vy = GetParam();
+  const RotatorStack stack = optimized_fr4_design();
+  // Find the Vx at which rotation is minimal; rotation must increase
+  // (weakly) as Vx moves away from it on either side.
+  const double grid[] = {2.0, 3.0, 4.0, 5.0, 6.0, 10.0, 15.0};
+  double best_vx = 2.0;
+  double best = 1e9;
+  for (double vx : grid) {
+    const double r =
+        std::abs(stack.rotation_angle(kF0, Voltage{vx}, Voltage{vy}).deg());
+    if (r < best) {
+      best = r;
+      best_vx = vx;
+    }
+  }
+  // Edges of the row rotate more than the minimum.
+  const double left =
+      std::abs(stack.rotation_angle(kF0, Voltage{2.0}, Voltage{vy}).deg());
+  const double right =
+      std::abs(stack.rotation_angle(kF0, Voltage{15.0}, Voltage{vy}).deg());
+  EXPECT_GE(std::max(left, right), best);
+  (void)best_vx;
+}
+
+INSTANTIATE_TEST_SUITE_P(Rows, Table1RowProperty,
+                         ::testing::Values(2.0, 3.0, 4.0, 5.0, 6.0, 10.0,
+                                           15.0));
+
+}  // namespace
+}  // namespace llama::metasurface

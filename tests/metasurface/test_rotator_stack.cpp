@@ -1,0 +1,182 @@
+#include "src/metasurface/rotator_stack.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/metasurface/designs.h"
+
+namespace llama::metasurface {
+namespace {
+
+using common::Angle;
+using common::Frequency;
+using common::Voltage;
+
+const Frequency kF0 = Frequency::ghz(2.44);
+
+TEST(RotatorStack, RejectsEmptyStack) {
+  EXPECT_THROW(RotatorStack(std::vector<StackElement>{}),
+               std::invalid_argument);
+}
+
+TEST(RotatorStack, TransmissionIsPassive) {
+  const RotatorStack stack = optimized_fr4_design();
+  for (double ghz = 2.0; ghz <= 2.8; ghz += 0.1)
+    for (double v = 0.0; v <= 30.0; v += 6.0) {
+      const auto j =
+          stack.transmission(Frequency::ghz(ghz), Voltage{v}, Voltage{v});
+      EXPECT_LE(j.norm_bound(), 1.0 + 1e-6)
+          << ghz << " GHz @ " << v << " V";
+    }
+}
+
+TEST(RotatorStack, ReflectionIsPassive) {
+  const RotatorStack stack = optimized_fr4_design();
+  for (double v = 0.0; v <= 30.0; v += 10.0) {
+    const auto j = stack.reflection(kF0, Voltage{v}, Voltage{v});
+    EXPECT_LE(j.norm_bound(), 1.0 + 1e-6);
+  }
+}
+
+TEST(RotatorStack, RotationDependsOnBiasDifference) {
+  const RotatorStack stack = optimized_fr4_design();
+  const double r_same =
+      std::abs(stack.rotation_angle(kF0, Voltage{5.0}, Voltage{5.0}).deg());
+  const double r_diff =
+      std::abs(stack.rotation_angle(kF0, Voltage{2.0}, Voltage{15.0}).deg());
+  EXPECT_GT(r_diff, r_same + 10.0);
+}
+
+TEST(RotatorStack, RotationRangeCoversPaperSpan) {
+  // Paper: rotation within ~2-49 degrees across the (2..15 V)^2 grid.
+  const RotatorStack stack = optimized_fr4_design();
+  double min_rot = 1e9;
+  double max_rot = 0.0;
+  for (double vx : {2.0, 3.0, 4.0, 5.0, 6.0, 10.0, 15.0})
+    for (double vy : {2.0, 3.0, 4.0, 5.0, 6.0, 10.0, 15.0}) {
+      const double r =
+          std::abs(stack.rotation_angle(kF0, Voltage{vx}, Voltage{vy}).deg());
+      min_rot = std::min(min_rot, r);
+      max_rot = std::max(max_rot, r);
+    }
+  EXPECT_LT(min_rot, 5.0);
+  EXPECT_GT(max_rot, 40.0);
+  EXPECT_LT(max_rot, 70.0);
+}
+
+TEST(RotatorStack, MaxRotationAtOppositeExtremes) {
+  // Table 1's corners: the largest rotations occur when Vx and Vy sit at
+  // opposite ends of the sweep.
+  const RotatorStack stack = optimized_fr4_design();
+  const double corner =
+      std::abs(stack.rotation_angle(kF0, Voltage{15.0}, Voltage{2.0}).deg());
+  const double center =
+      std::abs(stack.rotation_angle(kF0, Voltage{6.0}, Voltage{6.0}).deg());
+  EXPECT_GT(corner, center + 20.0);
+}
+
+TEST(RotatorStack, EfficiencyMeetsPaperFloorInIsmBand) {
+  // Paper Fig. 11: transmission efficiency above -8 dB across 2.4-2.5 GHz
+  // for the sweep's voltage combinations.
+  const RotatorStack stack = optimized_fr4_design();
+  for (double ghz = 2.40; ghz <= 2.501; ghz += 0.02)
+    for (double vy : {2.0, 5.0, 10.0, 15.0}) {
+      const double eff = stack.transmission_efficiency_db(
+          Frequency::ghz(ghz), Voltage{5.0}, Voltage{vy}, false);
+      EXPECT_GT(eff, -8.5) << ghz << " GHz, Vy=" << vy;
+    }
+}
+
+TEST(RotatorStack, EfficiencyRollsOffOutOfBand) {
+  const RotatorStack stack = optimized_fr4_design();
+  const double in_band = stack.transmission_efficiency_db(
+      kF0, Voltage{5.0}, Voltage{5.0}, false);
+  const double out_low = stack.transmission_efficiency_db(
+      Frequency::ghz(2.0), Voltage{5.0}, Voltage{5.0}, false);
+  const double out_high = stack.transmission_efficiency_db(
+      Frequency::ghz(2.8), Voltage{5.0}, Voltage{5.0}, false);
+  EXPECT_GT(in_band, out_low + 4.0);
+  EXPECT_GT(in_band, out_high + 4.0);
+}
+
+TEST(RotatorStack, ReflectionVoltageContrastSmallerThanTransmissive) {
+  // Paper Section 5.2.1: "the signal power difference over different
+  // voltage combinations is much smaller than that in the transmission
+  // scenario".
+  const RotatorStack stack = optimized_fr4_design();
+  auto spread = [&](bool reflective) {
+    double lo = 1e9;
+    double hi = -1e9;
+    for (double vx = 0.0; vx <= 30.0; vx += 5.0)
+      for (double vy = 0.0; vy <= 30.0; vy += 5.0) {
+        const auto j = reflective
+                           ? stack.reflection(kF0, Voltage{vx}, Voltage{vy})
+                           : stack.transmission(kF0, Voltage{vx}, Voltage{vy});
+        // Power coupled from x-in to x-out (a fixed polarization probe).
+        const double p = std::norm(j.at(0, 0));
+        lo = std::min(lo, p);
+        hi = std::max(hi, p);
+      }
+    return 10.0 * std::log10(hi / std::max(lo, 1e-12));
+  };
+  EXPECT_LT(spread(true), spread(false));
+}
+
+TEST(RotatorStack, TotalThicknessMatchesPrototypeScale) {
+  const RotatorStack stack = optimized_fr4_design();
+  // Six 0.8 mm boards + 41 mm of spacing ~= 46 mm of structure depth;
+  // board thickness alone is the paper's quoted 5 mm of PCB.
+  double boards_only = 0.0;
+  for (const auto& e : stack.elements()) boards_only += e.board.thickness_m();
+  EXPECT_NEAR(boards_only, 4.8e-3, 0.5e-3);
+  EXPECT_GT(stack.total_thickness_m(), boards_only);
+}
+
+TEST(RotatorStack, SixElementStackLayout) {
+  const RotatorStack stack = optimized_fr4_design();
+  ASSERT_EQ(stack.elements().size(), 6u);
+  EXPECT_FALSE(stack.elements()[0].tunable);
+  EXPECT_TRUE(stack.elements()[2].tunable);
+  EXPECT_TRUE(stack.elements()[3].tunable);
+  EXPECT_FALSE(stack.elements()[5].tunable);
+  EXPECT_NEAR(stack.elements()[0].rotation.deg(), 45.0, 1e-9);
+  EXPECT_NEAR(stack.elements()[5].rotation.deg(), -45.0, 1e-9);
+}
+
+TEST(RotatorStack, FrequencyShiftsRotation) {
+  // Dispersion: the rotation angle drifts across the band, which is why the
+  // paper evaluates the full 2.4-2.5 GHz range (Fig. 17).
+  const RotatorStack stack = optimized_fr4_design();
+  const double r_low = std::abs(
+      stack.rotation_angle(Frequency::ghz(2.40), Voltage{2.0}, Voltage{15.0})
+          .deg());
+  const double r_high = std::abs(
+      stack.rotation_angle(Frequency::ghz(2.50), Voltage{2.0}, Voltage{15.0})
+          .deg());
+  EXPECT_GT(std::abs(r_low - r_high), 0.5);
+}
+
+/// Property: at every bias pair, reciprocity of the full transmission Jones
+/// matrix holds in the form J(vx,vy) staying bounded and the co-polar terms
+/// of x->x and y->y being exchanged under swapping bias AND axes.
+class StackBiasSymmetry
+    : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(StackBiasSymmetry, CrossTermsBalanced) {
+  const auto [vx, vy] = GetParam();
+  const RotatorStack stack = optimized_fr4_design();
+  const auto j = stack.transmission(kF0, Voltage{vx}, Voltage{vy});
+  // For a (lossy) rotator, the two cross-polar terms have equal magnitude
+  // and opposite sign: J_xy = -J_yx.
+  EXPECT_NEAR(std::abs(j.at(0, 1) + j.at(1, 0)), 0.0, 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BiasGrid, StackBiasSymmetry,
+    ::testing::Values(std::make_pair(2.0, 2.0), std::make_pair(2.0, 15.0),
+                      std::make_pair(15.0, 2.0), std::make_pair(5.0, 10.0),
+                      std::make_pair(10.0, 5.0), std::make_pair(6.0, 6.0)));
+
+}  // namespace
+}  // namespace llama::metasurface

@@ -1,0 +1,90 @@
+#include "src/metasurface/unit_cell.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace llama::metasurface {
+namespace {
+
+using microwave::Substrate;
+
+TEST(PatternGeometry, DimensionsMatchPaperFig6b) {
+  const PatternGeometry outer = PatternGeometry::qwp_outer();
+  EXPECT_DOUBLE_EQ(outer.cell_w, 32e-3);
+  EXPECT_DOUBLE_EQ(outer.strip_l, 12.4e-3);
+  EXPECT_DOUBLE_EQ(outer.gap, 5.6e-3);
+  const PatternGeometry inner = PatternGeometry::qwp_inner();
+  EXPECT_DOUBLE_EQ(inner.gap, 7.2e-3);
+  const PatternGeometry bfs = PatternGeometry::bfs();
+  EXPECT_DOUBLE_EQ(bfs.cell_w, 40e-3);
+  EXPECT_DOUBLE_EQ(bfs.strip_l, 23.2e-3);
+  EXPECT_DOUBLE_EQ(bfs.gap, 0.4e-3);
+}
+
+TEST(PatternGeometry, StripInductanceIsNanohenryScale) {
+  const auto bfs = PatternGeometry::bfs();
+  const double l = bfs.strip_inductance_h(Substrate::fr4(), 0.8e-3);
+  // The calibrated BFS tank inductance is ~6 nH; the quasi-static estimate
+  // should land in the same regime (nanohenries, within ~3x).
+  EXPECT_GT(l, 1e-9);
+  EXPECT_LT(l, 30e-9);
+}
+
+TEST(PatternGeometry, LongerStripMoreInductance) {
+  PatternGeometry a = PatternGeometry::bfs();
+  PatternGeometry b = a;
+  b.strip_l *= 2.0;
+  EXPECT_GT(b.strip_inductance_h(Substrate::fr4(), 0.8e-3),
+            a.strip_inductance_h(Substrate::fr4(), 0.8e-3));
+}
+
+TEST(PatternGeometry, NarrowGapMoreCapacitance) {
+  PatternGeometry wide = PatternGeometry::bfs();
+  PatternGeometry narrow = wide;
+  narrow.gap /= 4.0;
+  EXPECT_GT(narrow.gap_capacitance_f(Substrate::fr4()),
+            wide.gap_capacitance_f(Substrate::fr4()));
+}
+
+TEST(PatternGeometry, BfsGapCapacitanceIsSubPicofarad) {
+  // The varactor mounts across this 0.4 mm gap; the parasitic gap
+  // capacitance must be small compared to the diode's 0.84-2.41 pF.
+  const double c = PatternGeometry::bfs().gap_capacitance_f(Substrate::fr4());
+  EXPECT_GT(c, 1e-15);
+  EXPECT_LT(c, 1e-12);
+}
+
+TEST(PatternGeometry, HigherPermittivityMoreCapacitance) {
+  const auto bfs = PatternGeometry::bfs();
+  EXPECT_GT(bfs.gap_capacitance_f(Substrate::fr4()),
+            bfs.gap_capacitance_f(Substrate::rogers5880()));
+}
+
+TEST(PatternGeometry, NoGapMeansNoCapacitance) {
+  PatternGeometry g = PatternGeometry::bfs();
+  g.gap = 0.0;
+  EXPECT_DOUBLE_EQ(g.gap_capacitance_f(Substrate::fr4()), 0.0);
+}
+
+TEST(PatternGeometry, CopperFillIsSparse) {
+  // Sub-wavelength patterns cover only a small fraction of the cell.
+  for (const PatternGeometry& g :
+       {PatternGeometry::qwp_outer(), PatternGeometry::qwp_inner(),
+        PatternGeometry::bfs()}) {
+    const double fill = g.copper_fill_fraction();
+    EXPECT_GT(fill, 0.0);
+    EXPECT_LT(fill, 0.35);
+  }
+}
+
+TEST(Lattice, MeanPitchConsistentWithCellSizes) {
+  // 180 cells in 480x480 mm: ~35.8 mm pitch, between the 32 mm QWP and
+  // 40 mm BFS cell sizes of Fig. 6b.
+  const double pitch = mean_cell_pitch_m();
+  EXPECT_GT(pitch, 32e-3);
+  EXPECT_LT(pitch, 40e-3);
+}
+
+}  // namespace
+}  // namespace llama::metasurface

@@ -1,0 +1,73 @@
+#include "src/microwave/substrate.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/units.h"
+
+namespace llama::microwave {
+namespace {
+
+const common::Frequency kF0 = common::Frequency::ghz(2.44);
+
+TEST(Substrate, CatalogValuesMatchPaper) {
+  const Substrate rogers = Substrate::rogers5880();
+  const Substrate fr4 = Substrate::fr4();
+  // Paper Section 3.2: Rogers 5880 tan d = 0.0009, FR4 tan d = 0.02.
+  EXPECT_DOUBLE_EQ(rogers.loss_tangent(), 0.0009);
+  EXPECT_DOUBLE_EQ(fr4.loss_tangent(), 0.02);
+  EXPECT_GT(fr4.loss_tangent() / rogers.loss_tangent(), 20.0);
+}
+
+TEST(Substrate, Fr4IsMuchCheaper) {
+  EXPECT_LT(Substrate::fr4().cost_usd_per_m2() * 5.0,
+            Substrate::rogers5880().cost_usd_per_m2());
+}
+
+TEST(Substrate, ComplexPermittivityHasNegativeImaginary) {
+  const auto er = Substrate::fr4().complex_epsilon_r();
+  EXPECT_GT(er.real(), 1.0);
+  EXPECT_LT(er.imag(), 0.0);
+  EXPECT_NEAR(-er.imag() / er.real(), 0.02, 1e-12);
+}
+
+TEST(Substrate, WaveImpedanceBelowFreeSpace) {
+  const auto z = Substrate::fr4().wave_impedance();
+  EXPECT_LT(std::abs(z), 376.73);
+  EXPECT_GT(std::abs(z), 100.0);
+}
+
+TEST(Substrate, PropagationConstantScalesWithFrequency) {
+  const Substrate s = Substrate::fr4();
+  const auto g1 = s.propagation_constant(common::Frequency::ghz(2.0));
+  const auto g2 = s.propagation_constant(common::Frequency::ghz(4.0));
+  EXPECT_NEAR(g2.imag() / g1.imag(), 2.0, 1e-6);
+}
+
+TEST(Substrate, AttenuationTracksLossTangent) {
+  const double a_fr4 = Substrate::fr4().attenuation_db_per_mm(kF0);
+  const double a_rog = Substrate::rogers5880().attenuation_db_per_mm(kF0);
+  EXPECT_GT(a_fr4, a_rog);
+  // Ratio ~ (tan_d * sqrt(er)) ratio ~ 22 * sqrt(4.4/2.2) ~= 31.
+  EXPECT_NEAR(a_fr4 / a_rog, 31.4, 3.0);
+}
+
+TEST(Substrate, Fr4AttenuationOrderOfMagnitude) {
+  // ~0.01 dB/mm at 2.44 GHz: small in bulk, which is why the paper's loss
+  // story is dominated by resonant pattern dissipation, not slab loss.
+  EXPECT_NEAR(Substrate::fr4().attenuation_db_per_mm(kF0), 0.0093, 0.002);
+}
+
+TEST(Substrate, RejectsNonPhysicalParameters) {
+  EXPECT_THROW(Substrate("bad", 0.5, 0.01, 10.0), std::invalid_argument);
+  EXPECT_THROW(Substrate("bad", 2.0, -0.1, 10.0), std::invalid_argument);
+}
+
+TEST(Substrate, LosslessHasNoAttenuation) {
+  const Substrate ideal{"ideal", 2.2, 0.0, 0.0};
+  EXPECT_NEAR(ideal.attenuation_db_per_mm(kF0), 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace llama::microwave

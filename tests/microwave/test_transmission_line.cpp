@@ -1,0 +1,86 @@
+#include "src/microwave/transmission_line.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace llama::microwave {
+namespace {
+
+const common::Frequency kF0 = common::Frequency::ghz(2.44);
+
+TEST(DielectricSlab, ThinSlabIsNearlyTransparent) {
+  const DielectricSlab slab{Substrate::fr4(), 0.8e-3};
+  const SParams s = slab.abcd(kF0).to_sparams();
+  EXPECT_GT(s.transmission_efficiency_db(), -0.5);
+  EXPECT_TRUE(s.is_passive());
+}
+
+TEST(DielectricSlab, ThickerSlabsLoseMore) {
+  const DielectricSlab thin{Substrate::fr4(), 0.8e-3};
+  const DielectricSlab thick{Substrate::fr4(), 3.2e-3};
+  EXPECT_GT(thick.bulk_loss_db(kF0), thin.bulk_loss_db(kF0));
+  EXPECT_NEAR(thick.bulk_loss_db(kF0) / thin.bulk_loss_db(kF0), 4.0, 1e-6);
+}
+
+TEST(DielectricSlab, RogersLosesLessThanFr4) {
+  const DielectricSlab fr4{Substrate::fr4(), 1.57e-3};
+  const DielectricSlab rogers{Substrate::rogers5880(), 1.57e-3};
+  EXPECT_LT(rogers.bulk_loss_db(kF0), fr4.bulk_loss_db(kF0));
+}
+
+TEST(DielectricSlab, HalfWaveSlabIsImpedanceTransparent) {
+  // A lossless half-wavelength slab repeats the input impedance: |S11| ~ 0.
+  const Substrate ideal{"ideal", 4.0, 0.0, 0.0};
+  const double lambda_d = 0.123 / std::sqrt(4.0);
+  const DielectricSlab slab{ideal, lambda_d / 2.0};
+  const SParams s = slab.abcd(common::Frequency::ghz(2.44)).to_sparams();
+  EXPECT_LT(std::abs(s.s11), 0.02);
+}
+
+TEST(DielectricSlab, RejectsNonPositiveThickness) {
+  EXPECT_THROW(DielectricSlab(Substrate::fr4(), 0.0), std::invalid_argument);
+  EXPECT_THROW(DielectricSlab(Substrate::fr4(), -1e-3),
+               std::invalid_argument);
+}
+
+TEST(Microstrip, EffectiveEpsilonBetweenOneAndEr) {
+  const Microstrip ms{Substrate::fr4(), 1.5e-3, 0.8e-3};
+  EXPECT_GT(ms.effective_epsilon(), 1.0);
+  EXPECT_LT(ms.effective_epsilon(), 4.4);
+}
+
+TEST(Microstrip, FiftyOhmGeometryOnFr4) {
+  // Classic result: w/h ~ 1.9 on er=4.4 gives ~50 ohm.
+  const Microstrip ms{Substrate::fr4(), 1.52e-3, 0.8e-3};
+  EXPECT_NEAR(ms.characteristic_impedance(), 50.0, 5.0);
+}
+
+TEST(Microstrip, WiderTraceLowersImpedance) {
+  const Microstrip narrow{Substrate::fr4(), 0.5e-3, 0.8e-3};
+  const Microstrip wide{Substrate::fr4(), 3.0e-3, 0.8e-3};
+  EXPECT_GT(narrow.characteristic_impedance(),
+            wide.characteristic_impedance());
+}
+
+TEST(Microstrip, LcPerLengthConsistentWithImpedance) {
+  const Microstrip ms{Substrate::fr4(), 1.5e-3, 0.8e-3};
+  const double z0 = std::sqrt(ms.inductance_per_m() / ms.capacitance_per_m());
+  EXPECT_NEAR(z0, ms.characteristic_impedance(), 1e-6);
+}
+
+TEST(Microstrip, GuidedWavelengthShorterThanFreeSpace) {
+  const Microstrip ms{Substrate::fr4(), 1.5e-3, 0.8e-3};
+  EXPECT_LT(ms.guided_wavelength_m(kF0), 0.1229);
+  EXPECT_GT(ms.guided_wavelength_m(kF0), 0.1229 / std::sqrt(4.4));
+}
+
+TEST(Microstrip, RejectsNonPositiveDimensions) {
+  EXPECT_THROW(Microstrip(Substrate::fr4(), 0.0, 1e-3),
+               std::invalid_argument);
+  EXPECT_THROW(Microstrip(Substrate::fr4(), 1e-3, -1.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace llama::microwave

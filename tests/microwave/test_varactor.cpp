@@ -1,0 +1,88 @@
+#include "src/microwave/varactor.h"
+
+#include <gtest/gtest.h>
+
+namespace llama::microwave {
+namespace {
+
+using common::Voltage;
+
+TEST(Varactor, Smv1233MatchesPaperAnchors) {
+  // Paper Section 3.2: 0.84 pF to 2.41 pF over 2 V to 15 V reverse bias.
+  const Varactor v = Varactor::smv1233();
+  EXPECT_NEAR(v.capacitance(Voltage{2.0}) * 1e12, 2.41, 0.05);
+  EXPECT_NEAR(v.capacitance(Voltage{15.0}) * 1e12, 0.84, 0.05);
+}
+
+TEST(Varactor, CapacitanceIsMonotoneDecreasing) {
+  const Varactor v = Varactor::smv1233();
+  double prev = 1.0;  // 1 F, larger than anything physical
+  for (double bias = 0.0; bias <= 30.0; bias += 0.5) {
+    const double c = v.capacitance(Voltage{bias});
+    EXPECT_LT(c, prev) << "bias=" << bias;
+    EXPECT_GT(c, 0.0);
+    prev = c;
+  }
+}
+
+TEST(Varactor, NegativeBiasClampsToZeroVolt) {
+  const Varactor v = Varactor::smv1233();
+  EXPECT_DOUBLE_EQ(v.capacitance(Voltage{-3.0}),
+                   v.capacitance(Voltage{0.0}));
+}
+
+TEST(Varactor, InverseMapRoundTrips) {
+  const Varactor v = Varactor::smv1233();
+  for (double bias : {2.0, 5.0, 10.0, 15.0, 25.0}) {
+    const double c = v.capacitance(Voltage{bias});
+    EXPECT_NEAR(v.bias_for_capacitance(c).value(), bias, 1e-6);
+  }
+}
+
+TEST(Varactor, InverseMapClampsOutOfRange) {
+  const Varactor v = Varactor::smv1233();
+  EXPECT_NEAR(v.bias_for_capacitance(100e-12).value(), 0.0, 1e-9);
+  EXPECT_NEAR(v.bias_for_capacitance(0.01e-12).value(), 30.0, 1e-9);
+}
+
+TEST(Varactor, SeriesResistanceIsSmallPositive) {
+  const Varactor v = Varactor::smv1233();
+  EXPECT_GT(v.series_resistance(), 0.0);
+  EXPECT_LT(v.series_resistance(), 10.0);
+}
+
+TEST(Varactor, DeratedCurveIsStretchedAlongBias) {
+  // Paper Section 3.3: fabricated boards need up to 30 V for the effect the
+  // ideal diode shows at 15 V.
+  const Varactor ideal = Varactor::smv1233();
+  const Varactor real = ideal.derated(2.0);
+  EXPECT_NEAR(real.capacitance(Voltage{30.0}),
+              ideal.capacitance(Voltage{15.0}), 0.02e-12);
+  EXPECT_NEAR(real.capacitance(Voltage{4.0}),
+              ideal.capacitance(Voltage{2.0}), 0.02e-12);
+}
+
+TEST(Varactor, DeratingOneIsIdentity) {
+  const Varactor ideal = Varactor::smv1233();
+  const Varactor same = ideal.derated(1.0);
+  EXPECT_DOUBLE_EQ(same.capacitance(Voltage{7.0}),
+                   ideal.capacitance(Voltage{7.0}));
+}
+
+TEST(Varactor, RejectsBadParameters) {
+  EXPECT_THROW(Varactor(0.0, 1.0, 0.5, 0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(Varactor(1e-12, -1.0, 0.5, 0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(Varactor::smv1233().derated(0.0), std::invalid_argument);
+}
+
+/// Property: the tuning ratio over the paper's bias range covers the
+/// 2.41/0.84 ~= 2.9x capacitance swing that sets the phase-shifter range.
+TEST(Varactor, TuningRatioNearPaperValue) {
+  const Varactor v = Varactor::smv1233();
+  const double ratio =
+      v.capacitance(Voltage{2.0}) / v.capacitance(Voltage{15.0});
+  EXPECT_NEAR(ratio, 2.41 / 0.84, 0.15);
+}
+
+}  // namespace
+}  // namespace llama::microwave

@@ -1,0 +1,68 @@
+#include "src/radio/devices.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/math_utils.h"
+
+namespace llama::radio {
+namespace {
+
+using common::PowerDbm;
+using common::Rng;
+
+TEST(DeviceProfile, CatalogIsSensible) {
+  const auto esp = DeviceProfile::esp8266();
+  const auto ap = DeviceProfile::wifi_ap();
+  const auto ble = DeviceProfile::ble_wearable();
+  const auto pi = DeviceProfile::raspberry_pi();
+  EXPECT_GT(ap.tx_power.value(), esp.tx_power.value());
+  EXPECT_GT(esp.tx_power.value(), ble.tx_power.value());
+  EXPECT_DOUBLE_EQ(ble.bandwidth.in_mhz(), 2.0);  // BLE channel
+  EXPECT_DOUBLE_EQ(pi.bandwidth.in_mhz(), 2.0);
+  EXPECT_DOUBLE_EQ(esp.bandwidth.in_mhz(), 20.0);  // Wi-Fi channel
+}
+
+TEST(RssiReporter, SamplesAreQuantized) {
+  RssiReporter rep{DeviceProfile::esp8266(), Rng{1}};
+  for (int i = 0; i < 50; ++i) {
+    const double v = rep.sample(PowerDbm{-42.3}).value();
+    EXPECT_NEAR(v, std::round(v), 1e-9);
+  }
+}
+
+TEST(RssiReporter, MeanTracksTruePower) {
+  RssiReporter rep{DeviceProfile::esp8266(), Rng{2}};
+  const auto xs = rep.collect(PowerDbm{-40.0}, 5000);
+  EXPECT_NEAR(common::mean(xs), -40.0, 0.3);
+}
+
+TEST(RssiReporter, SpreadMatchesJitterSpec) {
+  const DeviceProfile p = DeviceProfile::esp8266();
+  RssiReporter rep{p, Rng{3}};
+  const auto xs = rep.collect(PowerDbm{-40.0}, 5000);
+  // Quantization adds ~1/12 dB^2; jitter dominates.
+  EXPECT_NEAR(common::stddev(xs), p.rssi_jitter_db, 0.3);
+}
+
+TEST(RssiReporter, CollectSizeAndDeterminism) {
+  RssiReporter a{DeviceProfile::ble_wearable(), Rng{7}};
+  RssiReporter b{DeviceProfile::ble_wearable(), Rng{7}};
+  const auto xs = a.collect(PowerDbm{-65.0}, 100);
+  const auto ys = b.collect(PowerDbm{-65.0}, 100);
+  ASSERT_EQ(xs.size(), 100u);
+  EXPECT_EQ(xs, ys);
+}
+
+TEST(RssiReporter, DistributionsSeparateWhenPowersDiffer) {
+  // The Fig. 2 situation: match vs mismatch powers ~10 dB apart produce
+  // clearly separated RSSI histograms.
+  RssiReporter rep{DeviceProfile::esp8266(), Rng{11}};
+  const auto strong = rep.collect(PowerDbm{-30.0}, 2000);
+  const auto weak = rep.collect(PowerDbm{-40.0}, 2000);
+  EXPECT_GT(common::mean(strong) - common::mean(weak), 8.0);
+}
+
+}  // namespace
+}  // namespace llama::radio

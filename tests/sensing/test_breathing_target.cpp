@@ -1,0 +1,80 @@
+#include "src/sensing/breathing_target.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace llama::sensing {
+namespace {
+
+using common::Frequency;
+
+const Frequency kF0 = Frequency::ghz(2.44);
+
+BreathingTarget make_target() {
+  return BreathingTarget{BreathingPattern{}, 2.6, 0.18};
+}
+
+TEST(BreathingTarget, DisplacementIsBoundedByExcursion) {
+  const BreathingTarget t = make_target();
+  for (double s = 0.0; s < 10.0; s += 0.05) {
+    EXPECT_LE(std::abs(t.displacement_m(s)), 5e-3 + 1e-12);
+  }
+}
+
+TEST(BreathingTarget, DisplacementIsPeriodicAtBreathingRate) {
+  const BreathingTarget t = make_target();
+  const double period = 1.0 / 0.25;
+  for (double s : {0.3, 1.1, 2.7})
+    EXPECT_NEAR(t.displacement_m(s), t.displacement_m(s + period), 1e-12);
+}
+
+TEST(BreathingTarget, ScatterMagnitudeIsConstant) {
+  const BreathingTarget t = make_target();
+  const double m0 = std::abs(t.scatter_coefficient(kF0, 0.0));
+  for (double s = 0.0; s < 4.0; s += 0.25)
+    EXPECT_NEAR(std::abs(t.scatter_coefficient(kF0, s)), m0, 1e-12);
+}
+
+TEST(BreathingTarget, ScatterPhaseBreathes) {
+  const BreathingTarget t = make_target();
+  // Peak-to-peak phase modulation: 2k * 2 * excursion ~= 0.51 rad * 2 at
+  // 2.44 GHz with 5 mm excursion.
+  double min_phase = 1e9;
+  double max_phase = -1e9;
+  for (double s = 0.0; s < 4.0; s += 0.01) {
+    const double p = std::arg(t.scatter_coefficient(kF0, s) *
+                              std::conj(t.scatter_coefficient(kF0, 0.0)));
+    min_phase = std::min(min_phase, p);
+    max_phase = std::max(max_phase, p);
+  }
+  const double k = 2.0 * 3.14159265358979 / 0.12287;
+  EXPECT_NEAR(max_phase - min_phase, 2.0 * k * 2.0 * 5e-3, 0.1);
+}
+
+TEST(BreathingTarget, CustomPatternControlsRate) {
+  BreathingPattern fast;
+  fast.rate_hz = 0.5;  // 2 s period
+  const BreathingTarget t{fast, 2.0, 0.1};
+  EXPECT_NEAR(t.displacement_m(1.0), 0.0, 1e-9);   // half period: zero cross
+  EXPECT_NEAR(t.displacement_m(0.5), fast.chest_excursion_m, 1e-9);  // crest
+}
+
+TEST(BreathingTarget, PhaseOffsetShiftsWaveform) {
+  BreathingPattern shifted;
+  shifted.phase_rad = 3.14159265358979 / 2.0;
+  const BreathingTarget t{shifted, 2.0, 0.1};
+  EXPECT_NEAR(t.displacement_m(0.0), shifted.chest_excursion_m, 1e-9);
+}
+
+TEST(BreathingTarget, RejectsBadArguments) {
+  EXPECT_THROW(BreathingTarget(BreathingPattern{}, 0.0, 0.1),
+               std::invalid_argument);
+  EXPECT_THROW(BreathingTarget(BreathingPattern{}, 1.0, -0.1),
+               std::invalid_argument);
+  EXPECT_THROW(BreathingTarget(BreathingPattern{}, 1.0, 1.5),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace llama::sensing

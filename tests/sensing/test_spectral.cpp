@@ -1,0 +1,108 @@
+#include "src/sensing/spectral.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace llama::sensing {
+namespace {
+
+std::vector<double> tone_trace(double rate_hz, double amplitude,
+                               double noise, double fs, double duration_s,
+                               std::uint64_t seed) {
+  common::Rng rng{seed};
+  std::vector<double> out;
+  const int n = static_cast<int>(duration_s * fs);
+  for (int i = 0; i < n; ++i) {
+    const double t = i / fs;
+    out.push_back(-50.0 +
+                  amplitude * std::sin(2.0 * 3.14159265358979 * rate_hz * t) +
+                  rng.gaussian(0.0, noise));
+  }
+  return out;
+}
+
+TEST(Goertzel, RecoversTonePower) {
+  // A unit-amplitude sine has 0.25 power in each of its two spectral lines;
+  // the single-sided Goertzel bin sees amplitude/2 squared.
+  const auto xs = tone_trace(0.25, 1.0, 0.0, 10.0, 120.0, 1);
+  std::vector<double> centered(xs);
+  for (double& x : centered) x += 50.0;  // remove the DC offset
+  const double p = goertzel_power(centered, 10.0, 0.25);
+  EXPECT_NEAR(p, 0.25, 0.02);
+}
+
+TEST(Goertzel, OffFrequencyBinIsSmall) {
+  const auto xs = tone_trace(0.25, 1.0, 0.0, 10.0, 120.0, 2);
+  std::vector<double> centered(xs);
+  for (double& x : centered) x += 50.0;
+  EXPECT_LT(goertzel_power(centered, 10.0, 0.45),
+            goertzel_power(centered, 10.0, 0.25) / 50.0);
+}
+
+TEST(Goertzel, EmptyInputIsZero) {
+  EXPECT_DOUBLE_EQ(goertzel_power({}, 10.0, 0.25), 0.0);
+}
+
+TEST(SpectralAnalyzer, FindsBreathingLine) {
+  SpectralRespirationAnalyzer analyzer;
+  const auto trace = tone_trace(0.25, 1.0, 0.05, 10.0, 60.0, 3);
+  const SpectralEstimate e = analyzer.analyze(trace, 10.0);
+  EXPECT_TRUE(e.detected);
+  EXPECT_NEAR(e.peak_frequency_hz, 0.25, 0.02);
+  EXPECT_GT(e.prominence, 10.0);
+}
+
+TEST(SpectralAnalyzer, SeparatesNearbyRates) {
+  SpectralRespirationAnalyzer analyzer;
+  for (double rate : {0.2, 0.3, 0.45}) {
+    const auto trace = tone_trace(rate, 1.0, 0.05, 10.0, 90.0, 4);
+    const SpectralEstimate e = analyzer.analyze(trace, 10.0);
+    EXPECT_NEAR(e.peak_frequency_hz, rate, 0.02) << "rate=" << rate;
+  }
+}
+
+TEST(SpectralAnalyzer, RejectsNoise) {
+  SpectralRespirationAnalyzer analyzer;
+  const auto trace = tone_trace(0.25, 0.0, 1.0, 10.0, 60.0, 5);
+  EXPECT_FALSE(analyzer.analyze(trace, 10.0).detected);
+}
+
+TEST(SpectralAnalyzer, ScanCoversConfiguredBand) {
+  SpectralRespirationAnalyzer analyzer;
+  const auto trace = tone_trace(0.25, 1.0, 0.1, 10.0, 60.0, 6);
+  const SpectralEstimate e = analyzer.analyze(trace, 10.0);
+  ASSERT_FALSE(e.spectrum.empty());
+  EXPECT_NEAR(e.spectrum.front().frequency_hz, 0.1, 1e-9);
+  EXPECT_NEAR(e.spectrum.back().frequency_hz, 0.6, 0.011);
+}
+
+TEST(SpectralAnalyzer, ShortTraceHandledGracefully) {
+  SpectralRespirationAnalyzer analyzer;
+  const std::vector<double> tiny(8, -50.0);
+  EXPECT_FALSE(analyzer.analyze(tiny, 10.0).detected);
+}
+
+TEST(SpectralAnalyzer, AgreesWithAutocorrelationDetector) {
+  // Cross-validation of the two detectors on the same clean trace.
+  SpectralRespirationAnalyzer spectral;
+  const auto trace = tone_trace(0.3, 1.5, 0.1, 10.0, 60.0, 7);
+  const SpectralEstimate e = spectral.analyze(trace, 10.0);
+  EXPECT_TRUE(e.detected);
+  EXPECT_NEAR(e.peak_frequency_hz, 0.3, 0.03);
+}
+
+TEST(SpectralAnalyzer, RejectsBadOptions) {
+  SpectralRespirationAnalyzer::Options bad;
+  bad.min_rate_hz = 0.0;
+  EXPECT_THROW(SpectralRespirationAnalyzer{bad}, std::invalid_argument);
+  bad.min_rate_hz = 0.1;
+  bad.scan_step_hz = 0.0;
+  EXPECT_THROW(SpectralRespirationAnalyzer{bad}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace llama::sensing
