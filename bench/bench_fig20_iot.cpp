@@ -17,7 +17,7 @@ int main() {
   cfg.tx_antenna = channel::Antenna::iot_dipole(common::Angle::degrees(0.0));
   cfg.rx_antenna = channel::Antenna::iot_dipole(common::Angle::degrees(90.0));
   core::LlamaSystem sys{cfg};
-  (void)sys.optimize_link();
+  (void)sys.optimize_link_batched();
 
   radio::RssiReporter reporter{radio::DeviceProfile::esp8266(),
                                common::Rng{23}};

@@ -20,7 +20,10 @@ int main() {
     control::FullGridSweep::Options opt;
     opt.step = common::Voltage{3.0};
     control::FullGridSweep sweep{supply, opt};
-    const auto result = sweep.run(sys.make_probe(0.01));
+    // Batched path: the reflection plan's forward cascade is reused across
+    // the whole grid (the reflective mode re-solves only the tunable BFS
+    // boards' S11 per cell).
+    const auto result = sweep.run_batched(sys.make_grid_probe());
     common::print_ascii_heatmap(
         std::cout,
         "Fig. 21: reflective power heatmap (dBm), Tx-surface = " +

@@ -1,0 +1,71 @@
+// Tiny self-contained timing harness for the bench executables.
+//
+// Every bench that reports performance supports a `--json` flag: instead of
+// human-readable tables it emits one machine-readable line per measurement,
+//
+//   {"name":"stack_transmission","ns_per_op":1234.5,"probes_per_s":810000.0}
+//
+// which CI collects as the repo's performance trajectory. Keys are stable;
+// benches may append extra keys (e.g. "speedup_vs_unbatched").
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <string>
+
+namespace llama::bench {
+
+struct BenchResult {
+  std::string name;
+  double ns_per_op = 0.0;
+  double ops_per_s = 0.0;
+  long iterations = 0;
+};
+
+/// True when `--json` appears on the command line.
+inline bool json_mode(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--json") == 0) return true;
+  return false;
+}
+
+/// Times `op` (one logical operation, e.g. one probe) until at least
+/// `min_time_s` of wall clock has accumulated, after one untimed warmup.
+template <typename Fn>
+BenchResult run_bench(std::string name, Fn&& op, double min_time_s = 0.2,
+                      long min_iterations = 3) {
+  using clock = std::chrono::steady_clock;
+  op();  // warmup: touch caches, build lazy plans
+  long iterations = 0;
+  const clock::time_point start = clock::now();
+  double elapsed_s = 0.0;
+  do {
+    op();
+    ++iterations;
+    elapsed_s = std::chrono::duration<double>(clock::now() - start).count();
+  } while (elapsed_s < min_time_s || iterations < min_iterations);
+  BenchResult result;
+  result.name = std::move(name);
+  result.iterations = iterations;
+  result.ns_per_op = elapsed_s * 1e9 / static_cast<double>(iterations);
+  result.ops_per_s = static_cast<double>(iterations) / elapsed_s;
+  return result;
+}
+
+/// Prints one result: a JSON line in json mode, aligned text otherwise.
+/// `extra_json` (optional) is appended inside the JSON object and must
+/// start with a comma, e.g. ",\"speedup_vs_unbatched\":12.5".
+inline void print_result(const BenchResult& r, bool json,
+                         const std::string& extra_json = "") {
+  if (json) {
+    std::printf("{\"name\":\"%s\",\"ns_per_op\":%.1f,\"probes_per_s\":%.1f%s}\n",
+                r.name.c_str(), r.ns_per_op, r.ops_per_s, extra_json.c_str());
+  } else {
+    std::printf("%-36s %14.1f ns/op %14.1f ops/s   (%ld iters)\n",
+                r.name.c_str(), r.ns_per_op, r.ops_per_s, r.iterations);
+  }
+}
+
+}  // namespace llama::bench

@@ -1,65 +1,145 @@
-// Google-benchmark microbenchmarks: hot paths of the simulation stack.
-// These quantify the cost of the circuit solver and the control loop so
-// users know what a full-grid sweep or a closed-loop run costs in CPU time.
-#include <benchmark/benchmark.h>
+// Microbenchmarks of the simulation hot paths, before and after the batched
+// response engine: the direct per-probe cascade, the planned (per-frequency
+// precomputed) path, the memoized response cache, and the batched grid
+// evaluators. Run with --json for machine-readable output (see
+// bench_harness.h); CI tracks these lines as the perf trajectory.
+#include <cstdio>
+#include <vector>
 
+#include "bench/bench_harness.h"
 #include "src/core/scenarios.h"
 #include "src/em/jones.h"
 #include "src/metasurface/designs.h"
+#include "src/metasurface/metasurface.h"
 
 using namespace llama;
 
 namespace {
 
-void BM_JonesRotatorCompose(benchmark::State& state) {
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(em::polarization_rotator(0.7, 0.1, -0.2));
-  }
-}
-BENCHMARK(BM_JonesRotatorCompose);
+/// Sink that keeps the optimizer from deleting benchmarked work.
+volatile double g_sink = 0.0;
 
-void BM_StackTransmission(benchmark::State& state) {
-  const metasurface::RotatorStack stack = metasurface::optimized_fr4_design();
-  const auto f0 = common::Frequency::ghz(2.44);
-  double v = 0.0;
-  for (auto _ : state) {
-    v += 0.1;
-    if (v > 30.0) v = 0.0;
-    benchmark::DoNotOptimize(
-        stack.transmission(f0, common::Voltage{v}, common::Voltage{v}));
-  }
+void consume(const em::JonesMatrix& j) {
+  g_sink = g_sink + j.at(0, 0).real() + j.at(1, 1).imag();
 }
-BENCHMARK(BM_StackTransmission);
 
-void BM_StackEfficiencySweep(benchmark::State& state) {
-  const metasurface::RotatorStack stack = metasurface::optimized_fr4_design();
-  for (auto _ : state) {
-    double acc = 0.0;
-    for (double ghz = 2.4; ghz <= 2.5; ghz += 0.01)
-      acc += stack.transmission_efficiency_db(common::Frequency::ghz(ghz),
-                                              common::Voltage{5.0},
-                                              common::Voltage{5.0}, false);
-    benchmark::DoNotOptimize(acc);
-  }
+/// Rescales a whole-grid timing to per-probe numbers.
+bench::BenchResult per_probe(bench::BenchResult r, double probes) {
+  r.ns_per_op /= probes;
+  r.ops_per_s *= probes;
+  return r;
 }
-BENCHMARK(BM_StackEfficiencySweep);
 
-void BM_LinkBudgetMeasurement(benchmark::State& state) {
-  core::LlamaSystem sys{core::transmissive_mismatch_config()};
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(sys.measure_with_surface(0.001));
-  }
+std::vector<double> one_volt_axis() {
+  std::vector<double> axis;
+  for (double v = 0.0; v <= 30.0; v += 1.0) axis.push_back(v);
+  return axis;
 }
-BENCHMARK(BM_LinkBudgetMeasurement);
-
-void BM_FullOptimizationRound(benchmark::State& state) {
-  core::LlamaSystem sys{core::transmissive_mismatch_config()};
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(sys.optimize_link());
-  }
-}
-BENCHMARK(BM_FullOptimizationRound);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const bool json = bench::json_mode(argc, argv);
+  const auto f0 = common::Frequency::ghz(2.44);
+
+  {
+    bench::print_result(bench::run_bench("jones_rotator_compose", [] {
+      consume(em::polarization_rotator(0.7, 0.1, -0.2));
+    }), json);
+  }
+
+  const metasurface::RotatorStack stack = metasurface::optimized_fr4_design();
+  {
+    double v = 0.0;
+    bench::print_result(bench::run_bench("stack_transmission_direct", [&] {
+      v += 0.1;
+      if (v > 30.0) v = 0.0;
+      consume(stack.transmission(f0, common::Voltage{v}, common::Voltage{v}));
+    }), json);
+  }
+  {
+    const auto plan = stack.plan_transmission(f0);
+    double v = 0.0;
+    bench::print_result(bench::run_bench("stack_transmission_planned", [&] {
+      v += 0.1;
+      if (v > 30.0) v = 0.0;
+      consume(stack.transmission(plan, common::Voltage{v}, common::Voltage{v}));
+    }), json);
+  }
+  {
+    double v = 0.0;
+    bench::print_result(bench::run_bench("stack_reflection_direct", [&] {
+      v += 0.1;
+      if (v > 30.0) v = 0.0;
+      consume(stack.reflection(f0, common::Voltage{v}, common::Voltage{v}));
+    }), json);
+  }
+  {
+    const auto plan = stack.plan_reflection(f0);
+    double v = 0.0;
+    bench::print_result(bench::run_bench("stack_reflection_planned", [&] {
+      v += 0.1;
+      if (v > 30.0) v = 0.0;
+      consume(stack.reflection(plan, common::Voltage{v}, common::Voltage{v}));
+    }), json);
+  }
+
+  {
+    metasurface::Metasurface surface = metasurface::Metasurface::llama_prototype();
+    surface.enable_response_cache();
+    surface.set_bias(common::Voltage{12.0}, common::Voltage{7.0});
+    bench::print_result(bench::run_bench("metasurface_response_cache_hit", [&] {
+      consume(surface.response(f0, metasurface::SurfaceMode::kTransmissive));
+    }), json);
+  }
+
+  const std::vector<double> axis = one_volt_axis();
+  const double cells = static_cast<double>(axis.size() * axis.size());
+  {
+    const metasurface::Metasurface surface =
+        metasurface::Metasurface::llama_prototype();
+    bench::print_result(
+        per_probe(bench::run_bench("response_grid_31x31_per_probe", [&] {
+          const auto grid = surface.response_grid(
+              f0, metasurface::SurfaceMode::kTransmissive, axis, axis);
+          consume(grid.back().back());
+        }), cells),
+        json);
+  }
+
+  {
+    core::LlamaSystem sys{core::transmissive_mismatch_config()};
+    const auto probe = sys.make_probe(0.02);
+    bench::print_result(bench::run_bench("probe_unbatched", [&] {
+      g_sink = g_sink +
+               probe(common::Voltage{9.0}, common::Voltage{21.0}).value();
+    }), json, "");
+  }
+  {
+    core::LlamaSystem sys{core::transmissive_mismatch_config()};
+    const auto grid_probe = sys.make_grid_probe();
+    bench::print_result(
+        per_probe(bench::run_bench("grid_probe_31x31_per_probe", [&] {
+          const auto grid = grid_probe(axis, axis);
+          g_sink = g_sink + grid.back().back().value();
+        }), cells),
+        json);
+  }
+
+  {
+    core::LlamaSystem sys{core::transmissive_mismatch_config()};
+    bench::print_result(bench::run_bench("full_optimization_round", [&] {
+      g_sink = g_sink + sys.optimize_link().improvement.value();
+    }), json);
+  }
+  {
+    core::LlamaSystem sys{core::transmissive_mismatch_config()};
+    bench::print_result(bench::run_bench("full_optimization_round_batched",
+                                         [&] {
+      g_sink = g_sink + sys.optimize_link_batched().improvement.value();
+    }), json);
+  }
+
+  if (!json) std::printf("(sink %.3f)\n", g_sink);
+  return 0;
+}

@@ -26,7 +26,7 @@ int main() {
         common::Angle::degrees(orientations_deg[i]));
     cfg.seed += i;
     core::LlamaSystem sys{cfg};
-    const auto report = sys.optimize_link();
+    const auto report = sys.optimize_link_batched();
     devices.push_back(control::DeviceEntry{
         "device-" + std::to_string(i), report.sweep.best_vx,
         report.sweep.best_vy, sys.measure_with_surface(0.1),

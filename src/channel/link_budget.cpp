@@ -52,6 +52,14 @@ LinkBudget::LinkBudget(Antenna tx_antenna, Antenna rx_antenna,
 em::JonesVector LinkBudget::field_at_receiver(
     common::PowerDbm tx_power, common::Frequency f,
     const metasurface::Metasurface* surface) const {
+  if (surface == nullptr) return field_with_response(tx_power, f, nullptr);
+  const em::JonesMatrix j = surface->response(f, geometry_.mode);
+  return field_with_response(tx_power, f, &j);
+}
+
+em::JonesVector LinkBudget::field_with_response(
+    common::PowerDbm tx_power, common::Frequency f,
+    const em::JonesMatrix* response) const {
   const double p_mw = tx_power.to_mw().value();
   const double tx_gain = tx_.boresight_gain().linear();
   // Launch amplitude: sqrt(EIRP in mW); field "power" bookkeeping is done in
@@ -67,14 +75,12 @@ em::JonesVector LinkBudget::field_at_receiver(
   if (geometry_.mode == metasurface::SurfaceMode::kTransmissive) {
     // Endpoints face each other; the surface sits on the direct path.
     const Complex prop = propagation(f, geometry_.tx_rx_distance_m);
-    if (surface != nullptr) {
-      const em::JonesMatrix j =
-          surface->response(f, metasurface::SurfaceMode::kTransmissive);
-      at_rx = prop * (j * tx_state);
+    if (response != nullptr) {
+      at_rx = prop * (*response * tx_state);
       // Scattered paths between the Tx and Rx half-spaces also traverse the
       // surface; scale their amplitude by its mean co-polar transmission.
       ray_surface_scale =
-          0.5 * (std::abs(j.at(0, 0)) + std::abs(j.at(1, 1)));
+          0.5 * (std::abs(response->at(0, 0)) + std::abs(response->at(1, 1)));
     } else {
       at_rx = prop * tx_state;
     }
@@ -91,11 +97,9 @@ em::JonesVector LinkBudget::field_at_receiver(
                   rx_.boresight_gain().linear());
     at_rx = (propagation(f, geometry_.tx_rx_distance_m) * los_pattern_scale) *
             tx_state;
-    if (surface != nullptr) {
-      const em::JonesMatrix j =
-          surface->response(f, metasurface::SurfaceMode::kReflective);
+    if (response != nullptr) {
       const Complex prop = propagation(f, geometry_.surface_path_m());
-      at_rx = at_rx + prop * (j * tx_state);
+      at_rx = at_rx + prop * (*response * tx_state);
     }
   }
 
@@ -134,6 +138,12 @@ common::PowerDbm LinkBudget::received_power_with_surface(
     common::PowerDbm tx_power, common::Frequency f,
     const metasurface::Metasurface& surface) const {
   return power_from_field(field_at_receiver(tx_power, f, &surface));
+}
+
+common::PowerDbm LinkBudget::received_power_with_response(
+    common::PowerDbm tx_power, common::Frequency f,
+    const em::JonesMatrix& response) const {
+  return power_from_field(field_with_response(tx_power, f, &response));
 }
 
 }  // namespace llama::channel

@@ -49,6 +49,14 @@ class LinkBudget {
       common::PowerDbm tx_power, common::Frequency f,
       const metasurface::Metasurface& surface) const;
 
+  /// Received power for an externally supplied surface response — the entry
+  /// point of the batched sweep engine, which evaluates whole bias grids of
+  /// Jones matrices up front and feeds them through the same field model.
+  /// `response` must have been computed for this geometry's SurfaceMode.
+  [[nodiscard]] common::PowerDbm received_power_with_response(
+      common::PowerDbm tx_power, common::Frequency f,
+      const em::JonesMatrix& response) const;
+
   /// The Jones state arriving at the receiver (pre-antenna), with surface.
   [[nodiscard]] em::JonesVector field_at_receiver(
       common::PowerDbm tx_power, common::Frequency f,
@@ -66,6 +74,12 @@ class LinkBudget {
   void set_geometry(const LinkGeometry& g) { geometry_ = g; }
 
  private:
+  /// Shared field model: `response` is the surface's Jones matrix for this
+  /// geometry's mode, or nullptr when no surface is deployed.
+  [[nodiscard]] em::JonesVector field_with_response(
+      common::PowerDbm tx_power, common::Frequency f,
+      const em::JonesMatrix* response) const;
+
   [[nodiscard]] common::PowerDbm power_from_field(
       const em::JonesVector& field) const;
 

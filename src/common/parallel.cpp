@@ -1,0 +1,55 @@
+#include "src/common/parallel.h"
+
+#include <algorithm>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace llama::common {
+
+int default_parallelism() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return static_cast<int>(std::clamp(hw, 1u, 8u));
+}
+
+void parallel_for(std::size_t count, int threads,
+                  const std::function<void(std::size_t)>& body) {
+  if (count == 0) return;
+  // Below this many items the fork-join overhead (tens of microseconds per
+  // std::thread) exceeds the work of a typical coarse-to-fine window, so
+  // tiny ranges run serially.
+  constexpr std::size_t kMinParallelCount = 8;
+  const std::size_t workers = std::min<std::size_t>(
+      count,
+      static_cast<std::size_t>(threads > 0 ? threads : default_parallelism()));
+  if (workers <= 1 || count < kMinParallelCount) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  auto run_block = [&](std::size_t begin, std::size_t end) {
+    try {
+      for (std::size_t i = begin; i < end; ++i) body(i);
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock{error_mutex};
+      if (!first_error) first_error = std::current_exception();
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers - 1);
+  const std::size_t chunk = (count + workers - 1) / workers;
+  for (std::size_t w = 1; w < workers; ++w) {
+    const std::size_t begin = std::min(w * chunk, count);
+    const std::size_t end = std::min(begin + chunk, count);
+    if (begin < end) pool.emplace_back(run_block, begin, end);
+  }
+  run_block(0, std::min(chunk, count));
+  for (std::thread& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace llama::common

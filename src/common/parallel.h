@@ -1,0 +1,26 @@
+// Minimal deterministic fork-join helper for the batched sweep engine.
+//
+// parallel_for partitions [0, count) into contiguous blocks, one per worker
+// thread. Each index is processed exactly once and writes only its own
+// output slot, so results are byte-identical regardless of the thread count
+// — the property the batched grid evaluators are tested for.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace llama::common {
+
+/// Worker count used when the caller passes threads <= 0: the hardware
+/// concurrency clamped to [1, 8] (the grids are small; more threads only add
+/// fork-join overhead).
+[[nodiscard]] int default_parallelism();
+
+/// Invokes body(i) for every i in [0, count), distributed over `threads`
+/// workers (<= 0 selects default_parallelism()). Falls back to a plain loop
+/// for a single worker or tiny ranges. The first exception thrown by any
+/// worker is rethrown on the calling thread after all workers join.
+void parallel_for(std::size_t count, int threads,
+                  const std::function<void(std::size_t)>& body);
+
+}  // namespace llama::common

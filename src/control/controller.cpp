@@ -32,6 +32,18 @@ OptimizationReport Controller::optimize(const PowerProbe& probe) {
   return report;
 }
 
+OptimizationReport Controller::optimize_batched(
+    const PowerProbe& baseline_probe, const GridPowerProbe& grid_probe) {
+  OptimizationReport report;
+  report.baseline = baseline_probe(vx_, vy_);
+  CoarseToFineSweep sweep{supply_, options_.sweep};
+  report.sweep = sweep.run_batched(grid_probe);
+  apply(report.sweep.best_vx, report.sweep.best_vy);
+  report.improvement = report.sweep.best_power - report.baseline;
+  last_optimum_ = report.sweep.best_power;
+  return report;
+}
+
 std::optional<OptimizationReport> Controller::on_power_report(
     common::PowerDbm report, const PowerProbe& probe) {
   if (last_optimum_.has_value() &&

@@ -40,6 +40,12 @@ class Controller {
   /// bias, sweeps, and programs the optimum.
   OptimizationReport optimize(const PowerProbe& probe);
 
+  /// Batched optimization round: the coarse-to-fine sweep evaluates each
+  /// iteration's bias window through one grid-probe call. `baseline_probe`
+  /// supplies the pre-optimization power reading at the current bias.
+  OptimizationReport optimize_batched(const PowerProbe& baseline_probe,
+                                      const GridPowerProbe& grid_probe);
+
   /// Tracking step: consumes one power report; triggers a re-optimization
   /// when the link has degraded past the hysteresis threshold (e.g. the
   /// wearable's arm swung). Returns the report when a sweep ran.

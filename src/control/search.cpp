@@ -46,6 +46,34 @@ SweepResult RandomSearch::run(const PowerProbe& probe) {
   return result;
 }
 
+SweepResult RandomSearch::run_batched(const BatchPowerProbe& probe) {
+  const double t0 = supply_.elapsed_s();
+  SweepResult result;
+  result.best_power = common::PowerDbm{-1e9};
+  BiasPairList points;
+  points.reserve(static_cast<std::size_t>(options_.probes));
+  for (int i = 0; i < options_.probes; ++i) {
+    // Same draw order as run(): vx then vy per probe.
+    const common::Voltage vx{
+        rng_.uniform(options_.v_min.value(), options_.v_max.value())};
+    const common::Voltage vy{
+        rng_.uniform(options_.v_min.value(), options_.v_max.value())};
+    points.emplace_back(vx, vy);
+  }
+  const std::vector<common::PowerDbm> powers = probe(points);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    supply_.set_outputs(points[i].first, points[i].second);
+    ++result.probes;
+    if (powers[i] > result.best_power) {
+      result.best_power = powers[i];
+      result.best_vx = points[i].first;
+      result.best_vy = points[i].second;
+    }
+  }
+  result.time_cost_s = supply_.elapsed_s() - t0;
+  return result;
+}
+
 HillClimb::HillClimb(PowerSupply& supply, Options options)
     : supply_(supply), options_(options) {
   if (options_.max_probes < 1)

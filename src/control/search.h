@@ -4,10 +4,23 @@
 // wall-clock cost are directly comparable.
 #pragma once
 
+#include <utility>
+#include <vector>
+
 #include "src/common/rng.h"
 #include "src/control/sweep.h"
 
 namespace llama::control {
+
+/// A list of (Vx, Vy) bias pairs for batch probing.
+using BiasPairList = std::vector<std::pair<common::Voltage, common::Voltage>>;
+
+/// Batched measurement oracle over an arbitrary point list (one power per
+/// input pair). Used by searches whose probe locations are known up front;
+/// the sequential searches below (hill climb, annealing) instead get their
+/// speedup from the metasurface response cache on the point-probe path.
+using BatchPowerProbe =
+    std::function<std::vector<common::PowerDbm>(const BiasPairList& points)>;
 
 /// Uniform random probing with a fixed budget — the no-structure baseline.
 class RandomSearch {
@@ -21,6 +34,11 @@ class RandomSearch {
   RandomSearch(PowerSupply& supply, Options options, common::Rng rng);
 
   [[nodiscard]] SweepResult run(const PowerProbe& probe);
+
+  /// Batched variant: all probe locations are drawn first (same RNG
+  /// sequence as run()), evaluated in one batch, and reduced in the same
+  /// order, so on a deterministic plant both paths return identical results.
+  [[nodiscard]] SweepResult run_batched(const BatchPowerProbe& probe);
 
  private:
   PowerSupply& supply_;

@@ -19,6 +19,9 @@ CoarseToFineSweep::CoarseToFineSweep(PowerSupply& supply, Options options)
 
 SweepResult CoarseToFineSweep::run(const PowerProbe& probe) {
   trace_.clear();
+  trace_.reserve(static_cast<std::size_t>(options_.iterations) *
+                 static_cast<std::size_t>(options_.steps_per_axis) *
+                 static_cast<std::size_t>(options_.steps_per_axis));
   const double t0 = supply_.elapsed_s();
   SweepResult result;
   // Current sweep window, shared by both axes at iteration start
@@ -67,6 +70,65 @@ SweepResult CoarseToFineSweep::run(const PowerProbe& probe) {
   return result;
 }
 
+SweepResult CoarseToFineSweep::run_batched(const GridPowerProbe& probe) {
+  trace_.clear();
+  trace_.reserve(static_cast<std::size_t>(options_.iterations) *
+                 static_cast<std::size_t>(options_.steps_per_axis) *
+                 static_cast<std::size_t>(options_.steps_per_axis));
+  const double t0 = supply_.elapsed_s();
+  SweepResult result;
+  double x_lo = options_.v_min.value();
+  double x_hi = options_.v_max.value();
+  double y_lo = x_lo;
+  double y_hi = x_hi;
+  const int t_steps = options_.steps_per_axis;
+
+  std::vector<double> vxs(static_cast<std::size_t>(t_steps));
+  std::vector<double> vys(static_cast<std::size_t>(t_steps));
+  for (int n = 0; n < options_.iterations; ++n) {
+    const double x_step = (x_hi - x_lo) / t_steps;
+    const double y_step = (y_hi - y_lo) / t_steps;
+    // Same grid points as run(): i, j in [1, T].
+    for (int i = 1; i <= t_steps; ++i) {
+      vxs[static_cast<std::size_t>(i - 1)] = x_lo + x_step * i;
+      vys[static_cast<std::size_t>(i - 1)] = y_lo + y_step * i;
+    }
+    const PowerGrid grid = probe(vxs, vys);
+    double best_x = x_lo;
+    double best_y = y_lo;
+    common::PowerDbm best{-1e9};
+    // Reduce in run()'s probe order (vx outer, vy inner) so tie-breaking
+    // and supply accounting are identical to the serial path.
+    for (int i = 0; i < t_steps; ++i) {
+      for (int j = 0; j < t_steps; ++j) {
+        const common::Voltage vx{vxs[static_cast<std::size_t>(i)]};
+        const common::Voltage vy{vys[static_cast<std::size_t>(j)]};
+        supply_.set_outputs(vx, vy);
+        const common::PowerDbm p = grid[static_cast<std::size_t>(j)]
+                                       [static_cast<std::size_t>(i)];
+        trace_.push_back({vx, vy, p});
+        ++result.probes;
+        if (p > best) {
+          best = p;
+          best_x = vx.value();
+          best_y = vy.value();
+        }
+      }
+    }
+    result.best_vx = common::Voltage{best_x};
+    result.best_vy = common::Voltage{best_y};
+    result.best_power = best;
+    x_lo = std::max(best_x - x_step, options_.v_min.value());
+    x_hi = best_x;
+    y_lo = std::max(best_y - y_step, options_.v_min.value());
+    y_hi = best_y;
+    if (x_hi <= x_lo) x_hi = x_lo + 1e-3;
+    if (y_hi <= y_lo) y_hi = y_lo + 1e-3;
+  }
+  result.time_cost_s = supply_.elapsed_s() - t0;
+  return result;
+}
+
 FullGridSweep::FullGridSweep(PowerSupply& supply, Options options)
     : supply_(supply), options_(options) {
   if (options_.step.value() <= 0.0)
@@ -75,17 +137,26 @@ FullGridSweep::FullGridSweep(PowerSupply& supply, Options options)
     throw std::invalid_argument{"FullGridSweep: empty voltage range"};
 }
 
-SweepResult FullGridSweep::run(const PowerProbe& probe) {
+void FullGridSweep::reset_axes() {
+  // Fully reset the outputs so repeated run()/run_batched() calls on one
+  // sweep object can never leak a previous run's rows or axis labels, and
+  // size everything up front.
   grid_.clear();
   vxs_.clear();
   vys_.clear();
-  const double t0 = supply_.elapsed_s();
-  SweepResult result;
   const double lo = options_.v_min.value();
   const double hi = options_.v_max.value();
   const double step = options_.step.value();
+  vxs_.reserve(static_cast<std::size_t>((hi - lo) / step) + 2);
   for (double v = lo; v <= hi + 1e-9; v += step) vxs_.push_back(v);
   vys_ = vxs_;
+  grid_.reserve(vys_.size());
+}
+
+SweepResult FullGridSweep::run(const PowerProbe& probe) {
+  reset_axes();
+  const double t0 = supply_.elapsed_s();
+  SweepResult result;
   common::PowerDbm best{-1e9};
   for (double vy : vys_) {
     std::vector<double> row;
@@ -100,6 +171,36 @@ SweepResult FullGridSweep::run(const PowerProbe& probe) {
         best = p;
         result.best_vx = common::Voltage{vx};
         result.best_vy = common::Voltage{vy};
+      }
+    }
+    grid_.push_back(std::move(row));
+  }
+  result.best_power = best;
+  result.time_cost_s = supply_.elapsed_s() - t0;
+  return result;
+}
+
+SweepResult FullGridSweep::run_batched(const GridPowerProbe& probe) {
+  reset_axes();
+  const double t0 = supply_.elapsed_s();
+  SweepResult result;
+  const PowerGrid powers = probe(vxs_, vys_);
+  common::PowerDbm best{-1e9};
+  // Reduce in run()'s scan order (vy outer, vx inner); each cell still
+  // charges one supply switch, so the instrument-time model is unchanged.
+  for (std::size_t iy = 0; iy < vys_.size(); ++iy) {
+    std::vector<double> row;
+    row.reserve(vxs_.size());
+    for (std::size_t ix = 0; ix < vxs_.size(); ++ix) {
+      supply_.set_outputs(common::Voltage{vxs_[ix]},
+                          common::Voltage{vys_[iy]});
+      const common::PowerDbm p = powers[iy][ix];
+      row.push_back(p.value());
+      ++result.probes;
+      if (p > best) {
+        best = p;
+        result.best_vx = common::Voltage{vxs_[ix]};
+        result.best_vy = common::Voltage{vys_[iy]};
       }
     }
     grid_.push_back(std::move(row));

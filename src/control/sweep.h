@@ -23,6 +23,17 @@ namespace llama::control {
 using PowerProbe = std::function<common::PowerDbm(common::Voltage vx,
                                                   common::Voltage vy)>;
 
+/// Row-major grid of measured powers: grid[iy][ix] is the power at
+/// (vys[iy], vxs[ix]).
+using PowerGrid = std::vector<std::vector<common::PowerDbm>>;
+
+/// Batched measurement oracle: evaluates the full outer product of the two
+/// bias axes in one call. Implementations (LlamaSystem::make_grid_probe)
+/// reuse the bias-independent cascade across the whole grid and parallelize
+/// rows, which is what makes heatmap sweeps run at memory speed.
+using GridPowerProbe = std::function<PowerGrid(
+    const std::vector<double>& vxs, const std::vector<double>& vys)>;
+
 /// Outcome of a sweep.
 struct SweepResult {
   common::Voltage best_vx{0.0};
@@ -55,6 +66,13 @@ class CoarseToFineSweep {
   /// voltage pair on the supply.
   [[nodiscard]] SweepResult run(const PowerProbe& probe);
 
+  /// Batched variant of run(): each iteration's TxT window is evaluated in
+  /// one grid-probe call instead of T^2 sequential probes. Supply switching
+  /// is accounted per cell exactly as in run(), and the scan/zoom order
+  /// matches run() cell-for-cell, so on a deterministic plant both paths
+  /// return identical results.
+  [[nodiscard]] SweepResult run_batched(const GridPowerProbe& probe);
+
   /// Full trace of measurements from the last run().
   [[nodiscard]] const std::vector<SweepSample>& trace() const {
     return trace_;
@@ -80,6 +98,11 @@ class FullGridSweep {
 
   [[nodiscard]] SweepResult run(const PowerProbe& probe);
 
+  /// Batched variant of run(): the whole (Vx, Vy) plane is evaluated in one
+  /// grid-probe call. Scan order, tie-breaking and supply accounting match
+  /// run() exactly.
+  [[nodiscard]] SweepResult run_batched(const GridPowerProbe& probe);
+
   /// Row-major grid of measured powers from the last run (rows = Vy values,
   /// columns = Vx values), plus the axis labels.
   [[nodiscard]] const std::vector<std::vector<double>>& grid_dbm() const {
@@ -89,6 +112,10 @@ class FullGridSweep {
   [[nodiscard]] const std::vector<double>& vy_values() const { return vys_; }
 
  private:
+  /// Clears and rebuilds the axis labels and grid storage (state from a
+  /// prior run must never leak into the next heatmap).
+  void reset_axes();
+
   PowerSupply& supply_;
   Options options_;
   std::vector<std::vector<double>> grid_;

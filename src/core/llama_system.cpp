@@ -42,6 +42,11 @@ common::PowerDbm LlamaSystem::measure_without_surface(double window_s) {
   return receiver_.measure(with_interference_burst(channel_power), window_s);
 }
 
+common::PowerDbm LlamaSystem::expected_measure_with_surface() {
+  return receiver_.expected_measure(link_.received_power_with_surface(
+      config_.tx_power, config_.frequency, surface_));
+}
+
 control::PowerProbe LlamaSystem::make_probe(double window_s) {
   return [this, window_s](common::Voltage vx, common::Voltage vy) {
     surface_.set_bias(vx, vy);
@@ -49,8 +54,57 @@ control::PowerProbe LlamaSystem::make_probe(double window_s) {
   };
 }
 
+control::GridPowerProbe LlamaSystem::make_grid_probe(int threads) {
+  return [this, threads](const std::vector<double>& vxs,
+                         const std::vector<double>& vys) {
+    const metasurface::SurfaceMode mode = link_.geometry().mode;
+    const metasurface::JonesGrid responses =
+        surface_.response_grid(config_.frequency, mode, vxs, vys, threads);
+    control::PowerGrid grid(vys.size(),
+                            std::vector<common::PowerDbm>(vxs.size()));
+    for (std::size_t iy = 0; iy < vys.size(); ++iy)
+      for (std::size_t ix = 0; ix < vxs.size(); ++ix)
+        grid[iy][ix] = receiver_.expected_measure(
+            link_.received_power_with_response(config_.tx_power,
+                                               config_.frequency,
+                                               responses[iy][ix]));
+    if (!vxs.empty() && !vys.empty())
+      surface_.set_bias(common::Voltage{vxs.back()},
+                        common::Voltage{vys.back()});
+    return grid;
+  };
+}
+
+control::BatchPowerProbe LlamaSystem::make_batch_probe(int threads) {
+  return [this, threads](const control::BiasPairList& points) {
+    const metasurface::SurfaceMode mode = link_.geometry().mode;
+    const std::vector<em::JonesMatrix> responses =
+        surface_.response_batch(config_.frequency, mode, points, threads);
+    std::vector<common::PowerDbm> powers(points.size());
+    for (std::size_t i = 0; i < points.size(); ++i)
+      powers[i] = receiver_.expected_measure(link_.received_power_with_response(
+          config_.tx_power, config_.frequency, responses[i]));
+    if (!points.empty())
+      surface_.set_bias(points.back().first, points.back().second);
+    return powers;
+  };
+}
+
+void LlamaSystem::enable_fast_probes(metasurface::ResponseCacheConfig config) {
+  surface_.enable_response_cache(config);
+}
+
 control::OptimizationReport LlamaSystem::optimize_link() {
   return controller_.optimize(make_probe());
+}
+
+control::OptimizationReport LlamaSystem::optimize_link_batched() {
+  const control::PowerProbe baseline =
+      [this](common::Voltage vx, common::Voltage vy) {
+        surface_.set_bias(vx, vy);
+        return expected_measure_with_surface();
+      };
+  return controller_.optimize_batched(baseline, make_grid_probe());
 }
 
 common::GainDb LlamaSystem::improvement() {

@@ -18,6 +18,7 @@
 #include "src/control/controller.h"
 #include "src/control/power_supply.h"
 #include "src/control/rotation_estimator.h"
+#include "src/control/search.h"
 #include "src/metasurface/metasurface.h"
 #include "src/radio/transceiver.h"
 
@@ -62,9 +63,20 @@ class LlamaSystem {
   [[nodiscard]] common::PowerDbm measure_without_surface(
       double window_s = 0.5);
 
+  /// Expected received power at the current bias: the measurement's mean
+  /// with no IQ synthesis, no interference burst and no RNG state consumed
+  /// — the point-probe analogue of the batched engine's measurement model.
+  [[nodiscard]] common::PowerDbm expected_measure_with_surface();
+
   /// Runs the controller's optimization round (Algorithm 1) and leaves the
   /// surface at the winning bias.
   control::OptimizationReport optimize_link();
+
+  /// Batched optimization round: same Algorithm 1 schedule, but each
+  /// iteration's bias window is evaluated through the batched response
+  /// engine (expected powers, no per-probe IQ synthesis). Leaves the
+  /// surface at the winning bias.
+  control::OptimizationReport optimize_link_batched();
 
   /// Link-power improvement of the optimized surface over the no-surface
   /// baseline.
@@ -96,6 +108,25 @@ class LlamaSystem {
   /// The probe the controller uses: programs a bias pair on the surface and
   /// measures received power over one supply dwell.
   [[nodiscard]] control::PowerProbe make_probe(double window_s = 0.02);
+
+  /// Batched probe over a whole bias grid: Jones responses are evaluated
+  /// through the surface's per-frequency plans (rows parallelized over
+  /// `threads` workers; <= 0 picks a default), fed through the link budget,
+  /// and reported as the receiver's expected power — no sampling jitter, so
+  /// the grid is a pure function of the bias plane and byte-identical for
+  /// any thread count. Leaves the surface biased at the grid's last cell,
+  /// mirroring the serial sweep's end state.
+  [[nodiscard]] control::GridPowerProbe make_grid_probe(int threads = 0);
+
+  /// Batched probe over an arbitrary bias-pair list (same measurement model
+  /// as make_grid_probe).
+  [[nodiscard]] control::BatchPowerProbe make_batch_probe(int threads = 0);
+
+  /// Opt-in: memoizes the surface's response() so sequential searches (hill
+  /// climbing, annealing, tracking re-optimizations) stop re-cascading the
+  /// stack on revisited bias cells. See ResponseCacheConfig for the
+  /// quantization contract.
+  void enable_fast_probes(metasurface::ResponseCacheConfig config = {});
 
  private:
   /// Channel power plus one draw of the environment's bursty interference.

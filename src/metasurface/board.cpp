@@ -33,14 +33,20 @@ Complex FacePattern::admittance(common::Frequency f, common::Voltage bias,
       z_c += 1.0 / (j * omega * c_eff);
     }
     if (varactor_loaded) {
-      const double c_var = varactor.capacitance(bias);
-      z_c += Complex{varactor.series_resistance(), 0.0} +
-             1.0 / (j * omega * c_var);
+      z_c += varactor.impedance(omega, bias);
     }
     if (std::abs(z_c) < 1e-9) z_c = Complex{1e-9, 0.0};
     y_total += 1.0 / z_c;
   }
   return y_total;
+}
+
+Complex FacePlan::admittance(double omega, common::Voltage bias,
+                             const microwave::Varactor& varactor) const {
+  if (!dynamic) return y_static;
+  Complex z_c = z_fixed + varactor.impedance(omega, bias);
+  if (std::abs(z_c) < 1e-9) z_c = Complex{1e-9, 0.0};
+  return y_static + 1.0 / z_c;
 }
 
 Board::Board(std::string name, microwave::Substrate substrate,
@@ -86,6 +92,80 @@ em::JonesMatrix Board::jones_transmission(common::Frequency f,
                                           common::Voltage vy) const {
   const Complex tx = axis_transmission(f, vx, /*y_axis=*/false);
   const Complex ty = axis_transmission(f, vy, /*y_axis=*/true);
+  return em::JonesMatrix{tx, Complex{0.0, 0.0}, Complex{0.0, 0.0}, ty};
+}
+
+namespace {
+
+/// Builds the per-frequency plan of one face. Static faces get their full
+/// admittance baked in (same code path as the unplanned solver, so the
+/// numbers agree exactly); dynamic faces keep only the inductive branch and
+/// the fixed gap-C impedance, mirroring the term grouping of
+/// FacePattern::admittance.
+FacePlan plan_face(const FacePattern& face, common::Frequency f,
+                   const microwave::Varactor& varactor, double tan_d) {
+  FacePlan plan;
+  plan.present = !face.empty();
+  if (!plan.present) return plan;
+  plan.dynamic = face.varactor_loaded;
+  if (!plan.dynamic) {
+    plan.y_static = face.admittance(f, common::Voltage{0.0}, varactor, tan_d);
+    return plan;
+  }
+  const double omega = 2.0 * common::kPi * f.in_hz();
+  const Complex j{0.0, 1.0};
+  if (face.inductance_h > 0.0) {
+    const Complex z_l =
+        Complex{face.r_inductor_ohm, 0.0} + j * omega * face.inductance_h;
+    plan.y_static = 1.0 / z_l;
+  }
+  if (face.capacitance_f > 0.0) {
+    const Complex c_eff = face.capacitance_f * Complex{1.0, -tan_d};
+    plan.z_fixed = 1.0 / (j * omega * c_eff);
+  }
+  return plan;
+}
+
+}  // namespace
+
+BoardFrequencyPlan Board::make_frequency_plan(common::Frequency f) const {
+  BoardFrequencyPlan plan;
+  plan.omega = 2.0 * common::kPi * f.in_hz();
+  const double tan_d = substrate_.loss_tangent();
+  const microwave::Abcd slab =
+      microwave::DielectricSlab{substrate_, thickness_m_}.abcd(f);
+  plan.x.front = plan_face(x_.front, f, varactor_, tan_d);
+  plan.x.back = plan_face(x_.back, f, varactor_, tan_d);
+  plan.x.slab = slab;
+  plan.y.front = plan_face(y_.front, f, varactor_, tan_d);
+  plan.y.back = plan_face(y_.back, f, varactor_, tan_d);
+  plan.y.slab = slab;
+  return plan;
+}
+
+microwave::SParams Board::axis_sparams(const BoardFrequencyPlan& plan,
+                                       common::Voltage bias,
+                                       bool y_axis) const {
+  // Mirrors axis_sparams(f, bias, y_axis) operation-for-operation so the
+  // planned path is bit-identical; the slab ABCD and static admittances come
+  // from the plan instead of being re-derived.
+  const BoardAxisPlan& ax = y_axis ? plan.y : plan.x;
+  Abcd chain = Abcd::identity();
+  if (ax.front.present)
+    chain = chain *
+            Abcd::shunt(ax.front.admittance(plan.omega, bias, varactor_));
+  chain = chain * ax.slab;
+  if (ax.back.present)
+    chain =
+        chain * Abcd::shunt(ax.back.admittance(plan.omega, bias, varactor_));
+  return chain.to_sparams();
+}
+
+em::JonesMatrix Board::jones_transmission(const BoardFrequencyPlan& plan,
+                                          common::Voltage vx,
+                                          common::Voltage vy) const {
+  const Complex tx = axis_sparams(plan, vx, /*y_axis=*/false).s21;
+  const Complex ty = axis_sparams(plan, vy, /*y_axis=*/true).s21;
   return em::JonesMatrix{tx, Complex{0.0, 0.0}, Complex{0.0, 0.0}, ty};
 }
 

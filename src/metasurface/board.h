@@ -61,6 +61,43 @@ struct AxisPatterns {
   FacePattern back;
 };
 
+/// Precomputed frequency-dependent state of one face. For a fixed pattern
+/// the full shunt admittance is baked in; for a varactor-loaded pattern the
+/// bias-independent pieces (inductive-branch admittance, fixed gap-C
+/// impedance) are precomputed and only the diode impedance remains per bias.
+struct FacePlan {
+  bool present = false;  ///< face carries a pattern at all
+  bool dynamic = false;  ///< admittance depends on the bias voltage
+  /// Full admittance (static face) or the inductive-branch admittance alone
+  /// (dynamic face).
+  microwave::Complex y_static{0.0, 0.0};
+  /// Fixed gap-capacitance impedance in series with the varactor (dynamic
+  /// faces only; zero when the pattern has no fixed capacitor).
+  microwave::Complex z_fixed{0.0, 0.0};
+
+  /// Shunt admittance at this plan's frequency under `bias`. Matches
+  /// FacePattern::admittance bit-for-bit.
+  [[nodiscard]] microwave::Complex admittance(
+      double omega, common::Voltage bias,
+      const microwave::Varactor& varactor) const;
+};
+
+/// Per-axis precomputation: both face plans plus the slab's ABCD matrix
+/// (the dominant per-probe cost in the unplanned path — complex exp/trig —
+/// and entirely bias-independent).
+struct BoardAxisPlan {
+  FacePlan front;
+  FacePlan back;
+  microwave::Abcd slab;
+};
+
+/// Everything about a board that depends only on frequency.
+struct BoardFrequencyPlan {
+  double omega = 0.0;
+  BoardAxisPlan x;
+  BoardAxisPlan y;
+};
+
 /// A patterned board: substrate + thickness + X/Y axis patterns.
 class Board {
  public:
@@ -94,6 +131,23 @@ class Board {
   [[nodiscard]] em::JonesMatrix jones_transmission(common::Frequency f,
                                                    common::Voltage vx,
                                                    common::Voltage vy) const;
+
+  /// Precomputes the bias-independent state for frequency f. The plan is a
+  /// value type tied to this board; evaluating it through the overloads
+  /// below reproduces the unplanned results bit-for-bit while skipping the
+  /// slab ABCD (complex exponentials) and all fixed-pattern admittances.
+  [[nodiscard]] BoardFrequencyPlan make_frequency_plan(
+      common::Frequency f) const;
+
+  /// Planned counterpart of axis_sparams(f, bias, y_axis).
+  [[nodiscard]] microwave::SParams axis_sparams(const BoardFrequencyPlan& plan,
+                                                common::Voltage bias,
+                                                bool y_axis) const;
+
+  /// Planned counterpart of jones_transmission(f, vx, vy).
+  [[nodiscard]] em::JonesMatrix jones_transmission(
+      const BoardFrequencyPlan& plan, common::Voltage vx,
+      common::Voltage vy) const;
 
  private:
   std::string name_;

@@ -1,11 +1,32 @@
 #include "src/metasurface/metasurface.h"
 
 #include "src/common/math_utils.h"
+#include "src/common/parallel.h"
 
 namespace llama::metasurface {
 
 Metasurface::Metasurface(RotatorStack stack, LatticeSpec spec)
     : stack_(std::move(stack)), spec_(spec) {}
+
+Metasurface::Metasurface(const Metasurface& other)
+    : stack_(other.stack_), spec_(other.spec_), vx_(other.vx_), vy_(other.vy_) {
+  if (other.cache_)
+    cache_ = std::make_unique<ResponseCache>(other.cache_->config());
+}
+
+Metasurface& Metasurface::operator=(const Metasurface& other) {
+  if (this == &other) return *this;
+  stack_ = other.stack_;
+  spec_ = other.spec_;
+  vx_ = other.vx_;
+  vy_ = other.vy_;
+  cache_ = other.cache_
+               ? std::make_unique<ResponseCache>(other.cache_->config())
+               : nullptr;
+  transmission_plan_.reset();
+  reflection_plan_.reset();
+  return *this;
+}
 
 Metasurface Metasurface::llama_prototype() {
   return Metasurface{prototype_fr4_design()};
@@ -16,8 +37,44 @@ void Metasurface::set_bias(common::Voltage vx, common::Voltage vy) {
   vy_ = common::Voltage{common::clamp(vy.value(), 0.0, 30.0)};
 }
 
+void Metasurface::enable_response_cache(ResponseCacheConfig config) {
+  cache_ = std::make_unique<ResponseCache>(config);
+}
+
+void Metasurface::disable_response_cache() { cache_.reset(); }
+
+const ResponseCacheStats* Metasurface::response_cache_stats() const {
+  return cache_ ? &cache_->stats() : nullptr;
+}
+
+em::JonesMatrix Metasurface::planned_response(common::Frequency f,
+                                              SurfaceMode mode,
+                                              common::Voltage vx,
+                                              common::Voltage vy) const {
+  if (mode == SurfaceMode::kTransmissive) {
+    if (!transmission_plan_ || transmission_plan_->first != f.in_hz())
+      transmission_plan_.emplace(f.in_hz(), stack_.plan_transmission(f));
+    return stack_.transmission(transmission_plan_->second, vx, vy);
+  }
+  if (!reflection_plan_ || reflection_plan_->first != f.in_hz())
+    reflection_plan_.emplace(f.in_hz(), stack_.plan_reflection(f));
+  return stack_.reflection(reflection_plan_->second, vx, vy);
+}
+
 em::JonesMatrix Metasurface::response(common::Frequency f,
                                       SurfaceMode mode) const {
+  if (cache_) {
+    // Cached path: evaluate at the quantized bias so every cache cell is a
+    // pure function of its key (see the contract in response_cache.h).
+    const common::Voltage vxq = cache_->quantize(vx_);
+    const common::Voltage vyq = cache_->quantize(vy_);
+    const ResponseCache::Key key =
+        cache_->make_key(f, vxq, vyq, static_cast<int>(mode));
+    if (auto hit = cache_->find(key)) return *hit;
+    const em::JonesMatrix j = planned_response(f, mode, vxq, vyq);
+    cache_->insert(key, j);
+    return j;
+  }
   switch (mode) {
     case SurfaceMode::kTransmissive:
       return stack_.transmission(f, vx_, vy_);
@@ -25,6 +82,61 @@ em::JonesMatrix Metasurface::response(common::Frequency f,
       return stack_.reflection(f, vx_, vy_);
   }
   return em::JonesMatrix::identity();
+}
+
+namespace {
+
+common::Voltage clamp_bias(double v) {
+  return common::Voltage{common::clamp(v, 0.0, 30.0)};
+}
+
+}  // namespace
+
+JonesGrid Metasurface::response_grid(common::Frequency f, SurfaceMode mode,
+                                     const std::vector<double>& vx_values,
+                                     const std::vector<double>& vy_values,
+                                     int threads) const {
+  JonesGrid grid(vy_values.size(),
+                 std::vector<em::JonesMatrix>(vx_values.size()));
+  if (vx_values.empty() || vy_values.empty()) return grid;
+  if (mode == SurfaceMode::kTransmissive) {
+    const RotatorStack::TransmissionPlan plan = stack_.plan_transmission(f);
+    common::parallel_for(vy_values.size(), threads, [&](std::size_t iy) {
+      const common::Voltage vy = clamp_bias(vy_values[iy]);
+      for (std::size_t ix = 0; ix < vx_values.size(); ++ix)
+        grid[iy][ix] =
+            stack_.transmission(plan, clamp_bias(vx_values[ix]), vy);
+    });
+  } else {
+    const RotatorStack::ReflectionPlan plan = stack_.plan_reflection(f);
+    common::parallel_for(vy_values.size(), threads, [&](std::size_t iy) {
+      const common::Voltage vy = clamp_bias(vy_values[iy]);
+      for (std::size_t ix = 0; ix < vx_values.size(); ++ix)
+        grid[iy][ix] = stack_.reflection(plan, clamp_bias(vx_values[ix]), vy);
+    });
+  }
+  return grid;
+}
+
+std::vector<em::JonesMatrix> Metasurface::response_batch(
+    common::Frequency f, SurfaceMode mode, const BiasList& points,
+    int threads) const {
+  std::vector<em::JonesMatrix> out(points.size());
+  if (points.empty()) return out;
+  if (mode == SurfaceMode::kTransmissive) {
+    const RotatorStack::TransmissionPlan plan = stack_.plan_transmission(f);
+    common::parallel_for(points.size(), threads, [&](std::size_t i) {
+      out[i] = stack_.transmission(plan, clamp_bias(points[i].first.value()),
+                                   clamp_bias(points[i].second.value()));
+    });
+  } else {
+    const RotatorStack::ReflectionPlan plan = stack_.plan_reflection(f);
+    common::parallel_for(points.size(), threads, [&](std::size_t i) {
+      out[i] = stack_.reflection(plan, clamp_bias(points[i].first.value()),
+                                 clamp_bias(points[i].second.value()));
+    });
+  }
+  return out;
 }
 
 common::Angle Metasurface::rotation_angle(common::Frequency f) const {

@@ -4,10 +4,15 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
 
 #include "src/common/units.h"
 #include "src/em/jones.h"
 #include "src/metasurface/designs.h"
+#include "src/metasurface/response_cache.h"
 #include "src/metasurface/rotator_stack.h"
 
 namespace llama::metasurface {
@@ -35,6 +40,13 @@ struct CostBreakdown {
   double per_unit_usd = 0.0;
 };
 
+/// Row-major grid of Jones responses: grid[iy][ix] is the response at
+/// (vy_values[iy], vx_values[ix]) — same layout as FullGridSweep::grid_dbm.
+using JonesGrid = std::vector<std::vector<em::JonesMatrix>>;
+
+/// A list of (Vx, Vy) bias pairs for batch evaluation.
+using BiasList = std::vector<std::pair<common::Voltage, common::Voltage>>;
+
 /// A programmable polarization-rotating surface.
 ///
 /// The two bias voltages (Vx, Vy) are the only control inputs — matching the
@@ -42,6 +54,14 @@ struct CostBreakdown {
 class Metasurface {
  public:
   explicit Metasurface(RotatorStack stack, LatticeSpec spec = {});
+
+  // The cached per-frequency plans and the response cache are rebuilt lazily
+  // and never shared, so copies start cold but behave identically.
+  Metasurface(const Metasurface& other);
+  Metasurface& operator=(const Metasurface& other);
+  Metasurface(Metasurface&&) noexcept = default;
+  Metasurface& operator=(Metasurface&&) noexcept = default;
+  ~Metasurface() = default;
 
   /// Convenience: LLAMA's fabricated design.
   [[nodiscard]] static Metasurface llama_prototype();
@@ -56,8 +76,41 @@ class Metasurface {
 
   /// Jones matrix applied to a wave traversing (or reflecting off) the
   /// surface at frequency f under the current bias.
+  ///
+  /// With the response cache enabled (opt-in, see enable_response_cache) the
+  /// bias pair is quantized per the cache's contract, the memo is consulted,
+  /// and misses are computed through the per-frequency plans; without it the
+  /// original direct path runs, untouched. Not thread-safe while caching.
   [[nodiscard]] em::JonesMatrix response(common::Frequency f,
                                          SurfaceMode mode) const;
+
+  /// Opt-in memoization of response(). Existing call sites keep their exact
+  /// semantics when this is never called. Re-enabling replaces the cache.
+  void enable_response_cache(ResponseCacheConfig config = {});
+  void disable_response_cache();
+  [[nodiscard]] bool response_cache_enabled() const {
+    return cache_ != nullptr;
+  }
+  /// Hit/miss/eviction counters; nullptr when the cache is disabled.
+  [[nodiscard]] const ResponseCacheStats* response_cache_stats() const;
+
+  /// Batched evaluation of a whole bias plane at one frequency: returns
+  /// grid[iy][ix] = response at (vx_values[ix], vy_values[iy]). Biases are
+  /// clamped to the supply range like set_bias. Rows are distributed over
+  /// `threads` workers (<= 0 picks a default); every cell is a pure planned
+  /// evaluation, so the grid is byte-identical for any thread count and
+  /// equal to pointwise response() calls. Does not touch the current bias
+  /// or the response cache.
+  [[nodiscard]] JonesGrid response_grid(common::Frequency f, SurfaceMode mode,
+                                        const std::vector<double>& vx_values,
+                                        const std::vector<double>& vy_values,
+                                        int threads = 0) const;
+
+  /// Batched evaluation of an arbitrary list of bias pairs (same contract
+  /// as response_grid, one result per input point).
+  [[nodiscard]] std::vector<em::JonesMatrix> response_batch(
+      common::Frequency f, SurfaceMode mode, const BiasList& points,
+      int threads = 0) const;
 
   /// Polarization rotation imparted in transmissive mode at frequency f.
   [[nodiscard]] common::Angle rotation_angle(common::Frequency f) const;
@@ -74,10 +127,25 @@ class Metasurface {
   [[nodiscard]] CostBreakdown cost() const;
 
  private:
+  /// Planned response at an explicit (already clamped/quantized) bias pair,
+  /// reusing the per-(frequency, mode) plan slots.
+  [[nodiscard]] em::JonesMatrix planned_response(common::Frequency f,
+                                                SurfaceMode mode,
+                                                common::Voltage vx,
+                                                common::Voltage vy) const;
+
   RotatorStack stack_;
   LatticeSpec spec_;
   common::Voltage vx_{0.0};
   common::Voltage vy_{0.0};
+  /// Opt-in memo for response(); mutable because caching is invisible to
+  /// callers of the const query API.
+  mutable std::unique_ptr<ResponseCache> cache_;
+  /// Most-recent per-frequency plans, keyed by frequency in Hz.
+  mutable std::optional<std::pair<double, RotatorStack::TransmissionPlan>>
+      transmission_plan_;
+  mutable std::optional<std::pair<double, RotatorStack::ReflectionPlan>>
+      reflection_plan_;
 };
 
 }  // namespace llama::metasurface

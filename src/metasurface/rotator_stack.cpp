@@ -33,6 +33,23 @@ JonesMatrix element_jones(const StackElement& e, common::Frequency f,
   return in_eigenbasis.rotated(e.rotation);
 }
 
+/// Fraction of the first face's birefringence that couples into the
+/// specular return (see reflection() below).
+constexpr Complex kFrontBirefringence{0.3, 0.0};
+/// Aperture-spillover attenuation of the deep round-trip component.
+constexpr Complex kDeepPathWeight{0.15, 0.0};
+
+/// Bias-independent part of the front-face specular reflection built from
+/// the per-axis reflection coefficients (shared by the direct and planned
+/// reflection paths so the two stay in exact agreement).
+JonesMatrix front_gamma(Complex r0x, Complex r0y, common::Angle rotation) {
+  const Complex r_mean = 0.5 * (r0x + r0y);
+  const JonesMatrix gamma_aniso =
+      JonesMatrix{r0x - r_mean, Complex{0, 0}, Complex{0, 0}, r0y - r_mean}
+          .rotated(rotation);
+  return r_mean * JonesMatrix::identity() + kFrontBirefringence * gamma_aniso;
+}
+
 }  // namespace
 
 JonesMatrix RotatorStack::transmission(common::Frequency f, common::Voltage vx,
@@ -94,19 +111,131 @@ JonesMatrix RotatorStack::reflection(common::Frequency f, common::Voltage vx,
   // The specular zeroth-order return off sub-wavelength patterns largely
   // preserves polarization; only a fraction of the face's birefringence
   // couples into the reflected wave.
-  const Complex r_mean = 0.5 * (r0x + r0y);
-  constexpr Complex kFrontBirefringence{0.3, 0.0};
-  const JonesMatrix gamma_aniso =
-      JonesMatrix{r0x - r_mean, Complex{0, 0}, Complex{0, 0}, r0y - r_mean}
-          .rotated(first.rotation);
-  const JonesMatrix gamma_front =
-      r_mean * JonesMatrix::identity() + kFrontBirefringence * gamma_aniso;
+  const JonesMatrix gamma_front = front_gamma(r0x, r0y, first.rotation);
   // Round trip of the deep component: forward in, reflect, transpose out.
   // It is attenuated by re-traversal spillover off the finite aperture (the
   // 0.48 m panel does not recapture the full divergent wavefront on the
   // second pass).
-  constexpr Complex kDeepPathWeight{0.15, 0.0};
   const JonesMatrix deep = forward.transpose() * gamma_deep * forward;
+  return gamma_front + kDeepPathWeight * deep;
+}
+
+RotatorStack::TransmissionPlan RotatorStack::plan_transmission(
+    common::Frequency f) const {
+  TransmissionPlan plan;
+  plan.frequency = f;
+  plan.steps.reserve(elements_.size());
+  for (std::size_t i = 0; i < elements_.size(); ++i) {
+    const StackElement& e = elements_[i];
+    TransmissionStep step;
+    step.tunable = e.tunable;
+    step.index = i;
+    if (e.tunable) {
+      step.board_plan = e.board.make_frequency_plan(f);
+      step.rotation = e.rotation;
+    } else {
+      step.fixed_jones =
+          element_jones(e, f, common::Voltage{0.0}, common::Voltage{0.0});
+    }
+    if (e.gap_after_m > 0.0) {
+      step.has_gap = true;
+      step.gap_factor = gap_phase(f, e.gap_after_m);
+    }
+    plan.steps.push_back(std::move(step));
+  }
+  return plan;
+}
+
+JonesMatrix RotatorStack::transmission(const TransmissionPlan& plan,
+                                       common::Voltage vx,
+                                       common::Voltage vy) const {
+  // Same multiplication order as the unplanned loop, so results match
+  // bit-for-bit; only the per-element Jones matrices come precomputed
+  // (static boards) or from the cheap planned solver (tunable boards).
+  JonesMatrix total = JonesMatrix::identity();
+  for (const TransmissionStep& step : plan.steps) {
+    if (step.tunable) {
+      const StackElement& e = elements_[step.index];
+      total = e.board.jones_transmission(step.board_plan, vx, vy)
+                  .rotated(step.rotation) *
+              total;
+    } else {
+      total = step.fixed_jones * total;
+    }
+    if (step.has_gap) total = step.gap_factor * total;
+  }
+  return total;
+}
+
+RotatorStack::ReflectionPlan RotatorStack::plan_reflection(
+    common::Frequency f) const {
+  ReflectionPlan plan;
+  plan.frequency = f;
+  // Locate the reflection target exactly as reflection() does: the first
+  // tunable element, else the last element with the prefix rebuilt over all
+  // but the last. Elements ahead of the first tunable one are by definition
+  // bias-independent, so the forward cascade is always precomputable.
+  JonesMatrix forward = JonesMatrix::identity();
+  const common::Voltage v0{0.0};
+  std::size_t target = elements_.size();
+  for (std::size_t i = 0; i < elements_.size(); ++i) {
+    const StackElement& e = elements_[i];
+    if (e.tunable) {
+      target = i;
+      break;
+    }
+    forward = element_jones(e, f, v0, v0) * forward;
+    if (e.gap_after_m > 0.0) forward = gap_phase(f, e.gap_after_m) * forward;
+  }
+  if (target == elements_.size()) {
+    target = elements_.size() - 1;
+    forward = JonesMatrix::identity();
+    for (std::size_t i = 0; i + 1 < elements_.size(); ++i) {
+      forward = element_jones(elements_[i], f, v0, v0) * forward;
+      if (elements_[i].gap_after_m > 0.0)
+        forward = gap_phase(f, elements_[i].gap_after_m) * forward;
+    }
+  }
+  plan.forward = forward;
+  plan.target_index = target;
+  plan.target_uses_bias = elements_[target].tunable;
+  plan.target_plan = elements_[target].board.make_frequency_plan(f);
+
+  const StackElement& first = elements_.front();
+  plan.front_uses_bias = first.tunable;
+  if (first.tunable) {
+    plan.front_plan = first.board.make_frequency_plan(f);
+  } else {
+    const Complex r0x = first.board.axis_reflection(f, v0, /*y_axis=*/false);
+    const Complex r0y = first.board.axis_reflection(f, v0, /*y_axis=*/true);
+    plan.gamma_front = front_gamma(r0x, r0y, first.rotation);
+  }
+  return plan;
+}
+
+JonesMatrix RotatorStack::reflection(const ReflectionPlan& plan,
+                                     common::Voltage vx,
+                                     common::Voltage vy) const {
+  const StackElement& target = elements_[plan.target_index];
+  const common::Voltage bx = plan.target_uses_bias ? vx : common::Voltage{0.0};
+  const common::Voltage by = plan.target_uses_bias ? vy : common::Voltage{0.0};
+  const Complex rx =
+      target.board.axis_sparams(plan.target_plan, bx, /*y_axis=*/false).s11;
+  const Complex ry =
+      target.board.axis_sparams(plan.target_plan, by, /*y_axis=*/true).s11;
+  const JonesMatrix gamma_deep =
+      JonesMatrix{rx, Complex{0, 0}, Complex{0, 0}, ry}.rotated(
+          target.rotation);
+  JonesMatrix gamma_front = plan.gamma_front;
+  if (plan.front_uses_bias) {
+    const StackElement& first = elements_.front();
+    const Complex r0x =
+        first.board.axis_sparams(plan.front_plan, vx, /*y_axis=*/false).s11;
+    const Complex r0y =
+        first.board.axis_sparams(plan.front_plan, vy, /*y_axis=*/true).s11;
+    gamma_front = front_gamma(r0x, r0y, first.rotation);
+  }
+  const JonesMatrix deep = plan.forward.transpose() * gamma_deep * plan.forward;
   return gamma_front + kDeepPathWeight * deep;
 }
 

@@ -20,8 +20,48 @@ struct StackElement {
 };
 
 /// Layered polarization rotator driven by two bias voltages.
+///
+/// Hot-path note: thousands of control-loop probes evaluate the same stack
+/// at one frequency with only (Vx, Vy) changing. The plan_*() factories
+/// precompute every bias-independent piece — static boards' Jones matrices,
+/// air-gap phases, slab ABCD matrices and fixed-pattern admittances — so the
+/// per-probe work collapses to the tunable boards' varactor-loaded
+/// two-ports. Planned and unplanned paths produce identical results.
 class RotatorStack {
  public:
+  /// One step of a per-frequency transmission plan: either a fully
+  /// precomputed static element or a tunable element whose board is
+  /// re-solved per bias through its BoardFrequencyPlan.
+  struct TransmissionStep {
+    bool tunable = false;
+    std::size_t index = 0;            ///< element index (tunable steps)
+    em::JonesMatrix fixed_jones;      ///< rotated Jones (static steps)
+    BoardFrequencyPlan board_plan;    ///< per-frequency state (tunable steps)
+    common::Angle rotation;           ///< physical rotation (tunable steps)
+    microwave::Complex gap_factor{1.0, 0.0};  ///< e^{-jkd} after the element
+    bool has_gap = false;
+  };
+
+  /// Bias-independent precomputation of transmission() at one frequency.
+  struct TransmissionPlan {
+    common::Frequency frequency;
+    std::vector<TransmissionStep> steps;
+  };
+
+  /// Bias-independent precomputation of reflection() at one frequency: the
+  /// forward cascade through the leading fixed boards, plus per-frequency
+  /// plans for the boards whose reflection coefficients enter the result.
+  struct ReflectionPlan {
+    common::Frequency frequency;
+    em::JonesMatrix forward;          ///< prefix cascade (bias-independent)
+    std::size_t target_index = 0;     ///< element the deep bounce reflects off
+    bool target_uses_bias = false;
+    BoardFrequencyPlan target_plan;
+    bool front_uses_bias = false;
+    BoardFrequencyPlan front_plan;    ///< only when the first board is tunable
+    em::JonesMatrix gamma_front;      ///< precomputed when bias-independent
+  };
+
   explicit RotatorStack(std::vector<StackElement> elements);
 
   [[nodiscard]] const std::vector<StackElement>& elements() const {
@@ -42,6 +82,24 @@ class RotatorStack {
   /// sense, which is why rotation largely cancels in reflective operation
   /// (the paper's Section 5.2.1 observation).
   [[nodiscard]] em::JonesMatrix reflection(common::Frequency f,
+                                           common::Voltage vx,
+                                           common::Voltage vy) const;
+
+  /// Precomputes the bias-independent transmission cascade at frequency f.
+  [[nodiscard]] TransmissionPlan plan_transmission(common::Frequency f) const;
+
+  /// Precomputes the bias-independent reflection cascade at frequency f.
+  [[nodiscard]] ReflectionPlan plan_reflection(common::Frequency f) const;
+
+  /// Planned counterpart of transmission(f, vx, vy); bit-identical to the
+  /// unplanned path. The plan must have been created by this stack.
+  [[nodiscard]] em::JonesMatrix transmission(const TransmissionPlan& plan,
+                                             common::Voltage vx,
+                                             common::Voltage vy) const;
+
+  /// Planned counterpart of reflection(f, vx, vy); bit-identical to the
+  /// unplanned path. The plan must have been created by this stack.
+  [[nodiscard]] em::JonesMatrix reflection(const ReflectionPlan& plan,
                                            common::Voltage vx,
                                            common::Voltage vy) const;
 

@@ -41,6 +41,13 @@ double Varactor::capacitance(common::Voltage v) const {
   return cj0_ / std::pow(1.0 + bias / vj_, m_) + cpar_;
 }
 
+std::complex<double> Varactor::impedance(double omega,
+                                         common::Voltage v) const {
+  const double c = capacitance(v);
+  return std::complex<double>{rs_, 0.0} +
+         1.0 / (std::complex<double>{0.0, 1.0} * omega * c);
+}
+
 common::Voltage Varactor::bias_for_capacitance(double c_farad) const {
   // Invert C(V); clamp to the usable junction region first.
   const double c_min = capacitance(common::Voltage{30.0});

@@ -8,6 +8,8 @@
 // anchor points.
 #pragma once
 
+#include <complex>
+
 #include "src/common/units.h"
 
 namespace llama::microwave {
@@ -36,6 +38,13 @@ class Varactor {
 
   /// Effective series resistance [ohm] (loss inside the diode).
   [[nodiscard]] double series_resistance() const { return rs_; }
+
+  /// Series impedance of the diode at angular frequency omega [rad/s] and
+  /// reverse bias v: Rs + 1/(j omega C(v)). This is the only bias-dependent
+  /// impedance in the whole stack, which is what the per-frequency response
+  /// plans exploit: everything else is computed once per frequency.
+  [[nodiscard]] std::complex<double> impedance(double omega,
+                                               common::Voltage v) const;
 
   /// Inverse map: reverse bias that realizes capacitance c [V], clamped to
   /// [0, 30] V. Used by tests and by the controller's calibration path.

@@ -48,6 +48,13 @@ common::PowerDbm Receiver::estimate_power(const IqCapture& iq) {
   return common::PowerMw{std::max(p_mw, 1e-15)}.to_dbm();
 }
 
+common::PowerDbm Receiver::expected_measure(
+    common::PowerDbm signal_power) const {
+  const double p_mw = signal_power.to_mw().value();
+  const double n_mw = noise_floor_dbm().to_mw().value();
+  return common::PowerMw{std::max(p_mw + n_mw, 1e-15)}.to_dbm();
+}
+
 common::PowerDbm Receiver::measure(common::PowerDbm signal_power,
                                    double window_s, double start_time_s) {
   // Cap the synthesized block: beyond ~100k samples the estimator variance

@@ -63,6 +63,14 @@ class Receiver {
                                          double window_s,
                                          double start_time_s = 0.0);
 
+  /// Expectation of measure() for an infinite window: signal power plus the
+  /// thermal floor, with no sampling jitter and no RNG state consumed. The
+  /// batched sweep engine uses this so a grid cell costs arithmetic instead
+  /// of tens of thousands of synthesized IQ samples, and so grids are pure
+  /// functions of the bias plane (byte-identical across thread counts).
+  [[nodiscard]] common::PowerDbm expected_measure(
+      common::PowerDbm signal_power) const;
+
  private:
   ReceiverConfig config_;
   common::Rng rng_;

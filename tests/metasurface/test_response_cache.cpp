@@ -1,0 +1,251 @@
+// Golden correctness of the batched/cached response engine: the planned,
+// cached and batched paths must reproduce the direct solver, and cached
+// S-parameters must keep the physical invariants.
+#include "src/metasurface/response_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+
+#include "src/metasurface/designs.h"
+#include "src/metasurface/metasurface.h"
+
+namespace llama::metasurface {
+namespace {
+
+using common::Frequency;
+using common::Voltage;
+using em::JonesMatrix;
+
+constexpr double kTol = 1e-12;
+
+const double kBiasSamples[] = {0.0, 2.0, 7.25, 13.5, 21.0, 30.0};
+const double kFreqSamplesGhz[] = {2.0, 2.40, 2.44, 2.48, 2.8};
+
+void expect_jones_near(const JonesMatrix& a, const JonesMatrix& b,
+                       double tol, const std::string& what) {
+  for (int r = 0; r < 2; ++r)
+    for (int c = 0; c < 2; ++c) {
+      EXPECT_NEAR(a.at(r, c).real(), b.at(r, c).real(), tol)
+          << what << " [" << r << "," << c << "] re";
+      EXPECT_NEAR(a.at(r, c).imag(), b.at(r, c).imag(), tol)
+          << what << " [" << r << "," << c << "] im";
+    }
+}
+
+TEST(BoardFrequencyPlan, PlannedSParamsMatchDirectSolver) {
+  const RotatorStack stack = prototype_fr4_design();
+  for (const StackElement& e : stack.elements()) {
+    for (double ghz : kFreqSamplesGhz) {
+      const Frequency f = Frequency::ghz(ghz);
+      const BoardFrequencyPlan plan = e.board.make_frequency_plan(f);
+      for (double v : kBiasSamples) {
+        for (bool y_axis : {false, true}) {
+          const auto direct = e.board.axis_sparams(f, Voltage{v}, y_axis);
+          const auto planned =
+              e.board.axis_sparams(plan, Voltage{v}, y_axis);
+          EXPECT_NEAR(std::abs(direct.s11 - planned.s11), 0.0, kTol);
+          EXPECT_NEAR(std::abs(direct.s21 - planned.s21), 0.0, kTol);
+          EXPECT_NEAR(std::abs(direct.s12 - planned.s12), 0.0, kTol);
+          EXPECT_NEAR(std::abs(direct.s22 - planned.s22), 0.0, kTol);
+        }
+      }
+    }
+  }
+}
+
+TEST(BoardFrequencyPlan, CachedSParamsKeepPhysicalInvariants) {
+  const RotatorStack stack = prototype_fr4_design();
+  for (const StackElement& e : stack.elements()) {
+    const Frequency f = Frequency::ghz(2.44);
+    const BoardFrequencyPlan plan = e.board.make_frequency_plan(f);
+    for (double v : kBiasSamples) {
+      for (bool y_axis : {false, true}) {
+        const auto s = e.board.axis_sparams(plan, Voltage{v}, y_axis);
+        EXPECT_TRUE(s.is_passive())
+            << e.board.name() << " @ " << v << " V";
+        EXPECT_TRUE(s.is_reciprocal())
+            << e.board.name() << " @ " << v << " V";
+      }
+    }
+  }
+}
+
+TEST(StackPlans, PlannedTransmissionAndReflectionMatchDirect) {
+  const RotatorStack designs[] = {
+      prototype_fr4_design(), optimized_fr4_design(), reference_rogers_design(),
+      naive_fr4_design()};
+  for (const RotatorStack& stack : designs) {
+    for (double ghz : kFreqSamplesGhz) {
+      const Frequency f = Frequency::ghz(ghz);
+      const auto t_plan = stack.plan_transmission(f);
+      const auto r_plan = stack.plan_reflection(f);
+      for (double vx : kBiasSamples) {
+        for (double vy : {0.0, 13.5, 30.0}) {
+          expect_jones_near(stack.transmission(f, Voltage{vx}, Voltage{vy}),
+                            stack.transmission(t_plan, Voltage{vx},
+                                               Voltage{vy}),
+                            kTol, "transmission");
+          expect_jones_near(stack.reflection(f, Voltage{vx}, Voltage{vy}),
+                            stack.reflection(r_plan, Voltage{vx},
+                                             Voltage{vy}),
+                            kTol, "reflection");
+        }
+      }
+    }
+  }
+}
+
+TEST(ResponseCacheTest, CachedResponseMatchesUncachedBothModes) {
+  Metasurface uncached = Metasurface::llama_prototype();
+  Metasurface cached = Metasurface::llama_prototype();
+  cached.enable_response_cache();
+  ASSERT_TRUE(cached.response_cache_enabled());
+
+  for (double ghz : kFreqSamplesGhz) {
+    const Frequency f = Frequency::ghz(ghz);
+    for (auto mode : {SurfaceMode::kTransmissive, SurfaceMode::kReflective}) {
+      for (double vx : kBiasSamples) {
+        for (double vy : kBiasSamples) {
+          uncached.set_bias(Voltage{vx}, Voltage{vy});
+          cached.set_bias(Voltage{vx}, Voltage{vy});
+          // Query twice: first populates the memo, second must hit it.
+          const JonesMatrix reference = uncached.response(f, mode);
+          expect_jones_near(reference, cached.response(f, mode), kTol,
+                            "first (miss) query");
+          expect_jones_near(reference, cached.response(f, mode), kTol,
+                            "second (hit) query");
+        }
+      }
+    }
+  }
+  const ResponseCacheStats* stats = cached.response_cache_stats();
+  ASSERT_NE(stats, nullptr);
+  EXPECT_GT(stats->hits, 0u);
+  EXPECT_GT(stats->misses, 0u);
+}
+
+TEST(ResponseCacheTest, QuantizationBucketsShareOneEntry) {
+  Metasurface surface = Metasurface::llama_prototype();
+  ResponseCacheConfig config;
+  config.voltage_quantum_v = 0.5;
+  surface.enable_response_cache(config);
+  const Frequency f = Frequency::ghz(2.44);
+
+  surface.set_bias(Voltage{10.1}, Voltage{10.1});
+  const JonesMatrix a = surface.response(f, SurfaceMode::kTransmissive);
+  surface.set_bias(Voltage{10.2}, Voltage{10.2});
+  const JonesMatrix b = surface.response(f, SurfaceMode::kTransmissive);
+  // Both biases quantize to 10.0 V, so the second query is a pure hit and
+  // returns the identical matrix.
+  expect_jones_near(a, b, 0.0, "same-bucket responses");
+  const ResponseCacheStats* stats = surface.response_cache_stats();
+  ASSERT_NE(stats, nullptr);
+  EXPECT_EQ(stats->hits, 1u);
+  EXPECT_EQ(stats->misses, 1u);
+
+  // And the shared value is the response at the quantized representative.
+  Metasurface reference = Metasurface::llama_prototype();
+  reference.set_bias(Voltage{10.0}, Voltage{10.0});
+  expect_jones_near(reference.response(f, SurfaceMode::kTransmissive), a,
+                    kTol, "quantized representative");
+}
+
+TEST(ResponseCacheTest, LruEvictionBoundsTheCacheAndKeepsCorrectness) {
+  Metasurface surface = Metasurface::llama_prototype();
+  Metasurface reference = Metasurface::llama_prototype();
+  ResponseCacheConfig config;
+  config.capacity = 4;
+  surface.enable_response_cache(config);
+  const Frequency f = Frequency::ghz(2.44);
+
+  for (int pass = 0; pass < 2; ++pass) {
+    for (double v : {0.0, 5.0, 10.0, 15.0, 20.0, 25.0, 30.0}) {
+      surface.set_bias(Voltage{v}, Voltage{v});
+      reference.set_bias(Voltage{v}, Voltage{v});
+      expect_jones_near(reference.response(f, SurfaceMode::kTransmissive),
+                        surface.response(f, SurfaceMode::kTransmissive),
+                        kTol, "evicting cache");
+    }
+  }
+  const ResponseCacheStats* stats = surface.response_cache_stats();
+  ASSERT_NE(stats, nullptr);
+  EXPECT_GT(stats->evictions, 0u);
+}
+
+TEST(ResponseCacheTest, DisableRestoresDirectPath) {
+  Metasurface surface = Metasurface::llama_prototype();
+  surface.enable_response_cache();
+  surface.set_bias(Voltage{5.0}, Voltage{5.0});
+  (void)surface.response(Frequency::ghz(2.44), SurfaceMode::kTransmissive);
+  surface.disable_response_cache();
+  EXPECT_FALSE(surface.response_cache_enabled());
+  EXPECT_EQ(surface.response_cache_stats(), nullptr);
+}
+
+TEST(ResponseCacheTest, RejectsInvalidConfig) {
+  EXPECT_THROW(ResponseCache(ResponseCacheConfig{.voltage_quantum_v = 0.0}),
+               std::invalid_argument);
+  EXPECT_THROW(ResponseCache(ResponseCacheConfig{.capacity = 0}),
+               std::invalid_argument);
+}
+
+TEST(ResponseGrid, MatchesPointwiseResponses) {
+  Metasurface surface = Metasurface::llama_prototype();
+  const Frequency f = Frequency::ghz(2.44);
+  const std::vector<double> vxs{0.0, 7.5, 15.0, 30.0};
+  const std::vector<double> vys{0.0, 10.0, 30.0};
+  for (auto mode : {SurfaceMode::kTransmissive, SurfaceMode::kReflective}) {
+    const JonesGrid grid = surface.response_grid(f, mode, vxs, vys);
+    ASSERT_EQ(grid.size(), vys.size());
+    for (std::size_t iy = 0; iy < vys.size(); ++iy) {
+      ASSERT_EQ(grid[iy].size(), vxs.size());
+      for (std::size_t ix = 0; ix < vxs.size(); ++ix) {
+        surface.set_bias(Voltage{vxs[ix]}, Voltage{vys[iy]});
+        expect_jones_near(surface.response(f, mode), grid[iy][ix], kTol,
+                          "grid cell");
+      }
+    }
+  }
+}
+
+TEST(ResponseGrid, BatchMatchesPointwiseResponses) {
+  Metasurface surface = Metasurface::llama_prototype();
+  const Frequency f = Frequency::ghz(2.44);
+  const BiasList points{{Voltage{0.0}, Voltage{30.0}},
+                        {Voltage{12.3}, Voltage{4.5}},
+                        {Voltage{30.0}, Voltage{0.0}}};
+  const auto batch =
+      surface.response_batch(f, SurfaceMode::kTransmissive, points);
+  ASSERT_EQ(batch.size(), points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    surface.set_bias(points[i].first, points[i].second);
+    expect_jones_near(surface.response(f, SurfaceMode::kTransmissive),
+                      batch[i], kTol, "batch point");
+  }
+}
+
+TEST(ResponseGrid, ThreadCountDoesNotChangeBytes) {
+  const Metasurface surface = Metasurface::llama_prototype();
+  const Frequency f = Frequency::ghz(2.44);
+  std::vector<double> axis;
+  for (double v = 0.0; v <= 30.0; v += 2.0) axis.push_back(v);
+  for (auto mode : {SurfaceMode::kTransmissive, SurfaceMode::kReflective}) {
+    const JonesGrid serial = surface.response_grid(f, mode, axis, axis, 1);
+    const JonesGrid parallel = surface.response_grid(f, mode, axis, axis, 5);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t iy = 0; iy < serial.size(); ++iy)
+      for (std::size_t ix = 0; ix < serial[iy].size(); ++ix)
+        for (int r = 0; r < 2; ++r)
+          for (int c = 0; c < 2; ++c) {
+            const auto a = serial[iy][ix].at(r, c);
+            const auto b = parallel[iy][ix].at(r, c);
+            // Byte-identical, not merely close.
+            EXPECT_EQ(std::memcmp(&a, &b, sizeof(a)), 0);
+          }
+  }
+}
+
+}  // namespace
+}  // namespace llama::metasurface
