@@ -1,47 +1,24 @@
-// Dense-deployment polarization reuse (paper Section 7 outlook): one
-// surface time-shares across IoT devices mounted at different orientations.
-// Reported: per-device mean power and 802.11g throughput under the
-// schedule versus an unassisted network.
+// Dense-deployment polarization reuse (paper Section 7 outlook): surfaces
+// time-share across IoT devices mounted at different orientations, with all
+// per-device Algorithm-1 runs served by the DeploymentEngine's shared plan
+// registry and response cache. Reported: per-device mean power and 802.11g
+// throughput under the schedule versus an unassisted network.
 #include <iostream>
 
 #include "src/channel/ber.h"
 #include "src/common/table.h"
-#include "src/control/scheduler.h"
 #include "src/core/scenarios.h"
 
 using namespace llama;
 
 int main() {
-  const double orientations_deg[] = {80.0, 85.0, 15.0, 70.0, 40.0, 90.0};
-  std::vector<control::DeviceEntry> devices;
+  constexpr std::size_t kDevices = 6;
+  constexpr std::size_t kSurfaces = 1;
+  const core::DenseDeploymentScenario scenario =
+      core::dense_deployment_scenario(kDevices, kSurfaces);
 
-  // Per-device optimization: each device gets its own Algorithm 1 run on
-  // its own geometry (same surface, different endpoint orientation).
-  for (std::size_t i = 0; i < std::size(orientations_deg); ++i) {
-    core::SystemConfig cfg =
-        core::transmissive_mismatch_config(1.0, common::PowerDbm{14.0});
-    cfg.tx_antenna =
-        channel::Antenna::iot_dipole(common::Angle::degrees(0.0));
-    cfg.rx_antenna = channel::Antenna::iot_dipole(
-        common::Angle::degrees(orientations_deg[i]));
-    cfg.seed += i;
-    core::LlamaSystem sys{cfg};
-    // Dense deployments re-optimize per device; the batched round keeps the
-    // per-device cost at grid-evaluation speed.
-    const auto report = sys.optimize_link_batched();
-    devices.push_back(control::DeviceEntry{
-        "dev" + std::to_string(i),
-        report.sweep.best_vx,
-        report.sweep.best_vy,
-        sys.measure_with_surface(0.1),
-        sys.measure_without_surface(),
-        /*traffic_weight=*/1.0,
-    });
-  }
-
-  control::PolarizationScheduler scheduler;
-  const auto slots = scheduler.build_schedule(devices);
-  const auto scheduled_power = scheduler.expected_power(devices, slots);
+  deploy::DeploymentEngine engine{scenario.config};
+  const deploy::DeploymentReport report = engine.run(scenario.devices);
 
   const auto wifi = channel::LinkLayerModel::wifi_80211g();
   // Busy-building noise+interference level: keeps SNRs rate-sensitive.
@@ -52,21 +29,31 @@ int main() {
                      "tput_raw_mbps", "tput_sched_mbps"});
   double total_raw = 0.0;
   double total_sched = 0.0;
-  for (std::size_t i = 0; i < devices.size(); ++i) {
-    const double t_raw =
-        wifi.throughput_mbps(devices[i].unoptimized_power - noise);
-    const double t_sched = wifi.throughput_mbps(scheduled_power[i] - noise);
-    total_raw += t_raw;
-    total_sched += t_sched;
-    table.add_row({orientations_deg[i], devices[i].unoptimized_power.value(),
-                   devices[i].optimized_power.value(),
-                   scheduled_power[i].value(), t_raw, t_sched});
+  std::size_t total_slots = 0;
+  for (const deploy::SurfaceReport& sr : report.surfaces) {
+    total_slots += sr.slots.size();
+    for (std::size_t k = 0; k < sr.device_ids.size(); ++k) {
+      const deploy::DeviceResult& d = report.devices[sr.device_ids[k]];
+      const double t_raw =
+          wifi.throughput_mbps(d.unoptimized_power - noise);
+      const double t_sched =
+          wifi.throughput_mbps(sr.scheduled_power[k] - noise);
+      total_raw += t_raw;
+      total_sched += t_sched;
+      table.add_row({scenario.devices[sr.device_ids[k]].orientation.deg(),
+                     d.unoptimized_power.value(), d.optimized_power.value(),
+                     sr.scheduled_power[k].value(), t_raw, t_sched});
+    }
   }
-  table.add_note("slots = " + std::to_string(slots.size()) +
+  table.add_note("slots = " + std::to_string(total_slots) +
                  " (devices with compatible bias optima share airtime)");
   table.add_note("network throughput: " + std::to_string(total_raw) +
                  " -> " + std::to_string(total_sched) +
                  " Mbps with polarization scheduling");
+  table.add_note("shared engine: " + std::to_string(report.plan_count) +
+                 " plans, " + std::to_string(report.cache_stats.hits) +
+                 " cache hits / " + std::to_string(report.cache_stats.misses) +
+                 " misses");
   table.print(std::cout);
   return 0;
 }

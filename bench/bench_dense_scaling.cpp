@@ -1,0 +1,97 @@
+// Dense-deployment scaling: N devices x M surfaces through the
+// DeploymentEngine's shared plan registry + response cache, versus the
+// pre-engine approach of standing up one LlamaSystem per device (which
+// rebuilds per-frequency plans per grid probe and owns a private cache).
+// Both paths run the identical batched Algorithm-1 measurement model
+// (expected powers, no per-probe IQ synthesis), so the speedup isolates
+// plan/cache sharing. `--json` emits one line per (N, M) point with
+// `speedup_vs_llama_system` (single-threaded engine, sharing gain only)
+// and `speedup_parallel` (default thread shard on top).
+#include <cstdio>
+
+#include "bench/bench_harness.h"
+#include "src/core/scenarios.h"
+
+using namespace llama;
+
+namespace {
+
+/// One full deployment optimization round; returns a checksum so the
+/// optimizer cannot drop the work.
+double run_engine(const core::DenseDeploymentScenario& scenario,
+                  int threads) {
+  deploy::DeploymentConfig cfg = scenario.config;
+  cfg.threads = threads;
+  deploy::DeploymentEngine engine{cfg};
+  const deploy::DeploymentReport report = engine.run(scenario.devices);
+  double sum = 0.0;
+  for (const deploy::DeviceResult& d : report.devices)
+    sum += d.sweep.best_power.value();
+  return sum;
+}
+
+/// The pre-engine baseline at the same measurement model: one LlamaSystem
+/// per device, each running the batched Algorithm-1 round with its own
+/// (re-planned per probe call) response pipeline.
+double run_llama_system_baseline(
+    const core::DenseDeploymentScenario& scenario) {
+  double sum = 0.0;
+  for (const deploy::DeviceSpec& spec : scenario.devices) {
+    core::SystemConfig cfg;
+    cfg.frequency = scenario.config.frequency;
+    cfg.tx_power = scenario.config.tx_power;
+    cfg.tx_antenna = scenario.config.tx_antenna;
+    cfg.rx_antenna = scenario.config.rx_antenna.oriented(spec.orientation);
+    cfg.geometry = scenario.config.geometry;
+    cfg.environment = scenario.config.environment;
+    cfg.receiver = scenario.config.receiver;
+    cfg.controller.sweep = scenario.config.sweep;
+    core::LlamaSystem sys{cfg};
+    sum += sys.optimize_link_batched().sweep.best_power.value();
+  }
+  return sum;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool json = bench::json_mode(argc, argv);
+  volatile double sink = 0.0;
+
+  const std::pair<std::size_t, std::size_t> points[] = {
+      {6, 1}, {24, 2}, {48, 4}};
+  for (const auto& [n, m] : points) {
+    const core::DenseDeploymentScenario scenario =
+        core::dense_deployment_scenario(n, m);
+    const std::string tag =
+        "n" + std::to_string(n) + "_m" + std::to_string(m);
+
+    const bench::BenchResult baseline = bench::run_bench(
+        "dense_llama_system_" + tag,
+        [&] { sink = sink + run_llama_system_baseline(scenario); });
+    const bench::BenchResult engine_serial = bench::run_bench(
+        "dense_engine_serial_" + tag,
+        [&] { sink = sink + run_engine(scenario, 1); });
+    const bench::BenchResult engine_parallel = bench::run_bench(
+        "dense_engine_parallel_" + tag,
+        [&] { sink = sink + run_engine(scenario, 0); });
+
+    const double speedup_serial =
+        baseline.ns_per_op / engine_serial.ns_per_op;
+    const double speedup_parallel =
+        baseline.ns_per_op / engine_parallel.ns_per_op;
+    bench::print_result(baseline, json);
+    bench::print_result(engine_serial, json,
+                        ",\"speedup_vs_llama_system\":" +
+                            std::to_string(speedup_serial));
+    bench::print_result(engine_parallel, json,
+                        ",\"speedup_vs_llama_system\":" +
+                            std::to_string(speedup_parallel) +
+                            ",\"threads\":0");
+    if (!json)
+      std::printf("  -> %zu devices x %zu surfaces: shared engine %.1fx"
+                  " (serial), %.1fx (parallel shard)\n",
+                  n, m, speedup_serial, speedup_parallel);
+  }
+  return 0;
+}

@@ -43,6 +43,16 @@ using Complex = std::complex<double>;
 /// or {lo} when n == 1.
 [[nodiscard]] std::vector<double> linspace(double lo, double hi, int n);
 
+/// Fixed-step axis {lo, lo + step, ...} up to hi (inclusive, with a 1e-9
+/// absolute tolerance at the upper edge). Every point is generated as
+/// lo + i * step — never by repeated accumulation, which drifts by an ulp
+/// per addition and can shift grid points or add/drop the endpoint.
+/// Returns an empty vector when step <= 0 or hi < lo; throws
+/// std::invalid_argument when the range/step combination would produce an
+/// absurd number of points (> 5e7).
+[[nodiscard]] std::vector<double> stepped_range(double lo, double hi,
+                                                double step);
+
 /// Piecewise-linear interpolation of y(x) at query point x_q.
 /// xs must be sorted ascending; values outside the range are clamped to the
 /// boundary values (flat extrapolation).

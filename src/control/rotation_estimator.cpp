@@ -1,7 +1,10 @@
 #include "src/control/rotation_estimator.h"
 
 #include <cmath>
+#include <limits>
 #include <stdexcept>
+
+#include "src/common/math_utils.h"
 
 namespace llama::control {
 
@@ -18,7 +21,14 @@ RotationEstimator::RotationEstimator(Options options) : options_(options) {
 std::vector<OrientationSample> RotationEstimator::orientation_scan(
     const OrientationProbe& probe) const {
   std::vector<OrientationSample> scan;
-  for (double deg = 0.0; deg < 180.0; deg += options_.orientation_step_deg) {
+  const double step = options_.orientation_step_deg;
+  scan.reserve(static_cast<std::size_t>(180.0 / step) + 1);
+  // Index-based angles (i * step): accumulating `deg += step` drifts below
+  // 180 after ~1/step additions and emits an extra sample at ~180 deg, which
+  // aliases the 0 deg orientation and corrupts the argmax.
+  for (std::size_t i = 0;; ++i) {
+    const double deg = static_cast<double>(i) * step;
+    if (deg >= 180.0 - 1e-9) break;
     const common::Angle o = common::Angle::degrees(deg);
     scan.push_back({o, probe(o)});
   }
@@ -46,12 +56,14 @@ RotationEstimate RotationEstimator::estimate(const BiasSetter& set_bias,
   // Step 2: with the receiver fixed at theta_0, sweep the bias grid for the
   // weakest and strongest received power.
   const common::Angle fixed = out.theta0;
-  common::PowerDbm weakest{1e9};
-  common::PowerDbm strongest{-1e9};
-  for (double vy = options_.v_min.value(); vy <= options_.v_max.value() + 1e-9;
-       vy += options_.v_step.value()) {
-    for (double vx = options_.v_min.value();
-         vx <= options_.v_max.value() + 1e-9; vx += options_.v_step.value()) {
+  common::PowerDbm weakest{std::numeric_limits<double>::infinity()};
+  common::PowerDbm strongest{-std::numeric_limits<double>::infinity()};
+  // Shared index-based axis for both bias rails (no accumulation drift).
+  const std::vector<double> axis = common::stepped_range(
+      options_.v_min.value(), options_.v_max.value(),
+      options_.v_step.value());
+  for (double vy : axis) {
+    for (double vx : axis) {
       set_bias(common::Voltage{vx}, common::Voltage{vy});
       const common::PowerDbm p = probe(fixed);
       if (p < weakest) {

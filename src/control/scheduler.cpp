@@ -61,21 +61,31 @@ std::vector<ScheduleSlot> PolarizationScheduler::build_schedule(
 std::vector<common::PowerDbm> PolarizationScheduler::expected_power(
     const std::vector<DeviceEntry>& devices,
     const std::vector<ScheduleSlot>& schedule) const {
+  // Device -> airtime-share map built in one pass over the schedule. (The
+  // previous per-device std::find over every slot's member list was
+  // O(D^2 * S) — minutes of scheduler time at dense-deployment scale.)
+  // A device absent from every slot keeps fraction 0 and therefore receives
+  // its unoptimized power; a device listed in several slots (hand-built
+  // schedules only) accumulates their shares — it runs at optimized power
+  // during each of them. A slot referencing a device index beyond the
+  // roster is a corrupt schedule and throws.
+  std::vector<double> fraction(devices.size(), 0.0);
+  for (const ScheduleSlot& slot : schedule)
+    for (std::size_t i : slot.device_indices) {
+      if (i >= devices.size())
+        throw std::out_of_range{
+            "PolarizationScheduler::expected_power: slot references device " +
+            std::to_string(i) + " of a " + std::to_string(devices.size()) +
+            "-device roster"};
+      fraction[i] += slot.slot_fraction;
+    }
   std::vector<common::PowerDbm> out;
   out.reserve(devices.size());
   for (std::size_t i = 0; i < devices.size(); ++i) {
-    double in_slot_fraction = 0.0;
-    for (const ScheduleSlot& slot : schedule) {
-      if (std::find(slot.device_indices.begin(), slot.device_indices.end(),
-                    i) != slot.device_indices.end()) {
-        in_slot_fraction = slot.slot_fraction;
-        break;
-      }
-    }
     const double opt_mw = devices[i].optimized_power.to_mw().value();
     const double raw_mw = devices[i].unoptimized_power.to_mw().value();
     const double mean_mw =
-        in_slot_fraction * opt_mw + (1.0 - in_slot_fraction) * raw_mw;
+        fraction[i] * opt_mw + (1.0 - fraction[i]) * raw_mw;
     out.push_back(common::PowerMw{std::max(mean_mw, 1e-15)}.to_dbm());
   }
   return out;

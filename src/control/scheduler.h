@@ -59,6 +59,13 @@ class PolarizationScheduler {
   /// during the device's slot, unoptimized power elsewhere (linear-domain
   /// average, returned in dBm). This is the quantity a throughput model
   /// consumes.
+  ///
+  /// Contract: a device absent from every slot has airtime fraction 0 and
+  /// receives its unoptimized power; a device listed in several slots (only
+  /// possible in hand-built schedules — build_schedule assigns each device
+  /// exactly once) accumulates the shares of all its slots; a slot
+  /// referencing an index outside `devices` throws std::out_of_range. Runs
+  /// in O(devices + schedule entries), not O(devices^2 x slots).
   [[nodiscard]] std::vector<common::PowerDbm> expected_power(
       const std::vector<DeviceEntry>& devices,
       const std::vector<ScheduleSlot>& schedule) const;

@@ -1,6 +1,7 @@
 #include "src/control/sweep.h"
 
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
 
 #include "src/common/math_utils.h"
@@ -35,9 +36,12 @@ SweepResult CoarseToFineSweep::run(const PowerProbe& probe) {
   for (int n = 0; n < options_.iterations; ++n) {
     const double x_step = (x_hi - x_lo) / t_steps;
     const double y_step = (y_hi - y_lo) / t_steps;
-    double best_x = x_lo;
-    double best_y = y_lo;
-    common::PowerDbm best{-1e9};
+    // The winner starts at the first probed grid point (i = j = 1) with a
+    // -inf power, so even a plane whose every probe reads arbitrarily low
+    // still reports a bias the sweep actually visited.
+    double best_x = x_lo + x_step;
+    double best_y = y_lo + y_step;
+    common::PowerDbm best{-std::numeric_limits<double>::infinity()};
     // Scan the T x T grid over the current window.
     for (int i = 1; i <= t_steps; ++i) {
       for (int j = 1; j <= t_steps; ++j) {
@@ -94,9 +98,10 @@ SweepResult CoarseToFineSweep::run_batched(const GridPowerProbe& probe) {
       vys[static_cast<std::size_t>(i - 1)] = y_lo + y_step * i;
     }
     const PowerGrid grid = probe(vxs, vys);
-    double best_x = x_lo;
-    double best_y = y_lo;
-    common::PowerDbm best{-1e9};
+    // Same first-probed-point initialization as run() (see comment there).
+    double best_x = x_lo + x_step;
+    double best_y = y_lo + y_step;
+    common::PowerDbm best{-std::numeric_limits<double>::infinity()};
     // Reduce in run()'s probe order (vx outer, vy inner) so tie-breaking
     // and supply accounting are identical to the serial path.
     for (int i = 0; i < t_steps; ++i) {
@@ -142,13 +147,12 @@ void FullGridSweep::reset_axes() {
   // sweep object can never leak a previous run's rows or axis labels, and
   // size everything up front.
   grid_.clear();
-  vxs_.clear();
-  vys_.clear();
-  const double lo = options_.v_min.value();
-  const double hi = options_.v_max.value();
-  const double step = options_.step.value();
-  vxs_.reserve(static_cast<std::size_t>((hi - lo) / step) + 2);
-  for (double v = lo; v <= hi + 1e-9; v += step) vxs_.push_back(v);
+  // Index-based generation (lo + i*step): repeated `v += step` accumulation
+  // drifts by an ulp per addition, shifting every probed bias off the
+  // nominal lattice and, at unlucky range/step combinations, adding or
+  // dropping the final grid point.
+  vxs_ = common::stepped_range(options_.v_min.value(), options_.v_max.value(),
+                               options_.step.value());
   vys_ = vxs_;
   grid_.reserve(vys_.size());
 }
@@ -157,7 +161,11 @@ SweepResult FullGridSweep::run(const PowerProbe& probe) {
   reset_axes();
   const double t0 = supply_.elapsed_s();
   SweepResult result;
-  common::PowerDbm best{-1e9};
+  // First probed cell seeds the winner (same rationale as CoarseToFineSweep:
+  // an all-floor plane must still report a probed bias, not the default).
+  result.best_vx = common::Voltage{vxs_.front()};
+  result.best_vy = common::Voltage{vys_.front()};
+  common::PowerDbm best{-std::numeric_limits<double>::infinity()};
   for (double vy : vys_) {
     std::vector<double> row;
     row.reserve(vxs_.size());
@@ -185,7 +193,9 @@ SweepResult FullGridSweep::run_batched(const GridPowerProbe& probe) {
   const double t0 = supply_.elapsed_s();
   SweepResult result;
   const PowerGrid powers = probe(vxs_, vys_);
-  common::PowerDbm best{-1e9};
+  result.best_vx = common::Voltage{vxs_.front()};
+  result.best_vy = common::Voltage{vys_.front()};
+  common::PowerDbm best{-std::numeric_limits<double>::infinity()};
   // Reduce in run()'s scan order (vy outer, vx inner); each cell still
   // charges one supply switch, so the instrument-time model is unchanged.
   for (std::size_t iy = 0; iy < vys_.size(); ++iy) {

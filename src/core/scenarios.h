@@ -4,6 +4,7 @@
 #pragma once
 
 #include "src/core/llama_system.h"
+#include "src/deploy/deployment_engine.h"
 #include "src/sensing/breathing_target.h"
 #include "src/sensing/respiration_detector.h"
 
@@ -46,5 +47,19 @@ struct SensingScenario {
 [[nodiscard]] std::vector<double> simulate_respiration_trace(
     const SensingScenario& scenario, bool with_surface, double duration_s,
     double sample_rate_hz, std::uint64_t seed = 0x5E5EULL);
+
+/// Dense-deployment scenario of the paper's Section 7 outlook, scaled to M
+/// surfaces serving N devices: IoT dipoles at deterministic, diverse
+/// mounting orientations (golden-angle spread over the mismatch-heavy
+/// [50, 130) deg band), assigned round-robin to surfaces, in the
+/// transmissive mismatch geometry.
+struct DenseDeploymentScenario {
+  deploy::DeploymentConfig config;
+  std::vector<deploy::DeviceSpec> devices;
+};
+[[nodiscard]] DenseDeploymentScenario dense_deployment_scenario(
+    std::size_t n_devices, std::size_t m_surfaces,
+    common::PowerDbm tx_power = common::PowerDbm{14.0},
+    double tx_rx_distance_m = 1.0);
 
 }  // namespace llama::core

@@ -1,0 +1,258 @@
+#include "src/deploy/deployment_engine.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "src/channel/ber.h"
+#include "src/channel/capacity.h"
+#include "src/common/math_utils.h"
+#include "src/common/parallel.h"
+#include "src/common/rng.h"
+
+namespace llama::deploy {
+
+namespace {
+
+common::Voltage clamp_bias(common::Voltage v) {
+  return common::Voltage{common::clamp(v.value(), 0.0, 30.0)};
+}
+
+/// Normalized map key for a frequency (mirrors ResponseCache::make_key's
+/// signed-zero handling; NaN is rejected there before we ever look up).
+double plan_key(common::Frequency f) {
+  const double hz = f.in_hz();
+  return hz == 0.0 ? 0.0 : hz;
+}
+
+}  // namespace
+
+SharedResponseEngine::SharedResponseEngine(
+    metasurface::RotatorStack stack, metasurface::ResponseCacheConfig cache)
+    : stack_(std::move(stack)), cache_(cache) {}
+
+em::JonesMatrix SharedResponseEngine::response(common::Frequency f,
+                                               metasurface::SurfaceMode mode,
+                                               common::Voltage vx,
+                                               common::Voltage vy) {
+  const common::Voltage vxq = cache_.quantize(clamp_bias(vx));
+  const common::Voltage vyq = cache_.quantize(clamp_bias(vy));
+  const metasurface::ResponseCache::Key key =
+      cache_.make_key(f, vxq, vyq, static_cast<int>(mode));
+  {
+    const std::lock_guard<std::mutex> lock(cache_mutex_);
+    if (auto hit = cache_.find(key)) return *hit;
+  }
+  // Miss: fetch (or build, once per frequency+mode) the shared plan, then
+  // evaluate outside the cache lock. Concurrent misses on one key both
+  // compute the same pure function of (f, quantized bias, mode); the second
+  // insert refreshes the entry with an identical value.
+  const em::JonesMatrix j =
+      mode == metasurface::SurfaceMode::kTransmissive
+          ? stack_.transmission(*transmission_plan(f), vxq, vyq)
+          : stack_.reflection(*reflection_plan(f), vxq, vyq);
+  {
+    const std::lock_guard<std::mutex> lock(cache_mutex_);
+    cache_.insert(key, j);
+  }
+  return j;
+}
+
+std::shared_ptr<const metasurface::RotatorStack::TransmissionPlan>
+SharedResponseEngine::transmission_plan(common::Frequency f) {
+  const std::lock_guard<std::mutex> lock(plan_mutex_);
+  auto& slot = transmission_plans_[plan_key(f)];
+  if (!slot)
+    slot = std::make_shared<const metasurface::RotatorStack::TransmissionPlan>(
+        stack_.plan_transmission(f));
+  return slot;
+}
+
+std::shared_ptr<const metasurface::RotatorStack::ReflectionPlan>
+SharedResponseEngine::reflection_plan(common::Frequency f) {
+  const std::lock_guard<std::mutex> lock(plan_mutex_);
+  auto& slot = reflection_plans_[plan_key(f)];
+  if (!slot)
+    slot = std::make_shared<const metasurface::RotatorStack::ReflectionPlan>(
+        stack_.plan_reflection(f));
+  return slot;
+}
+
+metasurface::JonesGrid SharedResponseEngine::response_grid(
+    common::Frequency f, metasurface::SurfaceMode mode,
+    const std::vector<double>& vxs, const std::vector<double>& vys) {
+  metasurface::JonesGrid grid(vys.size(),
+                              std::vector<em::JonesMatrix>(vxs.size()));
+  if (vxs.empty() || vys.empty()) return grid;
+
+  // Quantized axes and keys, built once per window.
+  std::vector<common::Voltage> vxq(vxs.size());
+  std::vector<common::Voltage> vyq(vys.size());
+  for (std::size_t ix = 0; ix < vxs.size(); ++ix)
+    vxq[ix] = cache_.quantize(clamp_bias(common::Voltage{vxs[ix]}));
+  for (std::size_t iy = 0; iy < vys.size(); ++iy)
+    vyq[iy] = cache_.quantize(clamp_bias(common::Voltage{vys[iy]}));
+  const int mode_key = static_cast<int>(mode);
+
+  // Pass 1, one lock: drain every hit, remember the misses.
+  std::vector<std::pair<std::size_t, std::size_t>> misses;
+  {
+    const std::lock_guard<std::mutex> lock(cache_mutex_);
+    for (std::size_t iy = 0; iy < vys.size(); ++iy)
+      for (std::size_t ix = 0; ix < vxs.size(); ++ix) {
+        const metasurface::ResponseCache::Key key =
+            cache_.make_key(f, vxq[ix], vyq[iy], mode_key);
+        if (auto hit = cache_.find(key))
+          grid[iy][ix] = *hit;
+        else
+          misses.emplace_back(iy, ix);
+      }
+  }
+  if (misses.empty()) return grid;
+
+  // Compute the misses outside any lock (pure planned evaluations).
+  if (mode == metasurface::SurfaceMode::kTransmissive) {
+    const auto plan = transmission_plan(f);
+    for (const auto& [iy, ix] : misses)
+      grid[iy][ix] = stack_.transmission(*plan, vxq[ix], vyq[iy]);
+  } else {
+    const auto plan = reflection_plan(f);
+    for (const auto& [iy, ix] : misses)
+      grid[iy][ix] = stack_.reflection(*plan, vxq[ix], vyq[iy]);
+  }
+
+  // Pass 2, one lock: publish the new cells.
+  {
+    const std::lock_guard<std::mutex> lock(cache_mutex_);
+    for (const auto& [iy, ix] : misses)
+      cache_.insert(cache_.make_key(f, vxq[ix], vyq[iy], mode_key),
+                    grid[iy][ix]);
+  }
+  return grid;
+}
+
+std::size_t SharedResponseEngine::plan_count() const {
+  const std::lock_guard<std::mutex> lock(plan_mutex_);
+  return transmission_plans_.size() + reflection_plans_.size();
+}
+
+metasurface::ResponseCacheStats SharedResponseEngine::cache_stats() const {
+  const std::lock_guard<std::mutex> lock(cache_mutex_);
+  return cache_.stats();
+}
+
+std::size_t SharedResponseEngine::cache_size() const {
+  const std::lock_guard<std::mutex> lock(cache_mutex_);
+  return cache_.size();
+}
+
+void SharedResponseEngine::clear() {
+  {
+    const std::lock_guard<std::mutex> lock(plan_mutex_);
+    transmission_plans_.clear();
+    reflection_plans_.clear();
+  }
+  const std::lock_guard<std::mutex> lock(cache_mutex_);
+  cache_.clear();
+}
+
+DeploymentEngine::DeploymentEngine(DeploymentConfig config,
+                                   metasurface::RotatorStack stack)
+    : config_(std::move(config)),
+      engine_(std::move(stack), config_.cache),
+      receiver_(config_.receiver, common::Rng{0}) {}
+
+DeploymentReport DeploymentEngine::run(
+    const std::vector<DeviceSpec>& devices) {
+  if (config_.n_surfaces == 0)
+    throw std::invalid_argument{"DeploymentEngine: need >= 1 surface"};
+  for (const DeviceSpec& spec : devices)
+    if (spec.surface >= 0 &&
+        static_cast<std::size_t>(spec.surface) >= config_.n_surfaces)
+      throw std::out_of_range{"DeploymentEngine: device '" + spec.name +
+                              "' names surface " +
+                              std::to_string(spec.surface) + " of " +
+                              std::to_string(config_.n_surfaces)};
+
+  DeploymentReport report;
+  report.devices.resize(devices.size());
+  const common::Frequency f = config_.frequency;
+  const metasurface::SurfaceMode mode = config_.geometry.mode;
+
+  // Shard the per-device Algorithm-1 runs. Each worker touches only its own
+  // DeviceResult slot; the shared engine is the only cross-thread state and
+  // serves pure values, so the shard is deterministic for any thread count.
+  common::parallel_for(devices.size(), config_.threads, [&](std::size_t i) {
+    const DeviceSpec& spec = devices[i];
+    channel::LinkBudget link{config_.tx_antenna,
+                             config_.rx_antenna.oriented(spec.orientation),
+                             config_.geometry, config_.environment};
+    const control::GridPowerProbe probe =
+        [&](const std::vector<double>& vxs, const std::vector<double>& vys) {
+          const metasurface::JonesGrid responses =
+              engine_.response_grid(f, mode, vxs, vys);
+          control::PowerGrid grid(
+              vys.size(), std::vector<common::PowerDbm>(vxs.size()));
+          for (std::size_t iy = 0; iy < vys.size(); ++iy)
+            for (std::size_t ix = 0; ix < vxs.size(); ++ix)
+              grid[iy][ix] = receiver_.expected_measure(
+                  link.received_power_with_response(config_.tx_power, f,
+                                                    responses[iy][ix]));
+          return grid;
+        };
+    control::PowerSupply supply;  // per-device instrument-time accounting
+    control::CoarseToFineSweep sweep{supply, config_.sweep};
+    DeviceResult& out = report.devices[i];
+    out.name = spec.name;
+    out.surface = spec.surface >= 0
+                      ? static_cast<std::size_t>(spec.surface)
+                      : i % config_.n_surfaces;
+    out.sweep = sweep.run_batched(probe);
+    out.optimized_power = out.sweep.best_power;
+    out.unoptimized_power = receiver_.expected_measure(
+        link.received_power_without_surface(config_.tx_power, f));
+  });
+
+  // Per-surface scheduling and network-wide aggregation (serial: cheap).
+  report.noise_floor = receiver_.noise_floor_dbm();
+  const control::PolarizationScheduler scheduler{config_.scheduler};
+  report.surfaces.resize(config_.n_surfaces);
+  for (std::size_t s = 0; s < config_.n_surfaces; ++s)
+    report.surfaces[s].surface = s;
+  for (std::size_t i = 0; i < report.devices.size(); ++i)
+    report.surfaces[report.devices[i].surface].device_ids.push_back(i);
+
+  std::size_t links = 0;
+  double ber_sum = 0.0;
+  double raw_ber_sum = 0.0;
+  for (SurfaceReport& sr : report.surfaces) {
+    std::vector<control::DeviceEntry> entries;
+    entries.reserve(sr.device_ids.size());
+    for (std::size_t id : sr.device_ids) {
+      const DeviceResult& d = report.devices[id];
+      entries.push_back(control::DeviceEntry{
+          d.name, d.sweep.best_vx, d.sweep.best_vy, d.optimized_power,
+          d.unoptimized_power, devices[id].traffic_weight});
+    }
+    sr.slots = scheduler.build_schedule(entries);
+    sr.scheduled_power = scheduler.expected_power(entries, sr.slots);
+    for (std::size_t k = 0; k < sr.scheduled_power.size(); ++k) {
+      const common::PowerDbm sched = sr.scheduled_power[k];
+      const common::PowerDbm raw = entries[k].unoptimized_power;
+      report.sum_capacity_bits_per_hz +=
+          channel::capacity_bits_per_hz(sched, config_.rate_noise);
+      report.unassisted_capacity_bits_per_hz +=
+          channel::capacity_bits_per_hz(raw, config_.rate_noise);
+      ber_sum += channel::ber_qpsk((sched - config_.rate_noise).value());
+      raw_ber_sum += channel::ber_qpsk((raw - config_.rate_noise).value());
+      ++links;
+    }
+  }
+  report.mean_ber = links > 0 ? ber_sum / static_cast<double>(links) : 0.0;
+  report.unassisted_mean_ber =
+      links > 0 ? raw_ber_sum / static_cast<double>(links) : 0.0;
+  report.cache_stats = engine_.cache_stats();
+  report.plan_count = engine_.plan_count();
+  return report;
+}
+
+}  // namespace llama::deploy

@@ -1,0 +1,203 @@
+// Multi-surface dense-deployment engine (paper Section 7 outlook at scale):
+// one controller time-shares bias states across M metasurfaces serving N
+// IoT devices.
+//
+// Two pieces:
+//
+//  - SharedResponseEngine: a thread-safe response-plan registry plus one
+//    shared ResponseCache for every link at a given frequency. A standalone
+//    LlamaSystem rebuilds per-frequency plans per grid probe and owns a
+//    private cache; at deployment scale that repeats the identical
+//    bias-independent cascade work once per device. Here the plan is built
+//    once per (frequency, mode) and every device's Algorithm-1 grid draws
+//    from (and feeds) one memo — the coarse first-iteration window is the
+//    same 0-30 V grid for every device, so all but the first device hit.
+//
+//  - DeploymentEngine: shards the per-device Algorithm-1 optimizations over
+//    common::parallel_for, then feeds each surface's per-device optima into
+//    PolarizationScheduler and reports aggregate spectral efficiency
+//    (channel::capacity) and BER (channel::ber) under the schedule.
+//
+// Thread-safety / determinism contract: the registry and cache are
+// mutex-protected; every cached value is a pure function of its quantized
+// key (the ResponseCache quantization contract), so concurrent misses that
+// race on one key compute byte-identical matrices and the engine's results
+// are byte-identical for any thread count — only the hit/miss split varies.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/channel/link_budget.h"
+#include "src/common/units.h"
+#include "src/control/scheduler.h"
+#include "src/control/sweep.h"
+#include "src/metasurface/metasurface.h"
+#include "src/radio/transceiver.h"
+
+namespace llama::deploy {
+
+/// Thread-safe shared plan registry + response memo for one stack design.
+/// All M surfaces of a deployment are the same fabricated hardware, so one
+/// engine serves every link regardless of which surface carries it.
+class SharedResponseEngine {
+ public:
+  explicit SharedResponseEngine(metasurface::RotatorStack stack,
+                                metasurface::ResponseCacheConfig cache = {});
+
+  /// Planned + cached response at a bias pair (clamped to the 0-30 V supply
+  /// range, then quantized per the cache contract). Safe to call from many
+  /// threads; the returned matrix is a pure function of
+  /// (frequency, quantized bias, mode).
+  [[nodiscard]] em::JonesMatrix response(common::Frequency f,
+                                         metasurface::SurfaceMode mode,
+                                         common::Voltage vx,
+                                         common::Voltage vy);
+
+  /// Batched variant over a whole bias window: grid[iy][ix] is the response
+  /// at (vxs[ix], vys[iy]), equal to pointwise response() calls. The memo is
+  /// consulted and refilled with two lock acquisitions for the entire
+  /// window (not two per cell), which is what lets many device shards probe
+  /// concurrently without serializing on the cache mutex.
+  [[nodiscard]] metasurface::JonesGrid response_grid(
+      common::Frequency f, metasurface::SurfaceMode mode,
+      const std::vector<double>& vxs, const std::vector<double>& vys);
+
+  /// Number of distinct (frequency, mode) plans built so far.
+  [[nodiscard]] std::size_t plan_count() const;
+  /// Snapshot of the shared cache's hit/miss/eviction counters.
+  [[nodiscard]] metasurface::ResponseCacheStats cache_stats() const;
+  [[nodiscard]] std::size_t cache_size() const;
+  /// Drops all plans and cached responses and zeroes the statistics.
+  void clear();
+
+  [[nodiscard]] const metasurface::RotatorStack& stack() const {
+    return stack_;
+  }
+
+ private:
+  /// Get-or-build the shared plan for a frequency (mutex-protected).
+  [[nodiscard]] std::shared_ptr<
+      const metasurface::RotatorStack::TransmissionPlan>
+  transmission_plan(common::Frequency f);
+  [[nodiscard]] std::shared_ptr<const metasurface::RotatorStack::ReflectionPlan>
+  reflection_plan(common::Frequency f);
+
+  const metasurface::RotatorStack stack_;
+  mutable std::mutex plan_mutex_;
+  std::map<double, std::shared_ptr<const metasurface::RotatorStack::
+                                       TransmissionPlan>>
+      transmission_plans_;
+  std::map<double,
+           std::shared_ptr<const metasurface::RotatorStack::ReflectionPlan>>
+      reflection_plans_;
+  mutable std::mutex cache_mutex_;
+  metasurface::ResponseCache cache_;
+};
+
+/// One served endpoint of a deployment.
+struct DeviceSpec {
+  std::string name;
+  /// Mounting orientation of the device's antenna (applied to the config's
+  /// rx antenna template).
+  common::Angle orientation = common::Angle::degrees(0.0);
+  double traffic_weight = 1.0;  ///< relative airtime demand
+  /// Surface this device is served by; -1 assigns round-robin by index.
+  int surface = -1;
+};
+
+/// Deployment-wide parameters shared by every link.
+struct DeploymentConfig {
+  std::size_t n_surfaces = 1;
+  common::Frequency frequency = common::Frequency::ghz(2.44);
+  common::PowerDbm tx_power{14.0};
+  /// Link geometry template (mode + distances), identical per link.
+  channel::LinkGeometry geometry{};
+  channel::Environment environment = channel::Environment::absorber_chamber();
+  /// AP-side antenna, shared; and the device-side template re-oriented per
+  /// DeviceSpec::orientation.
+  channel::Antenna tx_antenna =
+      channel::Antenna::iot_dipole(common::Angle::degrees(0.0));
+  channel::Antenna rx_antenna =
+      channel::Antenna::iot_dipole(common::Angle::degrees(0.0));
+  radio::ReceiverConfig receiver{};
+  /// Noise+interference level against which the aggregate capacity/BER are
+  /// reported (default: the busy-building level of the paper's IoT
+  /// evaluation, which keeps links rate-sensitive; the receiver's thermal
+  /// floor is reported separately in DeploymentReport::noise_floor).
+  common::PowerDbm rate_noise{-62.0};
+  /// Per-device Algorithm 1 parameters (paper: N = 2, T = 5).
+  control::CoarseToFineSweep::Options sweep{};
+  control::PolarizationScheduler::Options scheduler{};
+  metasurface::ResponseCacheConfig cache{};
+  /// Worker threads for the per-device optimization shard (<= 0 default).
+  int threads = 0;
+};
+
+/// Per-device optimization outcome.
+struct DeviceResult {
+  std::string name;
+  std::size_t surface = 0;  ///< surface this device was scheduled on
+  control::SweepResult sweep;
+  common::PowerDbm optimized_power{-120.0};    ///< expected, at best bias
+  common::PowerDbm unoptimized_power{-120.0};  ///< expected, surface absent
+};
+
+/// One surface's airtime schedule. Slot device_indices index into
+/// `device_ids` (the surface-local roster), which in turn indexes
+/// DeploymentReport::devices.
+struct SurfaceReport {
+  std::size_t surface = 0;
+  std::vector<std::size_t> device_ids;
+  std::vector<control::ScheduleSlot> slots;
+  /// Expected per-device mean power under the schedule, per device_ids entry.
+  std::vector<common::PowerDbm> scheduled_power;
+};
+
+/// Outcome of one deployment-wide optimization round.
+struct DeploymentReport {
+  std::vector<DeviceResult> devices;
+  std::vector<SurfaceReport> surfaces;
+  common::PowerDbm noise_floor{-120.0};
+  /// Sum over links of Shannon spectral efficiency [bit/s/Hz] at the
+  /// scheduled expected power.
+  double sum_capacity_bits_per_hz = 0.0;
+  /// Same aggregate for the unassisted network (no surface deployed).
+  double unassisted_capacity_bits_per_hz = 0.0;
+  /// Mean uncoded QPSK BER over links at the scheduled SNR.
+  double mean_ber = 0.0;
+  double unassisted_mean_ber = 0.0;
+  metasurface::ResponseCacheStats cache_stats;
+  std::size_t plan_count = 0;
+};
+
+/// M surfaces, N devices, one shared response engine.
+class DeploymentEngine {
+ public:
+  explicit DeploymentEngine(DeploymentConfig config,
+                            metasurface::RotatorStack stack =
+                                metasurface::prototype_fr4_design());
+
+  /// Optimizes every device's bias pair (Algorithm 1, batched measurement
+  /// model, sharded over threads), builds each surface's schedule, and
+  /// aggregates capacity/BER. Deterministic: byte-identical results for any
+  /// `threads` setting. Throws std::invalid_argument when the config has no
+  /// surfaces and std::out_of_range when a DeviceSpec names a surface index
+  /// >= n_surfaces.
+  [[nodiscard]] DeploymentReport run(const std::vector<DeviceSpec>& devices);
+
+  [[nodiscard]] const DeploymentConfig& config() const { return config_; }
+  [[nodiscard]] SharedResponseEngine& response_engine() { return engine_; }
+
+ private:
+  DeploymentConfig config_;
+  SharedResponseEngine engine_;
+  /// Expected-power measurement model only (no RNG state is consumed).
+  radio::Receiver receiver_;
+};
+
+}  // namespace llama::deploy

@@ -36,9 +36,15 @@ ResponseCache::Key ResponseCache::make_key(common::Frequency f,
                                            common::Voltage vx_q,
                                            common::Voltage vy_q,
                                            int mode) const {
+  double hz = f.in_hz();
+  if (std::isnan(hz))
+    throw std::invalid_argument{"ResponseCache: NaN frequency"};
+  // Normalize the signed zero: -0.0 and 0.0 compare equal but differ in bit
+  // pattern, and the key is built from raw bits.
+  if (hz == 0.0) hz = 0.0;
   const double q = config_.voltage_quantum_v;
   Key key;
-  key.frequency_bits = std::bit_cast<std::uint64_t>(f.in_hz());
+  key.frequency_bits = std::bit_cast<std::uint64_t>(hz);
   key.vx_quanta = static_cast<std::int64_t>(std::llround(vx_q.value() / q));
   key.vy_quanta = static_cast<std::int64_t>(std::llround(vy_q.value() / q));
   key.mode = mode;
@@ -75,6 +81,9 @@ void ResponseCache::insert(const Key& key, const em::JonesMatrix& value) {
 void ResponseCache::clear() {
   lru_.clear();
   map_.clear();
+  // A cleared cache starts a fresh measurement epoch: stale hit/miss/eviction
+  // counters would silently blend into the next run's statistics.
+  stats_ = ResponseCacheStats{};
 }
 
 }  // namespace llama::metasurface

@@ -54,7 +54,10 @@ class ResponseCache {
   /// Snaps a bias to the quantization lattice.
   [[nodiscard]] common::Voltage quantize(common::Voltage v) const;
 
-  /// Builds the key for an already-quantized bias pair.
+  /// Builds the key for an already-quantized bias pair. -0.0 and 0.0
+  /// frequencies map to one key (the raw bits differ but the values compare
+  /// equal); a NaN frequency throws std::invalid_argument, as NaN bits would
+  /// poison the map with an unmatchable key.
   [[nodiscard]] Key make_key(common::Frequency f, common::Voltage vx_q,
                              common::Voltage vy_q, int mode) const;
 
@@ -64,6 +67,8 @@ class ResponseCache {
   /// Inserts (or refreshes) an entry, evicting the LRU tail when full.
   void insert(const Key& key, const em::JonesMatrix& value);
 
+  /// Drops every entry and zeroes the hit/miss/eviction statistics — a
+  /// cleared cache reports a fresh epoch, not the previous run's counters.
   void clear();
   [[nodiscard]] std::size_t size() const { return map_.size(); }
   [[nodiscard]] const ResponseCacheStats& stats() const { return stats_; }

@@ -54,6 +54,23 @@ TEST(Linspace, SinglePointAndErrors) {
   EXPECT_THROW((void)linspace(0.0, 1.0, 0), std::invalid_argument);
 }
 
+TEST(SteppedRange, ExactLatticeAndEdgeInclusion) {
+  const auto v = stepped_range(0.0, 5.0, 0.1);
+  ASSERT_EQ(v.size(), 51u);
+  for (std::size_t i = 0; i < v.size(); ++i)
+    EXPECT_EQ(v[i], static_cast<double>(i) * 0.1);  // exact, not near
+  EXPECT_EQ(v.back(), 5.0);
+}
+
+TEST(SteppedRange, EmptyAndPathologicalInputs) {
+  EXPECT_TRUE(stepped_range(1.0, 0.0, 0.1).empty());
+  EXPECT_TRUE(stepped_range(0.0, 1.0, 0.0).empty());
+  EXPECT_TRUE(stepped_range(0.0, 1.0, -1.0).empty());
+  EXPECT_EQ(stepped_range(2.0, 2.0, 0.5), std::vector<double>{2.0});
+  // Absurd point counts fail fast instead of exhausting memory.
+  EXPECT_THROW((void)stepped_range(0.0, 1e30, 1e-6), std::invalid_argument);
+}
+
 TEST(Interp1, ExactAtKnotsLinearBetween) {
   const std::vector<double> xs{0.0, 1.0, 2.0};
   const std::vector<double> ys{0.0, 10.0, 40.0};

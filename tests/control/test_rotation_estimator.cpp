@@ -59,6 +59,56 @@ TEST(RotationEstimator, OrientationScanCoversHalfTurn) {
   EXPECT_LT(scan.back().orientation.deg(), 180.0);
 }
 
+TEST(RotationEstimator, OrientationScanHasNoNear180Alias) {
+  // Regression: accumulating `deg += step` drifts below 180 after ~1/step
+  // additions; with a 0.1 deg step the old loop emitted a 1801st sample at
+  // ~179.99999999999406 deg — an alias of the 0 deg orientation that can
+  // steal the argmax. Index-based angles stop exactly at 179.9.
+  RotationEstimator::Options opt;
+  opt.orientation_step_deg = 0.1;
+  RotationEstimator est{opt};
+  const auto scan =
+      est.orientation_scan([](Angle) { return PowerDbm{-30.0}; });
+  ASSERT_EQ(scan.size(), 1800u);
+  for (std::size_t i = 0; i < scan.size(); ++i) {
+    EXPECT_DOUBLE_EQ(scan[i].orientation.deg(),
+                     static_cast<double>(i) * 0.1)
+        << "orientation sample " << i << " drifted off the lattice";
+  }
+}
+
+TEST(RotationEstimator, BiasSweepVisitsExactLattice) {
+  // Regression: the step-2 bias grid was accumulated per axis (`v += step`),
+  // so with step 0.1 over [0, 5] most programmed biases sat an ulp or more
+  // off the nominal i*step lattice the supply would actually be set to.
+  RotationEstimator::Options opt;
+  opt.orientation_step_deg = 30.0;
+  opt.v_min = Voltage{0.0};
+  opt.v_max = Voltage{5.0};
+  opt.v_step = Voltage{0.1};
+  RotationEstimator est{opt};
+  SyntheticRotator plant;
+  std::vector<double> seen;
+  const BiasSetter set_bias = [&](Voltage vx, Voltage vy) {
+    plant.vx = vx;
+    plant.vy = vy;
+    seen.push_back(vx.value());
+    seen.push_back(vy.value());
+  };
+  (void)est.estimate(set_bias,
+                     [&](Angle o) { return plant.measure(o); });
+  // 51 lattice points per axis -> 51^2 grid probes plus the step-1/step-3
+  // endpoints, all of which must be exact lattice members.
+  EXPECT_GE(seen.size(), 2u * 51u * 51u);
+  for (double v : seen) {
+    const double lattice = std::round(v / 0.1) * 0.1;
+    // Exact equality: the drift is a few ulps, inside EXPECT_DOUBLE_EQ's
+    // 4-ulp band but off the lattice the supply is nominally programmed to.
+    EXPECT_EQ(v, lattice) << "programmed bias " << v
+                          << " V is off the 0.1 V lattice";
+  }
+}
+
 TEST(RotationEstimator, RecoversMinAndMaxRotation) {
   RotationEstimator::Options opt;
   opt.orientation_step_deg = 1.0;

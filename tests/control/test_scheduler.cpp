@@ -123,5 +123,82 @@ TEST(PolarizationScheduler, ManyDevicesClusterSensibly) {
   EXPECT_EQ(covered, devices.size());
 }
 
+TEST(PolarizationScheduler, UnscheduledDeviceKeepsUnoptimizedPower) {
+  // Documented contract: a device absent from every slot has airtime
+  // fraction 0 and therefore receives exactly its unoptimized power.
+  PolarizationScheduler sched;
+  const std::vector<DeviceEntry> devices{
+      make_device("in", 10.0, 10.0, -20.0, -40.0),
+      make_device("out", 25.0, 5.0, -20.0, -40.0),
+  };
+  // Hand-built schedule covering only device 0.
+  const std::vector<ScheduleSlot> schedule{
+      ScheduleSlot{Voltage{10.0}, Voltage{10.0}, {0}, 1.0}};
+  const auto powers = sched.expected_power(devices, schedule);
+  ASSERT_EQ(powers.size(), 2u);
+  EXPECT_NEAR(powers[0].value(), -20.0, 1e-9);
+  EXPECT_NEAR(powers[1].value(), -40.0, 1e-9);
+}
+
+TEST(PolarizationScheduler, MultiSlotDeviceAccumulatesAirtime) {
+  // Hand-built schedules may list one device in several slots; its airtime
+  // is the sum of those slots' shares (it runs optimized during each).
+  PolarizationScheduler sched;
+  const std::vector<DeviceEntry> devices{
+      make_device("multi", 10.0, 10.0, -20.0, -40.0)};
+  const std::vector<ScheduleSlot> schedule{
+      ScheduleSlot{Voltage{10.0}, Voltage{10.0}, {0}, 0.6},
+      ScheduleSlot{Voltage{12.0}, Voltage{12.0}, {0}, 0.4}};
+  const auto powers = sched.expected_power(devices, schedule);
+  ASSERT_EQ(powers.size(), 1u);
+  // Full accumulated airtime -> pure optimized power.
+  EXPECT_NEAR(powers[0].value(), -20.0, 1e-9);
+}
+
+TEST(PolarizationScheduler, RejectsOutOfRangeDeviceIndex) {
+  // Regression: the old per-device linear scan silently ignored slots that
+  // referenced devices beyond the roster; a corrupt schedule now throws
+  // instead of misreporting.
+  PolarizationScheduler sched;
+  const std::vector<DeviceEntry> devices{make_device("solo", 10.0, 10.0)};
+  const std::vector<ScheduleSlot> schedule{
+      ScheduleSlot{Voltage{10.0}, Voltage{10.0}, {0, 7}, 1.0}};
+  EXPECT_THROW((void)sched.expected_power(devices, schedule),
+               std::out_of_range);
+}
+
+TEST(PolarizationScheduler, ThousandDeviceScheduleIsConsistent) {
+  // Dense-deployment scale: 1k devices spread over the bias plane. The
+  // rebuilt device->slot map must agree with the schedule slot-for-slot
+  // (and run in O(D + S), not the old O(D^2 * S) scan).
+  PolarizationScheduler sched;
+  std::vector<DeviceEntry> devices;
+  devices.reserve(1000);
+  for (int i = 0; i < 1000; ++i) {
+    const double vx = static_cast<double>(i % 29);
+    const double vy = static_cast<double>((i * 7) % 31);
+    devices.push_back(make_device("d" + std::to_string(i), vx, vy, -20.0,
+                                  -40.0, 1.0 + (i % 3)));
+  }
+  const auto slots = sched.build_schedule(devices);
+  const auto powers = sched.expected_power(devices, slots);
+  ASSERT_EQ(powers.size(), devices.size());
+
+  // Reference: fraction looked up directly from the schedule.
+  std::size_t covered = 0;
+  for (const ScheduleSlot& slot : slots) {
+    for (std::size_t i : slot.device_indices) {
+      ++covered;
+      const double opt = devices[i].optimized_power.to_mw().value();
+      const double raw = devices[i].unoptimized_power.to_mw().value();
+      const double expect_mw = slot.slot_fraction * opt +
+                               (1.0 - slot.slot_fraction) * raw;
+      EXPECT_NEAR(powers[i].to_mw().value(), expect_mw, 1e-12)
+          << "device " << i;
+    }
+  }
+  EXPECT_EQ(covered, devices.size());
+}
+
 }  // namespace
 }  // namespace llama::control

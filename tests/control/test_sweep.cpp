@@ -96,6 +96,46 @@ TEST(CoarseToFineSweep, StaysWithinVoltageRange) {
   }
 }
 
+TEST(CoarseToFineSweep, AllFloorProbesStillReportAProbedBias) {
+  // Regression: best_x/best_y used to start at the window corner (x_lo,
+  // y_lo), which the i,j in [1,T] grid never probes. A plane whose every
+  // probe reads at/below the old -1e9 dBm sentinel then reported an
+  // unprobed bias pair and the sentinel power.
+  PowerSupply psu;
+  CoarseToFineSweep sweep{psu, {}};
+  const SweepResult r =
+      sweep.run([](Voltage, Voltage) { return PowerDbm{-2e9}; });
+  EXPECT_DOUBLE_EQ(r.best_power.value(), -2e9);
+  bool probed = false;
+  for (const SweepSample& s : sweep.trace())
+    if (s.vx.value() == r.best_vx.value() &&
+        s.vy.value() == r.best_vy.value())
+      probed = true;
+  EXPECT_TRUE(probed) << "best (" << r.best_vx.value() << ", "
+                      << r.best_vy.value() << ") V was never probed";
+  // The corner (v_min, v_min) is not a grid point with default options.
+  EXPECT_NE(r.best_vx.value(), 0.0);
+  EXPECT_NE(r.best_vy.value(), 0.0);
+}
+
+TEST(CoarseToFineSweep, BatchedAllFloorProbesMatchSerial) {
+  PowerSupply psu_s;
+  PowerSupply psu_b;
+  CoarseToFineSweep serial{psu_s, {}};
+  CoarseToFineSweep batched{psu_b, {}};
+  const SweepResult rs =
+      serial.run([](Voltage, Voltage) { return PowerDbm{-2e9}; });
+  const SweepResult rb =
+      batched.run_batched([](const std::vector<double>& vxs,
+                             const std::vector<double>& vys) {
+        return PowerGrid(vys.size(),
+                         std::vector<PowerDbm>(vxs.size(), PowerDbm{-2e9}));
+      });
+  EXPECT_DOUBLE_EQ(rs.best_vx.value(), rb.best_vx.value());
+  EXPECT_DOUBLE_EQ(rs.best_vy.value(), rb.best_vy.value());
+  EXPECT_DOUBLE_EQ(rs.best_power.value(), rb.best_power.value());
+}
+
 TEST(CoarseToFineSweep, RejectsBadOptions) {
   PowerSupply psu;
   CoarseToFineSweep::Options bad;
@@ -144,6 +184,44 @@ TEST(FullGridSweep, GridValuesMatchProbe) {
               probe(Voltage{0.0}, Voltage{0.0}).value(), 1e-12);
   EXPECT_NEAR(sweep.grid_dbm()[3][3],
               probe(Voltage{30.0}, Voltage{30.0}).value(), 1e-12);
+}
+
+TEST(FullGridSweep, AxesAreExactIndexLattice) {
+  // Regression: the axes were accumulated (`v += step`), drifting by an ulp
+  // per addition — with step 0.1 over [0, 5], 41 of the 51 points sat off
+  // the nominal lo + i*step lattice.
+  PowerSupply psu;
+  FullGridSweep::Options opt;
+  opt.v_min = Voltage{0.0};
+  opt.v_max = Voltage{5.0};
+  opt.step = Voltage{0.1};
+  FullGridSweep sweep{psu, opt};
+  (void)sweep.run(gaussian_peak(2.0, 2.0));
+  ASSERT_EQ(sweep.vx_values().size(), 51u);
+  for (std::size_t i = 0; i < sweep.vx_values().size(); ++i) {
+    // Exact equality, not EXPECT_DOUBLE_EQ: the accumulation drift is a few
+    // ulps — inside gtest's 4-ulp "almost equal" band, but enough to program
+    // a supply voltage that differs from the reported axis label.
+    EXPECT_EQ(sweep.vx_values()[i], static_cast<double>(i) * 0.1)
+        << "axis point " << i << " drifted off the lattice";
+  }
+  EXPECT_EQ(sweep.vx_values().back(), 5.0);
+}
+
+TEST(FullGridSweep, AllFloorProbesStillReportAProbedBias) {
+  PowerSupply psu;
+  FullGridSweep::Options opt;
+  opt.v_min = Voltage{10.0};
+  opt.v_max = Voltage{20.0};
+  opt.step = Voltage{5.0};
+  FullGridSweep sweep{psu, opt};
+  const SweepResult r =
+      sweep.run([](Voltage, Voltage) { return PowerDbm{-2e9}; });
+  // Pre-fix this reported the SweepResult default (0, 0) V — outside the
+  // sweep window entirely — with the -1e9 sentinel as the power.
+  EXPECT_DOUBLE_EQ(r.best_vx.value(), 10.0);
+  EXPECT_DOUBLE_EQ(r.best_vy.value(), 10.0);
+  EXPECT_DOUBLE_EQ(r.best_power.value(), -2e9);
 }
 
 TEST(FullGridSweep, RejectsBadOptions) {

@@ -51,6 +51,25 @@ TEST(Scenarios, RespirationTraceHasRequestedLength) {
   EXPECT_EQ(trace.size(), 50u);
 }
 
+TEST(Scenarios, DenseDeploymentScenarioShape) {
+  const DenseDeploymentScenario s = dense_deployment_scenario(24, 3);
+  EXPECT_EQ(s.config.n_surfaces, 3u);
+  EXPECT_EQ(s.config.geometry.mode, metasurface::SurfaceMode::kTransmissive);
+  ASSERT_EQ(s.devices.size(), 24u);
+  for (std::size_t i = 0; i < s.devices.size(); ++i) {
+    // Mismatch-heavy band: at least 50 deg off the AP's 0 deg polarization.
+    EXPECT_GE(s.devices[i].orientation.deg(), 50.0) << i;
+    EXPECT_LT(s.devices[i].orientation.deg(), 130.0) << i;
+    EXPECT_EQ(s.devices[i].surface, -1);  // round-robin assignment
+    EXPECT_GT(s.devices[i].traffic_weight, 0.0);
+  }
+  // Deterministic: same call, same fleet.
+  const DenseDeploymentScenario again = dense_deployment_scenario(24, 3);
+  for (std::size_t i = 0; i < s.devices.size(); ++i)
+    EXPECT_EQ(s.devices[i].orientation.deg(),
+              again.devices[i].orientation.deg());
+}
+
 TEST(Scenarios, SurfaceRaisesRespirationSignalLevel) {
   const SensingScenario s = respiration_scenario();
   const auto with = simulate_respiration_trace(s, true, 12.0, 5.0);

@@ -184,6 +184,55 @@ TEST(ResponseCacheTest, DisableRestoresDirectPath) {
   EXPECT_EQ(surface.response_cache_stats(), nullptr);
 }
 
+TEST(ResponseCacheTest, ClearResetsStatistics) {
+  // Regression: clear() dropped the entries but left the previous run's
+  // hit/miss/eviction counters in place, so a fresh measurement epoch
+  // started with stale statistics.
+  ResponseCache cache{ResponseCacheConfig{.capacity = 2}};
+  const Frequency f = Frequency::ghz(2.44);
+  const auto key = [&](double v) {
+    return cache.make_key(f, Voltage{v}, Voltage{v}, 0);
+  };
+  cache.insert(key(1.0), JonesMatrix::identity());
+  cache.insert(key(2.0), JonesMatrix::identity());
+  cache.insert(key(3.0), JonesMatrix::identity());  // evicts
+  EXPECT_TRUE(cache.find(key(3.0)).has_value());    // hit
+  EXPECT_FALSE(cache.find(key(9.0)).has_value());   // miss
+  EXPECT_GT(cache.stats().hits, 0u);
+  EXPECT_GT(cache.stats().misses, 0u);
+  EXPECT_GT(cache.stats().evictions, 0u);
+
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_EQ(cache.stats().misses, 0u);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+}
+
+TEST(ResponseCacheTest, SignedZeroFrequencyMapsToOneKey) {
+  // Regression: make_key bit_cast the raw frequency, so -0.0 Hz and 0.0 Hz
+  // (equal values, different bit patterns) produced distinct keys and an
+  // entry written under one was invisible under the other.
+  ResponseCache cache{ResponseCacheConfig{}};
+  const auto k_pos =
+      cache.make_key(Frequency::hz(0.0), Voltage{1.0}, Voltage{2.0}, 0);
+  const auto k_neg =
+      cache.make_key(Frequency::hz(-0.0), Voltage{1.0}, Voltage{2.0}, 0);
+  EXPECT_EQ(k_pos.frequency_bits, k_neg.frequency_bits);
+  EXPECT_TRUE(k_pos == k_neg);
+  cache.insert(k_pos, JonesMatrix::identity());
+  EXPECT_TRUE(cache.find(k_neg).has_value());
+}
+
+TEST(ResponseCacheTest, NanFrequencyIsRejected) {
+  // NaN bits would poison the map with a key no equal-comparing lookup can
+  // ever match (NaN != NaN), leaking an unreachable entry per insert.
+  ResponseCache cache{ResponseCacheConfig{}};
+  EXPECT_THROW((void)cache.make_key(Frequency::hz(std::nan("")),
+                                    Voltage{1.0}, Voltage{1.0}, 0),
+               std::invalid_argument);
+}
+
 TEST(ResponseCacheTest, RejectsInvalidConfig) {
   EXPECT_THROW(ResponseCache(ResponseCacheConfig{.voltage_quantum_v = 0.0}),
                std::invalid_argument);
