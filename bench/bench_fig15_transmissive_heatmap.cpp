@@ -71,6 +71,7 @@ int run_speedup_comparison() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (!bench::open_out(argc, argv)) return 1;
   if (bench::json_mode(argc, argv)) return run_speedup_comparison();
 
   common::Table rotation{"Fig. 15(h): rotation degree vs Tx-Rx distance"};

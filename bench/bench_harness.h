@@ -7,6 +7,12 @@
 //
 // which CI collects as the repo's performance trajectory. Keys are stable;
 // benches may append extra keys (e.g. "speedup_vs_unbatched").
+//
+// `--out <file>` additionally APPENDS the JSON lines to <file>, regardless
+// of the console mode — so one CI job can run several benches with a shared
+// `--out trajectory.jsonl` and archive the concatenated trajectory as a
+// single artifact while keeping human-readable console output. Benches opt
+// in by calling open_out(argc, argv) once at startup.
 #pragma once
 
 #include <chrono>
@@ -29,6 +35,37 @@ inline bool json_mode(int argc, char** argv) {
   for (int i = 1; i < argc; ++i)
     if (std::strcmp(argv[i], "--json") == 0) return true;
   return false;
+}
+
+/// The shared JSON side-channel opened by open_out(); nullptr when no
+/// `--out` flag was given (or open_out was never called).
+inline std::FILE*& out_stream() {
+  static std::FILE* stream = nullptr;
+  return stream;
+}
+
+/// Parses `--out <file>` and opens the file in append mode so consecutive
+/// bench runs accumulate one trajectory. Call once at the top of main();
+/// print_result then mirrors every JSON line there. Returns false (with a
+/// message on stderr) when the file cannot be opened.
+inline bool open_out(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") != 0) continue;
+    if (i + 1 >= argc) {
+      // A forgotten filename must fail loudly, not silently drop the
+      // trajectory side-channel CI expects to archive.
+      std::fprintf(stderr, "bench: --out requires a file path\n");
+      return false;
+    }
+    out_stream() = std::fopen(argv[i + 1], "a");
+    if (out_stream() == nullptr) {
+      std::fprintf(stderr, "bench: cannot open --out file '%s'\n",
+                   argv[i + 1]);
+      return false;
+    }
+    return true;
+  }
+  return true;  // no --out flag is not an error
 }
 
 /// Times `op` (one logical operation, e.g. one probe) until at least
@@ -56,7 +93,9 @@ BenchResult run_bench(std::string name, Fn&& op, double min_time_s = 0.2,
 
 /// Prints one result: a JSON line in json mode, aligned text otherwise.
 /// `extra_json` (optional) is appended inside the JSON object and must
-/// start with a comma, e.g. ",\"speedup_vs_unbatched\":12.5".
+/// start with a comma, e.g. ",\"speedup_vs_unbatched\":12.5". When an
+/// `--out` file is open (see open_out) the JSON line is also appended
+/// there, whatever the console mode.
 inline void print_result(const BenchResult& r, bool json,
                          const std::string& extra_json = "") {
   if (json) {
@@ -65,6 +104,12 @@ inline void print_result(const BenchResult& r, bool json,
   } else {
     std::printf("%-36s %14.1f ns/op %14.1f ops/s   (%ld iters)\n",
                 r.name.c_str(), r.ns_per_op, r.ops_per_s, r.iterations);
+  }
+  if (out_stream() != nullptr) {
+    std::fprintf(out_stream(),
+                 "{\"name\":\"%s\",\"ns_per_op\":%.1f,\"probes_per_s\":%.1f%s}\n",
+                 r.name.c_str(), r.ns_per_op, r.ops_per_s, extra_json.c_str());
+    std::fflush(out_stream());
   }
 }
 

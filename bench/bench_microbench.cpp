@@ -40,6 +40,7 @@ std::vector<double> one_volt_axis() {
 
 int main(int argc, char** argv) {
   const bool json = bench::json_mode(argc, argv);
+  if (!bench::open_out(argc, argv)) return 1;
   const auto f0 = common::Frequency::ghz(2.44);
 
   {

@@ -1,0 +1,85 @@
+// Real-time wearable tracking through the compiled bias codebook — the
+// paper's Fig. 1 scenario at a walking-speed arm swing, which the sweep
+// path cannot sustain: one Algorithm-1 round costs N*T^2 supply switches
+// (~1 s at the 50 Hz switch rate), while the arm completes a full swing in
+// ~1.1 s. The codebook collapses a re-optimization to ONE switch (20 ms),
+// so the controller can retune every control tick.
+//
+// Full lifecycle on display: compile offline -> persist to disk -> reload
+// (config-hash checked) -> O(1) lookups in the tracking loop.
+#include <cstdio>
+#include <iostream>
+
+#include "src/channel/mobility.h"
+#include "src/codebook/compiler.h"
+#include "src/common/table.h"
+#include "src/core/scenarios.h"
+
+using namespace llama;
+
+int main() {
+  core::SystemConfig cfg =
+      core::transmissive_mismatch_config(1.5, common::PowerDbm{0.0});
+  cfg.rx_antenna = channel::Antenna::iot_dipole(common::Angle::degrees(45.0));
+  cfg.tx_antenna = channel::Antenna::iot_dipole(common::Angle::degrees(0.0));
+
+  // Offline: compile and persist. The file carries a config hash, so a
+  // codebook compiled for some other deployment refuses to load here.
+  const codebook::CodebookCompiler compiler{cfg};
+  codebook::CompilerOptions copts;
+  copts.n_orientations = 37;  // 5 deg pitch over [0, 180]
+  const std::string path = "/tmp/llama_wearable.codebook";
+  compiler.compile(copts).save(path);
+
+  // Online: reload against the live system's hash and track. The response
+  // cache memoizes the per-tick power measurements at the looked-up biases.
+  core::LlamaSystem tracked{cfg};
+  tracked.enable_fast_probes();
+  const codebook::Codebook book =
+      codebook::Codebook::load(path, tracked.codebook_config_hash());
+
+  core::LlamaSystem frozen{cfg};
+  (void)frozen.optimize_link_batched();  // one-shot, then frozen
+
+  channel::ArmSwing::Params swing;
+  swing.mean = common::Angle::degrees(45.0);
+  swing.amplitude = common::Angle::degrees(40.0);
+  swing.swing_rate_hz = 0.9;  // walking-speed swing: ~1.1 s per cycle
+  channel::ArmSwing arm{swing};
+
+  common::Table table{
+      "Codebook tracking: link power vs time (0.9 Hz arm swing)"};
+  table.set_columns({"time_s", "orient_deg", "codebook_dbm", "frozen_dbm",
+                     "retune_ms", "probes"});
+  const double dt = 0.1;  // control tick: 2 supply periods
+  double switch_time_s = 0.0;
+  int probes = 0;
+  int ticks = 0;
+  for (double t = 0.0; t <= 4.0; t += dt) {
+    const common::Angle o = arm.orientation_at(t);
+    for (core::LlamaSystem* sys : {&tracked, &frozen})
+      sys->link().set_rx_antenna(channel::Antenna::iot_dipole(o));
+
+    // One O(1) re-optimization per tick; the fine-sweep fallback stays
+    // armed but the codebook's prediction holds, so it never fires here.
+    const control::OptimizationReport report =
+        tracked.optimize_link_codebook(book);
+    switch_time_s += report.sweep.time_cost_s;
+    probes += report.sweep.probes;
+    ++ticks;
+
+    table.add_row({t, o.deg(), report.sweep.best_power.value(),
+                   frozen.expected_measure_with_surface().value(),
+                   report.sweep.time_cost_s * 1e3,
+                   static_cast<double>(probes)});
+  }
+  table.add_note(
+      "codebook >= frozen at every tick; each retune costs one 20 ms supply "
+      "switch, where an Algorithm-1 re-sweep would cost ~1 s (50 switches) "
+      "per tick — infeasible at a 0.9 Hz swing");
+  table.print(std::cout);
+  std::printf("total retune time over %d ticks: %.2f s (sweep path would "
+              "need ~%.0f s)\n",
+              ticks, switch_time_s, static_cast<double>(ticks) * 50 * 0.02);
+  return 0;
+}

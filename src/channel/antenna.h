@@ -34,6 +34,10 @@ class Antenna {
     return polarization_;
   }
   [[nodiscard]] common::GainDb boresight_gain() const { return gain_; }
+  /// Off-axis rolloff exponent (0 = omni); see gain_towards().
+  [[nodiscard]] double directivity_exponent() const {
+    return directivity_exponent_;
+  }
 
   /// Gain toward a direction `off_axis` away from boresight. Omni antennas
   /// (exponent 0) are flat; directional ones roll off as cos^n.

@@ -1,0 +1,198 @@
+#include "src/codebook/compiler.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+#include <utility>
+
+#include "src/common/math_utils.h"
+#include "src/common/parallel.h"
+#include "src/common/serde.h"
+
+namespace llama::codebook {
+
+namespace {
+
+void mix_antenna(common::Hasher64& h, const channel::Antenna& a,
+                 bool include_orientation) {
+  h.mix_string(a.name());
+  h.mix_u64(static_cast<std::uint64_t>(a.polarization().kind()));
+  h.mix_f64(a.polarization().xpd_db());
+  h.mix_f64(a.boresight_gain().value());
+  h.mix_f64(a.directivity_exponent());
+  if (include_orientation) h.mix_f64(a.polarization().orientation().rad());
+}
+
+/// The stack design determines every compiled response, so two different
+/// fabrications must never share a codebook. Boards are identified by
+/// their structural parameters (name, substrate, thickness) plus the
+/// element's mounting (rotation, gap, tunability).
+void mix_stack(common::Hasher64& h, const metasurface::RotatorStack& s) {
+  h.mix_u64(s.elements().size());
+  for (const metasurface::StackElement& e : s.elements()) {
+    h.mix_string(e.board.name());
+    h.mix_string(e.board.substrate().name());
+    h.mix_f64(e.board.substrate().epsilon_r());
+    h.mix_f64(e.board.substrate().loss_tangent());
+    h.mix_f64(e.board.thickness_m());
+    h.mix_f64(e.rotation.rad());
+    h.mix_f64(e.gap_after_m);
+    h.mix_u64(e.tunable ? 1 : 0);
+  }
+}
+
+}  // namespace
+
+std::uint64_t link_config_hash(common::PowerDbm tx_power,
+                               const channel::LinkGeometry& geometry,
+                               const channel::Antenna& tx_antenna,
+                               const channel::Antenna& rx_antenna,
+                               const channel::Environment& environment,
+                               const radio::ReceiverConfig& receiver,
+                               const metasurface::RotatorStack& stack) {
+  common::Hasher64 h;
+  h.mix_string("llama-codebook-config-v1");
+  h.mix_f64(tx_power.value());
+  h.mix_f64(geometry.tx_rx_distance_m);
+  h.mix_f64(geometry.tx_surface_distance_m);
+  h.mix_u64(static_cast<std::uint64_t>(geometry.mode));
+  mix_antenna(h, tx_antenna, /*include_orientation=*/true);
+  // The rx orientation is the codebook's query axis — exclude it so a
+  // tracked device re-orienting does not read as a configuration change.
+  mix_antenna(h, rx_antenna, /*include_orientation=*/false);
+  h.mix_f64(environment.interference_floor().value());
+  h.mix_f64(environment.interference_burst_std_db());
+  h.mix_u64(environment.rays().size());
+  for (const channel::MultipathRay& ray : environment.rays()) {
+    h.mix_f64(ray.amplitude_scale);
+    h.mix_f64(ray.phase_rad);
+    h.mix_f64(ray.polarization_rotation.rad());
+  }
+  h.mix_f64(receiver.sample_rate_hz);
+  h.mix_f64(receiver.tone_offset_hz);
+  h.mix_f64(receiver.noise_figure.value());
+  h.mix_f64(receiver.noise_bandwidth.in_hz());
+  mix_stack(h, stack);
+  return h.digest();
+}
+
+std::uint64_t system_config_hash(const core::SystemConfig& cfg,
+                                 const metasurface::RotatorStack& stack) {
+  return link_config_hash(cfg.tx_power, cfg.geometry, cfg.tx_antenna,
+                          cfg.rx_antenna, cfg.environment, cfg.receiver,
+                          stack);
+}
+
+std::uint64_t deployment_config_hash(const deploy::DeploymentConfig& cfg,
+                                     const metasurface::RotatorStack& stack) {
+  return link_config_hash(cfg.tx_power, cfg.geometry, cfg.tx_antenna,
+                          cfg.rx_antenna, cfg.environment, cfg.receiver,
+                          stack);
+}
+
+CodebookCompiler::CodebookCompiler(core::SystemConfig config,
+                                   metasurface::Metasurface surface)
+    : config_(std::move(config)), surface_(std::move(surface)) {}
+
+Codebook CodebookCompiler::compile(const CompilerOptions& options) const {
+  if (options.n_frequencies == 0 || options.n_orientations == 0)
+    throw std::invalid_argument{"codebook compile: empty lattice axis"};
+  if (options.n_frequencies > 1 && !(options.f_max > options.f_min))
+    throw std::invalid_argument{
+        "codebook compile: frequency axis needs f_max > f_min"};
+  if (options.n_orientations > 1 &&
+      !(options.orientation_max > options.orientation_min))
+    throw std::invalid_argument{
+        "codebook compile: orientation axis needs max > min"};
+
+  const std::vector<double> vxs = common::stepped_range(
+      options.v_min.value(), options.v_max.value(), options.v_step.value());
+  if (vxs.empty())
+    throw std::invalid_argument{"codebook compile: empty bias grid"};
+  const std::vector<double>& vys = vxs;
+  const std::size_t grid_cells = vxs.size() * vys.size();
+
+  Codebook::Header header;
+  header.config_hash = system_config_hash(config_, surface_.stack());
+  header.mode = config_.geometry.mode;
+  header.frequency_hz.min = options.f_min.in_hz();
+  header.frequency_hz.max =
+      options.n_frequencies == 1 ? options.f_min.in_hz()
+                                 : options.f_max.in_hz();
+  header.frequency_hz.count = options.n_frequencies;
+  header.orientation_rad.min = options.orientation_min.rad();
+  header.orientation_rad.max = options.n_orientations == 1
+                                   ? options.orientation_min.rad()
+                                   : options.orientation_max.rad();
+  header.orientation_rad.count = options.n_orientations;
+  header.v_min_v = options.v_min.value();
+  header.v_max_v = options.v_max.value();
+  header.v_step_v = options.v_step.value();
+  // The best cell is stored separately; refinement holds runner-ups only,
+  // bounded by both the bias grid and the format's refinement limit.
+  header.top_k = std::min<std::uint64_t>(
+      std::min<std::uint64_t>(options.top_k, grid_cells - 1), kMaxTopK);
+
+  const radio::Receiver receiver{config_.receiver, common::Rng{0}};
+  const std::size_t n_o = options.n_orientations;
+  std::vector<CellEntry> cells(options.n_frequencies * n_o);
+
+  for (std::size_t fi = 0; fi < options.n_frequencies; ++fi) {
+    const common::Frequency f{header.frequency_hz.at(fi)};
+    // One batched Jones grid per frequency: the surface response does not
+    // depend on the device orientation, so every orientation cell below
+    // re-projects this grid through its own link budget.
+    const metasurface::JonesGrid responses =
+        surface_.response_grid(f, header.mode, vxs, vys, options.threads);
+
+    // Shard the orientation cells; each writes only its own slot and every
+    // value is a pure function of the cell, so the lattice is byte-identical
+    // for any thread count.
+    common::parallel_for(n_o, options.threads, [&](std::size_t oi) {
+      const common::Angle orientation =
+          common::Angle::radians(header.orientation_rad.at(oi));
+      const channel::LinkBudget link{
+          config_.tx_antenna, config_.rx_antenna.oriented(orientation),
+          config_.geometry, config_.environment};
+
+      // Power plane in FullGridSweep's scan order (vy outer, vx inner).
+      std::vector<double> powers(grid_cells);
+      for (std::size_t iy = 0; iy < vys.size(); ++iy)
+        for (std::size_t ix = 0; ix < vxs.size(); ++ix)
+          powers[iy * vxs.size() + ix] =
+              receiver
+                  .expected_measure(link.received_power_with_response(
+                      config_.tx_power, f, responses[iy][ix]))
+                  .value();
+
+      // Top-(K+1) cells by power, scan order breaking ties — the same
+      // winner FullGridSweep::run_batched would report.
+      std::vector<std::size_t> order(grid_cells);
+      std::iota(order.begin(), order.end(), std::size_t{0});
+      const std::size_t keep = static_cast<std::size_t>(header.top_k) + 1;
+      std::partial_sort(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(keep),
+                        order.end(), [&](std::size_t a, std::size_t b) {
+                          if (powers[a] != powers[b])
+                            return powers[a] > powers[b];
+                          return a < b;
+                        });
+
+      const auto to_point = [&](std::size_t flat) {
+        BiasPoint p;
+        p.vx = common::Voltage{vxs[flat % vxs.size()]};
+        p.vy = common::Voltage{vys[flat / vxs.size()]};
+        p.predicted_power = common::PowerDbm{powers[flat]};
+        return p;
+      };
+      CellEntry& cell = cells[fi * n_o + oi];
+      cell.best = to_point(order[0]);
+      cell.refinement.reserve(keep - 1);
+      for (std::size_t k = 1; k < keep; ++k)
+        cell.refinement.push_back(to_point(order[k]));
+    });
+  }
+
+  return Codebook{header, std::move(cells)};
+}
+
+}  // namespace llama::codebook

@@ -1,0 +1,102 @@
+// Offline bias-codebook compiler: trades one up-front sweep of the whole
+// (frequency x device-orientation) response space for O(1) runtime lookups.
+//
+// The compiled quantity is the received-power bias plane — a pure function
+// of (frequency, quantized bias pair, surface mode, link configuration) —
+// evaluated through the same batched plan/grid machinery the online sweeps
+// use (RotatorStack plans via Metasurface::response_grid, rows and lattice
+// cells sharded over common::parallel_for, the receiver's expected-power
+// measurement model). Because the Jones response grid does not depend on
+// the device orientation, each frequency's grid is evaluated once and
+// re-projected through the link budget per orientation, so a full lattice
+// compiles in seconds where naive per-cell sweeps would take minutes.
+//
+// The resulting Codebook carries a configuration hash (see
+// system_config_hash / deployment_config_hash) binding it to the link
+// parameters it was compiled for; integrations reject a mismatched hash
+// with CodebookStaleError rather than serving stale biases.
+#pragma once
+
+#include <cstdint>
+
+#include "src/codebook/codebook.h"
+#include "src/core/llama_system.h"
+#include "src/deploy/deployment_engine.h"
+
+namespace llama::codebook {
+
+/// Lattice and bias-grid parameters of a compile run.
+struct CompilerOptions {
+  /// Frequency axis (inclusive). With n_frequencies == 1 only f_min is used.
+  common::Frequency f_min = common::Frequency::ghz(2.44);
+  common::Frequency f_max = common::Frequency::ghz(2.44);
+  std::size_t n_frequencies = 1;
+  /// Device-orientation axis (inclusive). Linear polarization is
+  /// pi-periodic, so [0, 180] deg covers every orientation.
+  common::Angle orientation_min = common::Angle::degrees(0.0);
+  common::Angle orientation_max = common::Angle::degrees(180.0);
+  std::size_t n_orientations = 37;  ///< 5 deg lattice pitch by default
+  /// Bias plane scanned per lattice cell (the paper's 0-30 V supply range
+  /// at the full-scan pitch of Figs. 15/21).
+  common::Voltage v_min{0.0};
+  common::Voltage v_max{30.0};
+  common::Voltage v_step{1.0};
+  /// Runner-up cells recorded per lattice cell (the fine-sweep fallback's
+  /// refinement neighborhood). Clamped to the bias grid size and the
+  /// format's kMaxTopK.
+  std::size_t top_k = 5;
+  /// Worker threads for the response-grid rows and the orientation shard
+  /// (<= 0 picks the default). Results are byte-identical for any value.
+  int threads = 0;
+};
+
+/// Hash of the compile-relevant link parameters. The receive antenna's
+/// polarization orientation is deliberately excluded — it is the codebook's
+/// query axis, not part of the configuration — while everything else that
+/// shapes the power landscape (geometry, antennas, environment, receiver
+/// chain, transmit power, and the metasurface stack design whose responses
+/// were compiled) is mixed in.
+[[nodiscard]] std::uint64_t link_config_hash(
+    common::PowerDbm tx_power, const channel::LinkGeometry& geometry,
+    const channel::Antenna& tx_antenna, const channel::Antenna& rx_antenna,
+    const channel::Environment& environment,
+    const radio::ReceiverConfig& receiver,
+    const metasurface::RotatorStack& stack);
+
+/// link_config_hash over a LlamaSystem configuration. `stack` must be the
+/// surface the codebook is compiled for / used with; it defaults to the
+/// fabricated prototype design, matching Metasurface::llama_prototype()
+/// and DeploymentEngine's default.
+[[nodiscard]] std::uint64_t system_config_hash(
+    const core::SystemConfig& cfg,
+    const metasurface::RotatorStack& stack = metasurface::prototype_fr4_design());
+
+/// link_config_hash over a deployment configuration. A codebook compiled
+/// from the mirrored SystemConfig (same antennas/geometry/environment/
+/// receiver/power/stack) hashes identically, so one codebook serves both
+/// paths.
+[[nodiscard]] std::uint64_t deployment_config_hash(
+    const deploy::DeploymentConfig& cfg,
+    const metasurface::RotatorStack& stack = metasurface::prototype_fr4_design());
+
+class CodebookCompiler {
+ public:
+  explicit CodebookCompiler(core::SystemConfig config,
+                            metasurface::Metasurface surface =
+                                metasurface::Metasurface::llama_prototype());
+
+  /// Compiles the codebook: per frequency, one batched Jones grid over the
+  /// bias plane; per (frequency, orientation) cell, the arg-max bias pair
+  /// (scan-order tie-breaking, matching FullGridSweep) plus the top-K
+  /// runner-ups. Deterministic: byte-identical cells for any thread count.
+  /// Throws std::invalid_argument on degenerate options.
+  [[nodiscard]] Codebook compile(const CompilerOptions& options = {}) const;
+
+  [[nodiscard]] const core::SystemConfig& config() const { return config_; }
+
+ private:
+  core::SystemConfig config_;
+  metasurface::Metasurface surface_;
+};
+
+}  // namespace llama::codebook

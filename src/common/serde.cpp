@@ -1,0 +1,84 @@
+#include "src/common/serde.h"
+
+#include <bit>
+
+namespace llama::common {
+
+namespace {
+
+void append_le(std::vector<std::uint8_t>& buf, std::uint64_t v, int n_bytes) {
+  for (int i = 0; i < n_bytes; ++i)
+    buf.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xFFu));
+}
+
+}  // namespace
+
+void ByteWriter::u32(std::uint32_t v) { append_le(buf_, v, 4); }
+
+void ByteWriter::u64(std::uint64_t v) { append_le(buf_, v, 8); }
+
+void ByteWriter::f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+void ByteWriter::bytes(std::span<const std::uint8_t> data) {
+  buf_.insert(buf_.end(), data.begin(), data.end());
+}
+
+void ByteReader::require(std::size_t n) const {
+  if (remaining() < n)
+    throw SerdeError{"truncated input: need " + std::to_string(n) +
+                     " byte(s) at offset " + std::to_string(pos_) +
+                     ", have " + std::to_string(remaining())};
+}
+
+std::uint32_t ByteReader::u32() {
+  require(4);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i)
+    v |= static_cast<std::uint32_t>(data_[pos_ + static_cast<std::size_t>(i)])
+         << (8 * i);
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t ByteReader::u64() {
+  require(8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i)
+    v |= static_cast<std::uint64_t>(data_[pos_ + static_cast<std::size_t>(i)])
+         << (8 * i);
+  pos_ += 8;
+  return v;
+}
+
+double ByteReader::f64() { return std::bit_cast<double>(u64()); }
+
+void ByteReader::bytes(std::span<std::uint8_t> out) {
+  require(out.size());
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = data_[pos_ + i];
+  pos_ += out.size();
+}
+
+std::uint64_t fnv1a64(std::span<const std::uint8_t> data, std::uint64_t seed) {
+  std::uint64_t h = seed;
+  for (const std::uint8_t b : data) {
+    h ^= b;
+    h *= 0x100000001b3ULL;  // FNV-1a 64 prime
+  }
+  return h;
+}
+
+Hasher64& Hasher64::mix_f64(double v) {
+  if (v == 0.0) v = 0.0;  // -0.0 and 0.0 compare equal; hash them equal too
+  return mix_u64(std::bit_cast<std::uint64_t>(v));
+}
+
+Hasher64& Hasher64::mix_string(std::string_view s) {
+  mix_u64(s.size());
+  h_ = fnv1a64(
+      std::span<const std::uint8_t>{
+          reinterpret_cast<const std::uint8_t*>(s.data()), s.size()},
+      h_);
+  return *this;
+}
+
+}  // namespace llama::common

@@ -1,0 +1,98 @@
+// Endian-safe binary serialization primitives for on-disk artifacts (the
+// bias codebook, future calibration dumps).
+//
+// All multi-byte values are written little-endian byte-by-byte, so a file
+// produced on any host loads identically on any other — the layout is part
+// of the format, never the compiler's. Reads are bounds-checked: running off
+// the end of a buffer throws SerdeError instead of reading garbage, which is
+// what lets loaders reject truncated files with a typed error.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace llama::common {
+
+/// Thrown on malformed input: truncated buffers, impossible lengths.
+class SerdeError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Appends little-endian primitives to a growing byte buffer.
+class ByteWriter {
+ public:
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  /// Doubles travel as their IEEE-754 bit pattern in little-endian order;
+  /// NaN payloads and signed zeros round-trip exactly.
+  void f64(double v);
+  void bytes(std::span<const std::uint8_t> data);
+
+  [[nodiscard]] const std::vector<std::uint8_t>& data() const { return buf_; }
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Sequential bounds-checked reader over a byte span. Every accessor throws
+/// SerdeError when fewer bytes remain than the value needs; the span must
+/// outlive the reader.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  [[nodiscard]] std::uint32_t u32();
+  [[nodiscard]] std::uint64_t u64();
+  [[nodiscard]] double f64();
+  void bytes(std::span<std::uint8_t> out);
+
+  [[nodiscard]] std::size_t position() const { return pos_; }
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  void require(std::size_t n) const;
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+/// FNV-1a 64-bit offset basis.
+inline constexpr std::uint64_t kFnv1a64Basis = 0xcbf29ce484222325ULL;
+
+/// FNV-1a 64-bit hash of a byte span, chained from `seed` so hashes can be
+/// accumulated across buffers.
+[[nodiscard]] std::uint64_t fnv1a64(std::span<const std::uint8_t> data,
+                                    std::uint64_t seed = kFnv1a64Basis);
+
+/// Incremental 64-bit hasher for composite keys (configuration hashes).
+/// Fixed-width fields chain through a splitmix64-style avalanche step —
+/// constant time per field, pure integer ops, so digests are identical on
+/// every platform; string content goes through FNV-1a. Hot paths hash a
+/// full link configuration per call, which is why fixed-width mixing is
+/// not the per-byte FNV loop. Doubles are canonicalized (-0.0 hashes as
+/// 0.0) so values that compare equal hash equal; strings mix their length
+/// first so field boundaries cannot alias ("ab"+"c" != "a"+"bc").
+class Hasher64 {
+ public:
+  Hasher64& mix_u64(std::uint64_t v) {
+    h_ ^= v + 0x9e3779b97f4a7c15ULL + (h_ << 6) + (h_ >> 2);
+    h_ *= 0xbf58476d1ce4e5b9ULL;
+    h_ ^= h_ >> 31;
+    return *this;
+  }
+  Hasher64& mix_f64(double v);
+  Hasher64& mix_string(std::string_view s);
+
+  [[nodiscard]] std::uint64_t digest() const { return h_; }
+
+ private:
+  std::uint64_t h_ = kFnv1a64Basis;
+};
+
+}  // namespace llama::common

@@ -1,5 +1,13 @@
 #include "src/core/llama_system.h"
 
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "src/codebook/codebook.h"
+#include "src/codebook/compiler.h"
+#include "src/common/math_utils.h"
+
 namespace llama::core {
 
 LlamaSystem::LlamaSystem(SystemConfig config, metasurface::Metasurface surface)
@@ -105,6 +113,87 @@ control::OptimizationReport LlamaSystem::optimize_link_batched() {
         return expected_measure_with_surface();
       };
   return controller_.optimize_batched(baseline, make_grid_probe());
+}
+
+std::uint64_t LlamaSystem::codebook_config_hash() const {
+  // Hash the *live* link state, not the construction-time snapshot: a
+  // set_geometry() or set_tx_antenna() since construction is real drift a
+  // stale codebook must not survive. The rx antenna's orientation is the
+  // codebook's query axis and is excluded inside link_config_hash; this
+  // system's actual stack design is included, so a codebook compiled for a
+  // different fabrication never validates here.
+  return codebook::link_config_hash(config_.tx_power, link_.geometry(),
+                                    link_.tx_antenna(), link_.rx_antenna(),
+                                    link_.environment(), config_.receiver,
+                                    surface_.stack());
+}
+
+control::OptimizationReport LlamaSystem::optimize_link_codebook(
+    const codebook::Codebook& book, const CodebookLinkOptions& options) {
+  const codebook::Codebook::Header& header = book.header();
+  if (header.mode != link_.geometry().mode)
+    throw std::invalid_argument{
+        "optimize_link_codebook: codebook surface mode does not match the "
+        "link geometry"};
+  const std::uint64_t live = codebook_config_hash();
+  if (header.config_hash != live)
+    throw codebook::CodebookStaleError{
+        "optimize_link_codebook: codebook was compiled for a different link "
+        "configuration (config-hash mismatch); recompile it for this system"};
+  if (!book.covers_frequency(config_.frequency))
+    throw std::out_of_range{
+        "optimize_link_codebook: system frequency lies outside the "
+        "codebook's compiled frequency axis"};
+
+  control::OptimizationReport report;
+  report.baseline = expected_measure_with_surface();
+
+  const common::Angle orientation =
+      link_.rx_antenna().polarization().orientation();
+  const codebook::BiasPoint hit = book.lookup(config_.frequency, orientation);
+
+  const double t0 = supply_.elapsed_s();
+  supply_.set_outputs(hit.vx, hit.vy);
+  surface_.set_bias(hit.vx, hit.vy);
+  const common::PowerDbm measured = expected_measure_with_surface();
+  report.sweep.best_vx = hit.vx;
+  report.sweep.best_vy = hit.vy;
+  report.sweep.best_power = measured;
+  report.sweep.probes = 1;
+
+  const bool deviated =
+      measured.value() <
+      hit.predicted_power.value() - options.fine_sweep_threshold.value();
+  if (options.enable_fine_sweep && deviated) {
+    // Local refinement over the nearest cell's top-K neighborhood — a tiny
+    // batched grid, not a full Algorithm-1 round.
+    const codebook::RefinementWindow window = book.refinement_window(
+        book.nearest(config_.frequency, orientation));
+    const int steps = std::max(2, options.fine_steps_per_axis);
+    const std::vector<double> vxs =
+        common::linspace(window.vx_min.value(), window.vx_max.value(), steps);
+    const std::vector<double> vys =
+        common::linspace(window.vy_min.value(), window.vy_max.value(), steps);
+    const control::PowerGrid grid =
+        make_grid_probe(options.threads)(vxs, vys);
+    // Reduce in FullGridSweep scan order (vy outer, vx inner), charging one
+    // supply switch per cell like the batched sweeps do.
+    for (std::size_t iy = 0; iy < vys.size(); ++iy)
+      for (std::size_t ix = 0; ix < vxs.size(); ++ix) {
+        supply_.set_outputs(common::Voltage{vxs[ix]},
+                            common::Voltage{vys[iy]});
+        ++report.sweep.probes;
+        if (grid[iy][ix] > report.sweep.best_power) {
+          report.sweep.best_power = grid[iy][ix];
+          report.sweep.best_vx = common::Voltage{vxs[ix]};
+          report.sweep.best_vy = common::Voltage{vys[iy]};
+        }
+      }
+    surface_.set_bias(report.sweep.best_vx, report.sweep.best_vy);
+  }
+  report.sweep.time_cost_s = supply_.elapsed_s() - t0;
+  report.improvement = report.sweep.best_power - report.baseline;
+  return report;
 }
 
 common::GainDb LlamaSystem::improvement() {

@@ -9,6 +9,7 @@
 //   auto gain = system.improvement();       // dB over the no-surface link
 #pragma once
 
+#include <cstdint>
 #include <optional>
 
 #include "src/channel/capacity.h"
@@ -22,7 +23,27 @@
 #include "src/metasurface/metasurface.h"
 #include "src/radio/transceiver.h"
 
+namespace llama::codebook {
+class Codebook;
+}  // namespace llama::codebook
+
 namespace llama::core {
+
+/// Options for the codebook fast path (optimize_link_codebook).
+struct CodebookLinkOptions {
+  /// The local fine sweep triggers when the measured power falls short of
+  /// the codebook's interpolated prediction by more than this — the signal
+  /// that the device sits between lattice cells whose optima differ, or
+  /// that the plant drifted within the hashed configuration.
+  common::GainDb fine_sweep_threshold{1.0};
+  /// Disable to make the path a pure lookup (one supply switch, no probes).
+  bool enable_fine_sweep = true;
+  /// Grid points per axis of the fine sweep over the codebook cell's
+  /// refinement window.
+  int fine_steps_per_axis = 5;
+  /// Worker threads for the fine sweep's batched grid (<= 0 default).
+  int threads = 0;
+};
 
 /// Everything needed to stand up an experiment.
 struct SystemConfig {
@@ -77,6 +98,24 @@ class LlamaSystem {
   /// engine (expected powers, no per-probe IQ synthesis). Leaves the
   /// surface at the winning bias.
   control::OptimizationReport optimize_link_batched();
+
+  /// Codebook fast path: replaces the Algorithm-1 sweep with one O(1)
+  /// lookup of the compiled bias for (frequency, current rx orientation) —
+  /// one supply switch instead of N*T^2 — then, when the measured power
+  /// deviates from the codebook's prediction past the options' threshold,
+  /// refines with a local batched sweep over the cell's top-K neighborhood.
+  /// Leaves the surface at the winning bias. Throws std::invalid_argument
+  /// when the codebook's surface mode does not match this link and
+  /// codebook::CodebookStaleError when its config hash does not match
+  /// codebook_config_hash() (the codebook was compiled for different link
+  /// parameters).
+  control::OptimizationReport optimize_link_codebook(
+      const codebook::Codebook& book, const CodebookLinkOptions& options = {});
+
+  /// Hash of this system's live codebook-relevant configuration (transmit
+  /// power, geometry, antennas sans rx orientation, environment, receiver).
+  /// A codebook is valid for this system iff its header carries this value.
+  [[nodiscard]] std::uint64_t codebook_config_hash() const;
 
   /// Link-power improvement of the optimized surface over the no-surface
   /// baseline.

@@ -5,9 +5,12 @@
 
 #include "src/channel/ber.h"
 #include "src/channel/capacity.h"
+#include "src/codebook/codebook.h"
+#include "src/codebook/compiler.h"
 #include "src/common/math_utils.h"
 #include "src/common/parallel.h"
 #include "src/common/rng.h"
+#include "src/control/power_supply.h"
 
 namespace llama::deploy {
 
@@ -136,7 +139,8 @@ std::size_t SharedResponseEngine::plan_count() const {
 }
 
 metasurface::ResponseCacheStats SharedResponseEngine::cache_stats() const {
-  const std::lock_guard<std::mutex> lock(cache_mutex_);
+  // The counters are relaxed atomics, so a monitor polling statistics never
+  // serializes against device shards inside the two-lock grid path.
   return cache_.stats();
 }
 
@@ -161,8 +165,7 @@ DeploymentEngine::DeploymentEngine(DeploymentConfig config,
       engine_(std::move(stack), config_.cache),
       receiver_(config_.receiver, common::Rng{0}) {}
 
-DeploymentReport DeploymentEngine::run(
-    const std::vector<DeviceSpec>& devices) {
+void DeploymentEngine::validate(const std::vector<DeviceSpec>& devices) const {
   if (config_.n_surfaces == 0)
     throw std::invalid_argument{"DeploymentEngine: need >= 1 surface"};
   for (const DeviceSpec& spec : devices)
@@ -172,6 +175,11 @@ DeploymentReport DeploymentEngine::run(
                               "' names surface " +
                               std::to_string(spec.surface) + " of " +
                               std::to_string(config_.n_surfaces)};
+}
+
+DeploymentReport DeploymentEngine::run(
+    const std::vector<DeviceSpec>& devices) {
+  validate(devices);
 
   DeploymentReport report;
   report.devices.resize(devices.size());
@@ -212,6 +220,92 @@ DeploymentReport DeploymentEngine::run(
         link.received_power_without_surface(config_.tx_power, f));
   });
 
+  finalize_report(devices, report);
+  return report;
+}
+
+DeploymentReport DeploymentEngine::run_codebook(
+    const std::vector<DeviceSpec>& devices, const codebook::Codebook& book) {
+  validate(devices);
+  const codebook::Codebook::Header& header = book.header();
+  if (header.mode != config_.geometry.mode)
+    throw std::invalid_argument{
+        "DeploymentEngine: codebook surface mode does not match the "
+        "deployment geometry"};
+  if (header.config_hash !=
+      codebook::deployment_config_hash(config_, engine_.stack()))
+    throw codebook::CodebookStaleError{
+        "DeploymentEngine: codebook was compiled for a different deployment "
+        "configuration (config-hash mismatch); recompile it"};
+  if (!book.covers_frequency(config_.frequency))
+    throw std::out_of_range{
+        "DeploymentEngine: deployment frequency lies outside the codebook's "
+        "compiled frequency axis"};
+
+  DeploymentReport report;
+  report.devices.resize(devices.size());
+  const common::Frequency f = config_.frequency;
+  const metasurface::SurfaceMode mode = config_.geometry.mode;
+
+  // When the power measured at the interpolated bias falls short of the
+  // codebook's interpolated prediction by more than this, the device sits
+  // between lattice cells whose optima disagree (a multi-modal bias plane)
+  // and the blend may have landed in a valley; fall back to the nearest
+  // cell's compiled best — a bias the offline sweep actually probed.
+  constexpr double kDeviationThresholdDb = 1.0;
+
+  // One immutable codebook shared by every shard: lookup() touches no
+  // mutable state, so the fan-out is lock-free on the codebook itself; the
+  // only shared touch is one response evaluation per device (two when the
+  // deviation guard fires) for the reported power (cached, so devices with
+  // coinciding optima hit).
+  common::parallel_for(devices.size(), config_.threads, [&](std::size_t i) {
+    const DeviceSpec& spec = devices[i];
+    channel::LinkBudget link{config_.tx_antenna,
+                             config_.rx_antenna.oriented(spec.orientation),
+                             config_.geometry, config_.environment};
+    const auto power_at = [&](common::Voltage vx, common::Voltage vy) {
+      return receiver_.expected_measure(link.received_power_with_response(
+          config_.tx_power, f, engine_.response(f, mode, vx, vy)));
+    };
+    const codebook::BiasPoint hit = book.lookup(f, spec.orientation);
+    control::PowerSupply supply;  // per-device instrument-time accounting
+    supply.set_outputs(hit.vx, hit.vy);
+
+    DeviceResult& out = report.devices[i];
+    out.name = spec.name;
+    out.surface = spec.surface >= 0
+                      ? static_cast<std::size_t>(spec.surface)
+                      : i % config_.n_surfaces;
+    out.sweep.best_vx = hit.vx;
+    out.sweep.best_vy = hit.vy;
+    out.sweep.best_power = power_at(hit.vx, hit.vy);
+    out.sweep.probes = 1;
+    if (out.sweep.best_power.value() <
+        hit.predicted_power.value() - kDeviationThresholdDb) {
+      const codebook::BiasPoint& anchor =
+          book.nearest(f, spec.orientation).best;
+      supply.set_outputs(anchor.vx, anchor.vy);
+      const common::PowerDbm anchored = power_at(anchor.vx, anchor.vy);
+      ++out.sweep.probes;
+      if (anchored > out.sweep.best_power) {
+        out.sweep.best_vx = anchor.vx;
+        out.sweep.best_vy = anchor.vy;
+        out.sweep.best_power = anchored;
+      }
+    }
+    out.sweep.time_cost_s = supply.elapsed_s();
+    out.optimized_power = out.sweep.best_power;
+    out.unoptimized_power = receiver_.expected_measure(
+        link.received_power_without_surface(config_.tx_power, f));
+  });
+
+  finalize_report(devices, report);
+  return report;
+}
+
+void DeploymentEngine::finalize_report(const std::vector<DeviceSpec>& devices,
+                                       DeploymentReport& report) const {
   // Per-surface scheduling and network-wide aggregation (serial: cheap).
   report.noise_floor = receiver_.noise_floor_dbm();
   const control::PolarizationScheduler scheduler{config_.scheduler};
@@ -252,7 +346,6 @@ DeploymentReport DeploymentEngine::run(
       links > 0 ? raw_ber_sum / static_cast<double>(links) : 0.0;
   report.cache_stats = engine_.cache_stats();
   report.plan_count = engine_.plan_count();
-  return report;
 }
 
 }  // namespace llama::deploy

@@ -39,6 +39,10 @@
 #include "src/metasurface/metasurface.h"
 #include "src/radio/transceiver.h"
 
+namespace llama::codebook {
+class Codebook;
+}  // namespace llama::codebook
+
 namespace llama::deploy {
 
 /// Thread-safe shared plan registry + response memo for one stack design.
@@ -190,10 +194,34 @@ class DeploymentEngine {
   /// >= n_surfaces.
   [[nodiscard]] DeploymentReport run(const std::vector<DeviceSpec>& devices);
 
+  /// Codebook fast path of run(): every device's bias pair comes from one
+  /// O(1) lookup in the shared immutable codebook instead of an Algorithm-1
+  /// sweep — the lookup itself takes no locks, so N devices across M
+  /// surfaces re-optimize concurrently without contending on anything; the
+  /// per-device response evaluation (for the reported power) is the only
+  /// shared-cache touch. When the measured power undershoots the codebook's
+  /// interpolated prediction by > 1 dB the device falls back to its nearest
+  /// cell's compiled best (a probed optimum) and takes the better of the
+  /// two — still sweep-free, at most two evaluations. Scheduling and
+  /// capacity/BER aggregation are identical to run(). Throws like run(),
+  /// plus std::invalid_argument on a surface-mode mismatch,
+  /// codebook::CodebookStaleError when the codebook's config hash differs
+  /// from deployment_config_hash(config(), stack), and std::out_of_range
+  /// when the deployment frequency is outside the compiled axis.
+  [[nodiscard]] DeploymentReport run_codebook(
+      const std::vector<DeviceSpec>& devices, const codebook::Codebook& book);
+
   [[nodiscard]] const DeploymentConfig& config() const { return config_; }
   [[nodiscard]] SharedResponseEngine& response_engine() { return engine_; }
 
  private:
+  /// Shared argument validation for run()/run_codebook().
+  void validate(const std::vector<DeviceSpec>& devices) const;
+  /// Shared tail: per-surface scheduling plus capacity/BER aggregation over
+  /// already-optimized per-device results.
+  void finalize_report(const std::vector<DeviceSpec>& devices,
+                       DeploymentReport& report) const;
+
   DeploymentConfig config_;
   SharedResponseEngine engine_;
   /// Expected-power measurement model only (no RNG state is consumed).

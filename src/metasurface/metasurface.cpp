@@ -43,8 +43,9 @@ void Metasurface::enable_response_cache(ResponseCacheConfig config) {
 
 void Metasurface::disable_response_cache() { cache_.reset(); }
 
-const ResponseCacheStats* Metasurface::response_cache_stats() const {
-  return cache_ ? &cache_->stats() : nullptr;
+std::optional<ResponseCacheStats> Metasurface::response_cache_stats() const {
+  if (!cache_) return std::nullopt;
+  return cache_->stats();
 }
 
 em::JonesMatrix Metasurface::planned_response(common::Frequency f,

@@ -91,8 +91,10 @@ class Metasurface {
   [[nodiscard]] bool response_cache_enabled() const {
     return cache_ != nullptr;
   }
-  /// Hit/miss/eviction counters; nullptr when the cache is disabled.
-  [[nodiscard]] const ResponseCacheStats* response_cache_stats() const;
+  /// Snapshot of the hit/miss/eviction counters; nullopt when the cache is
+  /// disabled. A snapshot, not a reference: the live counters are atomics
+  /// that keep counting after this returns.
+  [[nodiscard]] std::optional<ResponseCacheStats> response_cache_stats() const;
 
   /// Batched evaluation of a whole bias plane at one frequency: returns
   /// grid[iy][ix] = response at (vx_values[ix], vy_values[iy]). Biases are

@@ -54,10 +54,10 @@ ResponseCache::Key ResponseCache::make_key(common::Frequency f,
 std::optional<em::JonesMatrix> ResponseCache::find(const Key& key) {
   const auto it = map_.find(key);
   if (it == map_.end()) {
-    ++stats_.misses;
+    misses_.fetch_add(1, std::memory_order_relaxed);
     return std::nullopt;
   }
-  ++stats_.hits;
+  hits_.fetch_add(1, std::memory_order_relaxed);
   lru_.splice(lru_.begin(), lru_, it->second);
   return it->second->value;
 }
@@ -74,7 +74,7 @@ void ResponseCache::insert(const Key& key, const em::JonesMatrix& value) {
   while (map_.size() > config_.capacity) {
     map_.erase(lru_.back().key);
     lru_.pop_back();
-    ++stats_.evictions;
+    evictions_.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
@@ -83,7 +83,9 @@ void ResponseCache::clear() {
   map_.clear();
   // A cleared cache starts a fresh measurement epoch: stale hit/miss/eviction
   // counters would silently blend into the next run's statistics.
-  stats_ = ResponseCacheStats{};
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
+  evictions_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace llama::metasurface

@@ -10,6 +10,7 @@
 // distinguishable hardware states share a cache cell.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <optional>
@@ -28,6 +29,12 @@ struct ResponseCacheConfig {
   std::size_t capacity = 1 << 16;
 };
 
+/// Snapshot of the cache's counters. The live counters are relaxed atomics
+/// (see stats()), so a snapshot is safe to take from any thread at any time
+/// — including while other threads are inside the two-lock grid path of
+/// deploy::SharedResponseEngine — without tearing and without serializing
+/// on the cache lock. Counters are monotone between clear() calls; a
+/// snapshot racing concurrent lookups sees some valid intermediate state.
 struct ResponseCacheStats {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
@@ -71,7 +78,16 @@ class ResponseCache {
   /// cleared cache reports a fresh epoch, not the previous run's counters.
   void clear();
   [[nodiscard]] std::size_t size() const { return map_.size(); }
-  [[nodiscard]] const ResponseCacheStats& stats() const { return stats_; }
+  /// Counter snapshot, safe without external locking (see
+  /// ResponseCacheStats). The map/LRU accessors (find/insert/size) still
+  /// require the owner's usual synchronization.
+  [[nodiscard]] ResponseCacheStats stats() const {
+    ResponseCacheStats s;
+    s.hits = hits_.load(std::memory_order_relaxed);
+    s.misses = misses_.load(std::memory_order_relaxed);
+    s.evictions = evictions_.load(std::memory_order_relaxed);
+    return s;
+  }
 
  private:
   struct Entry {
@@ -83,7 +99,9 @@ class ResponseCache {
   };
 
   ResponseCacheConfig config_;
-  ResponseCacheStats stats_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> evictions_{0};
   std::list<Entry> lru_;  ///< front = most recently used
   std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> map_;
 };

@@ -87,5 +87,73 @@ TEST(RandomRemount, RejectsBadHoldTime) {
   EXPECT_THROW(RandomRemount(common::Rng{1}, 0.0), std::invalid_argument);
 }
 
+// The processes below feed the codebook tracking loop, where the looked-up
+// bias is a function of the instantaneous orientation — so determinism,
+// range and query-granularity invariance are load-bearing contracts.
+
+TEST(ArmSwing, DeterministicAndBoundedByAmplitude) {
+  ArmSwing::Params p;
+  p.mean = Angle::degrees(45.0);
+  p.amplitude = Angle::degrees(40.0);
+  p.swing_rate_hz = 0.9;
+  ArmSwing a{p};
+  ArmSwing b{p};
+  for (double t = 0.0; t < 10.0; t += 0.07) {
+    const double oa = a.orientation_at(t).deg();
+    // Same parameters, same trajectory — the process holds no hidden state.
+    EXPECT_DOUBLE_EQ(oa, b.orientation_at(t).deg()) << "t=" << t;
+    // Never exceeds the configured excursion around the mean.
+    EXPECT_LE(std::abs(oa - p.mean.deg()), p.amplitude.deg() + 1e-9);
+  }
+}
+
+TEST(ArmSwing, StartsAtPhaseOffset) {
+  ArmSwing::Params p;
+  p.mean = Angle::degrees(30.0);
+  p.amplitude = Angle::degrees(20.0);
+  p.phase_rad = 3.14159265358979 / 2.0;  // sin(pi/2) = 1 at t = 0
+  ArmSwing swing{p};
+  EXPECT_NEAR(swing.orientation_at(0.0).deg(), 50.0, 1e-9);
+}
+
+TEST(StaticMount, OrientationSurvivesNormalizationRoundTrip) {
+  // A mount past 180 deg names the same physical linear polarization as its
+  // pi-folded twin; consumers fold it, the process itself must not.
+  StaticMount mount{Angle::degrees(250.0)};
+  EXPECT_NEAR(mount.orientation_at(5.0).deg(), 250.0, 1e-12);
+  EXPECT_NEAR(mount.orientation_at(5.0).normalized().deg(), 250.0, 1e-9);
+}
+
+TEST(RandomRemount, FixedSeedGivesFixedJumpSchedule) {
+  RandomRemount a{common::Rng{42}, /*mean_hold_s=*/2.0};
+  RandomRemount b{common::Rng{42}, /*mean_hold_s=*/2.0};
+  for (double t = 0.0; t < 50.0; t += 0.25)
+    EXPECT_DOUBLE_EQ(a.orientation_at(t).deg(), b.orientation_at(t).deg())
+        << "t=" << t;
+}
+
+TEST(RandomRemount, QueryGranularityDoesNotChangeTheTrajectory) {
+  // Step-size invariance: the jump schedule is a property of the process,
+  // not of how often the caller samples it. A coarse sampler and a fine
+  // sampler with the same seed must agree wherever their grids coincide.
+  RandomRemount coarse{common::Rng{9}, /*mean_hold_s=*/1.5};
+  RandomRemount fine{common::Rng{9}, /*mean_hold_s=*/1.5};
+  for (double t = 0.0; t < 30.0; t += 0.05) {
+    const double o_fine = fine.orientation_at(t).deg();
+    const double k = t / 1.0;
+    if (std::abs(k - std::round(k)) < 1e-12)  // shared 1 s grid point
+      EXPECT_DOUBLE_EQ(coarse.orientation_at(t).deg(), o_fine) << "t=" << t;
+  }
+}
+
+TEST(RandomRemount, AnglesStayInHalfTurnRange) {
+  RandomRemount mount{common::Rng{11}, /*mean_hold_s=*/0.2};
+  for (double t = 0.0; t < 40.0; t += 0.1) {
+    const double o = mount.orientation_at(t).deg();
+    EXPECT_GE(o, 0.0);
+    EXPECT_LT(o, 180.0);
+  }
+}
+
 }  // namespace
 }  // namespace llama::channel

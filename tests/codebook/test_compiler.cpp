@@ -1,0 +1,153 @@
+// Compiler correctness: each lattice cell must hold exactly the winner a
+// full-grid Algorithm-1 instrument would report at that orientation, the
+// lattice must be byte-identical for any thread count, and the config hash
+// must bind to the compile-relevant parameters (and nothing else).
+#include "src/codebook/compiler.h"
+
+#include <gtest/gtest.h>
+
+#include "src/control/power_supply.h"
+#include "src/control/sweep.h"
+#include "src/core/scenarios.h"
+
+namespace llama::codebook {
+namespace {
+
+using common::Angle;
+using common::Frequency;
+using common::PowerDbm;
+using common::Voltage;
+
+core::SystemConfig test_config() {
+  core::SystemConfig cfg = core::transmissive_mismatch_config(1.5);
+  cfg.rx_antenna = channel::Antenna::iot_dipole(Angle::degrees(45.0));
+  cfg.tx_antenna = channel::Antenna::iot_dipole(Angle::degrees(0.0));
+  return cfg;
+}
+
+/// Small, fast lattice: 5 orientations over [0, 180], 7x7 bias grid.
+CompilerOptions small_options() {
+  CompilerOptions opts;
+  opts.n_orientations = 5;
+  opts.v_step = Voltage{5.0};
+  opts.top_k = 3;
+  return opts;
+}
+
+TEST(CodebookCompiler, CellsMatchTheFullGridSweepInstrument) {
+  const core::SystemConfig cfg = test_config();
+  const CompilerOptions opts = small_options();
+  const Codebook book = CodebookCompiler{cfg}.compile(opts);
+
+  for (std::size_t oi = 0; oi < opts.n_orientations; ++oi) {
+    const Angle orientation =
+        Angle::radians(book.header().orientation_rad.at(oi));
+    core::SystemConfig oriented = cfg;
+    oriented.rx_antenna = cfg.rx_antenna.oriented(orientation);
+    core::LlamaSystem sys{oriented};
+    control::PowerSupply supply;
+    control::FullGridSweep sweep{
+        supply, {.v_min = opts.v_min, .v_max = opts.v_max,
+                 .step = opts.v_step}};
+    const control::SweepResult expected =
+        sweep.run_batched(sys.make_grid_probe());
+
+    const CellEntry& cell = book.cell(0, oi);
+    EXPECT_DOUBLE_EQ(cell.best.vx.value(), expected.best_vx.value())
+        << "oi=" << oi;
+    EXPECT_DOUBLE_EQ(cell.best.vy.value(), expected.best_vy.value());
+    EXPECT_NEAR(cell.best.predicted_power.value(),
+                expected.best_power.value(), 1e-12);
+    // Runner-ups are strictly no better than the winner.
+    for (const BiasPoint& p : cell.refinement)
+      EXPECT_LE(p.predicted_power.value(), cell.best.predicted_power.value());
+  }
+}
+
+TEST(CodebookCompiler, ByteIdenticalForAnyThreadCount) {
+  const core::SystemConfig cfg = test_config();
+  CompilerOptions serial = small_options();
+  serial.threads = 1;
+  CompilerOptions parallel = small_options();
+  parallel.threads = 5;
+  const CodebookCompiler compiler{cfg};
+  EXPECT_EQ(compiler.compile(serial).serialize(),
+            compiler.compile(parallel).serialize());
+}
+
+TEST(CodebookCompiler, TopKIsClampedToTheBiasGrid) {
+  CompilerOptions opts = small_options();
+  opts.v_step = Voltage{10.0};  // 4x4 grid = 16 cells
+  opts.top_k = 100;
+  const Codebook book = CodebookCompiler{test_config()}.compile(opts);
+  EXPECT_EQ(book.header().top_k, 15u);  // grid cells minus the winner
+}
+
+TEST(CodebookCompiler, RejectsDegenerateOptions) {
+  const CodebookCompiler compiler{test_config()};
+  CompilerOptions no_axis = small_options();
+  no_axis.n_orientations = 0;
+  EXPECT_THROW((void)compiler.compile(no_axis), std::invalid_argument);
+  CompilerOptions bad_freq = small_options();
+  bad_freq.n_frequencies = 3;  // f_max == f_min but count > 1
+  EXPECT_THROW((void)compiler.compile(bad_freq), std::invalid_argument);
+  CompilerOptions bad_grid = small_options();
+  bad_grid.v_step = Voltage{-1.0};
+  EXPECT_THROW((void)compiler.compile(bad_grid), std::invalid_argument);
+}
+
+TEST(ConfigHash, BindsCompileParametersButNotTheQueryAxes) {
+  const core::SystemConfig base = test_config();
+  const std::uint64_t h0 = system_config_hash(base);
+
+  // The rx orientation is the codebook's query axis: re-orienting the
+  // device must NOT read as a configuration change.
+  core::SystemConfig reoriented = base;
+  reoriented.rx_antenna = base.rx_antenna.oriented(Angle::degrees(123.0));
+  EXPECT_EQ(system_config_hash(reoriented), h0);
+
+  // Everything else that shapes the power landscape must.
+  core::SystemConfig power = base;
+  power.tx_power = common::PowerDbm{7.0};
+  EXPECT_NE(system_config_hash(power), h0);
+
+  core::SystemConfig geometry = base;
+  geometry.geometry.tx_rx_distance_m *= 2.0;
+  EXPECT_NE(system_config_hash(geometry), h0);
+
+  core::SystemConfig mode = base;
+  mode.geometry.mode = metasurface::SurfaceMode::kReflective;
+  EXPECT_NE(system_config_hash(mode), h0);
+
+  core::SystemConfig antenna = base;
+  antenna.tx_antenna = channel::Antenna::omni_6dbi(Angle::degrees(0.0));
+  EXPECT_NE(system_config_hash(antenna), h0);
+
+  // The stack design determines every compiled response: a codebook for
+  // the Rogers reference build must never validate against the FR4
+  // prototype (or any other fabrication).
+  EXPECT_NE(system_config_hash(base, metasurface::reference_rogers_design()),
+            h0);
+  EXPECT_NE(system_config_hash(base, metasurface::naive_fr4_design()), h0);
+  // And the default stack argument is the prototype design — the same
+  // hardware Metasurface::llama_prototype() wraps.
+  EXPECT_EQ(system_config_hash(base, metasurface::prototype_fr4_design()),
+            h0);
+}
+
+TEST(ConfigHash, DeploymentAndSystemConfigsAgreeWhenMirrored) {
+  const core::DenseDeploymentScenario scenario =
+      core::dense_deployment_scenario(4, 1);
+  core::SystemConfig cfg;
+  cfg.tx_power = scenario.config.tx_power;
+  cfg.tx_antenna = scenario.config.tx_antenna;
+  cfg.rx_antenna = scenario.config.rx_antenna;
+  cfg.geometry = scenario.config.geometry;
+  cfg.environment = scenario.config.environment;
+  cfg.receiver = scenario.config.receiver;
+  EXPECT_EQ(system_config_hash(cfg),
+            deployment_config_hash(scenario.config));
+}
+
+}  // namespace
+}  // namespace llama::codebook

@@ -1,0 +1,101 @@
+#include "src/common/serde.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace llama::common {
+namespace {
+
+TEST(ByteWriter, LittleEndianLayoutIsTheContract) {
+  ByteWriter w;
+  w.u32(0x01020304u);
+  w.u64(0x1122334455667788ULL);
+  const std::vector<std::uint8_t> expected{
+      0x04, 0x03, 0x02, 0x01,  // u32, LSB first
+      0x88, 0x77, 0x66, 0x55, 0x44, 0x33, 0x22, 0x11};
+  EXPECT_EQ(w.data(), expected);
+}
+
+TEST(ByteWriter, DoubleTravelsAsIeeeBitsLittleEndian) {
+  ByteWriter w;
+  w.f64(1.0);  // 0x3FF0000000000000
+  const std::vector<std::uint8_t> expected{0x00, 0x00, 0x00, 0x00,
+                                           0x00, 0x00, 0xF0, 0x3F};
+  EXPECT_EQ(w.data(), expected);
+}
+
+TEST(ByteRoundTrip, PrimitivesSurviveExactly) {
+  ByteWriter w;
+  w.u32(0xDEADBEEFu);
+  w.u64(std::numeric_limits<std::uint64_t>::max());
+  w.f64(-0.0);
+  w.f64(std::numeric_limits<double>::infinity());
+  w.f64(-123.456e-30);
+  ByteReader r{w.data()};
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), std::numeric_limits<std::uint64_t>::max());
+  const double neg_zero = r.f64();
+  EXPECT_EQ(neg_zero, 0.0);
+  EXPECT_TRUE(std::signbit(neg_zero));  // -0.0's bit pattern round-trips
+  EXPECT_EQ(r.f64(), std::numeric_limits<double>::infinity());
+  EXPECT_EQ(r.f64(), -123.456e-30);
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(ByteReader, UnderflowThrowsTypedError) {
+  ByteWriter w;
+  w.u32(7);
+  ByteReader r{w.data()};
+  (void)r.u32();
+  EXPECT_THROW((void)r.u32(), SerdeError);
+  EXPECT_THROW((void)r.u64(), SerdeError);
+  EXPECT_THROW((void)r.f64(), SerdeError);
+  std::uint8_t sink[1];
+  EXPECT_THROW(r.bytes(sink), SerdeError);
+}
+
+TEST(Fnv1a64, MatchesPublishedTestVectors) {
+  // Known FNV-1a 64 values: empty input is the offset basis, "a" is
+  // 0xaf63dc4c8601ec8c.
+  EXPECT_EQ(fnv1a64({}), 0xcbf29ce484222325ULL);
+  const std::uint8_t a[] = {'a'};
+  EXPECT_EQ(fnv1a64(a), 0xaf63dc4c8601ec8cULL);
+}
+
+TEST(Hasher64, FieldBoundariesDoNotAlias) {
+  // "ab" + "c" must hash differently from "a" + "bc": lengths are mixed.
+  Hasher64 h1;
+  h1.mix_string("ab").mix_string("c");
+  Hasher64 h2;
+  h2.mix_string("a").mix_string("bc");
+  EXPECT_NE(h1.digest(), h2.digest());
+}
+
+TEST(Hasher64, SignedZeroHashesLikeZero) {
+  Hasher64 pos;
+  pos.mix_f64(0.0);
+  Hasher64 neg;
+  neg.mix_f64(-0.0);
+  EXPECT_EQ(pos.digest(), neg.digest());
+}
+
+TEST(Hasher64, OrderAndValueSensitivity) {
+  Hasher64 ab;
+  ab.mix_u64(1).mix_u64(2);
+  Hasher64 ba;
+  ba.mix_u64(2).mix_u64(1);
+  EXPECT_NE(ab.digest(), ba.digest());
+
+  Hasher64 x;
+  x.mix_f64(2.44e9);
+  Hasher64 y;
+  y.mix_f64(2.45e9);
+  EXPECT_NE(x.digest(), y.digest());
+}
+
+}  // namespace
+}  // namespace llama::common

@@ -201,8 +201,8 @@ TEST(FastProbes, CachedPointProbeKeepsSequentialSearchesWorking) {
   HillClimb climb{psu, {}};
   const SweepResult r = climb.run(sys.make_probe(0.01));
   EXPECT_GT(r.probes, 0);
-  const auto* stats = sys.surface().response_cache_stats();
-  ASSERT_NE(stats, nullptr);
+  const auto stats = sys.surface().response_cache_stats();
+  ASSERT_TRUE(stats.has_value());
   EXPECT_GT(stats->misses, 0u);
 }
 

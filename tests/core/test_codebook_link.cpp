@@ -1,0 +1,149 @@
+// LlamaSystem's codebook fast path: link quality within 3% of the full
+// Algorithm-1 sweep, one supply switch per pure lookup, working fine-sweep
+// fallback, and hard rejection of mismatched or stale codebooks.
+#include <gtest/gtest.h>
+
+#include "src/channel/capacity.h"
+#include "src/codebook/codebook.h"
+#include "src/codebook/compiler.h"
+#include "src/core/scenarios.h"
+
+namespace llama::core {
+namespace {
+
+using common::Angle;
+using common::GainDb;
+using common::PowerDbm;
+
+SystemConfig tracked_config() {
+  SystemConfig cfg = transmissive_mismatch_config(1.5);
+  cfg.rx_antenna = channel::Antenna::iot_dipole(Angle::degrees(45.0));
+  cfg.tx_antenna = channel::Antenna::iot_dipole(Angle::degrees(0.0));
+  return cfg;
+}
+
+codebook::Codebook tracked_book(const SystemConfig& cfg) {
+  codebook::CompilerOptions opts;
+  opts.n_orientations = 19;  // 10 deg pitch over [0, 180]
+  return codebook::CodebookCompiler{cfg}.compile(opts);
+}
+
+TEST(CodebookLink, CapacityWithinThreePercentOfTheFullSweep) {
+  const SystemConfig cfg = tracked_config();
+  const codebook::Codebook book = tracked_book(cfg);
+  LlamaSystem sweep_sys{cfg};
+  LlamaSystem book_sys{cfg};
+  const radio::Receiver rx{cfg.receiver, common::Rng{0}};
+  const PowerDbm noise = rx.noise_floor_dbm();
+
+  // Off-lattice orientations: the lookup must interpolate, not just recall.
+  for (const double deg : {27.3, 63.7, 101.1, 158.9}) {
+    const channel::Antenna antenna =
+        channel::Antenna::iot_dipole(Angle::degrees(deg));
+    sweep_sys.link().set_rx_antenna(antenna);
+    book_sys.link().set_rx_antenna(antenna);
+    const double sweep_capacity = channel::capacity_bits_per_hz(
+        sweep_sys.optimize_link_batched().sweep.best_power, noise);
+    const double book_capacity = channel::capacity_bits_per_hz(
+        book_sys.optimize_link_codebook(book).sweep.best_power, noise);
+    EXPECT_GE(book_capacity, 0.97 * sweep_capacity) << "at " << deg << " deg";
+  }
+}
+
+TEST(CodebookLink, PureLookupCostsExactlyOneSupplySwitch) {
+  const SystemConfig cfg = tracked_config();
+  const codebook::Codebook book = tracked_book(cfg);
+  LlamaSystem sys{cfg};
+  CodebookLinkOptions opts;
+  opts.enable_fine_sweep = false;
+  const control::OptimizationReport report =
+      sys.optimize_link_codebook(book, opts);
+  EXPECT_EQ(report.sweep.probes, 1);
+  EXPECT_NEAR(report.sweep.time_cost_s, 0.02, 1e-12);  // one 50 Hz switch
+  // The surface was left programmed at the looked-up bias.
+  EXPECT_EQ(sys.surface().bias_x().value(), report.sweep.best_vx.value());
+  EXPECT_EQ(sys.surface().bias_y().value(), report.sweep.best_vy.value());
+}
+
+TEST(CodebookLink, FineSweepFallbackRefinesWhenForced) {
+  const SystemConfig cfg = tracked_config();
+  const codebook::Codebook book = tracked_book(cfg);
+  LlamaSystem pure{cfg};
+  LlamaSystem refined{cfg};
+  CodebookLinkOptions pure_opts;
+  pure_opts.enable_fine_sweep = false;
+  CodebookLinkOptions forced;
+  // An impossible threshold forces the fallback on every round.
+  forced.fine_sweep_threshold = GainDb{-1000.0};
+  forced.fine_steps_per_axis = 5;
+
+  const control::OptimizationReport lookup_only =
+      pure.optimize_link_codebook(book, pure_opts);
+  const control::OptimizationReport with_fallback =
+      refined.optimize_link_codebook(book, forced);
+  EXPECT_EQ(with_fallback.sweep.probes, 1 + 5 * 5);
+  // Refinement can only improve on the looked-up bias.
+  EXPECT_GE(with_fallback.sweep.best_power.value(),
+            lookup_only.sweep.best_power.value());
+}
+
+TEST(CodebookLink, WrongSurfaceModeIsRejected) {
+  const SystemConfig transmissive = tracked_config();
+  const codebook::Codebook book = tracked_book(transmissive);
+  SystemConfig reflective = transmissive;
+  reflective.geometry.mode = metasurface::SurfaceMode::kReflective;
+  LlamaSystem sys{reflective};
+  EXPECT_THROW((void)sys.optimize_link_codebook(book), std::invalid_argument);
+}
+
+TEST(CodebookLink, StaleConfigHashIsRejected) {
+  const SystemConfig cfg = tracked_config();
+  const codebook::Codebook book = tracked_book(cfg);
+  SystemConfig drifted = cfg;
+  drifted.tx_power = PowerDbm{14.0};  // different link than compiled for
+  LlamaSystem sys{drifted};
+  EXPECT_THROW((void)sys.optimize_link_codebook(book),
+               codebook::CodebookStaleError);
+}
+
+TEST(CodebookLink, DifferentStackDesignIsRejected) {
+  const SystemConfig cfg = tracked_config();
+  const codebook::Codebook book = tracked_book(cfg);  // prototype design
+  LlamaSystem other_hardware{
+      cfg, metasurface::Metasurface{metasurface::reference_rogers_design()}};
+  EXPECT_THROW((void)other_hardware.optimize_link_codebook(book),
+               codebook::CodebookStaleError);
+}
+
+TEST(CodebookLink, UncoveredFrequencyIsRejected) {
+  SystemConfig cfg = tracked_config();
+  const codebook::Codebook book = tracked_book(cfg);  // single 2.44 GHz point
+  LlamaSystem sys{cfg};
+  // Frequency is a lookup axis, not part of the config hash — but querying
+  // outside the compiled axis must fail, never flat-clamp onto biases
+  // compiled for a different band.
+  sys.set_frequency(common::Frequency::ghz(5.8));
+  EXPECT_THROW((void)sys.optimize_link_codebook(book), std::out_of_range);
+}
+
+TEST(CodebookLink, LiveGeometryDriftInvalidatesTheHash) {
+  const SystemConfig cfg = tracked_config();
+  const codebook::Codebook book = tracked_book(cfg);
+  LlamaSystem sys{cfg};
+  EXPECT_NO_THROW((void)sys.optimize_link_codebook(book));
+  // Moving the endpoints after compilation is real drift: the hash tracks
+  // the live link state, not the construction-time snapshot.
+  channel::LinkGeometry moved = cfg.geometry;
+  moved.tx_rx_distance_m *= 3.0;
+  sys.set_geometry(moved);
+  EXPECT_THROW((void)sys.optimize_link_codebook(book),
+               codebook::CodebookStaleError);
+  // Re-orienting the tracked device is NOT drift (it is the query axis).
+  LlamaSystem tracker{cfg};
+  tracker.link().set_rx_antenna(
+      channel::Antenna::iot_dipole(Angle::degrees(160.0)));
+  EXPECT_NO_THROW((void)tracker.optimize_link_codebook(book));
+}
+
+}  // namespace
+}  // namespace llama::core

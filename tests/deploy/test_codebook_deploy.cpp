@@ -1,0 +1,120 @@
+// DeploymentEngine::run_codebook: one immutable codebook serving every
+// device of a deployment — sweep-free optimization at capacity parity with
+// the Algorithm-1 path, deterministic across thread counts, and stale or
+// mismatched codebooks rejected up front.
+#include <gtest/gtest.h>
+
+#include "src/codebook/codebook.h"
+#include "src/codebook/compiler.h"
+#include "src/core/scenarios.h"
+
+namespace llama::deploy {
+namespace {
+
+/// Codebook compiled from the SystemConfig mirror of a deployment config —
+/// the pairing deployment_config_hash guarantees to hash identically.
+codebook::Codebook book_for(const DeploymentConfig& config) {
+  core::SystemConfig cfg;
+  cfg.frequency = config.frequency;
+  cfg.tx_power = config.tx_power;
+  cfg.tx_antenna = config.tx_antenna;
+  cfg.rx_antenna = config.rx_antenna;
+  cfg.geometry = config.geometry;
+  cfg.environment = config.environment;
+  cfg.receiver = config.receiver;
+  codebook::CompilerOptions opts;
+  opts.f_min = config.frequency;
+  opts.n_orientations = 19;  // 10 deg pitch over [0, 180]
+  return codebook::CodebookCompiler{cfg}.compile(opts);
+}
+
+TEST(DeployCodebook, SweepFreeRunReachesCapacityParity) {
+  const core::DenseDeploymentScenario scenario =
+      core::dense_deployment_scenario(8, 2);
+  const codebook::Codebook book = book_for(scenario.config);
+
+  DeploymentEngine sweep_engine{scenario.config};
+  DeploymentEngine book_engine{scenario.config};
+  const DeploymentReport swept = sweep_engine.run(scenario.devices);
+  const DeploymentReport looked_up =
+      book_engine.run_codebook(scenario.devices, book);
+
+  ASSERT_EQ(looked_up.devices.size(), scenario.devices.size());
+  for (const DeviceResult& d : looked_up.devices) {
+    // Sweep-free: one lookup evaluation, at most a second for the
+    // nearest-cell deviation fallback — never an Algorithm-1 grid.
+    EXPECT_LE(d.sweep.probes, 2) << d.name;
+    EXPECT_LE(d.sweep.time_cost_s, 0.04 + 1e-12);
+  }
+  // Aggregate spectral efficiency within 3% of the full Algorithm-1 round.
+  EXPECT_GE(looked_up.sum_capacity_bits_per_hz,
+            0.97 * swept.sum_capacity_bits_per_hz);
+  EXPECT_GT(looked_up.sum_capacity_bits_per_hz,
+            looked_up.unassisted_capacity_bits_per_hz);
+}
+
+TEST(DeployCodebook, ByteIdenticalForAnyThreadCount) {
+  const core::DenseDeploymentScenario scenario =
+      core::dense_deployment_scenario(8, 2);
+  const codebook::Codebook book = book_for(scenario.config);
+  DeploymentConfig serial_cfg = scenario.config;
+  serial_cfg.threads = 1;
+  DeploymentConfig parallel_cfg = scenario.config;
+  parallel_cfg.threads = 5;
+  DeploymentEngine serial{serial_cfg};
+  DeploymentEngine parallel{parallel_cfg};
+  const DeploymentReport a = serial.run_codebook(scenario.devices, book);
+  const DeploymentReport b = parallel.run_codebook(scenario.devices, book);
+  ASSERT_EQ(a.devices.size(), b.devices.size());
+  for (std::size_t i = 0; i < a.devices.size(); ++i) {
+    EXPECT_EQ(a.devices[i].sweep.best_vx.value(),
+              b.devices[i].sweep.best_vx.value());
+    EXPECT_EQ(a.devices[i].sweep.best_vy.value(),
+              b.devices[i].sweep.best_vy.value());
+    EXPECT_EQ(a.devices[i].sweep.best_power.value(),
+              b.devices[i].sweep.best_power.value());
+  }
+  EXPECT_EQ(a.sum_capacity_bits_per_hz, b.sum_capacity_bits_per_hz);
+  EXPECT_EQ(a.mean_ber, b.mean_ber);
+}
+
+TEST(DeployCodebook, StaleOrMismatchedCodebookIsRejected) {
+  const core::DenseDeploymentScenario scenario =
+      core::dense_deployment_scenario(4, 1);
+  const codebook::Codebook book = book_for(scenario.config);
+
+  DeploymentConfig drifted = scenario.config;
+  drifted.tx_power = common::PowerDbm{3.0};
+  DeploymentEngine stale{drifted};
+  EXPECT_THROW((void)stale.run_codebook(scenario.devices, book),
+               codebook::CodebookStaleError);
+
+  DeploymentConfig reflective = scenario.config;
+  reflective.geometry.mode = metasurface::SurfaceMode::kReflective;
+  DeploymentEngine wrong_mode{reflective};
+  EXPECT_THROW((void)wrong_mode.run_codebook(scenario.devices, book),
+               std::invalid_argument);
+
+  // A different fabrication must not validate either.
+  DeploymentEngine other_stack{scenario.config,
+                               metasurface::reference_rogers_design()};
+  EXPECT_THROW((void)other_stack.run_codebook(scenario.devices, book),
+               codebook::CodebookStaleError);
+
+  // An uncovered frequency must fail, not flat-clamp across bands. The
+  // frequency is a lookup axis (not hashed), so this is a range error.
+  DeploymentConfig retuned = scenario.config;
+  retuned.frequency = common::Frequency::ghz(5.8);
+  DeploymentEngine off_axis{retuned};
+  EXPECT_THROW((void)off_axis.run_codebook(scenario.devices, book),
+               std::out_of_range);
+
+  // run()'s validation still applies.
+  std::vector<DeviceSpec> bad = scenario.devices;
+  bad[0].surface = 7;
+  DeploymentEngine engine{scenario.config};
+  EXPECT_THROW((void)engine.run_codebook(bad, book), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace llama::deploy

@@ -120,8 +120,9 @@ TEST(ResponseCacheTest, CachedResponseMatchesUncachedBothModes) {
       }
     }
   }
-  const ResponseCacheStats* stats = cached.response_cache_stats();
-  ASSERT_NE(stats, nullptr);
+  const std::optional<ResponseCacheStats> stats =
+      cached.response_cache_stats();
+  ASSERT_TRUE(stats.has_value());
   EXPECT_GT(stats->hits, 0u);
   EXPECT_GT(stats->misses, 0u);
 }
@@ -140,8 +141,9 @@ TEST(ResponseCacheTest, QuantizationBucketsShareOneEntry) {
   // Both biases quantize to 10.0 V, so the second query is a pure hit and
   // returns the identical matrix.
   expect_jones_near(a, b, 0.0, "same-bucket responses");
-  const ResponseCacheStats* stats = surface.response_cache_stats();
-  ASSERT_NE(stats, nullptr);
+  const std::optional<ResponseCacheStats> stats =
+      surface.response_cache_stats();
+  ASSERT_TRUE(stats.has_value());
   EXPECT_EQ(stats->hits, 1u);
   EXPECT_EQ(stats->misses, 1u);
 
@@ -169,8 +171,9 @@ TEST(ResponseCacheTest, LruEvictionBoundsTheCacheAndKeepsCorrectness) {
                         kTol, "evicting cache");
     }
   }
-  const ResponseCacheStats* stats = surface.response_cache_stats();
-  ASSERT_NE(stats, nullptr);
+  const std::optional<ResponseCacheStats> stats =
+      surface.response_cache_stats();
+  ASSERT_TRUE(stats.has_value());
   EXPECT_GT(stats->evictions, 0u);
 }
 
@@ -181,7 +184,7 @@ TEST(ResponseCacheTest, DisableRestoresDirectPath) {
   (void)surface.response(Frequency::ghz(2.44), SurfaceMode::kTransmissive);
   surface.disable_response_cache();
   EXPECT_FALSE(surface.response_cache_enabled());
-  EXPECT_EQ(surface.response_cache_stats(), nullptr);
+  EXPECT_FALSE(surface.response_cache_stats().has_value());
 }
 
 TEST(ResponseCacheTest, ClearResetsStatistics) {
