@@ -37,16 +37,8 @@ double run_llama_system_baseline(
     const core::DenseDeploymentScenario& scenario) {
   double sum = 0.0;
   for (const deploy::DeviceSpec& spec : scenario.devices) {
-    core::SystemConfig cfg;
-    cfg.frequency = scenario.config.frequency;
-    cfg.tx_power = scenario.config.tx_power;
-    cfg.tx_antenna = scenario.config.tx_antenna;
-    cfg.rx_antenna = scenario.config.rx_antenna.oriented(spec.orientation);
-    cfg.geometry = scenario.config.geometry;
-    cfg.environment = scenario.config.environment;
-    cfg.receiver = scenario.config.receiver;
-    cfg.controller.sweep = scenario.config.sweep;
-    core::LlamaSystem sys{cfg};
+    core::LlamaSystem sys{
+        core::device_system_config(scenario.config, spec.orientation)};
     sum += sys.optimize_link_batched().sweep.best_power.value();
   }
   return sum;

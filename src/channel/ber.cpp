@@ -1,5 +1,6 @@
 #include "src/channel/ber.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -68,6 +69,13 @@ LinkLayerModel LinkLayerModel::ble_1m() {
                             {"GFSK 1M", 1, 1.0, 1.0, 9.0},
                         },
                         251};
+}
+
+common::GainDb LinkLayerModel::min_operational_snr() const {
+  double min_db = rates_.front().snr_threshold_db;
+  for (const PhyRate& r : rates_)
+    min_db = std::min(min_db, r.snr_threshold_db);
+  return common::GainDb{min_db};
 }
 
 const PhyRate* LinkLayerModel::select_rate(common::GainDb snr) const {

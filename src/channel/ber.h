@@ -48,6 +48,11 @@ class LinkLayerModel {
   /// nullptr when even the most robust rate cannot operate.
   [[nodiscard]] const PhyRate* select_rate(common::GainDb snr) const;
 
+  /// SNR threshold of the most robust rate — the protocol's operational
+  /// floor, below which throughput_mbps returns 0. The tracking runtime
+  /// derives its default outage power floor from this.
+  [[nodiscard]] common::GainDb min_operational_snr() const;
+
   /// Expected MAC throughput at `snr` [Mbit/s]: selected rate scaled by the
   /// packet success probability at that SNR.
   [[nodiscard]] double throughput_mbps(common::GainDb snr) const;

@@ -17,13 +17,17 @@ void Controller::apply(common::Voltage vx, common::Voltage vy) {
 
 OptimizationReport Controller::optimize(const PowerProbe& probe) {
   OptimizationReport report;
-  report.baseline = probe(vx_, vy_);
-  // The probe is responsible for programming the surface; wrap it so every
-  // sweep measurement also updates the live surface bias.
+  // Wrap the probe so every measurement also programs the live surface
+  // bias. The baseline must go through the wrapped probe too: the surface
+  // may have been rebiased behind the controller's back (another controller,
+  // a codebook path, a bench poking set_bias), and a baseline taken at that
+  // desynced state misreports the power at (vx_, vy_) — and with it
+  // report.improvement.
   const PowerProbe wrapped = [&](common::Voltage vx, common::Voltage vy) {
     surface_.set_bias(vx, vy);
     return probe(vx, vy);
   };
+  report.baseline = wrapped(vx_, vy_);
   CoarseToFineSweep sweep{supply_, options_.sweep};
   report.sweep = sweep.run(wrapped);
   apply(report.sweep.best_vx, report.sweep.best_vy);
@@ -35,6 +39,9 @@ OptimizationReport Controller::optimize(const PowerProbe& probe) {
 OptimizationReport Controller::optimize_batched(
     const PowerProbe& baseline_probe, const GridPowerProbe& grid_probe) {
   OptimizationReport report;
+  // Re-sync the surface to the controller's bias before the baseline (see
+  // optimize()); the caller's baseline probe may or may not program it.
+  surface_.set_bias(vx_, vy_);
   report.baseline = baseline_probe(vx_, vy_);
   CoarseToFineSweep sweep{supply_, options_.sweep};
   report.sweep = sweep.run_batched(grid_probe);
@@ -44,14 +51,23 @@ OptimizationReport Controller::optimize_batched(
   return report;
 }
 
+bool Controller::link_healthy(common::PowerDbm report) const {
+  return last_optimum_.has_value() &&
+         report.value() >=
+             last_optimum_->value() - options_.reoptimize_threshold.value();
+}
+
 std::optional<OptimizationReport> Controller::on_power_report(
     common::PowerDbm report, const PowerProbe& probe) {
-  if (last_optimum_.has_value() &&
-      report.value() >=
-          last_optimum_->value() - options_.reoptimize_threshold.value()) {
-    return std::nullopt;  // link still healthy
-  }
+  if (link_healthy(report)) return std::nullopt;
   return optimize(probe);
+}
+
+std::optional<OptimizationReport> Controller::on_power_report_batched(
+    common::PowerDbm report, const PowerProbe& baseline_probe,
+    const GridPowerProbe& grid_probe) {
+  if (link_healthy(report)) return std::nullopt;
+  return optimize_batched(baseline_probe, grid_probe);
 }
 
 }  // namespace llama::control

@@ -52,6 +52,14 @@ class Controller {
   std::optional<OptimizationReport> on_power_report(
       common::PowerDbm report, const PowerProbe& probe);
 
+  /// Batched variant of on_power_report: same hysteresis decision, but a
+  /// triggered re-sweep runs optimize_batched (identical result and supply
+  /// accounting on a deterministic plant, far fewer per-probe cascades) —
+  /// the tracking runtime's fast path.
+  std::optional<OptimizationReport> on_power_report_batched(
+      common::PowerDbm report, const PowerProbe& baseline_probe,
+      const GridPowerProbe& grid_probe);
+
   [[nodiscard]] common::Voltage current_vx() const { return vx_; }
   [[nodiscard]] common::Voltage current_vy() const { return vy_; }
   [[nodiscard]] std::optional<common::PowerDbm> last_optimum() const {
@@ -60,6 +68,9 @@ class Controller {
 
  private:
   void apply(common::Voltage vx, common::Voltage vy);
+  /// Hysteresis predicate: true while the report sits within the threshold
+  /// of the last optimum (a missing optimum is never healthy).
+  [[nodiscard]] bool link_healthy(common::PowerDbm report) const;
 
   metasurface::Metasurface& surface_;
   PowerSupply& supply_;

@@ -128,22 +128,27 @@ std::uint64_t LlamaSystem::codebook_config_hash() const {
                                     surface_.stack());
 }
 
-control::OptimizationReport LlamaSystem::optimize_link_codebook(
-    const codebook::Codebook& book, const CodebookLinkOptions& options) {
+void LlamaSystem::validate_codebook(const codebook::Codebook& book,
+                                    const std::string& who) const {
   const codebook::Codebook::Header& header = book.header();
   if (header.mode != link_.geometry().mode)
     throw std::invalid_argument{
-        "optimize_link_codebook: codebook surface mode does not match the "
-        "link geometry"};
-  const std::uint64_t live = codebook_config_hash();
-  if (header.config_hash != live)
+        who + ": codebook surface mode does not match the link geometry"};
+  if (header.config_hash != codebook_config_hash())
     throw codebook::CodebookStaleError{
-        "optimize_link_codebook: codebook was compiled for a different link "
-        "configuration (config-hash mismatch); recompile it for this system"};
+        who +
+        ": codebook was compiled for a different link configuration "
+        "(config-hash mismatch); recompile it for this system"};
   if (!book.covers_frequency(config_.frequency))
     throw std::out_of_range{
-        "optimize_link_codebook: system frequency lies outside the "
-        "codebook's compiled frequency axis"};
+        who +
+        ": system frequency lies outside the codebook's compiled frequency "
+        "axis"};
+}
+
+control::OptimizationReport LlamaSystem::optimize_link_codebook(
+    const codebook::Codebook& book, const CodebookLinkOptions& options) {
+  validate_codebook(book, "optimize_link_codebook");
 
   control::OptimizationReport report;
   report.baseline = expected_measure_with_surface();

@@ -117,6 +117,14 @@ class LlamaSystem {
   /// A codebook is valid for this system iff its header carries this value.
   [[nodiscard]] std::uint64_t codebook_config_hash() const;
 
+  /// Checks a codebook against this system's live state — surface mode
+  /// (std::invalid_argument), config hash (codebook::CodebookStaleError)
+  /// and frequency coverage (std::out_of_range) — throwing with `who` as
+  /// the message prefix. One contract shared by optimize_link_codebook and
+  /// the tracking policies' bind-time validation.
+  void validate_codebook(const codebook::Codebook& book,
+                         const std::string& who) const;
+
   /// Link-power improvement of the optimized surface over the no-surface
   /// baseline.
   [[nodiscard]] common::GainDb improvement();

@@ -1,12 +1,24 @@
 #include "src/core/scenarios.h"
 
 #include <cmath>
+#include <memory>
+#include <utility>
 
 #include "src/common/constants.h"
 
 namespace llama::core {
 
 namespace {
+
+/// Deterministic low-discrepancy device posture: the golden-angle sequence
+/// folded into the mismatch-heavy [50, 130) deg band (>= 50 deg off the
+/// AP's polarization) the Section 7 outlook targets, where correction pays
+/// for the surface's insertion loss. Shared by the static dense scenario
+/// and the mobile fleet so their populations stay comparable.
+common::Angle golden_angle_orientation(std::size_t i) {
+  return common::Angle::degrees(
+      50.0 + std::fmod(static_cast<double>(i) * 137.507764, 80.0));
+}
 
 SystemConfig base_transmissive(double tx_rx_distance_m,
                                common::PowerDbm tx_power,
@@ -139,17 +151,64 @@ DenseDeploymentScenario dense_deployment_scenario(std::size_t n_devices,
   for (std::size_t i = 0; i < n_devices; ++i) {
     deploy::DeviceSpec d;
     d.name = "dev" + std::to_string(i);
-    // Golden-angle sequence folded into the mismatch-heavy band
-    // [50, 130) deg (>= 50 deg off the AP's polarization) — the regime the
-    // paper's Section 7 outlook targets, where correction pays for the
-    // surface's insertion loss. Deterministic and low-discrepancy, so
-    // clusters of compatible polarizations emerge naturally at any N.
-    d.orientation = common::Angle::degrees(
-        50.0 + std::fmod(static_cast<double>(i) * 137.507764, 80.0));
+    // Deterministic and low-discrepancy, so clusters of compatible
+    // polarizations emerge naturally at any N.
+    d.orientation = golden_angle_orientation(i);
     // A third of the fleet carries double traffic (cameras vs. sensors).
     d.traffic_weight = (i % 3 == 0) ? 2.0 : 1.0;
     d.surface = -1;  // round-robin
     s.devices.push_back(std::move(d));
+  }
+  return s;
+}
+
+SystemConfig device_system_config(const deploy::DeploymentConfig& config,
+                                  common::Angle rx_orientation) {
+  SystemConfig cfg;
+  cfg.frequency = config.frequency;
+  cfg.tx_power = config.tx_power;
+  cfg.tx_antenna = config.tx_antenna;
+  cfg.rx_antenna = config.rx_antenna.oriented(rx_orientation);
+  cfg.geometry = config.geometry;
+  cfg.environment = config.environment;
+  cfg.receiver = config.receiver;
+  cfg.controller.sweep = config.sweep;
+  return cfg;
+}
+
+MobileFleetScenario mobile_fleet_scenario(std::size_t n_devices,
+                                          std::size_t m_surfaces,
+                                          common::PowerDbm tx_power,
+                                          double tx_rx_distance_m) {
+  MobileFleetScenario s;
+  // Same link parameters as the dense-IoT deployment; only the endpoints'
+  // mobility is new.
+  s.config.deployment =
+      dense_deployment_scenario(n_devices, m_surfaces, tx_power,
+                                tx_rx_distance_m)
+          .config;
+  s.config.loop.dt_s = 0.1;  // 5 supply periods per control decision
+  s.config.loop.link_layer = channel::LinkLayerModel::ble_1m();
+  s.config.loop.keep_trace = false;  // fleet-scale: aggregates only
+
+  s.devices.reserve(n_devices);
+  for (std::size_t i = 0; i < n_devices; ++i) {
+    const double di = static_cast<double>(i);
+    channel::ArmSwing::Params swing;
+    swing.mean = golden_angle_orientation(i);
+    // Strolling-to-walking swings with deterministic per-device diversity
+    // so the fleet's fades decorrelate.
+    swing.amplitude =
+        common::Angle::degrees(25.0 + 10.0 * static_cast<double>(i % 3));
+    swing.swing_rate_hz = 0.4 + 0.1 * static_cast<double>(i % 4);
+    swing.phase_rad = std::fmod(di * 2.399963, 2.0 * common::kPi);
+    track::FleetDeviceSpec spec;
+    spec.name = "wearable" + std::to_string(i);
+    spec.process = [swing] {
+      return std::make_unique<channel::ArmSwing>(swing);
+    };
+    spec.surface = -1;  // round-robin
+    s.devices.push_back(std::move(spec));
   }
   return s;
 }

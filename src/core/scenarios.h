@@ -7,6 +7,7 @@
 #include "src/deploy/deployment_engine.h"
 #include "src/sensing/breathing_target.h"
 #include "src/sensing/respiration_detector.h"
+#include "src/track/fleet_tracker.h"
 
 namespace llama::core {
 
@@ -58,6 +59,32 @@ struct DenseDeploymentScenario {
   std::vector<deploy::DeviceSpec> devices;
 };
 [[nodiscard]] DenseDeploymentScenario dense_deployment_scenario(
+    std::size_t n_devices, std::size_t m_surfaces,
+    common::PowerDbm tx_power = common::PowerDbm{14.0},
+    double tx_rx_distance_m = 1.0);
+
+/// Mirror of one deployment device as a standalone LlamaSystem
+/// configuration — the per-link mapping DeploymentEngine applies (shared AP
+/// antenna, device antenna re-oriented, deployment sweep options), exposed
+/// so the fleet tracker, the scaling bench, and codebook compilation build
+/// byte-identical per-device systems from one source of truth. The hash of
+/// the result (codebook::system_config_hash) equals
+/// codebook::deployment_config_hash for any rx_orientation, since the rx
+/// orientation is the codebook's query axis.
+[[nodiscard]] SystemConfig device_system_config(
+    const deploy::DeploymentConfig& config, common::Angle rx_orientation);
+
+/// Mobile-fleet scenario: the dense-deployment link parameters (Section 7
+/// outlook) with every endpoint swinging — N wearables at golden-angle mean
+/// orientations in the mismatch-heavy [50, 130) deg band, with
+/// deterministically varied swing amplitudes (25-45 deg), rates
+/// (0.4-0.7 Hz, strolling to walking) and phases, assigned round-robin to
+/// M surfaces, tracked on a 100 ms control tick over a BLE link layer.
+struct MobileFleetScenario {
+  track::FleetConfig config;
+  std::vector<track::FleetDeviceSpec> devices;
+};
+[[nodiscard]] MobileFleetScenario mobile_fleet_scenario(
     std::size_t n_devices, std::size_t m_surfaces,
     common::PowerDbm tx_power = common::PowerDbm{14.0},
     double tx_rx_distance_m = 1.0);

@@ -29,6 +29,12 @@ double plan_key(common::Frequency f) {
 
 }  // namespace
 
+std::size_t assigned_surface(int spec_surface, std::size_t index,
+                             std::size_t n_surfaces) {
+  return spec_surface >= 0 ? static_cast<std::size_t>(spec_surface)
+                           : index % n_surfaces;
+}
+
 SharedResponseEngine::SharedResponseEngine(
     metasurface::RotatorStack stack, metasurface::ResponseCacheConfig cache)
     : stack_(std::move(stack)), cache_(cache) {}
@@ -211,9 +217,7 @@ DeploymentReport DeploymentEngine::run(
     control::CoarseToFineSweep sweep{supply, config_.sweep};
     DeviceResult& out = report.devices[i];
     out.name = spec.name;
-    out.surface = spec.surface >= 0
-                      ? static_cast<std::size_t>(spec.surface)
-                      : i % config_.n_surfaces;
+    out.surface = assigned_surface(spec.surface, i, config_.n_surfaces);
     out.sweep = sweep.run_batched(probe);
     out.optimized_power = out.sweep.best_power;
     out.unoptimized_power = receiver_.expected_measure(
@@ -274,9 +278,7 @@ DeploymentReport DeploymentEngine::run_codebook(
 
     DeviceResult& out = report.devices[i];
     out.name = spec.name;
-    out.surface = spec.surface >= 0
-                      ? static_cast<std::size_t>(spec.surface)
-                      : i % config_.n_surfaces;
+    out.surface = assigned_surface(spec.surface, i, config_.n_surfaces);
     out.sweep.best_vx = hit.vx;
     out.sweep.best_vy = hit.vy;
     out.sweep.best_power = power_at(hit.vx, hit.vy);

@@ -103,6 +103,13 @@ class SharedResponseEngine {
   metasurface::ResponseCache cache_;
 };
 
+/// Surface serving the device at roster position `index`: the spec's
+/// explicit surface when set (>= 0), else round-robin by index. The caller
+/// validates explicit indices against n_surfaces.
+[[nodiscard]] std::size_t assigned_surface(int spec_surface,
+                                           std::size_t index,
+                                           std::size_t n_surfaces);
+
 /// One served endpoint of a deployment.
 struct DeviceSpec {
   std::string name;

@@ -38,9 +38,15 @@ DetectionResult RespirationDetector::analyze(std::span<const double> power_dbm,
 
   out.ripple_db = common::max_element(band) - common::min_element(band);
 
-  // Autocorrelation scan over candidate breathing periods.
-  const int lag_min = static_cast<int>(sample_rate_hz / options_.max_rate_hz);
-  const int lag_max = static_cast<int>(sample_rate_hz / options_.min_rate_hz);
+  // Autocorrelation scan over candidate breathing periods. The lag bounds
+  // round *inward* (ceil at the fast edge, floor at the slow edge): a
+  // truncated lag_min would admit a lag shorter than the fastest breath and
+  // report a rate above max_rate_hz (e.g. 10 Hz / 0.6 Hz -> lag 16 ->
+  // 0.625 Hz, outside the configured band).
+  const int lag_min =
+      static_cast<int>(std::ceil(sample_rate_hz / options_.max_rate_hz));
+  const int lag_max =
+      static_cast<int>(std::floor(sample_rate_hz / options_.min_rate_hz));
   double best_r = -1.0;
   int best_lag = 0;
   for (int lag = std::max(lag_min, 1);

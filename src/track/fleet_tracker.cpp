@@ -1,0 +1,91 @@
+#include "src/track/fleet_tracker.h"
+
+#include <stdexcept>
+
+#include "src/common/parallel.h"
+#include "src/core/scenarios.h"
+
+namespace llama::track {
+
+FleetTracker::FleetTracker(FleetConfig config) : config_(std::move(config)) {
+  if (config_.deployment.n_surfaces == 0)
+    throw std::invalid_argument{"FleetTracker: need >= 1 surface"};
+  if (config_.loop.dt_s <= 0.0)
+    throw std::invalid_argument{"FleetTracker: loop tick must be positive"};
+}
+
+FleetReport FleetTracker::run(const std::vector<FleetDeviceSpec>& devices,
+                              const PolicyFactory& make_policy, long ticks) {
+  if (ticks <= 0) throw std::invalid_argument{"FleetTracker: need >= 1 tick"};
+  if (!make_policy)
+    throw std::invalid_argument{"FleetTracker: missing policy factory"};
+  for (const FleetDeviceSpec& spec : devices) {
+    if (!spec.process)
+      throw std::invalid_argument{"FleetTracker: device '" + spec.name +
+                                  "' has no orientation-process factory"};
+    if (spec.surface >= 0 &&
+        static_cast<std::size_t>(spec.surface) >=
+            config_.deployment.n_surfaces)
+      throw std::out_of_range{"FleetTracker: device '" + spec.name +
+                              "' names surface " +
+                              std::to_string(spec.surface) + " of " +
+                              std::to_string(config_.deployment.n_surfaces)};
+  }
+
+  FleetReport report;
+  report.devices.resize(devices.size());
+
+  // Each shard owns its whole plant (system, process, policy) and writes
+  // only its own result slot, so the fan-out is embarrassingly parallel and
+  // deterministic for any thread count.
+  common::parallel_for(
+      devices.size(), config_.deployment.threads, [&](std::size_t i) {
+        const FleetDeviceSpec& spec = devices[i];
+        core::SystemConfig cfg = core::device_system_config(
+            config_.deployment, common::Angle::degrees(0.0));
+        core::LlamaSystem system{cfg};
+        // Tracking revisits quantized biases constantly (codebook hits, the
+        // re-sweep's coarse window); the memo keeps per-tick probes cheap.
+        system.enable_fast_probes(config_.deployment.cache);
+        const std::unique_ptr<channel::OrientationProcess> process =
+            spec.process();
+        const std::unique_ptr<RetunePolicy> policy = make_policy();
+        TrackingLoop loop{system, *process, *policy, config_.loop};
+        DeviceTrackResult& out = report.devices[i];
+        out.name = spec.name;
+        out.surface = deploy::assigned_surface(spec.surface, i,
+                                               config_.deployment.n_surfaces);
+        out.report = loop.run(ticks);
+      });
+
+  // Serial aggregation (cheap): per-surface and fleet-wide rollups.
+  report.surfaces.resize(config_.deployment.n_surfaces);
+  for (std::size_t s = 0; s < report.surfaces.size(); ++s)
+    report.surfaces[s].surface = s;
+  double outage_sum = 0.0;
+  for (const DeviceTrackResult& d : report.devices) {
+    SurfaceTrackSummary& sr = report.surfaces[d.surface];
+    ++sr.device_count;
+    sr.mean_outage_fraction += d.report.outage_fraction;  // sum, for now
+    sr.retune_count += d.report.retune_count;
+    sr.retune_airtime_s += d.report.retune_airtime_s;
+    sr.sum_delivered_mbps += d.report.mean_delivered_mbps;
+    outage_sum += d.report.outage_fraction;
+    report.retune_count += d.report.retune_count;
+    report.retune_airtime_s += d.report.retune_airtime_s;
+    report.sum_delivered_mbps += d.report.mean_delivered_mbps;
+  }
+  for (SurfaceTrackSummary& sr : report.surfaces)
+    if (sr.device_count > 0)
+      sr.mean_outage_fraction /= static_cast<double>(sr.device_count);
+  if (!report.devices.empty())
+    report.mean_outage_fraction =
+        outage_sum / static_cast<double>(report.devices.size());
+  report.mean_retune_latency_s =
+      report.retune_count > 0
+          ? report.retune_airtime_s / static_cast<double>(report.retune_count)
+          : 0.0;
+  return report;
+}
+
+}  // namespace llama::track

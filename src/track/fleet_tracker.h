@@ -1,0 +1,101 @@
+// Fleet-scale tracking: N independent per-device TrackingLoops sharded
+// across a deployment's M surfaces with common::parallel_for.
+//
+// Each device shard stands up its own LlamaSystem (from the deployment's
+// shared link parameters via core::device_system_config), orientation
+// process, and policy instance, so shards share no mutable state; combined
+// with the loops' deterministic expected-power measurement model, a fleet
+// run is byte-identical for any thread count — the same contract as
+// deploy::DeploymentEngine and the codebook compiler. Devices are assigned
+// to surfaces by deploy::assigned_surface (explicit index or round-robin),
+// and per-surface aggregates expose which surface's supply is saturated by
+// retune airtime.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/channel/mobility.h"
+#include "src/deploy/deployment_engine.h"
+#include "src/track/tracking_loop.h"
+
+namespace llama::track {
+
+/// Builds one device's orientation trajectory; called once per run inside
+/// the device's shard. Must be deterministic for the fleet's determinism
+/// contract to hold.
+using ProcessFactory =
+    std::function<std::unique_ptr<channel::OrientationProcess>()>;
+
+/// Builds one device's policy instance; called once per device per run.
+using PolicyFactory = std::function<std::unique_ptr<RetunePolicy>()>;
+
+/// One mobile endpoint of a tracked fleet.
+struct FleetDeviceSpec {
+  std::string name;
+  ProcessFactory process;
+  /// Surface serving this device; -1 assigns round-robin by index.
+  int surface = -1;
+};
+
+/// Fleet-wide parameters: the deployment's shared link configuration
+/// (surfaces, geometry, antennas, receiver, per-shard thread count) plus the
+/// per-device loop options.
+struct FleetConfig {
+  deploy::DeploymentConfig deployment{};
+  TrackingLoop::Options loop{};
+};
+
+/// One device's tracking outcome.
+struct DeviceTrackResult {
+  std::string name;
+  std::size_t surface = 0;
+  TrackReport report;
+};
+
+/// Per-surface aggregate: how much of the surface's supply the fleet's
+/// retuning consumed, and how its devices fared.
+struct SurfaceTrackSummary {
+  std::size_t surface = 0;
+  std::size_t device_count = 0;
+  double mean_outage_fraction = 0.0;
+  long retune_count = 0;
+  double retune_airtime_s = 0.0;
+  double sum_delivered_mbps = 0.0;
+};
+
+/// Outcome of one fleet run.
+struct FleetReport {
+  std::vector<DeviceTrackResult> devices;
+  std::vector<SurfaceTrackSummary> surfaces;
+  double mean_outage_fraction = 0.0;
+  long retune_count = 0;
+  double retune_airtime_s = 0.0;
+  double mean_retune_latency_s = 0.0;
+  double sum_delivered_mbps = 0.0;
+};
+
+class FleetTracker {
+ public:
+  /// Throws std::invalid_argument when the deployment has no surfaces or a
+  /// non-positive loop tick.
+  explicit FleetTracker(FleetConfig config);
+
+  /// Tracks every device for `ticks` steps (sharded over
+  /// config.deployment.threads workers; byte-identical for any value).
+  /// Throws std::invalid_argument on a missing process/policy factory or
+  /// ticks <= 0, and std::out_of_range when a spec names a surface index
+  /// >= n_surfaces.
+  [[nodiscard]] FleetReport run(const std::vector<FleetDeviceSpec>& devices,
+                                const PolicyFactory& make_policy, long ticks);
+
+  [[nodiscard]] const FleetConfig& config() const { return config_; }
+
+ private:
+  FleetConfig config_;
+};
+
+}  // namespace llama::track

@@ -1,0 +1,113 @@
+#include "src/track/tracking_loop.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace llama::track {
+
+TrackingLoop::TrackingLoop(core::LlamaSystem& system,
+                           channel::OrientationProcess& process,
+                           RetunePolicy& policy)
+    : TrackingLoop(system, process, policy, Options{}) {}
+
+TrackingLoop::TrackingLoop(core::LlamaSystem& system,
+                           channel::OrientationProcess& process,
+                           RetunePolicy& policy, Options options)
+    : system_(system), process_(process), policy_(policy), options_(options) {
+  if (options_.dt_s <= 0.0)
+    throw std::invalid_argument{"TrackingLoop: dt must be positive"};
+}
+
+common::PowerDbm TrackingLoop::power_floor() const {
+  return options_.power_floor.value_or(
+      options_.noise + options_.link_layer.min_operational_snr());
+}
+
+TrackReport TrackingLoop::run(long ticks) {
+  if (ticks <= 0)
+    throw std::invalid_argument{"TrackingLoop: need >= 1 tick"};
+  policy_.bind(system_);
+
+  // The rx antenna captured here is the template every per-tick orientation
+  // is applied to, so gain/pattern properties survive re-orientation.
+  const channel::Antenna rx_template = system_.link().rx_antenna();
+  const common::PowerDbm floor = power_floor();
+  const double dt = options_.dt_s;
+
+  TrackReport report;
+  report.ticks = ticks;
+  report.duration_s = static_cast<double>(ticks) * dt;
+  report.min_power_dbm = std::numeric_limits<double>::infinity();
+  if (options_.keep_trace)
+    report.trace.reserve(static_cast<std::size_t>(ticks));
+
+  long outages = 0;
+  double power_sum = 0.0;
+  double delivered_sum = 0.0;
+  // Retune airtime not yet absorbed by past ticks. While a whole tick's
+  // worth remains, the controller is mid-retune: the policy is skipped and
+  // the tick carries no traffic.
+  double busy_s = 0.0;
+
+  for (long i = 0; i < ticks; ++i) {
+    const double t = static_cast<double>(i) * dt;
+    const common::Angle orientation = process_.orientation_at(t);
+    system_.link().set_rx_antenna(rx_template.oriented(orientation));
+
+    TrackTrace tick;
+    tick.tick = i;
+    tick.t_s = t;
+    tick.orientation = orientation;
+
+    const common::PowerDbm before = system_.expected_measure_with_surface();
+    // Chunked consumption of busy time accumulates float residue (e.g.
+    // 0.5 s drained in 0.1 s ticks); snap it so a fully drained controller
+    // reports exact full duty.
+    if (busy_s < 1e-9) busy_s = 0.0;
+    PolicyAction action;
+    if (busy_s < dt) {
+      TickObservation obs;
+      obs.tick = i;
+      obs.t_s = t;
+      obs.dt_s = dt;
+      obs.orientation = orientation;
+      obs.measured = before;
+      const double supply0 = system_.supply().elapsed_s();
+      action = policy_.on_tick(system_, obs);
+      tick.retune_airtime_s = system_.supply().elapsed_s() - supply0;
+      busy_s += tick.retune_airtime_s;
+    }
+    const double consumed = std::min(busy_s, dt);
+    busy_s -= consumed;
+    tick.duty = 1.0 - consumed / dt;
+    tick.retuned = action.retuned;
+    tick.probes = action.probes;
+
+    tick.power =
+        action.retuned ? system_.expected_measure_with_surface() : before;
+    const common::GainDb snr = tick.power - options_.noise;
+    tick.delivered_mbps = options_.link_layer.throughput_mbps(snr) * tick.duty;
+    tick.outage = tick.power < floor || tick.duty <= 0.0;
+
+    if (tick.retuned) ++report.retune_count;
+    report.retune_airtime_s += tick.retune_airtime_s;
+    if (tick.outage) ++outages;
+    power_sum += tick.power.value();
+    delivered_sum += tick.delivered_mbps;
+    report.min_power_dbm = std::min(report.min_power_dbm, tick.power.value());
+    if (options_.keep_trace) report.trace.push_back(tick);
+  }
+
+  const double n = static_cast<double>(ticks);
+  report.outage_fraction = static_cast<double>(outages) / n;
+  report.mean_power_dbm = power_sum / n;
+  report.mean_delivered_mbps = delivered_sum / n;
+  report.mean_retune_latency_s =
+      report.retune_count > 0
+          ? report.retune_airtime_s / static_cast<double>(report.retune_count)
+          : 0.0;
+  return report;
+}
+
+}  // namespace llama::track

@@ -1,0 +1,112 @@
+// Closed-loop tracking runtime for dynamic endpoints (the paper's Fig. 1
+// wearable and Section 7 dense-IoT scenarios): a discrete-time loop that
+// advances an orientation process on a fixed tick, measures the link, and
+// delegates retuning to a pluggable RetunePolicy.
+//
+// Timing model: the tick is the control period dt. All supply switching a
+// policy performs on a tick is charged to that tick's retune airtime; while
+// accumulated airtime exceeds the tick budget the controller is busy — the
+// policy is not consulted and the link carries no traffic (duty 0). This is
+// how a ~1 s Algorithm-1 re-sweep blacks out ten 100 ms ticks while a 20 ms
+// codebook switch costs a fifth of one. The loop does not dilate its time
+// base: orientation keeps evolving underneath a busy controller, exactly the
+// regime that breaks the sweep path at walking-speed arm swings.
+//
+// Measurements use the receiver's deterministic expected-power model (no
+// RNG state consumed), so a loop — and the FleetTracker sharding many of
+// them — is a pure function of its inputs, byte-identical for any thread
+// count.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "src/channel/ber.h"
+#include "src/channel/mobility.h"
+#include "src/common/units.h"
+#include "src/core/llama_system.h"
+#include "src/track/retune_policy.h"
+
+namespace llama::track {
+
+/// One tick of the loop's trace.
+struct TrackTrace {
+  long tick = 0;
+  double t_s = 0.0;
+  common::Angle orientation;
+  /// Expected received power at the post-action bias.
+  common::PowerDbm power{-120.0};
+  bool retuned = false;
+  int probes = 0;
+  /// Supply switching time the policy spent on this tick.
+  double retune_airtime_s = 0.0;
+  /// Fraction of the tick left for traffic after retune airtime (carried
+  /// busy time included).
+  double duty = 1.0;
+  /// Link-layer throughput at the tick's SNR, scaled by the duty.
+  double delivered_mbps = 0.0;
+  /// Below the power floor, or the whole tick was consumed by retuning.
+  bool outage = false;
+};
+
+/// Aggregates over one run.
+struct TrackReport {
+  long ticks = 0;
+  double duration_s = 0.0;
+  /// Fraction of ticks in outage (power under the floor or duty 0).
+  double outage_fraction = 0.0;
+  long retune_count = 0;
+  /// Total supply switching time spent retuning.
+  double retune_airtime_s = 0.0;
+  /// Mean airtime per retune event (0 when no retune ran).
+  double mean_retune_latency_s = 0.0;
+  double mean_power_dbm = 0.0;
+  double min_power_dbm = 0.0;
+  /// Mean per-tick delivered link-layer throughput.
+  double mean_delivered_mbps = 0.0;
+  /// Per-tick records; empty when Options::keep_trace is false.
+  std::vector<TrackTrace> trace;
+};
+
+class TrackingLoop {
+ public:
+  struct Options {
+    /// Control period [s]; every tick advances the orientation process by
+    /// this much.
+    double dt_s = 0.1;
+    /// Noise + interference level the SNR is referenced against.
+    common::PowerDbm noise{-62.0};
+    /// Outage threshold; defaults to the noise level plus the link layer's
+    /// most robust rate threshold (below it the protocol delivers nothing).
+    std::optional<common::PowerDbm> power_floor;
+    channel::LinkLayerModel link_layer = channel::LinkLayerModel::ble_1m();
+    /// Drop to skip per-tick trace storage (fleet-scale runs).
+    bool keep_trace = true;
+  };
+
+  /// All three collaborators must outlive the loop. Throws
+  /// std::invalid_argument on a non-positive dt.
+  TrackingLoop(core::LlamaSystem& system, channel::OrientationProcess& process,
+               RetunePolicy& policy);
+  TrackingLoop(core::LlamaSystem& system, channel::OrientationProcess& process,
+               RetunePolicy& policy, Options options);
+
+  /// Runs one episode of `ticks` steps from t = 0 (the policy is re-bound,
+  /// resetting its episode state; the orientation process continues from
+  /// wherever previous queries left it — stateless processes like ArmSwing
+  /// restart exactly). Throws std::invalid_argument when ticks <= 0.
+  [[nodiscard]] TrackReport run(long ticks);
+
+  /// The effective outage floor (explicit option or the link-layer default).
+  [[nodiscard]] common::PowerDbm power_floor() const;
+
+  [[nodiscard]] const Options& options() const { return options_; }
+
+ private:
+  core::LlamaSystem& system_;
+  channel::OrientationProcess& process_;
+  RetunePolicy& policy_;
+  Options options_;
+};
+
+}  // namespace llama::track

@@ -122,5 +122,17 @@ TEST(LinkLayer, BleIsSingleRate) {
   EXPECT_DOUBLE_EQ(ble.rates().front().data_rate_mbps, 1.0);
 }
 
+TEST(LinkLayer, MinOperationalSnrIsTheMostRobustRateThreshold) {
+  const LinkLayerModel wifi = LinkLayerModel::wifi_80211g();
+  EXPECT_DOUBLE_EQ(wifi.min_operational_snr().value(), 5.0);  // BPSK 1/2
+  const LinkLayerModel ble = LinkLayerModel::ble_1m();
+  EXPECT_DOUBLE_EQ(ble.min_operational_snr().value(), 9.0);
+  // Just below the floor nothing is deliverable; just above, something is.
+  EXPECT_DOUBLE_EQ(
+      wifi.throughput_mbps(wifi.min_operational_snr() - GainDb{0.1}), 0.0);
+  EXPECT_GT(wifi.throughput_mbps(wifi.min_operational_snr() + GainDb{0.1}),
+            0.0);
+}
+
 }  // namespace
 }  // namespace llama::channel

@@ -47,6 +47,31 @@ TEST(OrientationOffset, FoldsIntoZeroNinety) {
               2.0, 1e-9);
 }
 
+TEST(OrientationOffset, PiFoldEdges) {
+  // Nearly-identical orientations across the pi fold: 179.9 and 0.1 deg are
+  // 0.2 deg apart as linear polarizations, not 179.8.
+  EXPECT_NEAR(
+      orientation_offset(Angle::degrees(179.9), Angle::degrees(0.1)).deg(),
+      0.2, 1e-9);
+  EXPECT_NEAR(
+      orientation_offset(Angle::degrees(0.1), Angle::degrees(179.9)).deg(),
+      0.2, 1e-9);
+  // The exact 90 deg tie folds to 90 (the maximum possible offset), never 0.
+  EXPECT_NEAR(
+      orientation_offset(Angle::degrees(0.0), Angle::degrees(90.0)).deg(),
+      90.0, 1e-9);
+  EXPECT_NEAR(
+      orientation_offset(Angle::degrees(45.0), Angle::degrees(135.0)).deg(),
+      90.0, 1e-9);
+  // Full-period multiples collapse to zero.
+  EXPECT_NEAR(
+      orientation_offset(Angle::degrees(12.0), Angle::degrees(192.0)).deg(),
+      0.0, 1e-9);
+  EXPECT_NEAR(
+      orientation_offset(Angle::degrees(0.0), Angle::degrees(180.0)).deg(),
+      0.0, 1e-9);
+}
+
 TEST(RotationEstimator, OrientationScanCoversHalfTurn) {
   RotationEstimator::Options opt;
   opt.orientation_step_deg = 5.0;

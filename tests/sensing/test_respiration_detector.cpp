@@ -93,6 +93,29 @@ TEST(RespirationDetector, RatesOutsideBandAreNotReported) {
   EXPECT_LE(r.rate_hz, 0.65);
 }
 
+TEST(RespirationDetector, LagBandRoundingKeepsReportedRateInsideBand) {
+  // Regression: lag_min = static_cast<int>(10 / 0.6) truncated to 16, so a
+  // tone just above the band's fast edge matched lag 16 and was reported at
+  // 10/16 = 0.625 Hz — outside the configured [0.1, 0.6] Hz band. The lag
+  // bounds must round inward (ceil/floor).
+  RespirationDetector det;  // band 0.1 - 0.6 Hz
+  const auto trace = synthetic_trace(0.62, 2.0, 0.05, 10.0, 60.0, 7);
+  const DetectionResult r = det.analyze(trace, 10.0);
+  ASSERT_GT(r.rate_hz, 0.0);
+  EXPECT_GE(r.rate_hz, 0.1);
+  EXPECT_LE(r.rate_hz, 0.6);
+}
+
+TEST(RespirationDetector, InBandEdgeRateIsStillDetected) {
+  // The inward rounding must not break detection just inside the edge.
+  RespirationDetector det;
+  const auto trace = synthetic_trace(0.55, 2.0, 0.1, 10.0, 80.0, 8);
+  const DetectionResult r = det.analyze(trace, 10.0);
+  EXPECT_TRUE(r.detected);
+  EXPECT_GE(r.rate_hz, 0.1);
+  EXPECT_LE(r.rate_hz, 0.6);
+}
+
 TEST(RespirationDetector, RejectsBadOptions) {
   RespirationDetector::Options bad;
   bad.min_rate_hz = 0.0;

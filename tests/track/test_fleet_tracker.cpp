@@ -1,0 +1,162 @@
+#include "src/track/fleet_tracker.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/codebook/compiler.h"
+#include "src/core/scenarios.h"
+
+namespace llama::track {
+namespace {
+
+using common::Angle;
+
+PolicyFactory null_like_policy_factory() {
+  struct Null final : RetunePolicy {
+    [[nodiscard]] const char* name() const override { return "null"; }
+    PolicyAction on_tick(core::LlamaSystem&, const TickObservation&) override {
+      return {};
+    }
+  };
+  return [] { return std::make_unique<Null>(); };
+}
+
+TEST(FleetTracker, ValidatesConfigAndSpecs) {
+  core::MobileFleetScenario scenario = core::mobile_fleet_scenario(2, 1);
+  {
+    FleetConfig bad = scenario.config;
+    bad.deployment.n_surfaces = 0;
+    EXPECT_THROW((FleetTracker{bad}), std::invalid_argument);
+  }
+  FleetTracker tracker{scenario.config};
+  EXPECT_THROW(
+      (void)tracker.run(scenario.devices, null_like_policy_factory(), 0),
+      std::invalid_argument);
+  EXPECT_THROW((void)tracker.run(scenario.devices, PolicyFactory{}, 5),
+               std::invalid_argument);
+  {
+    auto devices = scenario.devices;
+    devices[1].surface = 3;  // only 1 surface configured
+    EXPECT_THROW(
+        (void)tracker.run(devices, null_like_policy_factory(), 5),
+        std::out_of_range);
+  }
+  {
+    auto devices = scenario.devices;
+    devices[0].process = nullptr;
+    EXPECT_THROW(
+        (void)tracker.run(devices, null_like_policy_factory(), 5),
+        std::invalid_argument);
+  }
+}
+
+TEST(FleetTracker, RoundRobinAndExplicitSurfaceAssignment) {
+  core::MobileFleetScenario scenario = core::mobile_fleet_scenario(4, 2);
+  scenario.devices[3].surface = 0;  // explicit override
+  FleetTracker tracker{scenario.config};
+  const FleetReport report =
+      tracker.run(scenario.devices, null_like_policy_factory(), 3);
+  ASSERT_EQ(report.devices.size(), 4u);
+  EXPECT_EQ(report.devices[0].surface, 0u);
+  EXPECT_EQ(report.devices[1].surface, 1u);
+  EXPECT_EQ(report.devices[2].surface, 0u);
+  EXPECT_EQ(report.devices[3].surface, 0u);
+  ASSERT_EQ(report.surfaces.size(), 2u);
+  EXPECT_EQ(report.surfaces[0].device_count, 3u);
+  EXPECT_EQ(report.surfaces[1].device_count, 1u);
+}
+
+TEST(FleetTracker, AggregatesMatchPerDeviceReports) {
+  const core::MobileFleetScenario scenario = core::mobile_fleet_scenario(5, 2);
+  const core::SystemConfig device_cfg = core::device_system_config(
+      scenario.config.deployment, Angle::degrees(0.0));
+  const codebook::Codebook book =
+      codebook::CodebookCompiler{device_cfg}.compile();
+  FleetTracker tracker{scenario.config};
+  const FleetReport report = tracker.run(
+      scenario.devices,
+      [&book] { return std::make_unique<PredictiveCodebook>(book); }, 20);
+
+  long retunes = 0;
+  double airtime = 0.0;
+  double outage_sum = 0.0;
+  double delivered = 0.0;
+  for (const DeviceTrackResult& d : report.devices) {
+    retunes += d.report.retune_count;
+    airtime += d.report.retune_airtime_s;
+    outage_sum += d.report.outage_fraction;
+    delivered += d.report.mean_delivered_mbps;
+  }
+  EXPECT_EQ(report.retune_count, retunes);
+  EXPECT_DOUBLE_EQ(report.retune_airtime_s, airtime);
+  EXPECT_DOUBLE_EQ(report.mean_outage_fraction, outage_sum / 5.0);
+  EXPECT_DOUBLE_EQ(report.sum_delivered_mbps, delivered);
+  // Every device retuned at least once (the initial programming switch).
+  EXPECT_GE(report.retune_count, 5);
+
+  double surface_airtime = 0.0;
+  std::size_t surface_devices = 0;
+  for (const SurfaceTrackSummary& s : report.surfaces) {
+    surface_airtime += s.retune_airtime_s;
+    surface_devices += s.device_count;
+  }
+  EXPECT_DOUBLE_EQ(surface_airtime, airtime);
+  EXPECT_EQ(surface_devices, 5u);
+}
+
+TEST(FleetTracker, ByteIdenticalForAnyThreadCount) {
+  core::MobileFleetScenario scenario = core::mobile_fleet_scenario(6, 2);
+  const core::SystemConfig device_cfg = core::device_system_config(
+      scenario.config.deployment, Angle::degrees(0.0));
+  const codebook::Codebook book =
+      codebook::CodebookCompiler{device_cfg}.compile();
+
+  FleetReport reports[2];
+  const int thread_counts[2] = {1, 4};
+  for (int k = 0; k < 2; ++k) {
+    FleetConfig cfg = scenario.config;
+    cfg.deployment.threads = thread_counts[k];
+    FleetTracker tracker{cfg};
+    reports[k] = tracker.run(
+        scenario.devices,
+        [&book] { return std::make_unique<PredictiveCodebook>(book); }, 15);
+  }
+  ASSERT_EQ(reports[0].devices.size(), reports[1].devices.size());
+  for (std::size_t i = 0; i < reports[0].devices.size(); ++i) {
+    const TrackReport& a = reports[0].devices[i].report;
+    const TrackReport& b = reports[1].devices[i].report;
+    EXPECT_DOUBLE_EQ(a.mean_power_dbm, b.mean_power_dbm) << "device " << i;
+    EXPECT_DOUBLE_EQ(a.outage_fraction, b.outage_fraction) << "device " << i;
+    EXPECT_DOUBLE_EQ(a.retune_airtime_s, b.retune_airtime_s)
+        << "device " << i;
+    EXPECT_EQ(a.retune_count, b.retune_count) << "device " << i;
+    EXPECT_DOUBLE_EQ(a.mean_delivered_mbps, b.mean_delivered_mbps)
+        << "device " << i;
+  }
+  EXPECT_DOUBLE_EQ(reports[0].mean_outage_fraction,
+                   reports[1].mean_outage_fraction);
+  EXPECT_DOUBLE_EQ(reports[0].retune_airtime_s, reports[1].retune_airtime_s);
+}
+
+TEST(FleetTracker, ScenarioIsDeterministicAndWellFormed) {
+  const core::MobileFleetScenario a = core::mobile_fleet_scenario(7, 3);
+  const core::MobileFleetScenario b = core::mobile_fleet_scenario(7, 3);
+  ASSERT_EQ(a.devices.size(), 7u);
+  EXPECT_EQ(a.config.deployment.n_surfaces, 3u);
+  EXPECT_FALSE(a.config.loop.keep_trace);
+  for (std::size_t i = 0; i < a.devices.size(); ++i) {
+    ASSERT_TRUE(a.devices[i].process != nullptr);
+    // Factories built from the same scenario parameters generate identical
+    // trajectories.
+    const auto pa = a.devices[i].process();
+    const auto pb = b.devices[i].process();
+    for (double t : {0.0, 0.37, 1.1})
+      EXPECT_DOUBLE_EQ(pa->orientation_at(t).deg(),
+                       pb->orientation_at(t).deg())
+          << "device " << i << " t " << t;
+  }
+}
+
+}  // namespace
+}  // namespace llama::track

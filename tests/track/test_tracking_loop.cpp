@@ -1,0 +1,192 @@
+#include "src/track/tracking_loop.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/core/scenarios.h"
+
+namespace llama::track {
+namespace {
+
+using common::Angle;
+using common::PowerDbm;
+using common::Voltage;
+
+/// Policy that never touches the plant.
+struct NullPolicy final : RetunePolicy {
+  [[nodiscard]] const char* name() const override { return "null"; }
+  PolicyAction on_tick(core::LlamaSystem&, const TickObservation&) override {
+    return {};
+  }
+};
+
+/// Policy that issues a fixed number of supply switches on chosen ticks and
+/// records when it was consulted.
+struct SwitchBurstPolicy final : RetunePolicy {
+  long burst_tick = 0;
+  int switches = 0;
+  std::vector<long> consulted;
+
+  [[nodiscard]] const char* name() const override { return "burst"; }
+  PolicyAction on_tick(core::LlamaSystem& system,
+                       const TickObservation& obs) override {
+    consulted.push_back(obs.tick);
+    if (obs.tick != burst_tick) return {};
+    for (int i = 0; i < switches; ++i)
+      system.supply().set_outputs(Voltage{10.0}, Voltage{10.0});
+    PolicyAction action;
+    action.retuned = switches > 0;
+    return action;
+  }
+};
+
+core::SystemConfig test_config() {
+  core::SystemConfig cfg = core::transmissive_mismatch_config(0.42);
+  cfg.tx_antenna = channel::Antenna::iot_dipole(Angle::degrees(0.0));
+  cfg.rx_antenna = channel::Antenna::iot_dipole(Angle::degrees(45.0));
+  return cfg;
+}
+
+TEST(TrackingLoop, RejectsBadArguments) {
+  core::LlamaSystem system{test_config()};
+  channel::StaticMount mount{Angle::degrees(45.0)};
+  NullPolicy policy;
+  TrackingLoop::Options opts;
+  opts.dt_s = 0.0;
+  EXPECT_THROW((TrackingLoop{system, mount, policy, opts}),
+               std::invalid_argument);
+  TrackingLoop loop{system, mount, policy};
+  EXPECT_THROW((void)loop.run(0), std::invalid_argument);
+}
+
+TEST(TrackingLoop, StaticDeviceNullPolicyIsFlat) {
+  core::LlamaSystem system{test_config()};
+  channel::StaticMount mount{Angle::degrees(45.0)};
+  NullPolicy policy;
+  TrackingLoop loop{system, mount, policy};
+  const TrackReport report = loop.run(10);
+  ASSERT_EQ(report.trace.size(), 10u);
+  EXPECT_EQ(report.ticks, 10);
+  EXPECT_NEAR(report.duration_s, 1.0, 1e-12);
+  EXPECT_EQ(report.retune_count, 0);
+  EXPECT_DOUBLE_EQ(report.retune_airtime_s, 0.0);
+  EXPECT_DOUBLE_EQ(report.mean_retune_latency_s, 0.0);
+  for (const TrackTrace& tick : report.trace) {
+    EXPECT_DOUBLE_EQ(tick.power.value(), report.trace[0].power.value());
+    EXPECT_DOUBLE_EQ(tick.duty, 1.0);
+    EXPECT_FALSE(tick.retuned);
+  }
+  EXPECT_DOUBLE_EQ(report.mean_power_dbm, report.trace[0].power.value());
+  EXPECT_DOUBLE_EQ(report.min_power_dbm, report.trace[0].power.value());
+}
+
+TEST(TrackingLoop, PowerFloorDefaultsToLinkLayerThreshold) {
+  core::LlamaSystem system{test_config()};
+  channel::StaticMount mount{Angle::degrees(45.0)};
+  NullPolicy policy;
+  TrackingLoop::Options opts;
+  opts.noise = PowerDbm{-62.0};
+  TrackingLoop loop{system, mount, policy, opts};
+  // BLE 1M's only rate needs 9 dB of SNR.
+  EXPECT_NEAR(loop.power_floor().value(), -53.0, 1e-12);
+
+  TrackingLoop::Options explicit_opts;
+  explicit_opts.power_floor = PowerDbm{-40.0};
+  TrackingLoop loop2{system, mount, policy, explicit_opts};
+  EXPECT_NEAR(loop2.power_floor().value(), -40.0, 1e-12);
+}
+
+TEST(TrackingLoop, AirtimeIsChargedFromTheSupplyClock) {
+  core::LlamaSystem system{test_config()};
+  channel::StaticMount mount{Angle::degrees(45.0)};
+  SwitchBurstPolicy policy;
+  policy.burst_tick = 2;
+  policy.switches = 3;  // 3 x 20 ms = 60 ms inside a 100 ms tick
+  TrackingLoop loop{system, mount, policy};
+  const TrackReport report = loop.run(5);
+  EXPECT_NEAR(report.trace[2].retune_airtime_s, 0.06, 1e-12);
+  EXPECT_NEAR(report.trace[2].duty, 0.4, 1e-9);
+  EXPECT_NEAR(report.retune_airtime_s, 0.06, 1e-12);
+  EXPECT_EQ(report.retune_count, 1);
+  EXPECT_NEAR(report.mean_retune_latency_s, 0.06, 1e-12);
+  // The other ticks are uncharged.
+  EXPECT_DOUBLE_EQ(report.trace[1].retune_airtime_s, 0.0);
+  EXPECT_DOUBLE_EQ(report.trace[3].duty, 1.0);
+}
+
+TEST(TrackingLoop, AirtimeBeyondTheTickBlacksOutFollowingTicks) {
+  core::LlamaSystem system{test_config()};
+  channel::StaticMount mount{Angle::degrees(45.0)};
+  SwitchBurstPolicy policy;
+  policy.burst_tick = 0;
+  policy.switches = 25;  // 0.5 s of airtime at a 0.1 s tick
+  TrackingLoop loop{system, mount, policy};
+  const TrackReport report = loop.run(8);
+  // Ticks 0-4 are fully consumed by the retune: no traffic, outage.
+  for (long i = 0; i < 5; ++i) {
+    EXPECT_DOUBLE_EQ(report.trace[i].duty, 0.0) << "tick " << i;
+    EXPECT_TRUE(report.trace[i].outage) << "tick " << i;
+    EXPECT_DOUBLE_EQ(report.trace[i].delivered_mbps, 0.0) << "tick " << i;
+  }
+  // While busy the policy is not consulted; it resumes at tick 5.
+  EXPECT_EQ(policy.consulted, (std::vector<long>{0, 5, 6, 7}));
+  EXPECT_DOUBLE_EQ(report.trace[5].duty, 1.0);
+  EXPECT_NEAR(report.outage_fraction, 5.0 / 8.0, 1e-12);
+}
+
+TEST(TrackingLoop, KeepTraceFalseDropsTicksButKeepsAggregates) {
+  core::SystemConfig cfg = test_config();
+  channel::ArmSwing::Params swing;
+  swing.mean = Angle::degrees(45.0);
+  swing.amplitude = Angle::degrees(30.0);
+  swing.swing_rate_hz = 0.5;
+
+  TrackReport with_trace;
+  TrackReport without_trace;
+  for (bool keep : {true, false}) {
+    core::LlamaSystem system{cfg};
+    channel::ArmSwing arm{swing};
+    NullPolicy policy;
+    TrackingLoop::Options opts;
+    opts.keep_trace = keep;
+    TrackingLoop loop{system, arm, policy, opts};
+    (keep ? with_trace : without_trace) = loop.run(12);
+  }
+  EXPECT_EQ(with_trace.trace.size(), 12u);
+  EXPECT_TRUE(without_trace.trace.empty());
+  EXPECT_DOUBLE_EQ(with_trace.mean_power_dbm, without_trace.mean_power_dbm);
+  EXPECT_DOUBLE_EQ(with_trace.outage_fraction, without_trace.outage_fraction);
+  EXPECT_DOUBLE_EQ(with_trace.mean_delivered_mbps,
+                   without_trace.mean_delivered_mbps);
+}
+
+TEST(TrackingLoop, RunsAreDeterministic) {
+  core::SystemConfig cfg = test_config();
+  channel::ArmSwing::Params swing;
+  swing.mean = Angle::degrees(60.0);
+  swing.amplitude = Angle::degrees(35.0);
+  swing.swing_rate_hz = 0.6;
+
+  TrackReport a;
+  TrackReport b;
+  for (TrackReport* out : {&a, &b}) {
+    core::LlamaSystem system{cfg};
+    channel::ArmSwing arm{swing};
+    HysteresisResweep policy;
+    TrackingLoop loop{system, arm, policy};
+    *out = loop.run(20);
+  }
+  ASSERT_EQ(a.trace.size(), b.trace.size());
+  for (std::size_t i = 0; i < a.trace.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.trace[i].power.value(), b.trace[i].power.value());
+    EXPECT_EQ(a.trace[i].retuned, b.trace[i].retuned);
+    EXPECT_DOUBLE_EQ(a.trace[i].delivered_mbps, b.trace[i].delivered_mbps);
+  }
+  EXPECT_DOUBLE_EQ(a.retune_airtime_s, b.retune_airtime_s);
+  EXPECT_DOUBLE_EQ(a.outage_fraction, b.outage_fraction);
+}
+
+}  // namespace
+}  // namespace llama::track
