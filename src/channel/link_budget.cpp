@@ -11,19 +11,6 @@ namespace {
 using em::Complex;
 using em::JonesVector;
 
-/// Plane-wave propagation factor over distance d: Friis amplitude with
-/// carrier phase. Phase matters in the reflective geometry, where the
-/// surface path interferes with the direct path.
-Complex propagation(common::Frequency f, double distance_m) {
-  const double k = 2.0 * common::kPi * f.in_hz() / common::kSpeedOfLight;
-  return friis_amplitude(f, distance_m) *
-         std::exp(Complex{0.0, -k * distance_m});
-}
-
-/// Representative off-axis angle of environmental reflections; used to
-/// compute how much endpoint directivity suppresses multipath.
-constexpr double kMultipathOffAxisDeg = 60.0;
-
 }  // namespace
 
 double LinkGeometry::rx_surface_distance_m() const {
@@ -74,7 +61,7 @@ em::JonesVector LinkBudget::field_with_response(
 
   if (geometry_.mode == metasurface::SurfaceMode::kTransmissive) {
     // Endpoints face each other; the surface sits on the direct path.
-    const Complex prop = propagation(f, geometry_.tx_rx_distance_m);
+    const Complex prop = propagation_factor(f, geometry_.tx_rx_distance_m);
     if (response != nullptr) {
       at_rx = prop * (*response * tx_state);
       // Scattered paths between the Tx and Rx half-spaces also traverse the
@@ -95,10 +82,11 @@ em::JonesVector LinkBudget::field_with_response(
         std::sqrt(tx_.gain_towards(los_off).linear() / tx_gain) *
         std::sqrt(rx_.gain_towards(los_off).linear() /
                   rx_.boresight_gain().linear());
-    at_rx = (propagation(f, geometry_.tx_rx_distance_m) * los_pattern_scale) *
+    at_rx = (propagation_factor(f, geometry_.tx_rx_distance_m) *
+             los_pattern_scale) *
             tx_state;
     if (response != nullptr) {
-      const Complex prop = propagation(f, geometry_.surface_path_m());
+      const Complex prop = propagation_factor(f, geometry_.surface_path_m());
       at_rx = at_rx + prop * (*response * tx_state);
     }
   }

@@ -20,6 +20,12 @@ double friis_range_extension(common::GainDb gain) {
   return std::pow(10.0, gain.value() / 20.0);
 }
 
+em::Complex propagation_factor(common::Frequency f, double distance_m) {
+  const double k = 2.0 * common::kPi * f.in_hz() / common::kSpeedOfLight;
+  return friis_amplitude(f, distance_m) *
+         std::exp(em::Complex{0.0, -k * distance_m});
+}
+
 Environment Environment::absorber_chamber() { return Environment{}; }
 
 Environment Environment::with_interference(common::PowerDbm floor) {

@@ -25,6 +25,18 @@ namespace llama::channel {
 /// => 5.6x distance.
 [[nodiscard]] double friis_range_extension(common::GainDb gain);
 
+/// Plane-wave propagation factor over distance d: Friis amplitude with
+/// carrier phase. Phase is what makes paths interfere (direct vs surface
+/// in the reflective geometry, surface vs leakage/relay in a scene).
+[[nodiscard]] em::Complex propagation_factor(common::Frequency f,
+                                             double distance_m);
+
+/// Representative off-axis angle of environmental reflections; used to
+/// compute how much endpoint directivity suppresses multipath. One
+/// constant shared by LinkBudget and PropagationScene — their 1e-12
+/// equivalence depends on it.
+inline constexpr double kMultipathOffAxisDeg = 60.0;
+
 /// One secondary propagation path: a delayed, attenuated, re-polarized
 /// replica produced by an environmental reflector.
 struct MultipathRay {

@@ -1,0 +1,417 @@
+#include "src/channel/propagation_scene.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "src/common/constants.h"
+
+namespace llama::channel {
+
+namespace {
+
+using em::Complex;
+using em::JonesMatrix;
+using em::JonesVector;
+
+Complex path_coefficient(const PropagationPath& p, common::Frequency f) {
+  // One Friis amplitude plus carrier phase over the path's total length —
+  // the same propagation_factor LinkBudget applies, which is what keeps
+  // the single-link equivalence exact.
+  Complex c = propagation_factor(f, p.length_m);
+  // Unit factors are skipped, keeping the single-link terms operation-for-
+  // operation identical to LinkBudget's field model.
+  if (p.pattern_scale != 1.0) c = c * p.pattern_scale;
+  if (p.coupling_scale != 1.0) c = c * p.coupling_scale;
+  if (p.excess_phase_rad != 0.0)
+    c = c * std::exp(Complex{0.0, -p.excess_phase_rad});
+  return c;
+}
+
+const JonesMatrix* resp(PropagationScene::ResponseView responses,
+                        std::size_t surface) {
+  return surface < responses.size() ? responses[surface] : nullptr;
+}
+
+/// Mean co-polar transmission of a surface response — the amplitude scale
+/// environmental rays pick up crossing a transmissive surface.
+double mean_copolar(const JonesMatrix& r) {
+  return 0.5 * (std::abs(r.at(0, 0)) + std::abs(r.at(1, 1)));
+}
+
+}  // namespace
+
+PropagationScene::PropagationScene(Antenna tx_antenna, Antenna rx_antenna,
+                                   LinkGeometry home_geometry,
+                                   Environment environment)
+    : PropagationScene(std::move(tx_antenna), std::move(rx_antenna),
+                       home_geometry, std::move(environment), SceneSpec{}) {}
+
+PropagationScene::PropagationScene(Antenna tx_antenna, Antenna rx_antenna,
+                                   LinkGeometry home_geometry,
+                                   Environment environment, SceneSpec spec)
+    : tx_(std::move(tx_antenna)),
+      rx_(std::move(rx_antenna)),
+      geometry_(home_geometry),
+      env_(std::move(environment)),
+      spec_(std::move(spec)) {
+  rebuild_paths();
+}
+
+PropagationScene PropagationScene::single_link(Antenna tx_antenna,
+                                               Antenna rx_antenna,
+                                               LinkGeometry geometry,
+                                               Environment environment) {
+  return PropagationScene{std::move(tx_antenna), std::move(rx_antenna),
+                          geometry, std::move(environment)};
+}
+
+PropagationScene PropagationScene::from_spec(Antenna tx_antenna,
+                                             Antenna rx_antenna,
+                                             LinkGeometry geometry,
+                                             Environment environment,
+                                             const SceneSpec& spec) {
+  return PropagationScene{std::move(tx_antenna), std::move(rx_antenna),
+                          geometry, std::move(environment), spec};
+}
+
+std::size_t PropagationScene::add_leakage_surface(
+    const LeakageSurfaceSpec& spec) {
+  // Leakage surfaces occupy ids [1, leakage.size()] and relays follow, so
+  // inserting a leakage surface under existing relays would renumber ids
+  // callers already hold — and ResponseView indexing has no staleness
+  // guard. Refuse instead (build mixed scenes via from_spec).
+  if (!spec_.relays.empty())
+    throw std::logic_error{
+        "PropagationScene: add leakage surfaces before relay surfaces "
+        "(adding one now would renumber existing relay ids)"};
+  spec_.leakage.push_back(spec);
+  ++revision_;
+  rebuild_paths();
+  return spec_.leakage.size();
+}
+
+std::size_t PropagationScene::add_relay_surface(const RelaySurfaceSpec& spec) {
+  spec_.relays.push_back(spec);
+  ++revision_;
+  rebuild_paths();
+  return spec_.leakage.size() + spec_.relays.size();
+}
+
+void PropagationScene::set_geometry(const LinkGeometry& g) {
+  geometry_ = g;
+  ++revision_;
+  rebuild_paths();
+}
+
+void PropagationScene::set_tx_antenna(Antenna a) {
+  tx_ = std::move(a);
+  ++revision_;
+  rebuild_paths();
+}
+
+void PropagationScene::set_rx_antenna(Antenna a) {
+  rx_ = std::move(a);
+  ++revision_;
+  rebuild_paths();
+}
+
+void PropagationScene::rebuild_paths() {
+  paths_.clear();
+  const bool transmissive =
+      geometry_.mode == metasurface::SurfaceMode::kTransmissive;
+  const double tx_gain = tx_.boresight_gain().linear();
+  const double rx_gain = rx_.boresight_gain().linear();
+
+  if (transmissive) {
+    // Endpoints face each other; the home surface spans the direct path, so
+    // the LoS term IS the surface term (free-space when unprogrammed).
+    PropagationPath home;
+    home.kind = PathKind::kSurface;
+    home.surfaces = {kHomeSurface};
+    home.length_m = geometry_.tx_rx_distance_m;
+    paths_.push_back(std::move(home));
+  } else {
+    // Reflective: both endpoints aim AT the surface; the direct LoS sits
+    // off both antennas' axes (LinkBudget's los_pattern_scale).
+    const double boresight_to_los_rad = std::atan2(
+        geometry_.tx_surface_distance_m, geometry_.tx_rx_distance_m / 2.0);
+    const common::Angle los_off = common::Angle::radians(boresight_to_los_rad);
+    PropagationPath direct;
+    direct.kind = PathKind::kDirect;
+    direct.length_m = geometry_.tx_rx_distance_m;
+    direct.pattern_scale =
+        std::sqrt(tx_.gain_towards(los_off).linear() / tx_gain) *
+        std::sqrt(rx_.gain_towards(los_off).linear() / rx_gain);
+    paths_.push_back(std::move(direct));
+
+    PropagationPath home;
+    home.kind = PathKind::kSurface;
+    home.surfaces = {kHomeSurface};
+    home.length_m = geometry_.surface_path_m();
+    paths_.push_back(std::move(home));
+  }
+
+  // Non-home surfaces. Legs are measured from the endpoints to the home
+  // surface's mount plane; a surface laterally offset by `o` sits at
+  // hypot(leg, o) and an off-axis angle atan2(o, leg) from each endpoint's
+  // aim.
+  const double d_tx = transmissive ? geometry_.tx_surface_distance_m
+                                   : geometry_.rx_surface_distance_m();
+  const double d_rx = geometry_.rx_surface_distance_m();
+  surface_count_ = 1;
+  for (const LeakageSurfaceSpec& leak : spec_.leakage) {
+    const std::size_t id = surface_count_++;
+    const double o = leak.lateral_offset_m;
+    PropagationPath p;
+    p.kind = PathKind::kLeakage;
+    p.surfaces = {id};
+    p.length_m = std::hypot(d_tx, o) + std::hypot(d_rx, o);
+    p.pattern_scale =
+        std::sqrt(tx_.gain_towards(common::Angle::radians(std::atan2(o, d_tx)))
+                      .linear() /
+                  tx_gain) *
+        std::sqrt(rx_.gain_towards(common::Angle::radians(std::atan2(o, d_rx)))
+                      .linear() /
+                  rx_gain);
+    p.coupling_scale = leak.coupling;
+    paths_.push_back(std::move(p));
+  }
+  for (const RelaySurfaceSpec& relay : spec_.relays) {
+    const std::size_t id = surface_count_++;
+    PropagationPath p;
+    p.kind = PathKind::kRelay;
+    p.surfaces = {kHomeSurface, id};
+    p.length_m = d_tx + relay.surface_surface_m + relay.relay_rx_m;
+    p.coupling_scale = relay.coupling;
+    paths_.push_back(std::move(p));
+  }
+}
+
+em::JonesVector PropagationScene::launch_state(
+    common::PowerDbm tx_power) const {
+  const double p_mw = tx_power.to_mw().value();
+  const double tx_gain = tx_.boresight_gain().linear();
+  // sqrt(EIRP in mW): |field|^2 at the receiver is directly a power in mW.
+  return Complex{std::sqrt(p_mw * tx_gain), 0.0} * tx_.polarization().jones();
+}
+
+bool PropagationScene::resolve_path_field(const PropagationPath& path,
+                                          common::Frequency f,
+                                          ResponseView responses,
+                                          const em::JonesVector& tx_state,
+                                          em::JonesVector& out) const {
+  const Complex c = path_coefficient(path, f);
+  const bool transmissive =
+      geometry_.mode == metasurface::SurfaceMode::kTransmissive;
+  switch (path.kind) {
+    case PathKind::kDirect:
+      out = c * tx_state;
+      return true;
+    case PathKind::kSurface: {
+      const JonesMatrix* r = resp(responses, kHomeSurface);
+      if (r == nullptr) {
+        // Unprogrammed home surface: transmissive frames still span the
+        // LoS (free-space pass-through); a reflective bounce needs a
+        // programmed surface to exist at all.
+        if (!transmissive) return false;
+        out = c * tx_state;
+        return true;
+      }
+      out = c * (*r * tx_state);
+      return true;
+    }
+    case PathKind::kLeakage: {
+      const JonesMatrix* r = resp(responses, path.surfaces.front());
+      if (r == nullptr) return false;
+      out = c * (*r * tx_state);
+      return true;
+    }
+    case PathKind::kRelay: {
+      const JonesMatrix* home = resp(responses, kHomeSurface);
+      const JonesMatrix* relay = resp(responses, path.surfaces.back());
+      if (relay == nullptr) return false;
+      if (home == nullptr && !transmissive) return false;
+      const JonesVector mid = home != nullptr ? *home * tx_state : tx_state;
+      out = c * (*relay * mid);
+      return true;
+    }
+  }
+  return false;
+}
+
+double PropagationScene::multipath_reference(common::Frequency f) const {
+  const common::Angle off = common::Angle::degrees(kMultipathOffAxisDeg);
+  const double tx_gain = tx_.boresight_gain().linear();
+  const double suppression =
+      std::sqrt(tx_.gain_towards(off).linear() / tx_gain) *
+      std::sqrt(rx_.gain_towards(off).linear() /
+                rx_.boresight_gain().linear());
+  return friis_amplitude(f, geometry_.tx_rx_distance_m) * suppression;
+}
+
+em::JonesVector PropagationScene::field_at_receiver(
+    common::PowerDbm tx_power, common::Frequency f,
+    ResponseView responses) const {
+  const JonesVector tx_state = launch_state(tx_power);
+  JonesVector at_rx{Complex{0.0, 0.0}, Complex{0.0, 0.0}};
+  for (const PropagationPath& path : paths_) {
+    JonesVector contribution;
+    if (resolve_path_field(path, f, responses, tx_state, contribution))
+      at_rx = at_rx + contribution;
+  }
+  if (env_.has_multipath()) {
+    // Rays reference the home LoS; in the transmissive geometry they cross
+    // the home surface like everything else (mean co-polar transmission).
+    double ray_scale = 1.0;
+    const JonesMatrix* home = resp(responses, kHomeSurface);
+    if (geometry_.mode == metasurface::SurfaceMode::kTransmissive &&
+        home != nullptr)
+      ray_scale = mean_copolar(*home);
+    at_rx = combine_multipath(at_rx, tx_state,
+                              multipath_reference(f) * ray_scale, env_);
+  }
+  return at_rx;
+}
+
+em::JonesVector PropagationScene::field_at_receiver(
+    common::PowerDbm tx_power, common::Frequency f,
+    const metasurface::Metasurface* surface) const {
+  if (surface == nullptr)
+    return field_at_receiver(tx_power, f, ResponseView{});
+  const JonesMatrix home = surface->response(f, geometry_.mode);
+  const JonesMatrix* ptr = &home;
+  return field_at_receiver(tx_power, f, ResponseView{&ptr, 1});
+}
+
+common::PowerDbm PropagationScene::power_from_field(
+    const em::JonesVector& field) const {
+  const double plf = rx_.polarization().match(field);
+  double p_mw = field.power() * plf * rx_.boresight_gain().linear();
+  // Ambient in-band interference adds incoherently at the receiver.
+  p_mw += env_.interference_floor().to_mw().value();
+  return common::PowerMw{std::max(p_mw, 1e-15)}.to_dbm();
+}
+
+common::PowerDbm PropagationScene::received_power(
+    common::PowerDbm tx_power, common::Frequency f,
+    ResponseView responses) const {
+  return power_from_field(field_at_receiver(tx_power, f, responses));
+}
+
+common::PowerDbm PropagationScene::received_power_with_response(
+    common::PowerDbm tx_power, common::Frequency f,
+    const em::JonesMatrix& response) const {
+  const JonesMatrix* ptr = &response;
+  return received_power(tx_power, f, ResponseView{&ptr, 1});
+}
+
+common::PowerDbm PropagationScene::received_power_without_surface(
+    common::PowerDbm tx_power, common::Frequency f) const {
+  return received_power(tx_power, f, ResponseView{});
+}
+
+common::PowerMw PropagationScene::path_power(std::size_t path_index,
+                                             common::PowerDbm tx_power,
+                                             common::Frequency f,
+                                             ResponseView responses) const {
+  if (path_index >= paths_.size())
+    throw std::out_of_range{"PropagationScene: path index out of range"};
+  const JonesVector tx_state = launch_state(tx_power);
+  JonesVector field;
+  if (!resolve_path_field(paths_[path_index], f, responses, tx_state, field))
+    return common::PowerMw{0.0};
+  const double plf = rx_.polarization().match(field);
+  return common::PowerMw{field.power() * plf *
+                         rx_.boresight_gain().linear()};
+}
+
+PropagationScene::FrozenEval PropagationScene::freeze_except(
+    std::size_t swept, common::PowerDbm tx_power, common::Frequency f,
+    ResponseView frozen) const {
+  if (swept >= surface_count_)
+    throw std::out_of_range{"PropagationScene: swept surface out of range"};
+  const bool transmissive =
+      geometry_.mode == metasurface::SurfaceMode::kTransmissive;
+
+  FrozenEval fz;
+  fz.revision = revision_;
+  fz.tx_state = launch_state(tx_power);
+  fz.fixed_field = JonesVector{Complex{0.0, 0.0}, Complex{0.0, 0.0}};
+
+  for (const PropagationPath& path : paths_) {
+    const bool traverses_swept =
+        std::find(path.surfaces.begin(), path.surfaces.end(), swept) !=
+        path.surfaces.end();
+    if (!traverses_swept) {
+      JonesVector contribution;
+      if (resolve_path_field(path, f, frozen, fz.tx_state, contribution))
+        fz.fixed_field = fz.fixed_field + contribution;
+      continue;
+    }
+    FrozenEval::SweptTerm term;
+    term.scale = path_coefficient(path, f);
+    term.state = fz.tx_state;
+    switch (path.kind) {
+      case PathKind::kSurface:
+      case PathKind::kLeakage:
+        break;
+      case PathKind::kRelay:
+        if (swept == kHomeSurface) {
+          // Swept home, frozen relay: the relay's cascade applies after.
+          const JonesMatrix* relay = resp(frozen, path.surfaces.back());
+          if (relay == nullptr) continue;  // relay absent: path dropped
+          term.post = *relay;
+          term.has_post = true;
+        } else {
+          // Swept relay, frozen home applied before.
+          const JonesMatrix* home = resp(frozen, kHomeSurface);
+          if (home == nullptr && !transmissive) continue;
+          if (home != nullptr) term.state = *home * fz.tx_state;
+        }
+        break;
+      case PathKind::kDirect:
+        break;  // unreachable: direct paths traverse no surface
+    }
+    fz.terms.push_back(std::move(term));
+  }
+
+  fz.has_multipath = env_.has_multipath();
+  if (fz.has_multipath) {
+    fz.ray_ref_base = multipath_reference(f);
+    if (transmissive) {
+      if (swept == kHomeSurface) {
+        fz.swept_scales_rays = true;
+      } else {
+        const JonesMatrix* home = resp(frozen, kHomeSurface);
+        fz.frozen_ray_scale = home != nullptr ? mean_copolar(*home) : 1.0;
+      }
+    }
+  }
+  return fz;
+}
+
+common::PowerDbm PropagationScene::received_power_swept(
+    const FrozenEval& frozen, const em::JonesMatrix& response) const {
+  if (frozen.revision != revision_)
+    throw std::logic_error{
+        "PropagationScene: frozen evaluation is stale — the scene mutated "
+        "(set_geometry/set_tx_antenna/set_rx_antenna or an added surface) "
+        "after freeze_except(); rebuild the frozen plan"};
+  JonesVector field = frozen.fixed_field;
+  for (const FrozenEval::SweptTerm& term : frozen.terms) {
+    JonesVector v = response * term.state;
+    if (term.has_post) v = term.post * v;
+    field = field + term.scale * v;
+  }
+  if (frozen.has_multipath) {
+    const double ray_scale = frozen.swept_scales_rays
+                                 ? mean_copolar(response)
+                                 : frozen.frozen_ray_scale;
+    field = combine_multipath(field, frozen.tx_state,
+                              frozen.ray_ref_base * ray_scale, env_);
+  }
+  return power_from_field(field);
+}
+
+}  // namespace llama::channel

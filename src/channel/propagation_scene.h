@@ -1,0 +1,267 @@
+// PropagationScene — the multi-surface generalization of LinkBudget.
+//
+// A device's received field is the coherent Jones-domain sum over an
+// explicit set of propagation paths: the direct LoS, the serving surface's
+// transmissive/reflective path, cross-surface leakage paths to every other
+// programmed surface of a deployment, and chained surface->surface relay
+// segments. Each path carries its own Friis attenuation, carrier phase,
+// endpoint-pattern scaling and coupling loss; the environment's multipath
+// and interference floor compose on top exactly as in LinkBudget.
+//
+// Contracts:
+//
+//  - One-surface equivalence: a scene built by single_link() reproduces
+//    LinkBudget's field model term for term (golden-tested at 1e-12 for
+//    both modes, with and without multipath, batched and unbatched).
+//  - Frozen-contribution batching: a bias sweep over ONE surface evaluates
+//    only that surface's paths per candidate response; every other path's
+//    contribution is summed once into a FrozenEval. This keeps per-cell
+//    sweep cost identical to the single-link hot path regardless of how
+//    many surfaces the scene carries.
+//  - Revision counter: every mutation (geometry, endpoint antennas, added
+//    surfaces) bumps revision(). A FrozenEval records the revision it was
+//    built against and evaluation throws std::logic_error when the scene
+//    has moved on — a mid-run set_geometry() can no longer be silently
+//    served from stale precomputed state.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/channel/antenna.h"
+#include "src/channel/link_budget.h"
+#include "src/channel/propagation.h"
+#include "src/common/units.h"
+#include "src/em/jones.h"
+#include "src/metasurface/metasurface.h"
+
+namespace llama::channel {
+
+/// Role of one term in the coherent sum.
+enum class PathKind {
+  kDirect,   ///< Tx -> Rx line of sight (no surface)
+  kSurface,  ///< Tx -> home surface -> Rx (the serving surface's path)
+  kLeakage,  ///< Tx -> another deployment surface -> Rx (off-lobe coupling)
+  kRelay,    ///< Tx -> home surface -> relay surface -> Rx (chained hop)
+};
+
+/// One propagation path. Amplitude model: coupling * pattern *
+/// friis_amplitude(f, length) * e^{-j(k*length + excess_phase)}, applied to
+/// the cascade of the traversed surfaces' Jones responses.
+struct PropagationPath {
+  PathKind kind = PathKind::kDirect;
+  /// Scene surface ids traversed, in propagation order (empty for kDirect).
+  std::vector<std::size_t> surfaces;
+  /// Total geometric length [m] (one Friis factor over the whole path).
+  double length_m = 0.0;
+  /// Endpoint-pattern amplitude factor (sqrt of off-boresight gain ratios).
+  double pattern_scale = 1.0;
+  /// Extra amplitude coupling (an unserved surface's lobe is not steered
+  /// at this device; a surface->surface hop is not a perfect aperture).
+  double coupling_scale = 1.0;
+  /// Excess phase beyond the carrier phase over length_m [rad].
+  double excess_phase_rad = 0.0;
+};
+
+/// A non-serving deployment surface seen through its leakage path.
+struct LeakageSurfaceSpec {
+  /// Lateral offset from the serving surface's mount [m].
+  double lateral_offset_m = 0.4;
+  /// Amplitude coupling of the leakage path.
+  double coupling = 0.15;
+};
+
+/// A second surface chained after the home surface: Tx -> home -> relay ->
+/// Rx, composing both rotations (the range-extension topology).
+struct RelaySurfaceSpec {
+  /// Home-surface -> relay-surface hop length [m].
+  double surface_surface_m = 1.0;
+  /// Relay-surface -> receiver leg [m].
+  double relay_rx_m = 1.0;
+  /// Amplitude coupling of the surface->surface hop.
+  double coupling = 0.9;
+};
+
+/// Declarative description of a scene's non-home surfaces. Part of the
+/// codebook-relevant configuration: the compiler hashes it, so a codebook
+/// compiled for one topology is rejected by a scene with another.
+struct SceneSpec {
+  std::vector<LeakageSurfaceSpec> leakage;
+  std::vector<RelaySurfaceSpec> relays;
+
+  [[nodiscard]] bool empty() const { return leakage.empty() && relays.empty(); }
+};
+
+/// Coherent multi-path propagation graph between one Tx/Rx pair.
+class PropagationScene {
+ public:
+  /// Scene surface id of the serving (home) surface.
+  static constexpr std::size_t kHomeSurface = 0;
+
+  /// Per-surface Jones responses for one evaluation, indexed by scene
+  /// surface id. nullptr = surface absent/unprogrammed: the home
+  /// transmissive surface degrades to free-space transmission (the frame
+  /// still spans the LoS), every other missing surface drops its paths.
+  using ResponseView = std::span<const em::JonesMatrix* const>;
+
+  /// Single-link scene: the exact LinkBudget topology (home surface only).
+  PropagationScene(Antenna tx_antenna, Antenna rx_antenna,
+                   LinkGeometry home_geometry, Environment environment);
+
+  [[nodiscard]] static PropagationScene single_link(Antenna tx_antenna,
+                                                    Antenna rx_antenna,
+                                                    LinkGeometry geometry,
+                                                    Environment environment);
+
+  /// Single-link scene plus every surface of `spec`, in spec order
+  /// (leakage surfaces first, then relays).
+  [[nodiscard]] static PropagationScene from_spec(Antenna tx_antenna,
+                                                  Antenna rx_antenna,
+                                                  LinkGeometry geometry,
+                                                  Environment environment,
+                                                  const SceneSpec& spec);
+
+  /// Adds a non-serving surface + its leakage path; returns its scene id.
+  /// Throws std::logic_error when relay surfaces already exist: leakage
+  /// ids precede relay ids, so the insertion would renumber them.
+  std::size_t add_leakage_surface(const LeakageSurfaceSpec& spec);
+  /// Adds a relay surface chained after the home surface; returns its id.
+  std::size_t add_relay_surface(const RelaySurfaceSpec& spec);
+
+  /// Mutations route through the scene so consumers holding precomputed
+  /// state can detect drift: each bumps revision() and rebuilds the path
+  /// table from the new geometry/antennas.
+  void set_geometry(const LinkGeometry& g);
+  void set_tx_antenna(Antenna a);
+  void set_rx_antenna(Antenna a);
+
+  /// Monotonic mutation counter; FrozenEvals built against an older value
+  /// are rejected.
+  [[nodiscard]] std::uint64_t revision() const { return revision_; }
+
+  [[nodiscard]] const Antenna& tx_antenna() const { return tx_; }
+  [[nodiscard]] const Antenna& rx_antenna() const { return rx_; }
+  /// Home-surface geometry (anchors the direct path and the multipath
+  /// reference, exactly as in LinkBudget).
+  [[nodiscard]] const LinkGeometry& geometry() const { return geometry_; }
+  [[nodiscard]] const Environment& environment() const { return env_; }
+  /// Number of surfaces in the scene (>= 1; home is id 0).
+  [[nodiscard]] std::size_t surface_count() const { return surface_count_; }
+  [[nodiscard]] const std::vector<PropagationPath>& paths() const {
+    return paths_;
+  }
+  /// The declarative spec the non-home surfaces were built from.
+  [[nodiscard]] const SceneSpec& spec() const { return spec_; }
+
+  /// Coherent field at the receiver (pre-antenna projection), environment
+  /// multipath included.
+  [[nodiscard]] em::JonesVector field_at_receiver(
+      common::PowerDbm tx_power, common::Frequency f,
+      ResponseView responses) const;
+
+  /// LinkBudget-compatible convenience: home surface only (its response is
+  /// taken at the home geometry's mode), every other surface absent.
+  [[nodiscard]] em::JonesVector field_at_receiver(
+      common::PowerDbm tx_power, common::Frequency f,
+      const metasurface::Metasurface* surface) const;
+
+  /// Received power: field -> polarization match -> rx gain -> plus the
+  /// environment's incoherent interference floor.
+  [[nodiscard]] common::PowerDbm received_power(common::PowerDbm tx_power,
+                                                common::Frequency f,
+                                                ResponseView responses) const;
+
+  /// Home surface driven by `response`, every other surface absent — the
+  /// drop-in for LinkBudget::received_power_with_response.
+  [[nodiscard]] common::PowerDbm received_power_with_response(
+      common::PowerDbm tx_power, common::Frequency f,
+      const em::JonesMatrix& response) const;
+
+  /// Every surface absent (the no-surface baseline).
+  [[nodiscard]] common::PowerDbm received_power_without_surface(
+      common::PowerDbm tx_power, common::Frequency f) const;
+
+  /// Power delivered by path `path_index` alone (no multipath, no
+  /// interference floor) — the interference bookkeeping quantity a
+  /// deployment aggregates per leakage path. Zero when the path's
+  /// surfaces are absent from `responses`.
+  [[nodiscard]] common::PowerMw path_power(std::size_t path_index,
+                                           common::PowerDbm tx_power,
+                                           common::Frequency f,
+                                           ResponseView responses) const;
+
+  /// Precomputed state for sweeping one surface's response: every path not
+  /// traversing the swept surface is summed once into fixed_field; each
+  /// swept path keeps its complex scale, pre-applied launch state and
+  /// (for relays) the frozen post-cascade.
+  struct FrozenEval {
+    std::uint64_t revision = 0;
+    em::JonesVector tx_state;
+    em::JonesVector fixed_field;
+    struct SweptTerm {
+      em::Complex scale{0.0, 0.0};
+      /// Launch state with the cascade before the swept surface applied.
+      em::JonesVector state;
+      /// Cascade after the swept surface (frozen responses), when any.
+      em::JonesMatrix post;
+      bool has_post = false;
+    };
+    std::vector<SweptTerm> terms;
+    /// Swept surface is the transmissive home surface: environmental rays
+    /// rescale per candidate response.
+    bool swept_scales_rays = false;
+    double ray_ref_base = 0.0;    ///< friis * endpoint suppression
+    double frozen_ray_scale = 1.0;
+    bool has_multipath = false;
+  };
+
+  /// Freezes every contribution except surface `swept`'s. `frozen`
+  /// supplies the non-swept surfaces' responses (the swept slot is
+  /// ignored; pass an all-null view for quiet neighbors). Throws
+  /// std::out_of_range on a bad surface id.
+  [[nodiscard]] FrozenEval freeze_except(std::size_t swept,
+                                         common::PowerDbm tx_power,
+                                         common::Frequency f,
+                                         ResponseView frozen) const;
+
+  /// Received power with the swept surface at `response` and everything
+  /// else as frozen. Equals received_power() with the same inputs at
+  /// 1e-12, at single-link per-cell cost. Throws std::logic_error when
+  /// the scene mutated after the freeze (stale plan).
+  [[nodiscard]] common::PowerDbm received_power_swept(
+      const FrozenEval& frozen, const em::JonesMatrix& response) const;
+
+ private:
+  PropagationScene(Antenna tx_antenna, Antenna rx_antenna,
+                   LinkGeometry home_geometry, Environment environment,
+                   SceneSpec spec);
+
+  /// Response for a path surface, honoring the absence rules. Returns
+  /// false when the path must be dropped.
+  [[nodiscard]] bool resolve_path_field(const PropagationPath& path,
+                                        common::Frequency f,
+                                        ResponseView responses,
+                                        const em::JonesVector& tx_state,
+                                        em::JonesVector& out) const;
+
+  [[nodiscard]] em::JonesVector launch_state(common::PowerDbm tx_power) const;
+  [[nodiscard]] common::PowerDbm power_from_field(
+      const em::JonesVector& field) const;
+  /// friis(los) * endpoint suppression — the multipath reference before
+  /// any surface transmission scale.
+  [[nodiscard]] double multipath_reference(common::Frequency f) const;
+
+  void rebuild_paths();
+
+  Antenna tx_;
+  Antenna rx_;
+  LinkGeometry geometry_;
+  Environment env_;
+  SceneSpec spec_;
+  std::size_t surface_count_ = 1;
+  std::vector<PropagationPath> paths_;
+  std::uint64_t revision_ = 0;
+};
+
+}  // namespace llama::channel

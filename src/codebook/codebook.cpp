@@ -96,8 +96,12 @@ BiasPoint get_point(common::ByteReader& r) {
 
 double AxisSpec::at(std::size_t i) const {
   if (count <= 1) return min;
-  return min + (max - min) * static_cast<double>(i) /
-                   static_cast<double>(count - 1);
+  // Index-based lattice, the same form as common::stepped_range (point =
+  // min + i * step with one shared step). The historical (max - min) * i /
+  // (count - 1) ordering rounded differently per index and could drift a
+  // lattice point an ulp away from the sweep grid it was compiled against.
+  const double step = (max - min) / static_cast<double>(count - 1);
+  return min + static_cast<double>(i) * step;
 }
 
 Codebook::Codebook(Header header, std::vector<CellEntry> cells)

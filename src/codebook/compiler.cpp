@@ -49,9 +49,11 @@ std::uint64_t link_config_hash(common::PowerDbm tx_power,
                                const channel::Antenna& rx_antenna,
                                const channel::Environment& environment,
                                const radio::ReceiverConfig& receiver,
-                               const metasurface::RotatorStack& stack) {
+                               const metasurface::RotatorStack& stack,
+                               const channel::SceneSpec& scene) {
   common::Hasher64 h;
-  h.mix_string("llama-codebook-config-v1");
+  // v2: the scene topology joined the configuration.
+  h.mix_string("llama-codebook-config-v2");
   h.mix_f64(tx_power.value());
   h.mix_f64(geometry.tx_rx_distance_m);
   h.mix_f64(geometry.tx_surface_distance_m);
@@ -73,6 +75,18 @@ std::uint64_t link_config_hash(common::PowerDbm tx_power,
   h.mix_f64(receiver.noise_figure.value());
   h.mix_f64(receiver.noise_bandwidth.in_hz());
   mix_stack(h, stack);
+  // Scene topology: every non-home surface reshapes the power landscape.
+  h.mix_u64(scene.leakage.size());
+  for (const channel::LeakageSurfaceSpec& leak : scene.leakage) {
+    h.mix_f64(leak.lateral_offset_m);
+    h.mix_f64(leak.coupling);
+  }
+  h.mix_u64(scene.relays.size());
+  for (const channel::RelaySurfaceSpec& relay : scene.relays) {
+    h.mix_f64(relay.surface_surface_m);
+    h.mix_f64(relay.relay_rx_m);
+    h.mix_f64(relay.coupling);
+  }
   return h.digest();
 }
 
@@ -80,14 +94,18 @@ std::uint64_t system_config_hash(const core::SystemConfig& cfg,
                                  const metasurface::RotatorStack& stack) {
   return link_config_hash(cfg.tx_power, cfg.geometry, cfg.tx_antenna,
                           cfg.rx_antenna, cfg.environment, cfg.receiver,
-                          stack);
+                          stack, cfg.scene);
 }
 
 std::uint64_t deployment_config_hash(const deploy::DeploymentConfig& cfg,
                                      const metasurface::RotatorStack& stack) {
+  // Same canonical scene topology core::device_system_config bakes into a
+  // mirrored per-device SystemConfig, so one codebook serves both paths.
   return link_config_hash(cfg.tx_power, cfg.geometry, cfg.tx_antenna,
                           cfg.rx_antenna, cfg.environment, cfg.receiver,
-                          stack);
+                          stack,
+                          deploy::device_scene_spec(cfg.n_surfaces,
+                                                    cfg.interference));
 }
 
 CodebookCompiler::CodebookCompiler(core::SystemConfig config,
@@ -95,13 +113,41 @@ CodebookCompiler::CodebookCompiler(core::SystemConfig config,
     : config_(std::move(config)), surface_(std::move(surface)) {}
 
 Codebook CodebookCompiler::compile(const CompilerOptions& options) const {
-  if (options.n_frequencies == 0 || options.n_orientations == 0)
+  // Realize the lattice axes. A step-based axis is generated with
+  // common::stepped_range — the same index-based grid the online sweeps
+  // use (every point is min + i * step, never accumulated) — and its
+  // count/upper edge are derived from the realized grid; a count-based
+  // axis keeps the historical inclusive-linspace form.
+  std::size_t n_f = options.n_frequencies;
+  double f_min_hz = options.f_min.in_hz();
+  double f_max_hz = options.f_max.in_hz();
+  if (options.f_step_hz) {
+    const std::vector<double> pts =
+        common::stepped_range(f_min_hz, f_max_hz, *options.f_step_hz);
+    if (pts.empty())
+      throw std::invalid_argument{
+          "codebook compile: degenerate stepped frequency axis"};
+    n_f = pts.size();
+    f_max_hz = pts.back();
+  }
+  std::size_t n_o = options.n_orientations;
+  double o_min_rad = options.orientation_min.rad();
+  double o_max_rad = options.orientation_max.rad();
+  if (options.orientation_step) {
+    const std::vector<double> pts = common::stepped_range(
+        o_min_rad, o_max_rad, options.orientation_step->rad());
+    if (pts.empty())
+      throw std::invalid_argument{
+          "codebook compile: degenerate stepped orientation axis"};
+    n_o = pts.size();
+    o_max_rad = pts.back();
+  }
+  if (n_f == 0 || n_o == 0)
     throw std::invalid_argument{"codebook compile: empty lattice axis"};
-  if (options.n_frequencies > 1 && !(options.f_max > options.f_min))
+  if (n_f > 1 && !(f_max_hz > f_min_hz))
     throw std::invalid_argument{
         "codebook compile: frequency axis needs f_max > f_min"};
-  if (options.n_orientations > 1 &&
-      !(options.orientation_max > options.orientation_min))
+  if (n_o > 1 && !(o_max_rad > o_min_rad))
     throw std::invalid_argument{
         "codebook compile: orientation axis needs max > min"};
 
@@ -115,16 +161,12 @@ Codebook CodebookCompiler::compile(const CompilerOptions& options) const {
   Codebook::Header header;
   header.config_hash = system_config_hash(config_, surface_.stack());
   header.mode = config_.geometry.mode;
-  header.frequency_hz.min = options.f_min.in_hz();
-  header.frequency_hz.max =
-      options.n_frequencies == 1 ? options.f_min.in_hz()
-                                 : options.f_max.in_hz();
-  header.frequency_hz.count = options.n_frequencies;
-  header.orientation_rad.min = options.orientation_min.rad();
-  header.orientation_rad.max = options.n_orientations == 1
-                                   ? options.orientation_min.rad()
-                                   : options.orientation_max.rad();
-  header.orientation_rad.count = options.n_orientations;
+  header.frequency_hz.min = f_min_hz;
+  header.frequency_hz.max = n_f == 1 ? f_min_hz : f_max_hz;
+  header.frequency_hz.count = n_f;
+  header.orientation_rad.min = o_min_rad;
+  header.orientation_rad.max = n_o == 1 ? o_min_rad : o_max_rad;
+  header.orientation_rad.count = n_o;
   header.v_min_v = options.v_min.value();
   header.v_max_v = options.v_max.value();
   header.v_step_v = options.v_step.value();
@@ -134,14 +176,13 @@ Codebook CodebookCompiler::compile(const CompilerOptions& options) const {
       std::min<std::uint64_t>(options.top_k, grid_cells - 1), kMaxTopK);
 
   const radio::Receiver receiver{config_.receiver, common::Rng{0}};
-  const std::size_t n_o = options.n_orientations;
-  std::vector<CellEntry> cells(options.n_frequencies * n_o);
+  std::vector<CellEntry> cells(n_f * n_o);
 
-  for (std::size_t fi = 0; fi < options.n_frequencies; ++fi) {
+  for (std::size_t fi = 0; fi < n_f; ++fi) {
     const common::Frequency f{header.frequency_hz.at(fi)};
     // One batched Jones grid per frequency: the surface response does not
     // depend on the device orientation, so every orientation cell below
-    // re-projects this grid through its own link budget.
+    // re-projects this grid through its own propagation scene.
     const metasurface::JonesGrid responses =
         surface_.response_grid(f, header.mode, vxs, vys, options.threads);
 
@@ -151,9 +192,17 @@ Codebook CodebookCompiler::compile(const CompilerOptions& options) const {
     common::parallel_for(n_o, options.threads, [&](std::size_t oi) {
       const common::Angle orientation =
           common::Angle::radians(header.orientation_rad.at(oi));
-      const channel::LinkBudget link{
-          config_.tx_antenna, config_.rx_antenna.oriented(orientation),
-          config_.geometry, config_.environment};
+      // The compiled plane is the quiet-neighbor sweep plane: non-home
+      // surfaces are frozen absent (exactly what the online sweeps probe),
+      // but the scene topology still binds the codebook via config_hash.
+      const channel::PropagationScene scene =
+          channel::PropagationScene::from_spec(
+              config_.tx_antenna, config_.rx_antenna.oriented(orientation),
+              config_.geometry, config_.environment, config_.scene);
+      const channel::PropagationScene::FrozenEval frozen =
+          scene.freeze_except(channel::PropagationScene::kHomeSurface,
+                              config_.tx_power, f,
+                              channel::PropagationScene::ResponseView{});
 
       // Power plane in FullGridSweep's scan order (vy outer, vx inner).
       std::vector<double> powers(grid_cells);
@@ -161,8 +210,8 @@ Codebook CodebookCompiler::compile(const CompilerOptions& options) const {
         for (std::size_t ix = 0; ix < vxs.size(); ++ix)
           powers[iy * vxs.size() + ix] =
               receiver
-                  .expected_measure(link.received_power_with_response(
-                      config_.tx_power, f, responses[iy][ix]))
+                  .expected_measure(scene.received_power_swept(
+                      frozen, responses[iy][ix]))
                   .value();
 
       // Top-(K+1) cells by power, scan order breaking ties — the same

@@ -18,7 +18,9 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 
+#include "src/channel/propagation_scene.h"
 #include "src/codebook/codebook.h"
 #include "src/core/llama_system.h"
 #include "src/deploy/deployment_engine.h"
@@ -36,6 +38,14 @@ struct CompilerOptions {
   common::Angle orientation_min = common::Angle::degrees(0.0);
   common::Angle orientation_max = common::Angle::degrees(180.0);
   std::size_t n_orientations = 37;  ///< 5 deg lattice pitch by default
+  /// Exact-step axes: when set, the axis lattice is generated with
+  /// common::stepped_range(min, max, step) — the same index-based grid the
+  /// online sweeps use, immune to float-accumulation aliasing — and the
+  /// count/upper edge above are derived from the realized grid instead of
+  /// being trusted. A 0.1 deg step over [0, 180] yields exactly 1801
+  /// cells, never an aliased 1800/1802.
+  std::optional<double> f_step_hz;
+  std::optional<common::Angle> orientation_step;
   /// Bias plane scanned per lattice cell (the paper's 0-30 V supply range
   /// at the full-scan pitch of Figs. 15/21).
   common::Voltage v_min{0.0};
@@ -54,14 +64,18 @@ struct CompilerOptions {
 /// polarization orientation is deliberately excluded — it is the codebook's
 /// query axis, not part of the configuration — while everything else that
 /// shapes the power landscape (geometry, antennas, environment, receiver
-/// chain, transmit power, and the metasurface stack design whose responses
-/// were compiled) is mixed in.
+/// chain, transmit power, the metasurface stack design whose responses
+/// were compiled, and the propagation-scene topology the link is embedded
+/// in) is mixed in. A codebook compiled for one scene topology — a
+/// different leakage ring, an added relay hop — must never validate
+/// against another.
 [[nodiscard]] std::uint64_t link_config_hash(
     common::PowerDbm tx_power, const channel::LinkGeometry& geometry,
     const channel::Antenna& tx_antenna, const channel::Antenna& rx_antenna,
     const channel::Environment& environment,
     const radio::ReceiverConfig& receiver,
-    const metasurface::RotatorStack& stack);
+    const metasurface::RotatorStack& stack,
+    const channel::SceneSpec& scene = {});
 
 /// link_config_hash over a LlamaSystem configuration. `stack` must be the
 /// surface the codebook is compiled for / used with; it defaults to the

@@ -13,12 +13,38 @@ namespace llama::core {
 LlamaSystem::LlamaSystem(SystemConfig config, metasurface::Metasurface surface)
     : config_(std::move(config)),
       surface_(std::move(surface)),
-      link_(config_.tx_antenna, config_.rx_antenna, config_.geometry,
-            config_.environment),
+      scene_(channel::PropagationScene::from_spec(
+          config_.tx_antenna, config_.rx_antenna, config_.geometry,
+          config_.environment, config_.scene)),
       supply_(),
       controller_(surface_, supply_, config_.controller),
       receiver_(config_.receiver, common::Rng{config_.seed}),
       interference_rng_(config_.seed ^ 0xB0B0ULL) {}
+
+void LlamaSystem::set_external_responses(
+    std::vector<std::optional<em::JonesMatrix>> responses) {
+  if (responses.size() + 1 > scene_.surface_count())
+    throw std::invalid_argument{
+        "LlamaSystem: more external responses than non-home scene surfaces"};
+  external_responses_ = std::move(responses);
+}
+
+std::vector<const em::JonesMatrix*> LlamaSystem::scene_responses(
+    const em::JonesMatrix* home) const {
+  std::vector<const em::JonesMatrix*> ptrs(scene_.surface_count(), nullptr);
+  ptrs[0] = home;
+  for (std::size_t i = 0;
+       i < external_responses_.size() && i + 1 < ptrs.size(); ++i)
+    if (external_responses_[i]) ptrs[i + 1] = &*external_responses_[i];
+  return ptrs;
+}
+
+common::PowerDbm LlamaSystem::channel_power_with_surface() const {
+  const em::JonesMatrix home =
+      surface_.response(config_.frequency, scene_.geometry().mode);
+  return scene_.received_power(config_.tx_power, config_.frequency,
+                               scene_responses(&home));
+}
 
 common::PowerDbm LlamaSystem::with_interference_burst(
     common::PowerDbm channel_power) {
@@ -38,21 +64,20 @@ common::PowerDbm LlamaSystem::with_interference_burst(
 }
 
 common::PowerDbm LlamaSystem::measure_with_surface(double window_s) {
-  const common::PowerDbm channel_power = link_.received_power_with_surface(
-      config_.tx_power, config_.frequency, surface_);
-  return receiver_.measure(with_interference_burst(channel_power), window_s);
+  return receiver_.measure(with_interference_burst(
+                               channel_power_with_surface()),
+                           window_s);
 }
 
 common::PowerDbm LlamaSystem::measure_without_surface(double window_s) {
   const common::PowerDbm channel_power =
-      link_.received_power_without_surface(config_.tx_power,
-                                           config_.frequency);
+      scene_.received_power_without_surface(config_.tx_power,
+                                            config_.frequency);
   return receiver_.measure(with_interference_burst(channel_power), window_s);
 }
 
 common::PowerDbm LlamaSystem::expected_measure_with_surface() {
-  return receiver_.expected_measure(link_.received_power_with_surface(
-      config_.tx_power, config_.frequency, surface_));
+  return receiver_.expected_measure(channel_power_with_surface());
 }
 
 control::PowerProbe LlamaSystem::make_probe(double window_s) {
@@ -65,17 +90,22 @@ control::PowerProbe LlamaSystem::make_probe(double window_s) {
 control::GridPowerProbe LlamaSystem::make_grid_probe(int threads) {
   return [this, threads](const std::vector<double>& vxs,
                          const std::vector<double>& vys) {
-    const metasurface::SurfaceMode mode = link_.geometry().mode;
+    const metasurface::SurfaceMode mode = scene_.geometry().mode;
     const metasurface::JonesGrid responses =
         surface_.response_grid(config_.frequency, mode, vxs, vys, threads);
+    // Frozen contributions (direct path, external surfaces) are summed
+    // once; only the swept home surface's path is evaluated per cell. The
+    // freeze is rebuilt on every probe call, so a set_geometry between
+    // probes can never be served from stale state.
+    const channel::PropagationScene::FrozenEval frozen = scene_.freeze_except(
+        channel::PropagationScene::kHomeSurface, config_.tx_power,
+        config_.frequency, scene_responses(nullptr));
     control::PowerGrid grid(vys.size(),
                             std::vector<common::PowerDbm>(vxs.size()));
     for (std::size_t iy = 0; iy < vys.size(); ++iy)
       for (std::size_t ix = 0; ix < vxs.size(); ++ix)
         grid[iy][ix] = receiver_.expected_measure(
-            link_.received_power_with_response(config_.tx_power,
-                                               config_.frequency,
-                                               responses[iy][ix]));
+            scene_.received_power_swept(frozen, responses[iy][ix]));
     if (!vxs.empty() && !vys.empty())
       surface_.set_bias(common::Voltage{vxs.back()},
                         common::Voltage{vys.back()});
@@ -85,13 +115,16 @@ control::GridPowerProbe LlamaSystem::make_grid_probe(int threads) {
 
 control::BatchPowerProbe LlamaSystem::make_batch_probe(int threads) {
   return [this, threads](const control::BiasPairList& points) {
-    const metasurface::SurfaceMode mode = link_.geometry().mode;
+    const metasurface::SurfaceMode mode = scene_.geometry().mode;
     const std::vector<em::JonesMatrix> responses =
         surface_.response_batch(config_.frequency, mode, points, threads);
+    const channel::PropagationScene::FrozenEval frozen = scene_.freeze_except(
+        channel::PropagationScene::kHomeSurface, config_.tx_power,
+        config_.frequency, scene_responses(nullptr));
     std::vector<common::PowerDbm> powers(points.size());
     for (std::size_t i = 0; i < points.size(); ++i)
-      powers[i] = receiver_.expected_measure(link_.received_power_with_response(
-          config_.tx_power, config_.frequency, responses[i]));
+      powers[i] = receiver_.expected_measure(
+          scene_.received_power_swept(frozen, responses[i]));
     if (!points.empty())
       surface_.set_bias(points.back().first, points.back().second);
     return powers;
@@ -121,17 +154,19 @@ std::uint64_t LlamaSystem::codebook_config_hash() const {
   // stale codebook must not survive. The rx antenna's orientation is the
   // codebook's query axis and is excluded inside link_config_hash; this
   // system's actual stack design is included, so a codebook compiled for a
-  // different fabrication never validates here.
-  return codebook::link_config_hash(config_.tx_power, link_.geometry(),
-                                    link_.tx_antenna(), link_.rx_antenna(),
-                                    link_.environment(), config_.receiver,
-                                    surface_.stack());
+  // different fabrication never validates here. The scene topology is
+  // included too: extra surfaces reshape the power landscape, so a
+  // codebook compiled for another topology must not be served.
+  return codebook::link_config_hash(config_.tx_power, scene_.geometry(),
+                                    scene_.tx_antenna(), scene_.rx_antenna(),
+                                    scene_.environment(), config_.receiver,
+                                    surface_.stack(), scene_.spec());
 }
 
 void LlamaSystem::validate_codebook(const codebook::Codebook& book,
                                     const std::string& who) const {
   const codebook::Codebook::Header& header = book.header();
-  if (header.mode != link_.geometry().mode)
+  if (header.mode != scene_.geometry().mode)
     throw std::invalid_argument{
         who + ": codebook surface mode does not match the link geometry"};
   if (header.config_hash != codebook_config_hash())
@@ -154,7 +189,7 @@ control::OptimizationReport LlamaSystem::optimize_link_codebook(
   report.baseline = expected_measure_with_surface();
 
   const common::Angle orientation =
-      link_.rx_antenna().polarization().orientation();
+      scene_.rx_antenna().polarization().orientation();
   const codebook::BiasPoint hit = book.lookup(config_.frequency, orientation);
 
   const double t0 = supply_.elapsed_s();
@@ -223,7 +258,7 @@ control::RotationEstimate LlamaSystem::estimate_rotation(
     surface_.set_bias(vx, vy);
   };
   const control::OrientationProbe probe = [this](common::Angle orientation) {
-    link_.set_rx_antenna(link_.rx_antenna().oriented(orientation));
+    scene_.set_rx_antenna(scene_.rx_antenna().oriented(orientation));
     return measure_with_surface(/*window_s=*/0.02);
   };
   return estimator.estimate(set_bias, probe);

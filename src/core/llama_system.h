@@ -13,7 +13,7 @@
 #include <optional>
 
 #include "src/channel/capacity.h"
-#include "src/channel/link_budget.h"
+#include "src/channel/propagation_scene.h"
 #include "src/common/rng.h"
 #include "src/common/units.h"
 #include "src/control/controller.h"
@@ -60,6 +60,10 @@ struct SystemConfig {
   channel::LinkGeometry geometry{};
   /// Propagation environment.
   channel::Environment environment = channel::Environment::absorber_chamber();
+  /// Non-home surfaces of the propagation scene (cross-surface leakage,
+  /// relay hops). Empty = the classic single-link system. Part of the
+  /// codebook-relevant configuration: codebook_config_hash covers it.
+  channel::SceneSpec scene{};
   /// Receiver sampling configuration.
   radio::ReceiverConfig receiver{};
   /// Controller sweep options (paper: N = 2, T = 5).
@@ -143,12 +147,30 @@ class LlamaSystem {
   [[nodiscard]] const metasurface::Metasurface& surface() const {
     return surface_;
   }
-  [[nodiscard]] channel::LinkBudget& link() { return link_; }
+  /// The propagation scene carrying this system's link. For a default
+  /// (empty SceneSpec) configuration this is the exact single-surface
+  /// LinkBudget topology; mutations through it bump the scene revision, so
+  /// consumers holding precomputed per-frequency state can detect drift.
+  [[nodiscard]] channel::PropagationScene& link() { return scene_; }
+  [[nodiscard]] channel::PropagationScene& scene() { return scene_; }
+  [[nodiscard]] const channel::PropagationScene& scene() const {
+    return scene_;
+  }
   [[nodiscard]] control::PowerSupply& supply() { return supply_; }
   [[nodiscard]] const SystemConfig& config() const { return config_; }
 
+  /// Frozen responses of the scene's non-home surfaces (entry i drives
+  /// scene surface i + 1): how this device currently hears the
+  /// deployment's other programmed surfaces. nullopt = surface absent.
+  /// Throws std::invalid_argument when more entries than non-home
+  /// surfaces are supplied. Measurements and batched probes compose these
+  /// coherently; the no-surface baseline ignores them.
+  void set_external_responses(
+      std::vector<std::optional<em::JonesMatrix>> responses);
+  void clear_external_responses() { external_responses_.clear(); }
+
   /// Reconfigures geometry / frequency / power without rebuilding state.
-  void set_geometry(const channel::LinkGeometry& g) { link_.set_geometry(g); }
+  void set_geometry(const channel::LinkGeometry& g) { scene_.set_geometry(g); }
   void set_frequency(common::Frequency f) { config_.frequency = f; }
   void set_tx_power(common::PowerDbm p) { config_.tx_power = p; }
 
@@ -180,9 +202,19 @@ class LlamaSystem {
   [[nodiscard]] common::PowerDbm with_interference_burst(
       common::PowerDbm channel_power);
 
+  /// Per-surface response pointers for one scene evaluation: the home
+  /// surface at `home`, non-home surfaces from external_responses_.
+  [[nodiscard]] std::vector<const em::JonesMatrix*> scene_responses(
+      const em::JonesMatrix* home) const;
+
+  /// Channel power with the surface at its current bias (scene coherent
+  /// sum, externals included).
+  [[nodiscard]] common::PowerDbm channel_power_with_surface() const;
+
   SystemConfig config_;
   metasurface::Metasurface surface_;
-  channel::LinkBudget link_;
+  channel::PropagationScene scene_;
+  std::vector<std::optional<em::JonesMatrix>> external_responses_;
   control::PowerSupply supply_;
   control::Controller controller_;
   radio::Receiver receiver_;

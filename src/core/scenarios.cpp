@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "src/common/constants.h"
+#include "src/common/math_utils.h"
 
 namespace llama::core {
 
@@ -173,7 +174,83 @@ SystemConfig device_system_config(const deploy::DeploymentConfig& config,
   cfg.environment = config.environment;
   cfg.receiver = config.receiver;
   cfg.controller.sweep = config.sweep;
+  // The deployment's scene topology rides along (empty when the
+  // interference model is off), keeping system_config_hash equal to
+  // deployment_config_hash in both modes.
+  cfg.scene =
+      deploy::device_scene_spec(config.n_surfaces, config.interference);
   return cfg;
+}
+
+RelayExtensionScenario relay_extension_scenario(double tx_rx_distance_m,
+                                                common::PowerDbm tx_power) {
+  RelayExtensionScenario s;
+  s.single = transmissive_mismatch_config(tx_rx_distance_m, tx_power);
+  s.relay = transmissive_mismatch_config(tx_rx_distance_m, tx_power);
+  // Home surface at one third of the path, relay at two thirds: three
+  // equal-length segments, so the relay path arrives phase-aligned with
+  // the home path and the two rotations add coherently.
+  s.relay.geometry.tx_surface_distance_m = tx_rx_distance_m / 3.0;
+  channel::RelaySurfaceSpec relay;
+  relay.surface_surface_m = tx_rx_distance_m / 3.0;
+  relay.relay_rx_m = tx_rx_distance_m / 3.0;
+  relay.coupling = 0.9;  // near-boresight aperture-to-aperture hop
+  s.relay.scene.relays.push_back(relay);
+  return s;
+}
+
+SceneSweepResult sweep_scene_biases(const SystemConfig& config,
+                                    common::Voltage v_step) {
+  const channel::PropagationScene scene =
+      channel::PropagationScene::from_spec(config.tx_antenna,
+                                           config.rx_antenna, config.geometry,
+                                           config.environment, config.scene);
+  if (scene.surface_count() > 2)
+    throw std::invalid_argument{
+        "sweep_scene_biases: exhaustive sweep supports at most two "
+        "surfaces"};
+  const metasurface::Metasurface surface =
+      metasurface::Metasurface::llama_prototype();
+  const std::vector<double> axis =
+      common::stepped_range(0.0, 30.0, v_step.value());
+  const metasurface::JonesGrid grid = surface.response_grid(
+      config.frequency, config.geometry.mode, axis, axis);
+  // Flat candidate list: every surface is the same fabricated stack, so
+  // one response grid serves both rails.
+  std::vector<const em::JonesMatrix*> candidates;
+  for (const std::vector<em::JonesMatrix>& row : grid)
+    for (const em::JonesMatrix& response : row)
+      candidates.push_back(&response);
+
+  SceneSweepResult out;
+  out.baseline =
+      scene.received_power_without_surface(config.tx_power, config.frequency);
+  std::vector<const em::JonesMatrix*> responses(scene.surface_count(),
+                                                nullptr);
+  bool first = true;
+  const auto consider = [&] {
+    const common::PowerDbm power =
+        scene.received_power(config.tx_power, config.frequency, responses);
+    if (first || power > out.best_power) out.best_power = power;
+    first = false;
+  };
+  if (scene.surface_count() == 1) {
+    for (const em::JonesMatrix* home : candidates) {
+      responses[0] = home;
+      consider();
+    }
+  } else {
+    for (const em::JonesMatrix* home : candidates) {
+      responses[0] = home;
+      for (const em::JonesMatrix* second : candidates) {
+        responses[1] = second;
+        consider();
+      }
+    }
+  }
+  out.gain = out.best_power - out.baseline;
+  out.range_extension = channel::friis_range_extension(out.gain);
+  return out;
 }
 
 MobileFleetScenario mobile_fleet_scenario(std::size_t n_devices,

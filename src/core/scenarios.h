@@ -65,14 +65,48 @@ struct DenseDeploymentScenario {
 
 /// Mirror of one deployment device as a standalone LlamaSystem
 /// configuration — the per-link mapping DeploymentEngine applies (shared AP
-/// antenna, device antenna re-oriented, deployment sweep options), exposed
-/// so the fleet tracker, the scaling bench, and codebook compilation build
-/// byte-identical per-device systems from one source of truth. The hash of
-/// the result (codebook::system_config_hash) equals
+/// antenna, device antenna re-oriented, deployment sweep options, and the
+/// deployment's scene topology when its interference model is enabled),
+/// exposed so the fleet tracker, the scaling bench, and codebook
+/// compilation build byte-identical per-device systems from one source of
+/// truth. The hash of the result (codebook::system_config_hash) equals
 /// codebook::deployment_config_hash for any rx_orientation, since the rx
 /// orientation is the codebook's query axis.
 [[nodiscard]] SystemConfig device_system_config(
     const deploy::DeploymentConfig& config, common::Angle rx_orientation);
+
+/// Two-surface relay chain: the same Tx -> Rx pair served either by ONE
+/// surface (midway, the classic Fig. 14 geometry) or by a surface at one
+/// third of the path plus a relay surface at two thirds, both driven from
+/// the shared bias rails. The relay path composes both rotations
+/// coherently on top of the home path, so the pair shares the rotation
+/// burden (e.g. two ~60 deg rotations beat one 90 deg) and the achievable
+/// gain — and with it the Friis range extension — exceeds what a single
+/// surface's friis_range_extension can reach at this geometry.
+struct RelayExtensionScenario {
+  SystemConfig single;  ///< one surface midway
+  SystemConfig relay;   ///< surface at d/3 + relay surface at 2d/3
+};
+[[nodiscard]] RelayExtensionScenario relay_extension_scenario(
+    double tx_rx_distance_m = 3.0,
+    common::PowerDbm tx_power = common::PowerDbm{0.0});
+
+/// Exhaustive bias sweep over a configuration's whole scene: each surface
+/// is driven from its own bias rails (a deployment controller per surface)
+/// and every combination over the 0-30 V plane is scanned — for a relay
+/// chain that is what lets the second surface land a response whose
+/// transmission phase adds constructively on top of the home path.
+/// Currently supports scenes of one or two surfaces (the relay scenarios).
+/// Reports the best received power, the no-surface baseline, the gain
+/// between them and the Friis range-extension factor that gain implies.
+struct SceneSweepResult {
+  common::PowerDbm best_power{-120.0};
+  common::PowerDbm baseline{-120.0};
+  common::GainDb gain{0.0};
+  double range_extension = 1.0;
+};
+[[nodiscard]] SceneSweepResult sweep_scene_biases(
+    const SystemConfig& config, common::Voltage v_step = common::Voltage{3.0});
 
 /// Mobile-fleet scenario: the dense-deployment link parameters (Section 7
 /// outlook) with every endpoint swinging — N wearables at golden-angle mean

@@ -35,6 +35,17 @@ std::size_t assigned_surface(int spec_surface, std::size_t index,
                            : index % n_surfaces;
 }
 
+channel::SceneSpec device_scene_spec(std::size_t n_surfaces,
+                                     const InterferenceModel& interference) {
+  channel::SceneSpec spec;
+  if (!interference.enable_leakage || n_surfaces <= 1) return spec;
+  channel::LeakageSurfaceSpec leak;
+  leak.lateral_offset_m = interference.surface_spacing_m;
+  leak.coupling = interference.leakage_coupling;
+  spec.leakage.assign(n_surfaces - 1, leak);
+  return spec;
+}
+
 SharedResponseEngine::SharedResponseEngine(
     metasurface::RotatorStack stack, metasurface::ResponseCacheConfig cache)
     : stack_(std::move(stack)), cache_(cache) {}
@@ -195,11 +206,23 @@ DeploymentReport DeploymentEngine::run(
   // Shard the per-device Algorithm-1 runs. Each worker touches only its own
   // DeviceResult slot; the shared engine is the only cross-thread state and
   // serves pure values, so the shard is deterministic for any thread count.
+  // Optimization sweeps assume quiet neighbors (the other surfaces' biases
+  // are not decided yet, and serving them mid-sweep would make the result
+  // depend on device order): each device's scene is frozen with every
+  // non-home surface absent and only the swept home path is evaluated per
+  // bias cell. Leakage enters afterwards, as per-link interference over the
+  // final schedules (finalize_report).
+  const channel::SceneSpec scene_spec =
+      device_scene_spec(config_.n_surfaces, config_.interference);
   common::parallel_for(devices.size(), config_.threads, [&](std::size_t i) {
     const DeviceSpec& spec = devices[i];
-    channel::LinkBudget link{config_.tx_antenna,
-                             config_.rx_antenna.oriented(spec.orientation),
-                             config_.geometry, config_.environment};
+    const channel::PropagationScene scene =
+        channel::PropagationScene::from_spec(
+            config_.tx_antenna, config_.rx_antenna.oriented(spec.orientation),
+            config_.geometry, config_.environment, scene_spec);
+    const channel::PropagationScene::FrozenEval frozen = scene.freeze_except(
+        channel::PropagationScene::kHomeSurface, config_.tx_power, f,
+        channel::PropagationScene::ResponseView{});
     const control::GridPowerProbe probe =
         [&](const std::vector<double>& vxs, const std::vector<double>& vys) {
           const metasurface::JonesGrid responses =
@@ -209,8 +232,7 @@ DeploymentReport DeploymentEngine::run(
           for (std::size_t iy = 0; iy < vys.size(); ++iy)
             for (std::size_t ix = 0; ix < vxs.size(); ++ix)
               grid[iy][ix] = receiver_.expected_measure(
-                  link.received_power_with_response(config_.tx_power, f,
-                                                    responses[iy][ix]));
+                  scene.received_power_swept(frozen, responses[iy][ix]));
           return grid;
         };
     control::PowerSupply supply;  // per-device instrument-time accounting
@@ -221,7 +243,7 @@ DeploymentReport DeploymentEngine::run(
     out.sweep = sweep.run_batched(probe);
     out.optimized_power = out.sweep.best_power;
     out.unoptimized_power = receiver_.expected_measure(
-        link.received_power_without_surface(config_.tx_power, f));
+        scene.received_power_without_surface(config_.tx_power, f));
   });
 
   finalize_report(devices, report);
@@ -263,13 +285,16 @@ DeploymentReport DeploymentEngine::run_codebook(
   // only shared touch is one response evaluation per device (two when the
   // deviation guard fires) for the reported power (cached, so devices with
   // coinciding optima hit).
+  const channel::SceneSpec scene_spec =
+      device_scene_spec(config_.n_surfaces, config_.interference);
   common::parallel_for(devices.size(), config_.threads, [&](std::size_t i) {
     const DeviceSpec& spec = devices[i];
-    channel::LinkBudget link{config_.tx_antenna,
-                             config_.rx_antenna.oriented(spec.orientation),
-                             config_.geometry, config_.environment};
+    const channel::PropagationScene scene =
+        channel::PropagationScene::from_spec(
+            config_.tx_antenna, config_.rx_antenna.oriented(spec.orientation),
+            config_.geometry, config_.environment, scene_spec);
     const auto power_at = [&](common::Voltage vx, common::Voltage vy) {
-      return receiver_.expected_measure(link.received_power_with_response(
+      return receiver_.expected_measure(scene.received_power_with_response(
           config_.tx_power, f, engine_.response(f, mode, vx, vy)));
     };
     const codebook::BiasPoint hit = book.lookup(f, spec.orientation);
@@ -299,7 +324,7 @@ DeploymentReport DeploymentEngine::run_codebook(
     out.sweep.time_cost_s = supply.elapsed_s();
     out.optimized_power = out.sweep.best_power;
     out.unoptimized_power = receiver_.expected_measure(
-        link.received_power_without_surface(config_.tx_power, f));
+        scene.received_power_without_surface(config_.tx_power, f));
   });
 
   finalize_report(devices, report);
@@ -307,7 +332,7 @@ DeploymentReport DeploymentEngine::run_codebook(
 }
 
 void DeploymentEngine::finalize_report(const std::vector<DeviceSpec>& devices,
-                                       DeploymentReport& report) const {
+                                       DeploymentReport& report) {
   // Per-surface scheduling and network-wide aggregation (serial: cheap).
   report.noise_floor = receiver_.noise_floor_dbm();
   const control::PolarizationScheduler scheduler{config_.scheduler};
@@ -317,11 +342,12 @@ void DeploymentEngine::finalize_report(const std::vector<DeviceSpec>& devices,
   for (std::size_t i = 0; i < report.devices.size(); ++i)
     report.surfaces[report.devices[i].surface].device_ids.push_back(i);
 
-  std::size_t links = 0;
-  double ber_sum = 0.0;
-  double raw_ber_sum = 0.0;
+  // Phase 1: every surface's schedule, so the leakage pass below can see
+  // what biases the OTHER surfaces actually air.
+  std::vector<std::vector<control::DeviceEntry>> surface_entries(
+      config_.n_surfaces);
   for (SurfaceReport& sr : report.surfaces) {
-    std::vector<control::DeviceEntry> entries;
+    std::vector<control::DeviceEntry>& entries = surface_entries[sr.surface];
     entries.reserve(sr.device_ids.size());
     for (std::size_t id : sr.device_ids) {
       const DeviceResult& d = report.devices[id];
@@ -331,15 +357,80 @@ void DeploymentEngine::finalize_report(const std::vector<DeviceSpec>& devices,
     }
     sr.slots = scheduler.build_schedule(entries);
     sr.scheduled_power = scheduler.expected_power(entries, sr.slots);
+  }
+
+  // Phase 2: cross-surface leakage. Each non-serving surface airs its own
+  // schedule's biases; the interference a device hears from it is the
+  // slot-fraction-weighted power of the leakage path at each aired bias.
+  if (config_.interference.enable_leakage && config_.n_surfaces > 1) {
+    const channel::SceneSpec scene_spec =
+        device_scene_spec(config_.n_surfaces, config_.interference);
+    const common::Frequency f = config_.frequency;
+    const metasurface::SurfaceMode mode = config_.geometry.mode;
+    for (std::size_t i = 0; i < report.devices.size(); ++i) {
+      DeviceResult& d = report.devices[i];
+      const channel::PropagationScene scene =
+          channel::PropagationScene::from_spec(
+              config_.tx_antenna,
+              config_.rx_antenna.oriented(devices[i].orientation),
+              config_.geometry, config_.environment, scene_spec);
+      // Leakage paths appear in scene order; scene leakage index k maps to
+      // the k-th deployment surface != d.surface, ascending.
+      std::vector<std::size_t> leakage_paths;
+      for (std::size_t p = 0; p < scene.paths().size(); ++p)
+        if (scene.paths()[p].kind == channel::PathKind::kLeakage)
+          leakage_paths.push_back(p);
+      std::vector<const em::JonesMatrix*> responses(scene.surface_count(),
+                                                    nullptr);
+      double leak_mw = 0.0;
+      std::size_t k = 0;
+      for (std::size_t s = 0; s < config_.n_surfaces; ++s) {
+        if (s == d.surface) continue;
+        const std::size_t leak_surface = k + 1;  // scene id of this surface
+        for (const control::ScheduleSlot& slot : report.surfaces[s].slots) {
+          const em::JonesMatrix r = engine_.response(f, mode, slot.vx,
+                                                     slot.vy);
+          responses[leak_surface] = &r;
+          leak_mw +=
+              slot.slot_fraction *
+              scene.path_power(leakage_paths[k], config_.tx_power, f,
+                               responses)
+                  .value();
+          responses[leak_surface] = nullptr;
+        }
+        ++k;
+      }
+      d.leakage = common::PowerMw{leak_mw};
+      report.total_leakage += d.leakage;
+      if (d.leakage.value() > report.max_leakage.value())
+        report.max_leakage = d.leakage;
+    }
+  }
+
+  // Phase 3: SINR-based aggregation — each link's noise is rate_noise plus
+  // its own leakage (exactly rate_noise when the model is disabled).
+  std::size_t links = 0;
+  double ber_sum = 0.0;
+  double raw_ber_sum = 0.0;
+  for (SurfaceReport& sr : report.surfaces) {
+    const std::vector<control::DeviceEntry>& entries =
+        surface_entries[sr.surface];
     for (std::size_t k = 0; k < sr.scheduled_power.size(); ++k) {
       const common::PowerDbm sched = sr.scheduled_power[k];
       const common::PowerDbm raw = entries[k].unoptimized_power;
+      const common::PowerMw leak = report.devices[sr.device_ids[k]].leakage;
+      const common::PowerDbm noise =
+          leak.value() > 0.0
+              ? common::PowerMw{config_.rate_noise.to_mw().value() +
+                                leak.value()}
+                    .to_dbm()
+              : config_.rate_noise;
       report.sum_capacity_bits_per_hz +=
-          channel::capacity_bits_per_hz(sched, config_.rate_noise);
+          channel::capacity_bits_per_hz(sched, noise);
       report.unassisted_capacity_bits_per_hz +=
-          channel::capacity_bits_per_hz(raw, config_.rate_noise);
-      ber_sum += channel::ber_qpsk((sched - config_.rate_noise).value());
-      raw_ber_sum += channel::ber_qpsk((raw - config_.rate_noise).value());
+          channel::capacity_bits_per_hz(raw, noise);
+      ber_sum += channel::ber_qpsk((sched - noise).value());
+      raw_ber_sum += channel::ber_qpsk((raw - noise).value());
       ++links;
     }
   }

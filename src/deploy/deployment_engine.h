@@ -32,7 +32,7 @@
 #include <string>
 #include <vector>
 
-#include "src/channel/link_budget.h"
+#include "src/channel/propagation_scene.h"
 #include "src/common/units.h"
 #include "src/control/scheduler.h"
 #include "src/control/sweep.h"
@@ -110,6 +110,30 @@ class SharedResponseEngine {
                                            std::size_t index,
                                            std::size_t n_surfaces);
 
+/// Cross-surface interference model. When leakage is enabled every
+/// non-serving surface of the deployment appears in each device's
+/// propagation scene as a leakage path: the device's per-link SINR then
+/// includes the power the other surfaces' scattered lobes deposit at its
+/// receiver. Surfaces are modeled at a common lateral spacing from every
+/// device they do not serve (symmetric ring placement), so the scene
+/// topology — and therefore the codebook configuration hash — is identical
+/// for every device of the fleet.
+struct InterferenceModel {
+  bool enable_leakage = false;
+  /// Effective lateral offset of a non-serving surface [m].
+  double surface_spacing_m = 0.4;
+  /// Amplitude coupling of a leakage path (an unserved surface's lobe is
+  /// not steered at this device).
+  double leakage_coupling = 0.15;
+};
+
+/// Scene topology of one deployment device: (n_surfaces - 1) leakage
+/// surfaces at the interference model's spacing/coupling when leakage is
+/// enabled, empty otherwise. One source of truth shared by the engine's
+/// run paths, core::device_system_config and the codebook config hash.
+[[nodiscard]] channel::SceneSpec device_scene_spec(
+    std::size_t n_surfaces, const InterferenceModel& interference);
+
 /// One served endpoint of a deployment.
 struct DeviceSpec {
   std::string name;
@@ -141,6 +165,8 @@ struct DeploymentConfig {
   /// evaluation, which keeps links rate-sensitive; the receiver's thermal
   /// floor is reported separately in DeploymentReport::noise_floor).
   common::PowerDbm rate_noise{-62.0};
+  /// Cross-surface leakage (scene topology of every device's link).
+  InterferenceModel interference{};
   /// Per-device Algorithm 1 parameters (paper: N = 2, T = 5).
   control::CoarseToFineSweep::Options sweep{};
   control::PolarizationScheduler::Options scheduler{};
@@ -156,6 +182,9 @@ struct DeviceResult {
   control::SweepResult sweep;
   common::PowerDbm optimized_power{-120.0};    ///< expected, at best bias
   common::PowerDbm unoptimized_power{-120.0};  ///< expected, surface absent
+  /// Slot-weighted interference this device receives from every surface it
+  /// is NOT served by (0 mW when leakage is disabled or M == 1).
+  common::PowerMw leakage{0.0};
 };
 
 /// One surface's airtime schedule. Slot device_indices index into
@@ -182,6 +211,13 @@ struct DeploymentReport {
   /// Mean uncoded QPSK BER over links at the scheduled SNR.
   double mean_ber = 0.0;
   double unassisted_mean_ber = 0.0;
+  /// Per-link interference aggregate: total cross-surface leakage summed
+  /// over devices (0 when the interference model is disabled), and the
+  /// worst single link's leakage. With leakage enabled the capacity/BER
+  /// aggregates are SINR-based: each link's noise is rate_noise plus its
+  /// own leakage.
+  common::PowerMw total_leakage{0.0};
+  common::PowerMw max_leakage{0.0};
   metasurface::ResponseCacheStats cache_stats;
   std::size_t plan_count = 0;
 };
@@ -224,10 +260,12 @@ class DeploymentEngine {
  private:
   /// Shared argument validation for run()/run_codebook().
   void validate(const std::vector<DeviceSpec>& devices) const;
-  /// Shared tail: per-surface scheduling plus capacity/BER aggregation over
-  /// already-optimized per-device results.
+  /// Shared tail: per-surface scheduling, the cross-surface leakage pass
+  /// (slot-weighted interference each device receives from the other
+  /// surfaces' final schedules, when the interference model is enabled),
+  /// then SINR-based capacity/BER aggregation.
   void finalize_report(const std::vector<DeviceSpec>& devices,
-                       DeploymentReport& report) const;
+                       DeploymentReport& report);
 
   DeploymentConfig config_;
   SharedResponseEngine engine_;

@@ -1,17 +1,142 @@
 #include "src/track/fleet_tracker.h"
 
+#include <memory>
 #include <stdexcept>
+#include <utility>
 
 #include "src/common/parallel.h"
 #include "src/core/scenarios.h"
 
 namespace llama::track {
 
+namespace {
+
+/// One device's whole plant: every shard owns its own copies so the
+/// fan-out shares no mutable state.
+struct Shard {
+  std::unique_ptr<core::LlamaSystem> system;
+  std::unique_ptr<channel::OrientationProcess> process;
+  std::unique_ptr<RetunePolicy> policy;
+  std::unique_ptr<TrackingLoop> loop;
+  std::size_t surface = 0;
+};
+
+Shard make_shard(const FleetConfig& config, const FleetDeviceSpec& spec,
+                 std::size_t index) {
+  Shard shard;
+  core::SystemConfig cfg = core::device_system_config(
+      config.deployment, common::Angle::degrees(0.0));
+  shard.system = std::make_unique<core::LlamaSystem>(std::move(cfg));
+  // Tracking revisits quantized biases constantly (codebook hits, the
+  // re-sweep's coarse window); the memo keeps per-tick probes cheap.
+  shard.system->enable_fast_probes(config.deployment.cache);
+  shard.process = spec.process();
+  shard.surface = deploy::assigned_surface(spec.surface, index,
+                                           config.deployment.n_surfaces);
+  return shard;
+}
+
+}  // namespace
+
 FleetTracker::FleetTracker(FleetConfig config) : config_(std::move(config)) {
   if (config_.deployment.n_surfaces == 0)
     throw std::invalid_argument{"FleetTracker: need >= 1 surface"};
   if (config_.loop.dt_s <= 0.0)
     throw std::invalid_argument{"FleetTracker: loop tick must be positive"};
+}
+
+void FleetTracker::run_independent(const std::vector<FleetDeviceSpec>& devices,
+                                   const PolicyFactory& make_policy,
+                                   long ticks, FleetReport& report) const {
+  // Each shard owns its whole plant (system, process, policy) and writes
+  // only its own result slot, so the fan-out is embarrassingly parallel and
+  // deterministic for any thread count.
+  common::parallel_for(
+      devices.size(), config_.deployment.threads, [&](std::size_t i) {
+        Shard shard = make_shard(config_, devices[i], i);
+        const std::unique_ptr<RetunePolicy> policy = make_policy();
+        TrackingLoop loop{*shard.system, *shard.process, *policy,
+                          config_.loop};
+        DeviceTrackResult& out = report.devices[i];
+        out.name = devices[i].name;
+        out.surface = shard.surface;
+        out.report = loop.run(ticks);
+      });
+}
+
+void FleetTracker::run_lockstep(const std::vector<FleetDeviceSpec>& devices,
+                                const PolicyFactory& make_policy, long ticks,
+                                FleetReport& report) const {
+  const std::size_t n_surfaces = config_.deployment.n_surfaces;
+  const common::Frequency f = config_.deployment.frequency;
+  const metasurface::SurfaceMode mode = config_.deployment.geometry.mode;
+
+  // Plants are built serially, in device order, so the run never depends on
+  // construction interleaving.
+  std::vector<Shard> shards;
+  shards.reserve(devices.size());
+  for (std::size_t i = 0; i < devices.size(); ++i) {
+    Shard shard = make_shard(config_, devices[i], i);
+    shard.policy = make_policy();
+    shard.loop = std::make_unique<TrackingLoop>(*shard.system, *shard.process,
+                                                *shard.policy, config_.loop);
+    shard.loop->begin(ticks);
+    shards.push_back(std::move(shard));
+  }
+
+  // Every deployment surface is the same fabricated stack; one cached
+  // evaluator serves the snapshot responses.
+  metasurface::Metasurface snapshot_surface =
+      metasurface::Metasurface::llama_prototype();
+  snapshot_surface.enable_response_cache(config_.deployment.cache);
+
+  // What each surface aired at the previous tick's end; nullopt until its
+  // first tick (cold surfaces are absent from neighbors' scenes). The
+  // one-tick delay is what keeps the tick fan-out deterministic: every
+  // shard reads the same immutable snapshot.
+  std::vector<std::optional<em::JonesMatrix>> aired(n_surfaces);
+
+  for (long t = 0; t < ticks; ++t) {
+    common::parallel_for(
+        devices.size(), config_.deployment.threads, [&](std::size_t i) {
+          Shard& shard = shards[i];
+          // Scene leakage index k enumerates the deployment surfaces this
+          // device is NOT served by, ascending — the same order
+          // deploy::device_scene_spec laid the scene out in.
+          std::vector<std::optional<em::JonesMatrix>> externals;
+          externals.reserve(n_surfaces - 1);
+          for (std::size_t s = 0; s < n_surfaces; ++s)
+            if (s != shard.surface) externals.push_back(aired[s]);
+          shard.system->set_external_responses(std::move(externals));
+          shard.loop->step();
+        });
+
+    // Refresh the snapshot from this tick's end-state biases (serial, in
+    // device order). A surface time-shares its devices; its neighbors hear
+    // the mean of the biases it airs.
+    std::vector<em::JonesMatrix> sum(
+        n_surfaces, em::JonesMatrix{em::Complex{0.0, 0.0}, em::Complex{0.0, 0.0},
+                                    em::Complex{0.0, 0.0}, em::Complex{0.0, 0.0}});
+    std::vector<std::size_t> count(n_surfaces, 0);
+    for (const Shard& shard : shards) {
+      const metasurface::Metasurface& dev_surface = shard.system->surface();
+      snapshot_surface.set_bias(dev_surface.bias_x(), dev_surface.bias_y());
+      sum[shard.surface] =
+          sum[shard.surface] + snapshot_surface.response(f, mode);
+      ++count[shard.surface];
+    }
+    for (std::size_t s = 0; s < n_surfaces; ++s)
+      if (count[s] > 0)
+        aired[s] = em::Complex{1.0 / static_cast<double>(count[s]), 0.0} *
+                   sum[s];
+  }
+
+  for (std::size_t i = 0; i < devices.size(); ++i) {
+    DeviceTrackResult& out = report.devices[i];
+    out.name = devices[i].name;
+    out.surface = shards[i].surface;
+    out.report = shards[i].loop->finish();
+  }
 }
 
 FleetReport FleetTracker::run(const std::vector<FleetDeviceSpec>& devices,
@@ -35,28 +160,12 @@ FleetReport FleetTracker::run(const std::vector<FleetDeviceSpec>& devices,
   FleetReport report;
   report.devices.resize(devices.size());
 
-  // Each shard owns its whole plant (system, process, policy) and writes
-  // only its own result slot, so the fan-out is embarrassingly parallel and
-  // deterministic for any thread count.
-  common::parallel_for(
-      devices.size(), config_.deployment.threads, [&](std::size_t i) {
-        const FleetDeviceSpec& spec = devices[i];
-        core::SystemConfig cfg = core::device_system_config(
-            config_.deployment, common::Angle::degrees(0.0));
-        core::LlamaSystem system{cfg};
-        // Tracking revisits quantized biases constantly (codebook hits, the
-        // re-sweep's coarse window); the memo keeps per-tick probes cheap.
-        system.enable_fast_probes(config_.deployment.cache);
-        const std::unique_ptr<channel::OrientationProcess> process =
-            spec.process();
-        const std::unique_ptr<RetunePolicy> policy = make_policy();
-        TrackingLoop loop{system, *process, *policy, config_.loop};
-        DeviceTrackResult& out = report.devices[i];
-        out.name = spec.name;
-        out.surface = deploy::assigned_surface(spec.surface, i,
-                                               config_.deployment.n_surfaces);
-        out.report = loop.run(ticks);
-      });
+  const bool lockstep = config_.deployment.interference.enable_leakage &&
+                        config_.deployment.n_surfaces > 1;
+  if (lockstep)
+    run_lockstep(devices, make_policy, ticks, report);
+  else
+    run_independent(devices, make_policy, ticks, report);
 
   // Serial aggregation (cheap): per-surface and fleet-wide rollups.
   report.surfaces.resize(config_.deployment.n_surfaces);

@@ -89,12 +89,31 @@ class FleetTracker {
   /// Throws std::invalid_argument on a missing process/policy factory or
   /// ticks <= 0, and std::out_of_range when a spec names a surface index
   /// >= n_surfaces.
+  ///
+  /// With config.deployment.interference.enable_leakage set (and M > 1)
+  /// the fleet runs in tick lockstep: every device's scene carries the
+  /// other surfaces as leakage paths, frozen per tick at the snapshot of
+  /// what those surfaces aired at the previous tick's end (a surface
+  /// serving several devices airs their mean response). One device's
+  /// retune therefore perturbs its neighbors' measured power on the next
+  /// tick — the paper's scaling question made observable — while the
+  /// one-tick-delayed snapshot keeps the run byte-identical for any
+  /// thread count.
   [[nodiscard]] FleetReport run(const std::vector<FleetDeviceSpec>& devices,
                                 const PolicyFactory& make_policy, long ticks);
 
   [[nodiscard]] const FleetConfig& config() const { return config_; }
 
  private:
+  /// Independent per-device shards (no cross-surface coupling).
+  void run_independent(const std::vector<FleetDeviceSpec>& devices,
+                       const PolicyFactory& make_policy, long ticks,
+                       FleetReport& report) const;
+  /// Tick-lockstep shards with per-tick neighbor-surface snapshots.
+  void run_lockstep(const std::vector<FleetDeviceSpec>& devices,
+                    const PolicyFactory& make_policy, long ticks,
+                    FleetReport& report) const;
+
   FleetConfig config_;
 };
 

@@ -24,90 +24,111 @@ common::PowerDbm TrackingLoop::power_floor() const {
       options_.noise + options_.link_layer.min_operational_snr());
 }
 
-TrackReport TrackingLoop::run(long ticks) {
+void TrackingLoop::begin(long ticks) {
   if (ticks <= 0)
     throw std::invalid_argument{"TrackingLoop: need >= 1 tick"};
+  if (episode_)
+    throw std::logic_error{
+        "TrackingLoop: begin() while an episode is in flight — finish() it "
+        "first"};
   policy_.bind(system_);
 
   // The rx antenna captured here is the template every per-tick orientation
   // is applied to, so gain/pattern properties survive re-orientation.
-  const channel::Antenna rx_template = system_.link().rx_antenna();
-  const common::PowerDbm floor = power_floor();
-  const double dt = options_.dt_s;
-
-  TrackReport report;
-  report.ticks = ticks;
-  report.duration_s = static_cast<double>(ticks) * dt;
-  report.min_power_dbm = std::numeric_limits<double>::infinity();
+  Episode ep{system_.link().rx_antenna()};
+  ep.floor = power_floor();
+  ep.planned_ticks = ticks;
+  ep.report.min_power_dbm = std::numeric_limits<double>::infinity();
   if (options_.keep_trace)
-    report.trace.reserve(static_cast<std::size_t>(ticks));
+    ep.report.trace.reserve(static_cast<std::size_t>(ticks));
+  episode_ = std::move(ep);
+}
 
-  long outages = 0;
-  double power_sum = 0.0;
-  double delivered_sum = 0.0;
-  // Retune airtime not yet absorbed by past ticks. While a whole tick's
-  // worth remains, the controller is mid-retune: the policy is skipped and
-  // the tick carries no traffic.
-  double busy_s = 0.0;
+void TrackingLoop::step() {
+  if (!episode_)
+    throw std::logic_error{"TrackingLoop: step() outside begin()/finish()"};
+  Episode& ep = *episode_;
+  if (ep.tick >= ep.planned_ticks)
+    throw std::logic_error{
+        "TrackingLoop: stepped past the episode length begin() planned"};
+  const double dt = options_.dt_s;
+  const long i = ep.tick++;
+  const double t = static_cast<double>(i) * dt;
+  const common::Angle orientation = process_.orientation_at(t);
+  system_.link().set_rx_antenna(ep.rx_template.oriented(orientation));
 
-  for (long i = 0; i < ticks; ++i) {
-    const double t = static_cast<double>(i) * dt;
-    const common::Angle orientation = process_.orientation_at(t);
-    system_.link().set_rx_antenna(rx_template.oriented(orientation));
+  TrackTrace tick;
+  tick.tick = i;
+  tick.t_s = t;
+  tick.orientation = orientation;
 
-    TrackTrace tick;
-    tick.tick = i;
-    tick.t_s = t;
-    tick.orientation = orientation;
-
-    const common::PowerDbm before = system_.expected_measure_with_surface();
-    // Chunked consumption of busy time accumulates float residue (e.g.
-    // 0.5 s drained in 0.1 s ticks); snap it so a fully drained controller
-    // reports exact full duty.
-    if (busy_s < 1e-9) busy_s = 0.0;
-    PolicyAction action;
-    if (busy_s < dt) {
-      TickObservation obs;
-      obs.tick = i;
-      obs.t_s = t;
-      obs.dt_s = dt;
-      obs.orientation = orientation;
-      obs.measured = before;
-      const double supply0 = system_.supply().elapsed_s();
-      action = policy_.on_tick(system_, obs);
-      tick.retune_airtime_s = system_.supply().elapsed_s() - supply0;
-      busy_s += tick.retune_airtime_s;
-    }
-    const double consumed = std::min(busy_s, dt);
-    busy_s -= consumed;
-    tick.duty = 1.0 - consumed / dt;
-    tick.retuned = action.retuned;
-    tick.probes = action.probes;
-
-    tick.power =
-        action.retuned ? system_.expected_measure_with_surface() : before;
-    const common::GainDb snr = tick.power - options_.noise;
-    tick.delivered_mbps = options_.link_layer.throughput_mbps(snr) * tick.duty;
-    tick.outage = tick.power < floor || tick.duty <= 0.0;
-
-    if (tick.retuned) ++report.retune_count;
-    report.retune_airtime_s += tick.retune_airtime_s;
-    if (tick.outage) ++outages;
-    power_sum += tick.power.value();
-    delivered_sum += tick.delivered_mbps;
-    report.min_power_dbm = std::min(report.min_power_dbm, tick.power.value());
-    if (options_.keep_trace) report.trace.push_back(tick);
+  const common::PowerDbm before = system_.expected_measure_with_surface();
+  // Chunked consumption of busy time accumulates float residue (e.g.
+  // 0.5 s drained in 0.1 s ticks); snap it so a fully drained controller
+  // reports exact full duty.
+  if (ep.busy_s < 1e-9) ep.busy_s = 0.0;
+  PolicyAction action;
+  if (ep.busy_s < dt) {
+    TickObservation obs;
+    obs.tick = i;
+    obs.t_s = t;
+    obs.dt_s = dt;
+    obs.orientation = orientation;
+    obs.measured = before;
+    const double supply0 = system_.supply().elapsed_s();
+    action = policy_.on_tick(system_, obs);
+    tick.retune_airtime_s = system_.supply().elapsed_s() - supply0;
+    ep.busy_s += tick.retune_airtime_s;
   }
+  const double consumed = std::min(ep.busy_s, dt);
+  ep.busy_s -= consumed;
+  tick.duty = 1.0 - consumed / dt;
+  tick.retuned = action.retuned;
+  tick.probes = action.probes;
 
-  const double n = static_cast<double>(ticks);
-  report.outage_fraction = static_cast<double>(outages) / n;
-  report.mean_power_dbm = power_sum / n;
-  report.mean_delivered_mbps = delivered_sum / n;
+  tick.power =
+      action.retuned ? system_.expected_measure_with_surface() : before;
+  const common::GainDb snr = tick.power - options_.noise;
+  tick.delivered_mbps = options_.link_layer.throughput_mbps(snr) * tick.duty;
+  tick.outage = tick.power < ep.floor || tick.duty <= 0.0;
+
+  if (tick.retuned) ++ep.report.retune_count;
+  ep.report.retune_airtime_s += tick.retune_airtime_s;
+  if (tick.outage) ++ep.outages;
+  ep.power_sum += tick.power.value();
+  ep.delivered_sum += tick.delivered_mbps;
+  ep.report.min_power_dbm =
+      std::min(ep.report.min_power_dbm, tick.power.value());
+  if (options_.keep_trace) ep.report.trace.push_back(tick);
+}
+
+TrackReport TrackingLoop::finish() {
+  if (!episode_)
+    throw std::logic_error{"TrackingLoop: finish() outside begin()"};
+  Episode& ep = *episode_;
+  TrackReport report = std::move(ep.report);
+  report.ticks = ep.tick;
+  report.duration_s = static_cast<double>(ep.tick) * options_.dt_s;
+  if (ep.tick > 0) {
+    const double n = static_cast<double>(ep.tick);
+    report.outage_fraction = static_cast<double>(ep.outages) / n;
+    report.mean_power_dbm = ep.power_sum / n;
+    report.mean_delivered_mbps = ep.delivered_sum / n;
+  } else {
+    report.min_power_dbm = 0.0;  // not the +inf seed: no tick ever ran
+  }
   report.mean_retune_latency_s =
       report.retune_count > 0
           ? report.retune_airtime_s / static_cast<double>(report.retune_count)
           : 0.0;
+  episode_.reset();
   return report;
+}
+
+TrackReport TrackingLoop::run(long ticks) {
+  begin(ticks);
+  for (long i = 0; i < ticks; ++i) step();
+  return finish();
 }
 
 }  // namespace llama::track

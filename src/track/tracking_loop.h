@@ -95,7 +95,19 @@ class TrackingLoop {
   /// resetting its episode state; the orientation process continues from
   /// wherever previous queries left it — stateless processes like ArmSwing
   /// restart exactly). Throws std::invalid_argument when ticks <= 0.
+  /// Equivalent to begin(ticks) + ticks x step() + finish().
   [[nodiscard]] TrackReport run(long ticks);
+
+  /// Incremental episode API: the fleet's cross-surface leakage mode
+  /// drives every device's loop in tick lockstep, refreshing each scene's
+  /// frozen neighbor-surface responses between ticks. begin() binds the
+  /// policy and resets the episode accumulators; each step() advances
+  /// exactly one control tick; finish() seals and returns the report.
+  /// begin() throws std::invalid_argument when ticks <= 0; step()/finish()
+  /// throw std::logic_error outside an episode.
+  void begin(long ticks);
+  void step();
+  [[nodiscard]] TrackReport finish();
 
   /// The effective outage floor (explicit option or the link-layer default).
   [[nodiscard]] common::PowerDbm power_floor() const;
@@ -103,10 +115,27 @@ class TrackingLoop {
   [[nodiscard]] const Options& options() const { return options_; }
 
  private:
+  /// Accumulator state of one in-flight episode.
+  struct Episode {
+    explicit Episode(channel::Antenna rx) : rx_template(std::move(rx)) {}
+
+    channel::Antenna rx_template;
+    common::PowerDbm floor{-120.0};
+    long planned_ticks = 0;
+    long tick = 0;
+    long outages = 0;
+    double power_sum = 0.0;
+    double delivered_sum = 0.0;
+    /// Retune airtime not yet absorbed by past ticks (mid-retune blackout).
+    double busy_s = 0.0;
+    TrackReport report;
+  };
+
   core::LlamaSystem& system_;
   channel::OrientationProcess& process_;
   RetunePolicy& policy_;
   Options options_;
+  std::optional<Episode> episode_;
 };
 
 }  // namespace llama::track

@@ -1,0 +1,337 @@
+// Golden equivalence suite: a one-surface PropagationScene must reproduce
+// LinkBudget to 1e-12 — both modes, with and without multipath, batched
+// (frozen-contribution sweep) and unbatched — plus the scene-only
+// contracts: revision staleness, leakage paths, relay paths.
+#include "src/channel/propagation_scene.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "src/channel/link_budget.h"
+#include "src/metasurface/metasurface.h"
+
+namespace llama::channel {
+namespace {
+
+using common::Angle;
+using common::Frequency;
+using common::PowerDbm;
+using common::Voltage;
+
+const Frequency kF0 = Frequency::ghz(2.44);
+const PowerDbm kTx{0.0};
+constexpr double kTol = 1e-12;
+
+LinkGeometry transmissive_geometry(double dist_m = 0.42) {
+  LinkGeometry g;
+  g.mode = metasurface::SurfaceMode::kTransmissive;
+  g.tx_rx_distance_m = dist_m;
+  g.tx_surface_distance_m = dist_m / 2.0;
+  return g;
+}
+
+LinkGeometry reflective_geometry() {
+  LinkGeometry g;
+  g.mode = metasurface::SurfaceMode::kReflective;
+  g.tx_rx_distance_m = 0.70;
+  g.tx_surface_distance_m = 0.42;
+  return g;
+}
+
+/// A spread of surface responses to compare the field models over.
+std::vector<em::JonesMatrix> response_samples(metasurface::SurfaceMode mode) {
+  const metasurface::Metasurface surface =
+      metasurface::Metasurface::llama_prototype();
+  const std::vector<double> axis{0.0, 7.5, 15.0, 22.5, 30.0};
+  std::vector<em::JonesMatrix> samples;
+  const metasurface::JonesGrid grid =
+      surface.response_grid(kF0, mode, axis, axis);
+  for (const std::vector<em::JonesMatrix>& row : grid)
+    for (const em::JonesMatrix& r : row) samples.push_back(r);
+  return samples;
+}
+
+struct ModeCase {
+  const char* name;
+  LinkGeometry geometry;
+};
+
+std::vector<ModeCase> mode_cases() {
+  return {{"transmissive", transmissive_geometry()},
+          {"reflective", reflective_geometry()}};
+}
+
+std::vector<Environment> environment_cases() {
+  common::Rng rng{17};
+  return {Environment::absorber_chamber(),
+          Environment::with_interference(PowerDbm{-55.0}),
+          Environment::laboratory(rng)};
+}
+
+TEST(PropagationSceneGolden, UnbatchedMatchesLinkBudgetEverywhere) {
+  for (const ModeCase& mc : mode_cases()) {
+    const std::vector<em::JonesMatrix> samples =
+        response_samples(mc.geometry.mode);
+    for (const Environment& env : environment_cases()) {
+      const Antenna tx = Antenna::directional_10dbi(Angle::degrees(0.0));
+      const Antenna rx = Antenna::directional_10dbi(Angle::degrees(90.0));
+      const LinkBudget link{tx, rx, mc.geometry, env};
+      const PropagationScene scene =
+          PropagationScene::single_link(tx, rx, mc.geometry, env);
+
+      EXPECT_NEAR(
+          scene.received_power_without_surface(kTx, kF0).value(),
+          link.received_power_without_surface(kTx, kF0).value(), kTol)
+          << mc.name;
+      for (const em::JonesMatrix& r : samples)
+        EXPECT_NEAR(scene.received_power_with_response(kTx, kF0, r).value(),
+                    link.received_power_with_response(kTx, kF0, r).value(),
+                    kTol)
+            << mc.name;
+    }
+  }
+}
+
+TEST(PropagationSceneGolden, MetasurfaceOverloadMatchesLinkBudget) {
+  metasurface::Metasurface surface = metasurface::Metasurface::llama_prototype();
+  surface.set_bias(Voltage{5.0}, Voltage{25.0});
+  for (const ModeCase& mc : mode_cases()) {
+    const Antenna tx = Antenna::directional_10dbi(Angle::degrees(0.0));
+    const Antenna rx = Antenna::directional_10dbi(Angle::degrees(90.0));
+    const Environment env = Environment::absorber_chamber();
+    const LinkBudget link{tx, rx, mc.geometry, env};
+    const PropagationScene scene =
+        PropagationScene::single_link(tx, rx, mc.geometry, env);
+    const em::JonesVector expect =
+        link.field_at_receiver(kTx, kF0, &surface);
+    const em::JonesVector got = scene.field_at_receiver(kTx, kF0, &surface);
+    EXPECT_NEAR(std::abs(got.ex() - expect.ex()), 0.0, kTol) << mc.name;
+    EXPECT_NEAR(std::abs(got.ey() - expect.ey()), 0.0, kTol) << mc.name;
+    EXPECT_NEAR(
+        scene.field_at_receiver(kTx, kF0, nullptr).power(),
+        link.field_at_receiver(kTx, kF0, nullptr).power(), kTol)
+        << mc.name;
+  }
+}
+
+TEST(PropagationSceneGolden, BatchedFrozenSweepMatchesLinkBudget) {
+  // The frozen-contribution sweep — the deployment/codebook hot path —
+  // must agree with the legacy per-cell field model exactly.
+  for (const ModeCase& mc : mode_cases()) {
+    const std::vector<em::JonesMatrix> samples =
+        response_samples(mc.geometry.mode);
+    for (const Environment& env : environment_cases()) {
+      const Antenna tx = Antenna::directional_10dbi(Angle::degrees(0.0));
+      const Antenna rx = Antenna::directional_10dbi(Angle::degrees(35.0));
+      const LinkBudget link{tx, rx, mc.geometry, env};
+      const PropagationScene scene =
+          PropagationScene::single_link(tx, rx, mc.geometry, env);
+      const PropagationScene::FrozenEval frozen = scene.freeze_except(
+          PropagationScene::kHomeSurface, kTx, kF0,
+          PropagationScene::ResponseView{});
+      for (const em::JonesMatrix& r : samples)
+        EXPECT_NEAR(scene.received_power_swept(frozen, r).value(),
+                    link.received_power_with_response(kTx, kF0, r).value(),
+                    kTol)
+            << mc.name;
+    }
+  }
+}
+
+// ---- Revision counter / stale-plan regression (pre-fix, a mid-run
+// set_geometry would silently keep serving the old geometry's frozen
+// contributions).
+
+TEST(PropagationSceneRevision, MutationsBumpRevision) {
+  PropagationScene scene = PropagationScene::single_link(
+      Antenna::directional_10dbi(Angle::degrees(0.0)),
+      Antenna::directional_10dbi(Angle::degrees(90.0)),
+      transmissive_geometry(), Environment::absorber_chamber());
+  const std::uint64_t r0 = scene.revision();
+  scene.set_geometry(transmissive_geometry(0.6));
+  EXPECT_GT(scene.revision(), r0);
+  const std::uint64_t r1 = scene.revision();
+  scene.set_tx_antenna(Antenna::omni_6dbi(Angle::degrees(0.0)));
+  EXPECT_GT(scene.revision(), r1);
+  const std::uint64_t r2 = scene.revision();
+  scene.set_rx_antenna(Antenna::omni_6dbi(Angle::degrees(45.0)));
+  EXPECT_GT(scene.revision(), r2);
+  const std::uint64_t r3 = scene.revision();
+  LeakageSurfaceSpec leak;
+  EXPECT_EQ(scene.add_leakage_surface(leak), 1u);
+  EXPECT_GT(scene.revision(), r3);
+  // Leakage ids precede relay ids; adding a leakage surface under an
+  // existing relay would renumber it, so the scene refuses.
+  EXPECT_EQ(scene.add_relay_surface(RelaySurfaceSpec{}), 2u);
+  EXPECT_THROW((void)scene.add_leakage_surface(leak), std::logic_error);
+}
+
+TEST(PropagationSceneRevision, MidRunSetGeometryInvalidatesStalePlans) {
+  PropagationScene scene = PropagationScene::single_link(
+      Antenna::directional_10dbi(Angle::degrees(0.0)),
+      Antenna::directional_10dbi(Angle::degrees(90.0)),
+      transmissive_geometry(), Environment::absorber_chamber());
+  const std::vector<em::JonesMatrix> samples =
+      response_samples(metasurface::SurfaceMode::kTransmissive);
+  const PropagationScene::FrozenEval frozen = scene.freeze_except(
+      PropagationScene::kHomeSurface, kTx, kF0,
+      PropagationScene::ResponseView{});
+  // Valid before the mutation...
+  EXPECT_NO_THROW((void)scene.received_power_swept(frozen, samples[0]));
+  // ...rejected after it: the frozen Friis/phase state belongs to the old
+  // geometry and must not be served.
+  scene.set_geometry(transmissive_geometry(0.8));
+  EXPECT_THROW((void)scene.received_power_swept(frozen, samples[0]),
+               std::logic_error);
+  // A fresh freeze reflects the new geometry exactly.
+  const LinkBudget link{scene.tx_antenna(), scene.rx_antenna(),
+                        scene.geometry(), scene.environment()};
+  const PropagationScene::FrozenEval fresh = scene.freeze_except(
+      PropagationScene::kHomeSurface, kTx, kF0,
+      PropagationScene::ResponseView{});
+  for (const em::JonesMatrix& r : samples)
+    EXPECT_NEAR(scene.received_power_swept(fresh, r).value(),
+                link.received_power_with_response(kTx, kF0, r).value(), kTol);
+}
+
+TEST(PropagationSceneRevision, AntennaMutationsAlsoInvalidate) {
+  PropagationScene scene = PropagationScene::single_link(
+      Antenna::directional_10dbi(Angle::degrees(0.0)),
+      Antenna::directional_10dbi(Angle::degrees(90.0)),
+      reflective_geometry(), Environment::absorber_chamber());
+  const std::vector<em::JonesMatrix> samples =
+      response_samples(metasurface::SurfaceMode::kReflective);
+  PropagationScene::FrozenEval frozen = scene.freeze_except(
+      PropagationScene::kHomeSurface, kTx, kF0,
+      PropagationScene::ResponseView{});
+  scene.set_rx_antenna(scene.rx_antenna().oriented(Angle::degrees(30.0)));
+  EXPECT_THROW((void)scene.received_power_swept(frozen, samples[0]),
+               std::logic_error);
+  frozen = scene.freeze_except(PropagationScene::kHomeSurface, kTx, kF0,
+                               PropagationScene::ResponseView{});
+  scene.set_tx_antenna(scene.tx_antenna().rotated(Angle::degrees(10.0)));
+  EXPECT_THROW((void)scene.received_power_swept(frozen, samples[0]),
+               std::logic_error);
+}
+
+// ---- Multi-surface topologies.
+
+TEST(PropagationSceneLeakage, AbsentLeakageSurfaceIsSingleLink) {
+  const Antenna tx = Antenna::iot_dipole(Angle::degrees(0.0));
+  const Antenna rx = Antenna::iot_dipole(Angle::degrees(70.0));
+  const Environment env = Environment::absorber_chamber();
+  const PropagationScene single =
+      PropagationScene::single_link(tx, rx, transmissive_geometry(1.0), env);
+  SceneSpec spec;
+  spec.leakage.push_back(LeakageSurfaceSpec{});
+  const PropagationScene leaky = PropagationScene::from_spec(
+      tx, rx, transmissive_geometry(1.0), env, spec);
+  EXPECT_EQ(leaky.surface_count(), 2u);
+  const std::vector<em::JonesMatrix> samples =
+      response_samples(metasurface::SurfaceMode::kTransmissive);
+  // With the leakage surface unprogrammed (nullptr) its path drops out.
+  for (const em::JonesMatrix& r : samples) {
+    const em::JonesMatrix* home[] = {&r, nullptr};
+    EXPECT_NEAR(leaky.received_power(kTx, kF0, home).value(),
+                single.received_power_with_response(kTx, kF0, r).value(),
+                kTol);
+  }
+}
+
+TEST(PropagationSceneLeakage, ProgrammedLeakagePerturbsAndZeroCouplingDoesNot) {
+  const Antenna tx = Antenna::iot_dipole(Angle::degrees(0.0));
+  const Antenna rx = Antenna::iot_dipole(Angle::degrees(70.0));
+  const Environment env = Environment::absorber_chamber();
+  const std::vector<em::JonesMatrix> samples =
+      response_samples(metasurface::SurfaceMode::kTransmissive);
+  const em::JonesMatrix& home = samples[3];
+  const em::JonesMatrix& other = samples[17];
+
+  SceneSpec spec;
+  spec.leakage.push_back(LeakageSurfaceSpec{0.4, 0.15});
+  const PropagationScene leaky = PropagationScene::from_spec(
+      tx, rx, transmissive_geometry(1.0), env, spec);
+  const em::JonesMatrix* both[] = {&home, &other};
+  const em::JonesMatrix* alone[] = {&home, nullptr};
+  EXPECT_NE(leaky.received_power(kTx, kF0, both).value(),
+            leaky.received_power(kTx, kF0, alone).value());
+  // The leakage path alone carries measurable power...
+  const em::JonesMatrix* leak_only[] = {nullptr, &other};
+  double leak_mw = 0.0;
+  for (std::size_t p = 0; p < leaky.paths().size(); ++p)
+    if (leaky.paths()[p].kind == PathKind::kLeakage)
+      leak_mw += leaky.path_power(p, kTx, kF0, leak_only).value();
+  EXPECT_GT(leak_mw, 0.0);
+
+  // ...and a zero-coupling leakage surface contributes nothing.
+  SceneSpec mute;
+  mute.leakage.push_back(LeakageSurfaceSpec{0.4, 0.0});
+  const PropagationScene muted = PropagationScene::from_spec(
+      tx, rx, transmissive_geometry(1.0), env, mute);
+  EXPECT_NEAR(muted.received_power(kTx, kF0, both).value(),
+              muted.received_power(kTx, kF0, alone).value(), kTol);
+}
+
+TEST(PropagationSceneRelay, RelayPathComposesBothResponses) {
+  const Antenna tx = Antenna::directional_10dbi(Angle::degrees(0.0));
+  const Antenna rx = Antenna::directional_10dbi(Angle::degrees(90.0));
+  const Environment env = Environment::absorber_chamber();
+  LinkGeometry g = transmissive_geometry(3.0);
+  g.tx_surface_distance_m = 1.0;
+  SceneSpec spec;
+  spec.relays.push_back(RelaySurfaceSpec{1.0, 1.0, 0.9});
+  const PropagationScene relay =
+      PropagationScene::from_spec(tx, rx, g, env, spec);
+  EXPECT_EQ(relay.surface_count(), 2u);
+  ASSERT_EQ(relay.paths().size(), 2u);
+  EXPECT_EQ(relay.paths()[1].kind, PathKind::kRelay);
+
+  const std::vector<em::JonesMatrix> samples =
+      response_samples(metasurface::SurfaceMode::kTransmissive);
+  const em::JonesMatrix& home = samples[5];
+  const em::JonesMatrix& hop = samples[11];
+  // Relay absent -> exactly the single-link power.
+  const PropagationScene single = PropagationScene::single_link(tx, rx, g, env);
+  const em::JonesMatrix* alone[] = {&home, nullptr};
+  EXPECT_NEAR(relay.received_power(kTx, kF0, alone).value(),
+              single.received_power_with_response(kTx, kF0, home).value(),
+              kTol);
+  // Relay programmed -> the chained term shows up, and the batched frozen
+  // sweep over the home surface agrees with the full evaluation.
+  const em::JonesMatrix* both[] = {&home, &hop};
+  const double full = relay.received_power(kTx, kF0, both).value();
+  EXPECT_NE(full, relay.received_power(kTx, kF0, alone).value());
+  const PropagationScene::FrozenEval frozen =
+      relay.freeze_except(PropagationScene::kHomeSurface, kTx, kF0, both);
+  EXPECT_NEAR(relay.received_power_swept(frozen, home).value(), full, kTol);
+}
+
+TEST(PropagationSceneLeakage, FrozenSweepWithExternalsMatchesFullEval) {
+  // Sweeping the home surface against frozen neighbors must equal the full
+  // coherent evaluation at every candidate — the deployment's batching rule.
+  const Antenna tx = Antenna::iot_dipole(Angle::degrees(0.0));
+  const Antenna rx = Antenna::iot_dipole(Angle::degrees(70.0));
+  common::Rng rng{23};
+  const Environment env = Environment::laboratory(rng);
+  SceneSpec spec;
+  spec.leakage.push_back(LeakageSurfaceSpec{0.4, 0.15});
+  spec.leakage.push_back(LeakageSurfaceSpec{0.8, 0.1});
+  const PropagationScene scene = PropagationScene::from_spec(
+      tx, rx, transmissive_geometry(1.0), env, spec);
+  const std::vector<em::JonesMatrix> samples =
+      response_samples(metasurface::SurfaceMode::kTransmissive);
+  const em::JonesMatrix* frozen_view[] = {nullptr, &samples[2], &samples[9]};
+  const PropagationScene::FrozenEval frozen = scene.freeze_except(
+      PropagationScene::kHomeSurface, kTx, kF0, frozen_view);
+  for (const em::JonesMatrix& r : samples) {
+    const em::JonesMatrix* full_view[] = {&r, &samples[2], &samples[9]};
+    EXPECT_NEAR(scene.received_power_swept(frozen, r).value(),
+                scene.received_power(kTx, kF0, full_view).value(), kTol);
+  }
+}
+
+}  // namespace
+}  // namespace llama::channel

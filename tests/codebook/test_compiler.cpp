@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include "src/common/math_utils.h"
 #include "src/control/power_supply.h"
 #include "src/control/sweep.h"
 #include "src/core/scenarios.h"
@@ -147,6 +148,94 @@ TEST(ConfigHash, DeploymentAndSystemConfigsAgreeWhenMirrored) {
   cfg.receiver = scenario.config.receiver;
   EXPECT_EQ(system_config_hash(cfg),
             deployment_config_hash(scenario.config));
+}
+
+TEST(ConfigHash, SceneTopologyBindsTheHash) {
+  const core::SystemConfig base = test_config();
+  const std::uint64_t h0 = system_config_hash(base);
+
+  core::SystemConfig leaky = base;
+  leaky.scene.leakage.push_back(channel::LeakageSurfaceSpec{0.4, 0.15});
+  const std::uint64_t h_leak = system_config_hash(leaky);
+  EXPECT_NE(h_leak, h0);
+
+  core::SystemConfig recoupled = leaky;
+  recoupled.scene.leakage[0].coupling = 0.2;
+  EXPECT_NE(system_config_hash(recoupled), h_leak);
+
+  core::SystemConfig relayed = base;
+  relayed.scene.relays.push_back(channel::RelaySurfaceSpec{1.0, 1.0, 0.9});
+  EXPECT_NE(system_config_hash(relayed), h0);
+  EXPECT_NE(system_config_hash(relayed), h_leak);
+
+  // Mirrored parity also holds with the interference model on: the
+  // deployment hash and the per-device system hash cover the same
+  // canonical scene.
+  core::DenseDeploymentScenario scenario = core::dense_deployment_scenario(4, 2);
+  scenario.config.interference.enable_leakage = true;
+  EXPECT_EQ(system_config_hash(core::device_system_config(
+                scenario.config, Angle::degrees(30.0))),
+            deployment_config_hash(scenario.config));
+}
+
+TEST(ConfigHash, SceneCodebookRejectedBySceneFreeSystem) {
+  core::SystemConfig leaky = test_config();
+  leaky.scene.leakage.push_back(channel::LeakageSurfaceSpec{0.4, 0.15});
+  const Codebook book = CodebookCompiler{leaky}.compile(small_options());
+
+  core::LlamaSystem matching{leaky};
+  EXPECT_NO_THROW(matching.validate_codebook(book, "test"));
+
+  core::LlamaSystem scene_free{test_config()};
+  EXPECT_THROW(scene_free.validate_codebook(book, "test"),
+               CodebookStaleError);
+}
+
+TEST(CodebookCompiler, SteppedOrientationAxisPinsExactCellCounts) {
+  // The historical float-accumulated axes could alias an extra or missing
+  // cell at fine steps (PR 2's FullGridSweep fix); the compiler's lattice
+  // now rides the same index-based stepped_range. 0.1 deg over [0, 180]
+  // must be exactly 1801 cells.
+  const core::SystemConfig cfg = test_config();
+  CompilerOptions opts;
+  opts.orientation_step = Angle::degrees(0.1);
+  opts.v_step = Voltage{15.0};  // coarse bias grid keeps the run fast
+  opts.top_k = 2;
+  const Codebook book = CodebookCompiler{cfg}.compile(opts);
+  ASSERT_EQ(book.header().orientation_rad.count, 1801u);
+  EXPECT_EQ(book.cell_count(), 1801u);
+  const std::vector<double> expected = common::stepped_range(
+      Angle::degrees(0.0).rad(), Angle::degrees(180.0).rad(),
+      Angle::degrees(0.1).rad());
+  ASSERT_EQ(expected.size(), 1801u);
+  for (std::size_t i : {std::size_t{0}, std::size_t{1}, std::size_t{900},
+                        std::size_t{1799}, std::size_t{1800}})
+    EXPECT_NEAR(book.header().orientation_rad.at(i), expected[i], 1e-12)
+        << "i=" << i;
+}
+
+TEST(CodebookCompiler, SteppedFrequencyAxisPinsExactCellCounts) {
+  const core::SystemConfig cfg = test_config();
+  CompilerOptions opts;
+  opts.f_min = Frequency::ghz(2.40);
+  opts.f_max = Frequency::ghz(2.50);
+  opts.f_step_hz = 1e6;  // 1 MHz lattice -> exactly 101 points
+  opts.n_orientations = 1;
+  opts.v_step = Voltage{15.0};
+  opts.top_k = 2;
+  const Codebook book = CodebookCompiler{cfg}.compile(opts);
+  ASSERT_EQ(book.header().frequency_hz.count, 101u);
+  const std::vector<double> expected =
+      common::stepped_range(2.40e9, 2.50e9, 1e6);
+  ASSERT_EQ(expected.size(), 101u);
+  for (std::size_t i : {std::size_t{0}, std::size_t{50}, std::size_t{100}})
+    EXPECT_NEAR(book.header().frequency_hz.at(i), expected[i], 1e-3)
+        << "i=" << i;
+  // Degenerate stepped axes fail loudly.
+  CompilerOptions bad = opts;
+  bad.f_step_hz = -1.0;
+  EXPECT_THROW((void)CodebookCompiler{cfg}.compile(bad),
+               std::invalid_argument);
 }
 
 }  // namespace

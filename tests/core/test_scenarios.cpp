@@ -94,5 +94,23 @@ TEST(Scenarios, RespirationTraceIsSeedDeterministic) {
   EXPECT_EQ(a, b);
 }
 
+TEST(Scenarios, RelayChainExtendsRangeBeyondSingleSurface) {
+  const RelayExtensionScenario scenario = relay_extension_scenario();
+  // Identical endpoints/baseline: only the surface topology differs.
+  const SceneSweepResult single = sweep_scene_biases(scenario.single);
+  const SceneSweepResult relay = sweep_scene_biases(scenario.relay);
+  EXPECT_NEAR(single.baseline.value(), relay.baseline.value(), 1e-9);
+  // The chained rotation shares the 90 deg burden across two surfaces, so
+  // the relay's best power — and the Friis range extension its gain buys —
+  // beats what one surface can reach at the same geometry.
+  EXPECT_GT(relay.best_power.value(), single.best_power.value());
+  EXPECT_GT(relay.range_extension, single.range_extension);
+  EXPECT_GT(single.range_extension, 1.0);
+  // And the relay config's codebook hash differs: a codebook compiled for
+  // the single-surface scene must not be served to the relay scene.
+  EXPECT_NE(core::LlamaSystem{scenario.single}.codebook_config_hash(),
+            core::LlamaSystem{scenario.relay}.codebook_config_hash());
+}
+
 }  // namespace
 }  // namespace llama::core

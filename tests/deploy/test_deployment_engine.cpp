@@ -240,6 +240,78 @@ TEST(DeploymentEngine, ExplicitSurfaceAssignmentIsHonored) {
   EXPECT_EQ(report.devices[3].surface, 0u);
 }
 
+TEST(DeploymentEngine, LeakageDisabledReportsNoLeakage) {
+  const core::DenseDeploymentScenario scenario =
+      core::dense_deployment_scenario(6, 2);
+  DeploymentEngine engine{scenario.config};
+  const DeploymentReport report = engine.run(scenario.devices);
+  EXPECT_EQ(report.total_leakage.value(), 0.0);
+  EXPECT_EQ(report.max_leakage.value(), 0.0);
+  for (const DeviceResult& d : report.devices)
+    EXPECT_EQ(d.leakage.value(), 0.0);
+}
+
+TEST(DeploymentEngine, LeakageChargesEveryLinkAndCostsCapacity) {
+  core::DenseDeploymentScenario off = core::dense_deployment_scenario(8, 2);
+  core::DenseDeploymentScenario on = core::dense_deployment_scenario(8, 2);
+  on.config.interference.enable_leakage = true;
+
+  DeploymentEngine engine_off{off.config};
+  DeploymentEngine engine_on{on.config};
+  const DeploymentReport report_off = engine_off.run(off.devices);
+  const DeploymentReport report_on = engine_on.run(on.devices);
+
+  // Quiet-neighbor optimization: the chosen biases are identical — leakage
+  // enters only as per-link interference over the final schedules.
+  ASSERT_EQ(report_on.devices.size(), report_off.devices.size());
+  double sum_mw = 0.0;
+  for (std::size_t i = 0; i < report_on.devices.size(); ++i) {
+    EXPECT_EQ(report_on.devices[i].sweep.best_vx.value(),
+              report_off.devices[i].sweep.best_vx.value());
+    EXPECT_EQ(report_on.devices[i].sweep.best_vy.value(),
+              report_off.devices[i].sweep.best_vy.value());
+    // Every device has one serving and one interfering surface at M = 2.
+    EXPECT_GT(report_on.devices[i].leakage.value(), 0.0) << "device " << i;
+    EXPECT_LE(report_on.devices[i].leakage.value(),
+              report_on.max_leakage.value());
+    sum_mw += report_on.devices[i].leakage.value();
+  }
+  EXPECT_NEAR(report_on.total_leakage.value(), sum_mw, 1e-15);
+  // Interference can only cost capacity, and measurably does here.
+  EXPECT_LT(report_on.sum_capacity_bits_per_hz,
+            report_off.sum_capacity_bits_per_hz);
+  EXPECT_GE(report_on.mean_ber, report_off.mean_ber);
+}
+
+TEST(DeploymentEngine, SingleSurfaceDeploymentHasNoLeakage) {
+  core::DenseDeploymentScenario scenario = core::dense_deployment_scenario(4, 1);
+  scenario.config.interference.enable_leakage = true;
+  DeploymentEngine engine{scenario.config};
+  const DeploymentReport report = engine.run(scenario.devices);
+  EXPECT_EQ(report.total_leakage.value(), 0.0);
+}
+
+TEST(DeploymentEngine, LeakageRunIsByteIdenticalForAnyThreadCount) {
+  core::DenseDeploymentScenario scenario = core::dense_deployment_scenario(6, 2);
+  scenario.config.interference.enable_leakage = true;
+  deploy::DeploymentConfig serial = scenario.config;
+  serial.threads = 1;
+  deploy::DeploymentConfig parallel = scenario.config;
+  parallel.threads = 4;
+  DeploymentEngine engine_serial{serial};
+  DeploymentEngine engine_parallel{parallel};
+  const DeploymentReport a = engine_serial.run(scenario.devices);
+  const DeploymentReport b = engine_parallel.run(scenario.devices);
+  ASSERT_EQ(a.devices.size(), b.devices.size());
+  for (std::size_t i = 0; i < a.devices.size(); ++i) {
+    EXPECT_EQ(a.devices[i].optimized_power.value(),
+              b.devices[i].optimized_power.value());
+    EXPECT_EQ(a.devices[i].leakage.value(), b.devices[i].leakage.value());
+  }
+  EXPECT_EQ(a.sum_capacity_bits_per_hz, b.sum_capacity_bits_per_hz);
+  EXPECT_EQ(a.total_leakage.value(), b.total_leakage.value());
+}
+
 TEST(DeploymentEngine, RejectsBadConfigurations) {
   core::DenseDeploymentScenario scenario =
       core::dense_deployment_scenario(2, 1);

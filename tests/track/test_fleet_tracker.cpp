@@ -139,6 +139,116 @@ TEST(FleetTracker, ByteIdenticalForAnyThreadCount) {
   EXPECT_DOUBLE_EQ(reports[0].retune_airtime_s, reports[1].retune_airtime_s);
 }
 
+TEST(FleetTracker, LockstepLeakageChangesWhatDevicesHear) {
+  // Same fleet, leakage model off vs on: with the scene's leakage paths in
+  // play the devices' measured powers — and so their reports — differ.
+  core::MobileFleetScenario off = core::mobile_fleet_scenario(4, 2);
+  core::MobileFleetScenario on = core::mobile_fleet_scenario(4, 2);
+  on.config.deployment.interference.enable_leakage = true;
+
+  FleetTracker tracker_off{off.config};
+  FleetTracker tracker_on{on.config};
+  const FleetReport a =
+      tracker_off.run(off.devices, null_like_policy_factory(), 12);
+  const FleetReport b =
+      tracker_on.run(on.devices, null_like_policy_factory(), 12);
+  ASSERT_EQ(a.devices.size(), b.devices.size());
+  bool any_power_differs = false;
+  for (std::size_t i = 0; i < a.devices.size(); ++i)
+    if (a.devices[i].report.mean_power_dbm !=
+        b.devices[i].report.mean_power_dbm)
+      any_power_differs = true;
+  EXPECT_TRUE(any_power_differs);
+}
+
+TEST(FleetTracker, LockstepIsByteIdenticalForAnyThreadCount) {
+  core::MobileFleetScenario scenario = core::mobile_fleet_scenario(5, 2);
+  scenario.config.deployment.interference.enable_leakage = true;
+  FleetConfig serial = scenario.config;
+  serial.deployment.threads = 1;
+  FleetConfig parallel = scenario.config;
+  parallel.deployment.threads = 4;
+  FleetTracker tracker_serial{serial};
+  FleetTracker tracker_parallel{parallel};
+  const FleetReport a =
+      tracker_serial.run(scenario.devices, null_like_policy_factory(), 10);
+  const FleetReport b =
+      tracker_parallel.run(scenario.devices, null_like_policy_factory(), 10);
+  ASSERT_EQ(a.devices.size(), b.devices.size());
+  for (std::size_t i = 0; i < a.devices.size(); ++i) {
+    EXPECT_EQ(a.devices[i].report.mean_power_dbm,
+              b.devices[i].report.mean_power_dbm)
+        << "device " << i;
+    EXPECT_EQ(a.devices[i].report.outage_fraction,
+              b.devices[i].report.outage_fraction);
+  }
+  EXPECT_EQ(a.sum_delivered_mbps, b.sum_delivered_mbps);
+}
+
+TEST(FleetTracker, OneDeviceRetunePerturbsItsNeighborsLink) {
+  // Two static devices on two surfaces. In run A nobody retunes; in run B
+  // device 1 reprograms its surface mid-episode. Device 0 never acts in
+  // either run — but with leakage enabled its measured power must move
+  // when its neighbor's surface switches bias.
+  core::MobileFleetScenario scenario = core::mobile_fleet_scenario(2, 2);
+  scenario.config.deployment.interference.enable_leakage = true;
+  scenario.config.loop.keep_trace = true;
+  for (track::FleetDeviceSpec& spec : scenario.devices)
+    spec.process = [] {
+      return std::make_unique<channel::StaticMount>(Angle::degrees(70.0));
+    };
+
+  struct ForcedRetune final : RetunePolicy {
+    long retune_tick;
+    explicit ForcedRetune(long tick) : retune_tick(tick) {}
+    [[nodiscard]] const char* name() const override { return "forced"; }
+    PolicyAction on_tick(core::LlamaSystem& system,
+                         const TickObservation& obs) override {
+      if (obs.tick != retune_tick) return {};
+      system.supply().set_outputs(common::Voltage{27.0},
+                                  common::Voltage{3.0});
+      system.surface().set_bias(common::Voltage{27.0}, common::Voltage{3.0});
+      PolicyAction action;
+      action.retuned = true;
+      return action;
+    }
+  };
+  const auto factory_for = [](bool device1_retunes) {
+    auto counter = std::make_shared<int>(0);
+    return PolicyFactory{[counter, device1_retunes]()
+                             -> std::unique_ptr<RetunePolicy> {
+      const int index = (*counter)++;
+      if (index == 1 && device1_retunes)
+        return std::make_unique<ForcedRetune>(4);
+      return std::make_unique<ForcedRetune>(-1);  // never fires
+    }};
+  };
+
+  FleetTracker tracker{scenario.config};
+  const FleetReport quiet =
+      tracker.run(scenario.devices, factory_for(false), 10);
+  const FleetReport perturbed =
+      tracker.run(scenario.devices, factory_for(true), 10);
+
+  const TrackReport& quiet_dev0 = quiet.devices[0].report;
+  const TrackReport& pert_dev0 = perturbed.devices[0].report;
+  ASSERT_EQ(quiet_dev0.trace.size(), 10u);
+  ASSERT_EQ(pert_dev0.trace.size(), 10u);
+  // Identical until the neighbor's retune lands (one-tick snapshot delay)...
+  for (long t = 0; t <= 4; ++t)
+    EXPECT_EQ(quiet_dev0.trace[t].power.value(),
+              pert_dev0.trace[t].power.value())
+        << "tick " << t;
+  // ...then device 0's link moves although device 0 itself did nothing.
+  bool diverged = false;
+  for (long t = 5; t < 10; ++t)
+    if (quiet_dev0.trace[t].power.value() !=
+        pert_dev0.trace[t].power.value())
+      diverged = true;
+  EXPECT_TRUE(diverged);
+  EXPECT_EQ(pert_dev0.retune_count, 0);
+}
+
 TEST(FleetTracker, ScenarioIsDeterministicAndWellFormed) {
   const core::MobileFleetScenario a = core::mobile_fleet_scenario(7, 3);
   const core::MobileFleetScenario b = core::mobile_fleet_scenario(7, 3);
