@@ -1,4 +1,28 @@
 #include "src/common/rng.h"
 
-// Header-only today; this translation unit anchors the target and keeps a
-// stable place for future out-of-line additions (e.g. counter-based streams).
+namespace llama::common {
+
+namespace {
+
+/// One avalanche round (same mixing step as serde.h's Hasher64, kept local
+/// so common has no header cycle).
+std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 31;
+  return h;
+}
+
+}  // namespace
+
+double hash_unit_draw(std::uint64_t seed, std::uint64_t k1, std::uint64_t k2) {
+  std::uint64_t h = mix(mix(mix(0x11A0'FA17ULL, seed), k1), k2);
+  // Final avalanche so low-entropy keys (small counters) still spread over
+  // the full 53-bit mantissa.
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace llama::common

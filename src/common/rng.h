@@ -3,12 +3,24 @@
 // Every stochastic component in LLAMA (noise, multipath, measurement jitter)
 // draws from an Rng that is explicitly seeded, so experiments are
 // reproducible bit-for-bit and tests can assert on exact statistics.
+//
+// Stateful streams (Rng) serve serial consumers; concurrent consumers that
+// must agree on a draw regardless of scheduling use the stateless
+// counter-based hash_unit_draw below.
 #pragma once
 
 #include <cstdint>
 #include <random>
 
 namespace llama::common {
+
+/// Stateless uniform draw in [0, 1): a splitmix64-style avalanche of
+/// (seed, k1, k2). Unlike an Rng stream, the value depends only on the key,
+/// never on how many draws other consumers made first — this is what lets
+/// the fault-injection layer hand byte-identical fault schedules to every
+/// shard of a parallel fleet for any thread count.
+[[nodiscard]] double hash_unit_draw(std::uint64_t seed, std::uint64_t k1,
+                                    std::uint64_t k2);
 
 /// Thin wrapper over a 64-bit Mersenne twister with convenience draws.
 class Rng {

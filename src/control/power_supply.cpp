@@ -1,22 +1,87 @@
 #include "src/control/power_supply.h"
 
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/rng.h"
+
 namespace llama::control {
 
 PowerSupply::PowerSupply(common::Voltage max_voltage, double switch_rate_hz)
     : max_v_(max_voltage), rate_hz_(switch_rate_hz) {
-  if (max_v_.value() <= 0.0)
-    throw SupplyRangeError{"PowerSupply: max voltage must be positive"};
-  if (rate_hz_ <= 0.0)
-    throw SupplyRangeError{"PowerSupply: switch rate must be positive"};
+  // !(x > 0) rather than x <= 0: NaN fails the comparison too, and a NaN
+  // limit would otherwise let every later range check pass vacuously.
+  if (!(max_v_.value() > 0.0) || !std::isfinite(max_v_.value()))
+    throw std::invalid_argument{
+        "PowerSupply: max voltage must be finite and positive"};
+  if (!(rate_hz_ > 0.0) || !std::isfinite(rate_hz_))
+    throw std::invalid_argument{
+        "PowerSupply: switch rate must be finite and positive"};
 }
 
 void PowerSupply::set_outputs(common::Voltage vx, common::Voltage vy) {
-  if (vx.value() < 0.0 || vx > max_v_ || vy.value() < 0.0 || vy > max_v_)
+  if (!(vx.value() >= 0.0) || vx > max_v_ || !(vy.value() >= 0.0) ||
+      vy > max_v_)
     throw SupplyRangeError{"PowerSupply: commanded voltage out of range"};
-  vx_ = vx;
-  vy_ = vy;
+  // The command always goes out on the wire: period and counter are charged
+  // before the transient-failure draw, so a lost switch costs exactly what a
+  // delivered one does.
   elapsed_s_ += switch_period_s();
   ++switches_;
+  if (faults_ && faults_->switch_fail_probability > 0.0 &&
+      common::hash_unit_draw(faults_->fault_seed, 0x5F17C4ULL,
+                             static_cast<std::uint64_t>(switches_)) <
+          faults_->switch_fail_probability)
+    throw SupplySwitchError{
+        "PowerSupply: transient switch failure (command lost)"};
+  if (faults_ && faults_->brownout_clamp) {
+    vx = std::min(vx, *faults_->brownout_clamp);
+    vy = std::min(vy, *faults_->brownout_clamp);
+  }
+  vx_ = vx;
+  vy_ = vy;
+}
+
+void PowerSupply::wait(double seconds) {
+  if (!(seconds >= 0.0) || !std::isfinite(seconds))
+    throw std::invalid_argument{
+        "PowerSupply: wait duration must be finite and non-negative"};
+  elapsed_s_ += seconds;
+}
+
+void PowerSupply::set_fault_state(std::optional<SupplyFaultState> faults) {
+  if (faults) {
+    const double p = faults->switch_fail_probability;
+    if (!(p >= 0.0 && p <= 1.0))
+      throw std::invalid_argument{
+          "PowerSupply: switch-fail probability must lie in [0, 1]"};
+    if (faults->brownout_clamp && !(faults->brownout_clamp->value() >= 0.0))
+      throw std::invalid_argument{
+          "PowerSupply: brownout clamp must be non-negative"};
+  }
+  faults_ = std::move(faults);
+}
+
+void set_outputs_with_retry(PowerSupply& supply, common::Voltage vx,
+                            common::Voltage vy,
+                            const SupplyRetryOptions& options) {
+  if (options.max_attempts < 1)
+    throw std::invalid_argument{
+        "set_outputs_with_retry: need >= 1 attempt"};
+  double backoff = options.initial_backoff_s > 0.0
+                       ? options.initial_backoff_s
+                       : supply.switch_period_s();
+  for (int attempt = 1;; ++attempt) {
+    try {
+      supply.set_outputs(vx, vy);
+      return;
+    } catch (const SupplySwitchError&) {
+      if (attempt >= options.max_attempts) throw;
+      supply.wait(std::min(backoff, options.max_backoff_s));
+      backoff = std::min(backoff * options.backoff_factor,
+                         options.max_backoff_s);
+    }
+  }
 }
 
 }  // namespace llama::control

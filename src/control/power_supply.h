@@ -3,8 +3,18 @@
 // switch rate of 50 Hz. The timing model matters: Algorithm 1's cost is
 // quoted as 0.02 s per switch, and the synchronization scheme of paper
 // Eq. 13 relies on the switch period being constant.
+//
+// Fault model (src/fault): a bench supply misbehaves in two ways worth
+// simulating — brownout (the rail can no longer reach the commanded
+// voltage; outputs clamp) and transient switch failures (a VISA command is
+// lost; the outputs keep their previous values but the instrument time is
+// spent). Both are injected through set_fault_state, and the failure draws
+// are stateless hashes of (seed, switch counter) so a faulted run is
+// byte-identical for any thread count.
 #pragma once
 
+#include <cstdint>
+#include <optional>
 #include <stdexcept>
 
 #include "src/common/units.h"
@@ -17,9 +27,32 @@ class SupplyRangeError : public std::out_of_range {
   using std::out_of_range::out_of_range;
 };
 
+/// Thrown when an injected transient switch failure eats a set_outputs
+/// command: the outputs are unchanged, the switch period is spent. Retryable
+/// (see set_outputs_with_retry), unlike SupplyRangeError.
+class SupplySwitchError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Injected hardware fault state (see src/fault/fault_injector.h).
+struct SupplyFaultState {
+  /// Brownout: the highest voltage the rail can actually deliver. Commands
+  /// above it succeed but the output clamps here.
+  std::optional<common::Voltage> brownout_clamp;
+  /// Per-command probability that a switch is lost in transit.
+  double switch_fail_probability = 0.0;
+  /// Seed of the stateless failure draw (keyed with the switch counter).
+  std::uint64_t fault_seed = 0;
+};
+
 class PowerSupply {
  public:
-  /// max 30 V per channel, 50 Hz switch rate (paper Section 3.3).
+  /// max 30 V per channel, 50 Hz switch rate (paper Section 3.3). Throws
+  /// std::invalid_argument when either parameter is non-finite or
+  /// non-positive (a non-positive or infinite rate would make
+  /// switch_period_s() divide to 0 or inf and silently corrupt every
+  /// airtime account built on it).
   PowerSupply(common::Voltage max_voltage = common::Voltage{30.0},
               double switch_rate_hz = 50.0);
 
@@ -29,8 +62,18 @@ class PowerSupply {
   [[nodiscard]] double switch_period_s() const { return 1.0 / rate_hz_; }
 
   /// Programs both channels; advances the instrument clock by one switch
-  /// period. Throws SupplyRangeError on out-of-range commands.
+  /// period. Throws SupplyRangeError on out-of-range (or NaN) commands
+  /// without charging the clock. With an injected fault state: a losing
+  /// switch draw throws SupplySwitchError after the period is spent (the
+  /// command went out, the instrument never acted on it), and a brownout
+  /// clamp caps what the outputs actually reach.
   void set_outputs(common::Voltage vx, common::Voltage vy);
+
+  /// Dwells without switching: advances the instrument clock only. The
+  /// retry helper charges its backoff through this so TrackingLoop's
+  /// supply-clock airtime accounting stays honest. Throws
+  /// std::invalid_argument on negative or non-finite durations.
+  void wait(double seconds);
 
   [[nodiscard]] common::Voltage output_x() const { return vx_; }
   [[nodiscard]] common::Voltage output_y() const { return vy_; }
@@ -41,8 +84,16 @@ class PowerSupply {
   /// measurement dwell) and motivates the coarse-to-fine sweep.
   [[nodiscard]] double elapsed_s() const { return elapsed_s_; }
 
-  /// Number of switches issued so far.
+  /// Number of switches issued so far (lost ones included: the command was
+  /// sent and its period spent even when the instrument dropped it).
   [[nodiscard]] long switch_count() const { return switches_; }
+
+  /// Installs / clears the injected fault state. Applies from the next
+  /// set_outputs on; the current outputs are not retroactively clamped.
+  void set_fault_state(std::optional<SupplyFaultState> faults);
+  [[nodiscard]] const std::optional<SupplyFaultState>& fault_state() const {
+    return faults_;
+  }
 
  private:
   common::Voltage max_v_;
@@ -51,6 +102,31 @@ class PowerSupply {
   common::Voltage vy_{0.0};
   double elapsed_s_ = 0.0;
   long switches_ = 0;
+  std::optional<SupplyFaultState> faults_;
 };
+
+/// Bounded exponential backoff for transient switch failures.
+struct SupplyRetryOptions {
+  /// Total attempts (first try included). Must be >= 1.
+  int max_attempts = 4;
+  /// Dwell before the first retry [s]; <= 0 uses one switch period.
+  double initial_backoff_s = -1.0;
+  /// Backoff multiplier per failed attempt.
+  double backoff_factor = 2.0;
+  /// Backoff ceiling [s].
+  double max_backoff_s = 0.25;
+};
+
+/// Programs the supply, retrying transient SupplySwitchError failures with
+/// bounded exponential backoff. Every attempt spends its switch period and
+/// every backoff dwells through PowerSupply::wait, so the whole recovery
+/// burns instrument time the supply clock can account for — a retune policy
+/// wrapping this never under-reports its blackout. Rethrows the final
+/// SupplySwitchError when attempts are exhausted; SupplyRangeError is never
+/// retried (the command is wrong, not unlucky). Costs nothing extra on a
+/// healthy supply: one switch, no waits.
+void set_outputs_with_retry(PowerSupply& supply, common::Voltage vx,
+                            common::Voltage vy,
+                            const SupplyRetryOptions& options = {});
 
 }  // namespace llama::control

@@ -47,7 +47,7 @@ SweepResult CoarseToFineSweep::run(const PowerProbe& probe) {
       for (int j = 1; j <= t_steps; ++j) {
         const common::Voltage vx{x_lo + x_step * i};
         const common::Voltage vy{y_lo + y_step * j};
-        supply_.set_outputs(vx, vy);
+        set_outputs_with_retry(supply_, vx, vy, options_.retry);
         const common::PowerDbm p = probe(vx, vy);
         trace_.push_back({vx, vy, p});
         ++result.probes;
@@ -108,7 +108,7 @@ SweepResult CoarseToFineSweep::run_batched(const GridPowerProbe& probe) {
       for (int j = 0; j < t_steps; ++j) {
         const common::Voltage vx{vxs[static_cast<std::size_t>(i)]};
         const common::Voltage vy{vys[static_cast<std::size_t>(j)]};
-        supply_.set_outputs(vx, vy);
+        set_outputs_with_retry(supply_, vx, vy, options_.retry);
         const common::PowerDbm p = grid[static_cast<std::size_t>(j)]
                                        [static_cast<std::size_t>(i)];
         trace_.push_back({vx, vy, p});
@@ -170,7 +170,8 @@ SweepResult FullGridSweep::run(const PowerProbe& probe) {
     std::vector<double> row;
     row.reserve(vxs_.size());
     for (double vx : vxs_) {
-      supply_.set_outputs(common::Voltage{vx}, common::Voltage{vy});
+      set_outputs_with_retry(supply_, common::Voltage{vx},
+                             common::Voltage{vy}, options_.retry);
       const common::PowerDbm p =
           probe(common::Voltage{vx}, common::Voltage{vy});
       row.push_back(p.value());
@@ -202,8 +203,8 @@ SweepResult FullGridSweep::run_batched(const GridPowerProbe& probe) {
     std::vector<double> row;
     row.reserve(vxs_.size());
     for (std::size_t ix = 0; ix < vxs_.size(); ++ix) {
-      supply_.set_outputs(common::Voltage{vxs_[ix]},
-                          common::Voltage{vys_[iy]});
+      set_outputs_with_retry(supply_, common::Voltage{vxs_[ix]},
+                             common::Voltage{vys_[iy]}, options_.retry);
       const common::PowerDbm p = powers[iy][ix];
       row.push_back(p.value());
       ++result.probes;

@@ -58,6 +58,12 @@ class CoarseToFineSweep {
     int steps_per_axis = 5;      ///< paper: T = 5
     common::Voltage v_min{0.0};  ///< sweep range start (both axes)
     common::Voltage v_max{30.0};  ///< sweep range end (both axes)
+    /// Bounded-backoff retry for transient supply switch failures
+    /// (src/fault injection). Every retry/backoff burns supply-clock time,
+    /// so SweepResult::time_cost_s stays honest under faults; an exhausted
+    /// retry propagates SupplySwitchError out of the sweep. No cost on a
+    /// healthy supply.
+    SupplyRetryOptions retry{};
   };
 
   CoarseToFineSweep(PowerSupply& supply, Options options);
@@ -92,6 +98,8 @@ class FullGridSweep {
     common::Voltage v_min{0.0};
     common::Voltage v_max{30.0};
     common::Voltage step{1.0};
+    /// Same transient-failure retry contract as CoarseToFineSweep.
+    SupplyRetryOptions retry{};
   };
 
   FullGridSweep(PowerSupply& supply, Options options);

@@ -40,6 +40,11 @@ std::vector<const em::JonesMatrix*> LlamaSystem::scene_responses(
 }
 
 common::PowerDbm LlamaSystem::channel_power_with_surface() const {
+  // A crashed surface is absent from its own scene: only the direct path
+  // and any external surfaces carry signal.
+  if (!surface_online_)
+    return scene_.received_power(config_.tx_power, config_.frequency,
+                                 scene_responses(nullptr));
   const em::JonesMatrix home =
       surface_.response(config_.frequency, scene_.geometry().mode);
   return scene_.received_power(config_.tx_power, config_.frequency,
@@ -100,12 +105,16 @@ control::GridPowerProbe LlamaSystem::make_grid_probe(int threads) {
     const channel::PropagationScene::FrozenEval frozen = scene_.freeze_except(
         channel::PropagationScene::kHomeSurface, config_.tx_power,
         config_.frequency, scene_responses(nullptr));
+    // Offline surface: every swept cell scatters nothing (explicit zero —
+    // the JonesMatrix default is identity).
+    const em::JonesMatrix zero{em::Complex{0.0, 0.0}, em::Complex{0.0, 0.0},
+                               em::Complex{0.0, 0.0}, em::Complex{0.0, 0.0}};
     control::PowerGrid grid(vys.size(),
                             std::vector<common::PowerDbm>(vxs.size()));
     for (std::size_t iy = 0; iy < vys.size(); ++iy)
       for (std::size_t ix = 0; ix < vxs.size(); ++ix)
-        grid[iy][ix] = receiver_.expected_measure(
-            scene_.received_power_swept(frozen, responses[iy][ix]));
+        grid[iy][ix] = receiver_.expected_measure(scene_.received_power_swept(
+            frozen, surface_online_ ? responses[iy][ix] : zero));
     if (!vxs.empty() && !vys.empty())
       surface_.set_bias(common::Voltage{vxs.back()},
                         common::Voltage{vys.back()});
@@ -121,10 +130,12 @@ control::BatchPowerProbe LlamaSystem::make_batch_probe(int threads) {
     const channel::PropagationScene::FrozenEval frozen = scene_.freeze_except(
         channel::PropagationScene::kHomeSurface, config_.tx_power,
         config_.frequency, scene_responses(nullptr));
+    const em::JonesMatrix zero{em::Complex{0.0, 0.0}, em::Complex{0.0, 0.0},
+                               em::Complex{0.0, 0.0}, em::Complex{0.0, 0.0}};
     std::vector<common::PowerDbm> powers(points.size());
     for (std::size_t i = 0; i < points.size(); ++i)
-      powers[i] = receiver_.expected_measure(
-          scene_.received_power_swept(frozen, responses[i]));
+      powers[i] = receiver_.expected_measure(scene_.received_power_swept(
+          frozen, surface_online_ ? responses[i] : zero));
     if (!points.empty())
       surface_.set_bias(points.back().first, points.back().second);
     return powers;
@@ -193,8 +204,13 @@ control::OptimizationReport LlamaSystem::optimize_link_codebook(
   const codebook::BiasPoint hit = book.lookup(config_.frequency, orientation);
 
   const double t0 = supply_.elapsed_s();
-  supply_.set_outputs(hit.vx, hit.vy);
-  surface_.set_bias(hit.vx, hit.vy);
+  // Transient switch failures retry with bounded backoff; every attempt and
+  // dwell is on the supply clock, so the caller's airtime math stays
+  // honest. The surface is programmed at what the supply actually delivers
+  // (a brownout clamp shows up here), so the measured-vs-predicted
+  // deviation check below sees real hardware misbehavior.
+  control::set_outputs_with_retry(supply_, hit.vx, hit.vy, options.retry);
+  surface_.set_bias(supply_.output_x(), supply_.output_y());
   const common::PowerDbm measured = expected_measure_with_surface();
   report.sweep.best_vx = hit.vx;
   report.sweep.best_vy = hit.vy;
@@ -220,8 +236,9 @@ control::OptimizationReport LlamaSystem::optimize_link_codebook(
     // supply switch per cell like the batched sweeps do.
     for (std::size_t iy = 0; iy < vys.size(); ++iy)
       for (std::size_t ix = 0; ix < vxs.size(); ++ix) {
-        supply_.set_outputs(common::Voltage{vxs[ix]},
-                            common::Voltage{vys[iy]});
+        control::set_outputs_with_retry(supply_, common::Voltage{vxs[ix]},
+                                        common::Voltage{vys[iy]},
+                                        options.retry);
         ++report.sweep.probes;
         if (grid[iy][ix] > report.sweep.best_power) {
           report.sweep.best_power = grid[iy][ix];
@@ -234,6 +251,35 @@ control::OptimizationReport LlamaSystem::optimize_link_codebook(
   report.sweep.time_cost_s = supply_.elapsed_s() - t0;
   report.improvement = report.sweep.best_power - report.baseline;
   return report;
+}
+
+LlamaSystem::CodebookPathReport LlamaSystem::optimize_link_codebook_file(
+    const std::string& path, const CodebookLinkOptions& options) {
+  CodebookPathReport out;
+  std::optional<codebook::Codebook> book;
+  try {
+    book.emplace(codebook::Codebook::load(path));
+    validate_codebook(*book, "optimize_link_codebook_file");
+  } catch (const std::invalid_argument& e) {
+    out.fallback_reason = e.what();  // surface-mode mismatch
+    book.reset();
+  } catch (const std::out_of_range& e) {
+    out.fallback_reason = e.what();  // frequency not covered
+    book.reset();
+  } catch (const std::runtime_error& e) {
+    // CodebookFormatError, CodebookStaleError, unreadable file. Load and
+    // validation run before any supply command, so this can never swallow a
+    // hardware SupplySwitchError.
+    out.fallback_reason = e.what();
+    book.reset();
+  }
+  if (book) {
+    out.report = optimize_link_codebook(*book, options);
+    out.used_codebook = true;
+  } else {
+    out.report = optimize_link_batched();
+  }
+  return out;
 }
 
 common::GainDb LlamaSystem::improvement() {

@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 
 #include "src/channel/capacity.h"
 #include "src/channel/propagation_scene.h"
@@ -31,6 +32,9 @@ namespace llama::core {
 
 /// Options for the codebook fast path (optimize_link_codebook).
 struct CodebookLinkOptions {
+  /// Bounded-backoff retry for transient supply switch failures (src/fault
+  /// injection); free on a healthy supply.
+  control::SupplyRetryOptions retry{};
   /// The local fine sweep triggers when the measured power falls short of
   /// the codebook's interpolated prediction by more than this — the signal
   /// that the device sits between lattice cells whose optima differ, or
@@ -116,6 +120,28 @@ class LlamaSystem {
   control::OptimizationReport optimize_link_codebook(
       const codebook::Codebook& book, const CodebookLinkOptions& options = {});
 
+  /// Outcome of the fallback-aware codebook-file path.
+  struct CodebookPathReport {
+    control::OptimizationReport report;
+    /// True when the persisted codebook loaded, validated and served the
+    /// retune; false when the degraded path (full batched Algorithm 1) ran.
+    bool used_codebook = false;
+    /// Why the codebook was rejected (empty when used_codebook).
+    std::string fallback_reason;
+  };
+
+  /// Runtime codebook load with a built-in degraded mode: loads `path`,
+  /// validates it against the live configuration, and runs
+  /// optimize_link_codebook. Any artifact failure — unreadable file,
+  /// truncated/corrupt bytes (CodebookFormatError), config-hash staleness
+  /// (CodebookStaleError), surface-mode or frequency-coverage mismatch —
+  /// falls back to optimize_link_batched() instead of aborting, reporting
+  /// which path served and why. Hardware faults (SupplySwitchError) are NOT
+  /// swallowed: they concern the plant, not the artifact, and propagate to
+  /// the caller's retry/degradation machinery.
+  [[nodiscard]] CodebookPathReport optimize_link_codebook_file(
+      const std::string& path, const CodebookLinkOptions& options = {});
+
   /// Hash of this system's live codebook-relevant configuration (transmit
   /// power, geometry, antennas sans rx orientation, environment, receiver).
   /// A codebook is valid for this system iff its header carries this value.
@@ -169,6 +195,14 @@ class LlamaSystem {
       std::vector<std::optional<em::JonesMatrix>> responses);
   void clear_external_responses() { external_responses_.clear(); }
 
+  /// Crash/offline fault hook (src/fault): while offline the home surface
+  /// contributes nothing to any measurement or batched probe — only the
+  /// direct path (and external surfaces) carry signal. Bias programming
+  /// still "works" (the dead surface just ignores it), so control paths run
+  /// unchanged and simply observe the missing gain.
+  void set_surface_online(bool online) { surface_online_ = online; }
+  [[nodiscard]] bool surface_online() const { return surface_online_; }
+
   /// Reconfigures geometry / frequency / power without rebuilding state.
   void set_geometry(const channel::LinkGeometry& g) { scene_.set_geometry(g); }
   void set_frequency(common::Frequency f) { config_.frequency = f; }
@@ -213,6 +247,7 @@ class LlamaSystem {
 
   SystemConfig config_;
   metasurface::Metasurface surface_;
+  bool surface_online_ = true;
   channel::PropagationScene scene_;
   std::vector<std::optional<em::JonesMatrix>> external_responses_;
   control::PowerSupply supply_;

@@ -290,4 +290,71 @@ MobileFleetScenario mobile_fleet_scenario(std::size_t n_devices,
   return s;
 }
 
+FaultDrillScenario fault_drill_scenario(std::size_t n_devices,
+                                        std::size_t m_surfaces, long ticks) {
+  if (ticks <= 0)
+    throw std::invalid_argument{"fault_drill_scenario: need >= 1 tick"};
+  FaultDrillScenario s;
+  // Long-aisle link budget: the AP sits 6 m away at 4 dBm, so a heavily
+  // mismatched direct path lands *below* the BLE operational floor and the
+  // surface genuinely carries the link — a crashed surface then means
+  // outage, not a few lost dB, which is what the drill must exercise.
+  MobileFleetScenario base = mobile_fleet_scenario(
+      n_devices, m_surfaces, common::PowerDbm{4.0}, /*tx_rx_distance_m=*/6.0);
+  s.config = std::move(base.config);
+  s.ticks = ticks;
+  // Noise of -68 dBm puts the default BLE floor at -59 dBm: comfortably
+  // below the roster's served power (-56..-54 dBm, ~3 dB of fade margin)
+  // yet above its dark (surface-offline) power (-62..-59.4 dBm over the
+  // orientation band) — so a crashed surface means outage, and a tracked
+  // one does not.
+  s.config.loop.noise = common::PowerDbm{-68.0};
+
+  // The drill's own roster: deep-mismatch wearables confined to [80, 100]
+  // deg (mean in [84, 96], swing amplitude 3-4 deg), where the surface's
+  // polarization rotation is what keeps the link above the floor. The
+  // golden-ratio mean spread and per-device rate/phase diversity mirror
+  // mobile_fleet_scenario.
+  s.devices.clear();
+  s.devices.reserve(n_devices);
+  for (std::size_t i = 0; i < n_devices; ++i) {
+    const double di = static_cast<double>(i);
+    channel::ArmSwing::Params swing;
+    swing.mean =
+        common::Angle::degrees(84.0 + 12.0 * std::fmod(di * 0.618033988749895,
+                                                       1.0));
+    swing.amplitude =
+        common::Angle::degrees(3.0 + static_cast<double>(i % 2));
+    swing.swing_rate_hz = 0.4 + 0.1 * static_cast<double>(i % 4);
+    swing.phase_rad = std::fmod(di * 2.399963, 2.0 * common::kPi);
+    track::FleetDeviceSpec spec;
+    spec.name = "wearable" + std::to_string(i);
+    spec.process = [swing] {
+      return std::make_unique<channel::ArmSwing>(swing);
+    };
+    spec.surface = -1;  // round-robin
+    s.devices.push_back(std::move(spec));
+  }
+
+  auto plan = std::make_shared<fault::FaultPlan>();
+  plan->seed = 0xD811'11A0ULL;
+  // Flaky telemetry from the start: 5% of every device's measurements drop.
+  plan->events.push_back(fault::measurement_dropout_event(0.05));
+  // One stuck unit cell (1% of the lattice) pinned to 0 V on surface 0 —
+  // the compiled codebook's optima are slightly wrong there all episode.
+  plan->events.push_back(fault::stuck_cells_event(
+      /*surface=*/0, /*fraction=*/0.01, common::Voltage{0.0},
+      common::Voltage{0.0}));
+  // The last surface crashes offline at the episode midpoint and stays
+  // down; its devices must be reassigned to survive.
+  const double midpoint_s =
+      0.5 * static_cast<double>(ticks) * s.config.loop.dt_s;
+  plan->events.push_back(fault::surface_offline_event(
+      static_cast<std::uint32_t>(m_surfaces - 1), midpoint_s));
+
+  s.config.faults = plan;
+  s.plan = std::move(plan);
+  return s;
+}
+
 }  // namespace llama::core

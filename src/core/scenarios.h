@@ -123,4 +123,19 @@ struct MobileFleetScenario {
     common::PowerDbm tx_power = common::PowerDbm{14.0},
     double tx_rx_distance_m = 1.0);
 
+/// Fault-injection drill (the robustness gate's scenario): the mobile-fleet
+/// setup under a seeded fault schedule — 5% measurement dropout fleet-wide
+/// from t = 0, one stuck bias cell (1% of the lattice, stuck at 0 V) on
+/// surface 0, and the last surface crashing offline at the episode
+/// midpoint. The plan rides in config.faults and is also exposed directly
+/// for serialization round-trips and injector-level tests.
+struct FaultDrillScenario {
+  track::FleetConfig config;
+  std::vector<track::FleetDeviceSpec> devices;
+  std::shared_ptr<const fault::FaultPlan> plan;
+  long ticks = 120;
+};
+[[nodiscard]] FaultDrillScenario fault_drill_scenario(
+    std::size_t n_devices = 8, std::size_t m_surfaces = 2, long ticks = 120);
+
 }  // namespace llama::core

@@ -1,5 +1,6 @@
 #include "src/deploy/deployment_engine.h"
 
+#include <optional>
 #include <stdexcept>
 #include <utility>
 
@@ -328,6 +329,40 @@ DeploymentReport DeploymentEngine::run_codebook(
   });
 
   finalize_report(devices, report);
+  return report;
+}
+
+DeploymentReport DeploymentEngine::run_codebook_file(
+    const std::vector<DeviceSpec>& devices, const std::string& path) {
+  // Roster errors are the caller's bug and throw like run(); only artifact
+  // failures (checked below, before any optimization work) degrade.
+  validate(devices);
+  std::optional<codebook::Codebook> book;
+  std::string reason;
+  try {
+    book.emplace(codebook::Codebook::load(path));
+    const codebook::Codebook::Header& header = book->header();
+    if (header.mode != config_.geometry.mode)
+      throw std::invalid_argument{
+          "DeploymentEngine: codebook surface mode does not match the "
+          "deployment geometry"};
+    if (header.config_hash !=
+        codebook::deployment_config_hash(config_, engine_.stack()))
+      throw codebook::CodebookStaleError{
+          "DeploymentEngine: codebook was compiled for a different "
+          "deployment configuration (config-hash mismatch); recompile it"};
+    if (!book->covers_frequency(config_.frequency))
+      throw std::out_of_range{
+          "DeploymentEngine: deployment frequency lies outside the "
+          "codebook's compiled frequency axis"};
+  } catch (const std::exception& e) {
+    reason = e.what();
+    book.reset();
+  }
+  DeploymentReport report =
+      book ? run_codebook(devices, *book) : run(devices);
+  report.used_codebook = book.has_value();
+  report.codebook_fallback_reason = reason;
   return report;
 }
 

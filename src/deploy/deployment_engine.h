@@ -220,6 +220,10 @@ struct DeploymentReport {
   common::PowerMw max_leakage{0.0};
   metasurface::ResponseCacheStats cache_stats;
   std::size_t plan_count = 0;
+  /// run_codebook_file() provenance: whether the compiled artifact actually
+  /// served the round, and if not, why it was rejected (empty otherwise).
+  bool used_codebook = false;
+  std::string codebook_fallback_reason;
 };
 
 /// M surfaces, N devices, one shared response engine.
@@ -253,6 +257,16 @@ class DeploymentEngine {
   /// when the deployment frequency is outside the compiled axis.
   [[nodiscard]] DeploymentReport run_codebook(
       const std::vector<DeviceSpec>& devices, const codebook::Codebook& book);
+
+  /// run_codebook() from a serialized artifact, with degraded-mode serving:
+  /// any artifact failure — unreadable/truncated/corrupt file
+  /// (CodebookFormatError), stale config hash (CodebookStaleError), surface
+  /// mode or frequency mismatch — falls back to the full Algorithm-1 run()
+  /// instead of failing the fleet. The report's used_codebook /
+  /// codebook_fallback_reason record which path served the round. Device
+  /// roster errors still throw exactly like run().
+  [[nodiscard]] DeploymentReport run_codebook_file(
+      const std::vector<DeviceSpec>& devices, const std::string& path);
 
   [[nodiscard]] const DeploymentConfig& config() const { return config_; }
   [[nodiscard]] SharedResponseEngine& response_engine() { return engine_; }

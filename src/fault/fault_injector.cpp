@@ -1,0 +1,124 @@
+#include "src/fault/fault_injector.h"
+
+#include <algorithm>
+
+#include "src/common/rng.h"
+#include "src/core/llama_system.h"
+
+namespace llama::fault {
+
+namespace {
+
+/// Key salts keep the per-kind draw streams decorrelated even when they
+/// share a (device, tick) counter pair.
+constexpr std::uint64_t kDropoutSalt = 0xD407'0000ULL;
+constexpr std::uint64_t kSpikeSalt = 0x54B1'0000ULL;
+
+std::uint64_t draw_key(std::uint64_t salt, std::size_t device) {
+  return salt ^ (static_cast<std::uint64_t>(device) + 1);
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(const FaultPlan& plan) : plan_(plan) {
+  validate(plan_);
+}
+
+bool FaultInjector::applies(const FaultEvent& e, std::size_t surface,
+                            double t_s) {
+  return (e.surface == kAllSurfaces ||
+          e.surface == static_cast<std::uint32_t>(surface)) &&
+         e.active_at(t_s);
+}
+
+SurfaceFaultState FaultInjector::surface_state(std::size_t surface,
+                                               double t_s) const {
+  SurfaceFaultState state;
+  for (const FaultEvent& e : plan_.events) {
+    if (!applies(e, surface, t_s)) continue;
+    switch (e.kind) {
+      case FaultKind::kSurfaceOffline:
+        state.offline = true;
+        break;
+      case FaultKind::kStuckCells:
+        if (!state.stuck || e.magnitude > state.stuck->fraction)
+          state.stuck = metasurface::StuckCellFault{
+              e.magnitude, common::Voltage{e.aux_a}, common::Voltage{e.aux_b}};
+        break;
+      case FaultKind::kSupplyBrownout:
+        state.brownout_clamp =
+            state.brownout_clamp
+                ? std::min(*state.brownout_clamp, common::Voltage{e.magnitude})
+                : common::Voltage{e.magnitude};
+        break;
+      case FaultKind::kSupplyFlakySwitch:
+        state.switch_fail_probability =
+            std::max(state.switch_fail_probability, e.probability);
+        break;
+      default:
+        break;  // measurement/codebook kinds are queried separately
+    }
+  }
+  return state;
+}
+
+bool FaultInjector::measurement_dropped(std::size_t device,
+                                        std::size_t surface, long tick,
+                                        double t_s) const {
+  for (const FaultEvent& e : plan_.events) {
+    if (e.kind != FaultKind::kMeasurementDropout || !applies(e, surface, t_s))
+      continue;
+    if (common::hash_unit_draw(plan_.seed, draw_key(kDropoutSalt, device),
+                               static_cast<std::uint64_t>(tick)) <
+        e.probability)
+      return true;
+  }
+  return false;
+}
+
+double FaultInjector::measurement_spike_db(std::size_t device,
+                                           std::size_t surface, long tick,
+                                           double t_s) const {
+  double spike = 0.0;
+  for (const FaultEvent& e : plan_.events) {
+    if (e.kind != FaultKind::kMeasurementSpike || !applies(e, surface, t_s))
+      continue;
+    if (common::hash_unit_draw(plan_.seed, draw_key(kSpikeSalt, device),
+                               static_cast<std::uint64_t>(tick)) <
+        e.probability)
+      spike += e.magnitude;
+  }
+  return spike;
+}
+
+std::optional<FaultKind> FaultInjector::codebook_fault(std::size_t surface,
+                                                       double t_s) const {
+  std::optional<FaultKind> worst;
+  for (const FaultEvent& e : plan_.events) {
+    if (!applies(e, surface, t_s)) continue;
+    if (e.kind == FaultKind::kCodebookCorrupt) return e.kind;
+    if (e.kind == FaultKind::kCodebookStale) worst = e.kind;
+  }
+  return worst;
+}
+
+void FaultInjector::apply_to(core::LlamaSystem& system, std::size_t device,
+                             std::size_t surface, double t_s) const {
+  const SurfaceFaultState state = surface_state(surface, t_s);
+  system.set_surface_online(!state.offline);
+  system.surface().set_stuck_cells(state.stuck);
+  if (state.brownout_clamp || state.switch_fail_probability > 0.0) {
+    control::SupplyFaultState supply_faults;
+    supply_faults.brownout_clamp = state.brownout_clamp;
+    supply_faults.switch_fail_probability = state.switch_fail_probability;
+    // Per-device failure-draw stream: shards never share a counter.
+    supply_faults.fault_seed =
+        plan_.seed ^ (0x9E3779B97F4A7C15ULL *
+                      (static_cast<std::uint64_t>(device) + 1));
+    system.supply().set_fault_state(supply_faults);
+  } else {
+    system.supply().set_fault_state(std::nullopt);
+  }
+}
+
+}  // namespace llama::fault

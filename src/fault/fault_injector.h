@@ -1,0 +1,81 @@
+// Runtime view of a FaultPlan: answers "what is broken right now?" and
+// pushes that state into a device's plant.
+//
+// Determinism contract: the injector holds no mutable state. Probabilistic
+// faults (dropouts, spikes, flaky switches) are Bernoulli draws keyed by
+// (plan seed, device, tick) through common::hash_unit_draw — a pure
+// function of the key, never of how many draws other shards made first.
+// Any thread interleaving of a fleet therefore reads identical fault
+// schedules, preserving the byte-identical-for-any-thread-count invariant
+// with faults enabled.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "src/fault/fault_plan.h"
+#include "src/metasurface/metasurface.h"
+
+namespace llama::core {
+class LlamaSystem;
+}  // namespace llama::core
+
+namespace llama::fault {
+
+/// Hardware state of one surface at one instant.
+struct SurfaceFaultState {
+  /// The surface crashed: it contributes nothing to any channel.
+  bool offline = false;
+  std::optional<metasurface::StuckCellFault> stuck;
+  std::optional<common::Voltage> brownout_clamp;
+  double switch_fail_probability = 0.0;
+};
+
+class FaultInjector {
+ public:
+  /// `plan` must outlive the injector (FleetConfig holds it shared).
+  explicit FaultInjector(const FaultPlan& plan);
+
+  [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+
+  /// Aggregated hardware fault state of `surface` at time t. Overlapping
+  /// events of one kind combine conservatively: the largest stuck fraction,
+  /// the lowest brownout clamp, the highest switch-fail probability.
+  [[nodiscard]] SurfaceFaultState surface_state(std::size_t surface,
+                                                double t_s) const;
+
+  /// True when an active dropout event covering (surface, t) wins its
+  /// Bernoulli draw for (device, tick).
+  [[nodiscard]] bool measurement_dropped(std::size_t device,
+                                         std::size_t surface, long tick,
+                                         double t_s) const;
+
+  /// Outlier offset [dB] injected into the reported measurement for
+  /// (device, tick); 0 when no spike event fires.
+  [[nodiscard]] double measurement_spike_db(std::size_t device,
+                                            std::size_t surface, long tick,
+                                            double t_s) const;
+
+  /// Synthetic codebook-artifact fault active for `surface` at t
+  /// (kCodebookCorrupt / kCodebookStale), if any. Corrupt wins when both
+  /// are active.
+  [[nodiscard]] std::optional<FaultKind> codebook_fault(std::size_t surface,
+                                                        double t_s) const;
+
+  /// Pushes surface_state(surface, t) into one device's plant: stuck cells
+  /// onto the Metasurface, online flag onto the system, brownout clamp and
+  /// flaky-switch odds onto the PowerSupply. Supply failure draws are
+  /// keyed per device so independent shards stay independent. Idempotent
+  /// per tick — every field is overwritten, so reassigning the device to
+  /// another surface fully swaps its fault state.
+  void apply_to(core::LlamaSystem& system, std::size_t device,
+                std::size_t surface, double t_s) const;
+
+ private:
+  [[nodiscard]] static bool applies(const FaultEvent& e, std::size_t surface,
+                                    double t_s);
+
+  const FaultPlan& plan_;
+};
+
+}  // namespace llama::fault

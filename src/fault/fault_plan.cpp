@@ -1,0 +1,263 @@
+#include "src/fault/fault_plan.h"
+
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <iterator>
+
+#include "src/common/serde.h"
+
+namespace llama::fault {
+
+namespace {
+
+constexpr char kMagic[8] = {'L', 'L', 'A', 'M', 'A', 'F', 'L', 'T'};
+constexpr std::uint32_t kVersion = 1;
+constexpr std::size_t kTrailerBytes = 8;
+/// Runaway-size guard: no real drill schedules a million events.
+constexpr std::uint64_t kMaxEvents = 1u << 20;
+/// u32 kind + u32 surface + 6 doubles.
+constexpr std::size_t kEventBytes = 4 + 4 + 6 * 8;
+/// magic + version + seed + count.
+constexpr std::size_t kHeaderBytes = 8 + 4 + 8 + 8;
+
+[[noreturn]] void fail(const std::string& what) {
+  throw FaultPlanFormatError{"fault plan: " + what};
+}
+
+void validate_event(const FaultEvent& e, std::size_t index) {
+  const auto bad = [&](const std::string& what) {
+    fail("event " + std::to_string(index) + " (" +
+         to_string(e.kind) + "): " + what);
+  };
+  if (!std::isfinite(e.t_start_s)) bad("start time must be finite");
+  if (std::isnan(e.t_end_s) || e.t_end_s < e.t_start_s)
+    bad("end time must be >= start time");
+  if (!(e.probability >= 0.0 && e.probability <= 1.0))
+    bad("probability must lie in [0, 1]");
+  switch (e.kind) {
+    case FaultKind::kStuckCells:
+      if (!std::isfinite(e.magnitude) || !(e.magnitude > 0.0) ||
+          e.magnitude > 1.0)
+        bad("stuck fraction must lie in (0, 1]");
+      if (!std::isfinite(e.aux_a) || !std::isfinite(e.aux_b))
+        bad("stuck bias pair must be finite");
+      break;
+    case FaultKind::kSupplyBrownout:
+      if (!std::isfinite(e.magnitude) || e.magnitude < 0.0)
+        bad("brownout clamp voltage must be finite and non-negative");
+      break;
+    case FaultKind::kMeasurementSpike:
+      if (!std::isfinite(e.magnitude)) bad("spike magnitude must be finite");
+      break;
+    case FaultKind::kSupplyFlakySwitch:
+    case FaultKind::kMeasurementDropout:
+    case FaultKind::kCodebookCorrupt:
+    case FaultKind::kCodebookStale:
+    case FaultKind::kSurfaceOffline:
+      if (!std::isfinite(e.magnitude)) bad("magnitude must be finite");
+      break;
+    default:
+      bad("unknown fault kind " +
+          std::to_string(static_cast<std::uint32_t>(e.kind)));
+  }
+}
+
+}  // namespace
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kStuckCells:
+      return "stuck_cells";
+    case FaultKind::kSupplyBrownout:
+      return "supply_brownout";
+    case FaultKind::kSupplyFlakySwitch:
+      return "supply_flaky_switch";
+    case FaultKind::kMeasurementDropout:
+      return "measurement_dropout";
+    case FaultKind::kMeasurementSpike:
+      return "measurement_spike";
+    case FaultKind::kCodebookCorrupt:
+      return "codebook_corrupt";
+    case FaultKind::kCodebookStale:
+      return "codebook_stale";
+    case FaultKind::kSurfaceOffline:
+      return "surface_offline";
+  }
+  return "unknown";
+}
+
+FaultEvent stuck_cells_event(std::uint32_t surface, double fraction,
+                             common::Voltage vx, common::Voltage vy,
+                             double t_start_s) {
+  FaultEvent e;
+  e.kind = FaultKind::kStuckCells;
+  e.surface = surface;
+  e.t_start_s = t_start_s;
+  e.magnitude = fraction;
+  e.aux_a = vx.value();
+  e.aux_b = vy.value();
+  validate_event(e, 0);
+  return e;
+}
+
+FaultEvent supply_brownout_event(std::uint32_t surface, common::Voltage clamp,
+                                 double t_start_s, double t_end_s) {
+  FaultEvent e;
+  e.kind = FaultKind::kSupplyBrownout;
+  e.surface = surface;
+  e.t_start_s = t_start_s;
+  e.t_end_s = t_end_s;
+  e.magnitude = clamp.value();
+  validate_event(e, 0);
+  return e;
+}
+
+FaultEvent flaky_switch_event(std::uint32_t surface, double probability,
+                              double t_start_s, double t_end_s) {
+  FaultEvent e;
+  e.kind = FaultKind::kSupplyFlakySwitch;
+  e.surface = surface;
+  e.t_start_s = t_start_s;
+  e.t_end_s = t_end_s;
+  e.probability = probability;
+  validate_event(e, 0);
+  return e;
+}
+
+FaultEvent measurement_dropout_event(double probability, double t_start_s) {
+  FaultEvent e;
+  e.kind = FaultKind::kMeasurementDropout;
+  e.t_start_s = t_start_s;
+  e.probability = probability;
+  validate_event(e, 0);
+  return e;
+}
+
+FaultEvent measurement_spike_event(double probability, double spike_db,
+                                   double t_start_s) {
+  FaultEvent e;
+  e.kind = FaultKind::kMeasurementSpike;
+  e.t_start_s = t_start_s;
+  e.magnitude = spike_db;
+  e.probability = probability;
+  validate_event(e, 0);
+  return e;
+}
+
+FaultEvent codebook_corrupt_event(std::uint32_t surface, double t_start_s,
+                                  double t_end_s) {
+  FaultEvent e;
+  e.kind = FaultKind::kCodebookCorrupt;
+  e.surface = surface;
+  e.t_start_s = t_start_s;
+  e.t_end_s = t_end_s;
+  validate_event(e, 0);
+  return e;
+}
+
+FaultEvent surface_offline_event(std::uint32_t surface, double t_start_s) {
+  FaultEvent e;
+  e.kind = FaultKind::kSurfaceOffline;
+  e.surface = surface;
+  e.t_start_s = t_start_s;
+  validate_event(e, 0);
+  return e;
+}
+
+void validate(const FaultPlan& plan) {
+  if (plan.events.size() > kMaxEvents) fail("too many events");
+  for (std::size_t i = 0; i < plan.events.size(); ++i)
+    validate_event(plan.events[i], i);
+}
+
+std::vector<std::uint8_t> FaultPlan::serialize() const {
+  validate(*this);
+  common::ByteWriter w;
+  w.bytes(std::span<const std::uint8_t>{
+      reinterpret_cast<const std::uint8_t*>(kMagic), sizeof kMagic});
+  w.u32(kVersion);
+  w.u64(seed);
+  w.u64(static_cast<std::uint64_t>(events.size()));
+  for (const FaultEvent& e : events) {
+    w.u32(static_cast<std::uint32_t>(e.kind));
+    w.u32(e.surface);
+    w.f64(e.t_start_s);
+    w.f64(e.t_end_s);
+    w.f64(e.magnitude);
+    w.f64(e.aux_a);
+    w.f64(e.aux_b);
+    w.f64(e.probability);
+  }
+  std::vector<std::uint8_t> out = w.data();
+  common::ByteWriter trailer;
+  trailer.u64(common::fnv1a64(out));
+  out.insert(out.end(), trailer.data().begin(), trailer.data().end());
+  return out;
+}
+
+FaultPlan FaultPlan::deserialize(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < kHeaderBytes + kTrailerBytes)
+    fail("truncated (shorter than the fixed header)");
+
+  common::ByteReader r{bytes};
+  std::uint8_t magic[sizeof kMagic];
+  r.bytes(magic);
+  if (std::memcmp(magic, kMagic, sizeof kMagic) != 0)
+    fail("bad magic (not a fault plan file)");
+  const std::uint32_t version = r.u32();
+  if (version != kVersion)
+    fail("unsupported version " + std::to_string(version));
+
+  FaultPlan plan;
+  plan.seed = r.u64();
+  const std::uint64_t n_events = r.u64();
+  if (n_events > kMaxEvents) fail("implausible event count (corrupt header)");
+  const std::size_t expected =
+      kHeaderBytes + static_cast<std::size_t>(n_events) * kEventBytes +
+      kTrailerBytes;
+  if (bytes.size() != expected)
+    fail("size mismatch (truncated or trailing garbage)");
+
+  // Verify the checksum before trusting any payload values.
+  const std::uint64_t stored =
+      common::ByteReader{bytes.subspan(bytes.size() - kTrailerBytes)}.u64();
+  const std::uint64_t computed =
+      common::fnv1a64(bytes.first(bytes.size() - kTrailerBytes));
+  if (stored != computed) fail("checksum mismatch (corrupt file)");
+
+  plan.events.reserve(static_cast<std::size_t>(n_events));
+  for (std::uint64_t i = 0; i < n_events; ++i) {
+    FaultEvent e;
+    e.kind = static_cast<FaultKind>(r.u32());
+    e.surface = r.u32();
+    e.t_start_s = r.f64();
+    e.t_end_s = r.f64();
+    e.magnitude = r.f64();
+    e.aux_a = r.f64();
+    e.aux_b = r.f64();
+    e.probability = r.f64();
+    plan.events.push_back(e);
+  }
+  validate(plan);
+  return plan;
+}
+
+void FaultPlan::save(const std::string& path) const {
+  const std::vector<std::uint8_t> bytes = serialize();
+  std::ofstream out{path, std::ios::binary | std::ios::trunc};
+  if (!out) throw std::runtime_error{"fault plan: cannot open " + path};
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  if (!out) throw std::runtime_error{"fault plan: short write to " + path};
+}
+
+FaultPlan FaultPlan::load(const std::string& path) {
+  std::ifstream in{path, std::ios::binary};
+  if (!in) throw std::runtime_error{"fault plan: cannot open " + path};
+  std::vector<std::uint8_t> bytes{std::istreambuf_iterator<char>{in},
+                                  std::istreambuf_iterator<char>{}};
+  return deserialize(bytes);
+}
+
+}  // namespace llama::fault

@@ -1,0 +1,146 @@
+// Seeded fault schedule — the source of truth for everything that goes
+// wrong in a run.
+//
+// A FaultPlan is data, not behavior: a list of timed fault events (stuck
+// bias cells, supply brownout, flaky switches, measurement dropouts and
+// spikes, codebook artifact corruption, whole-surface crashes) plus the
+// seed every probabilistic draw is keyed from. The runtime view lives in
+// fault_injector.h; keeping the schedule a plain serializable value means a
+// failure drill is an artifact you can version, diff, and replay
+// bit-for-bit — the same philosophy as the compiled codebook.
+//
+// Persistence mirrors the codebook format: magic tag, version, body,
+// FNV-1a checksum trailer, all little-endian via common/serde.h. Truncated
+// or corrupt bytes throw FaultPlanFormatError instead of loading garbage
+// fault schedules (a corrupted drill silently injecting the wrong faults
+// would be the one failure this subsystem cannot afford).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "src/common/units.h"
+
+namespace llama::fault {
+
+/// Malformed persisted fault plan: truncated, corrupt, wrong magic/version,
+/// or a structurally invalid event table.
+class FaultPlanFormatError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// What breaks. Values are part of the on-disk format — append only.
+enum class FaultKind : std::uint32_t {
+  /// A fraction of the surface's unit cells freezes at a fixed bias.
+  /// magnitude = stuck fraction in (0, 1]; aux_a/aux_b = stuck (vx, vy) [V].
+  kStuckCells = 0,
+  /// Supply brownout: the rail clamps at magnitude volts.
+  kSupplyBrownout = 1,
+  /// Transient supply switch failures: each set_outputs is lost with
+  /// `probability`.
+  kSupplyFlakySwitch = 2,
+  /// Receiver measurement dropout: each tick's measurement is lost with
+  /// `probability` (the loop serves the policy its last valid reading).
+  kMeasurementDropout = 3,
+  /// Receiver outlier spike: with `probability`, magnitude dB is added to
+  /// the *reported* measurement (the physical link is unaffected).
+  kMeasurementSpike = 4,
+  /// Codebook artifact reads back corrupt (CodebookFormatError) while
+  /// active.
+  kCodebookCorrupt = 5,
+  /// Codebook artifact reads back hash-stale (CodebookStaleError) while
+  /// active.
+  kCodebookStale = 6,
+  /// The whole surface crashes offline: it contributes nothing to the
+  /// channel until the event ends.
+  kSurfaceOffline = 7,
+};
+
+[[nodiscard]] const char* to_string(FaultKind kind);
+
+/// Wildcard surface index: the event applies to every surface.
+inline constexpr std::uint32_t kAllSurfaces = 0xffffffffu;
+
+/// One scheduled fault, active on [t_start_s, t_end_s).
+struct FaultEvent {
+  FaultKind kind = FaultKind::kSurfaceOffline;
+  /// Deployment surface the fault targets, or kAllSurfaces.
+  std::uint32_t surface = kAllSurfaces;
+  double t_start_s = 0.0;
+  double t_end_s = std::numeric_limits<double>::infinity();
+  /// Kind-specific strength (stuck fraction, clamp volts, spike dB).
+  double magnitude = 0.0;
+  /// Kind-specific extras (stuck bias vx, vy).
+  double aux_a = 0.0;
+  double aux_b = 0.0;
+  /// Per-draw Bernoulli probability for the probabilistic kinds.
+  double probability = 1.0;
+
+  [[nodiscard]] bool active_at(double t_s) const {
+    return t_s >= t_start_s && t_s < t_end_s;
+  }
+
+  friend bool operator==(const FaultEvent&, const FaultEvent&) = default;
+};
+
+/// Event factories for the common drills (validated shapes in one place).
+[[nodiscard]] FaultEvent stuck_cells_event(std::uint32_t surface,
+                                           double fraction, common::Voltage vx,
+                                           common::Voltage vy,
+                                           double t_start_s = 0.0);
+[[nodiscard]] FaultEvent supply_brownout_event(std::uint32_t surface,
+                                               common::Voltage clamp,
+                                               double t_start_s,
+                                               double t_end_s);
+[[nodiscard]] FaultEvent flaky_switch_event(std::uint32_t surface,
+                                            double probability,
+                                            double t_start_s, double t_end_s);
+[[nodiscard]] FaultEvent measurement_dropout_event(double probability,
+                                                   double t_start_s = 0.0);
+[[nodiscard]] FaultEvent measurement_spike_event(double probability,
+                                                 double spike_db,
+                                                 double t_start_s = 0.0);
+[[nodiscard]] FaultEvent codebook_corrupt_event(std::uint32_t surface,
+                                                double t_start_s,
+                                                double t_end_s);
+[[nodiscard]] FaultEvent surface_offline_event(std::uint32_t surface,
+                                               double t_start_s);
+
+/// The seeded schedule. Immutable by convention once handed to an injector.
+struct FaultPlan {
+  /// Keys every probabilistic draw (with device/tick counters), so one plan
+  /// replayed anywhere produces the same faults.
+  std::uint64_t seed = 0xFA17'11A0ULL;
+  std::vector<FaultEvent> events;
+
+  friend bool operator==(const FaultPlan&, const FaultPlan&) = default;
+
+  /// Versioned binary format (magic, version, seed, event table, FNV-1a
+  /// checksum trailer); byte-identical across hosts. Throws
+  /// FaultPlanFormatError when the plan fails validate().
+  [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+
+  /// Parses serialized bytes. Throws FaultPlanFormatError on any malformed
+  /// input: truncation at every prefix, bit flips (checksum), bad
+  /// magic/version, or events that fail validate().
+  [[nodiscard]] static FaultPlan deserialize(
+      std::span<const std::uint8_t> bytes);
+
+  /// File convenience wrappers; I/O failures throw std::runtime_error.
+  void save(const std::string& path) const;
+  [[nodiscard]] static FaultPlan load(const std::string& path);
+};
+
+/// Structural validation shared by serialize and deserialize: known kinds,
+/// finite ordered trigger times, probabilities in [0, 1], kind-specific
+/// magnitude ranges (stuck fraction in (0, 1], non-negative clamp volts,
+/// finite spike dB). Throws FaultPlanFormatError naming the offending
+/// event.
+void validate(const FaultPlan& plan);
+
+}  // namespace llama::fault

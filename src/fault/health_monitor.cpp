@@ -1,0 +1,103 @@
+#include "src/fault/health_monitor.h"
+
+#include <stdexcept>
+
+namespace llama::fault {
+
+const char* to_string(SurfaceHealth health) {
+  switch (health) {
+    case SurfaceHealth::kHealthy:
+      return "healthy";
+    case SurfaceHealth::kDegraded:
+      return "degraded";
+    case SurfaceHealth::kQuarantined:
+      return "quarantined";
+    case SurfaceHealth::kProbation:
+      return "probation";
+  }
+  return "unknown";
+}
+
+HealthMonitor::HealthMonitor(std::size_t n_surfaces)
+    : HealthMonitor(n_surfaces, Options{}) {}
+
+HealthMonitor::HealthMonitor(std::size_t n_surfaces, Options options)
+    : options_(options), states_(n_surfaces) {
+  if (n_surfaces == 0)
+    throw std::invalid_argument{"HealthMonitor: need >= 1 surface"};
+  if (options_.degrade_after < 1 ||
+      options_.quarantine_after <= options_.degrade_after)
+    throw std::invalid_argument{
+        "HealthMonitor: need 1 <= degrade_after < quarantine_after"};
+  if (options_.readmit_after < 1)
+    throw std::invalid_argument{"HealthMonitor: readmit_after must be >= 1"};
+  if (options_.probation_delay_s < 0.0)
+    throw std::invalid_argument{
+        "HealthMonitor: probation delay must be non-negative"};
+}
+
+void HealthMonitor::transition(State& state, SurfaceHealth next) {
+  state.health = next;
+  state.bad_streak = 0;
+  state.good_streak = 0;
+  ++transitions_;
+}
+
+void HealthMonitor::observe(std::size_t surface, const TickEvidence& evidence,
+                            double t_s) {
+  if (surface >= states_.size())
+    throw std::out_of_range{"HealthMonitor: surface index out of range"};
+  State& state = states_[surface];
+
+  // "Bad" evidence is ALL of the surface's devices out at once: one device
+  // in a deep fade is that device's problem; every device out at the same
+  // tick points at the shared surface/supply.
+  const bool informative = evidence.devices > 0;
+  const bool bad = informative && evidence.in_outage == evidence.devices;
+
+  switch (state.health) {
+    case SurfaceHealth::kHealthy:
+      if (bad && ++state.bad_streak >= options_.degrade_after)
+        transition(state, SurfaceHealth::kDegraded);
+      else if (informative && !bad)
+        state.bad_streak = 0;
+      break;
+    case SurfaceHealth::kDegraded:
+      if (bad && ++state.bad_streak >=
+                     options_.quarantine_after - options_.degrade_after) {
+        transition(state, SurfaceHealth::kQuarantined);
+        state.probation_due_s = t_s + options_.probation_delay_s;
+      } else if (informative && !bad) {
+        transition(state, SurfaceHealth::kHealthy);
+      }
+      break;
+    case SurfaceHealth::kQuarantined:
+      // Time-based, not evidence-based: an empty quarantined surface still
+      // earns its probation trial.
+      if (t_s >= state.probation_due_s)
+        transition(state, SurfaceHealth::kProbation);
+      break;
+    case SurfaceHealth::kProbation:
+      if (bad) {
+        // Canary died: back to quarantine, with a fresh dwell.
+        transition(state, SurfaceHealth::kQuarantined);
+        state.probation_due_s = t_s + options_.probation_delay_s;
+      } else if (informative &&
+                 ++state.good_streak >= options_.readmit_after) {
+        transition(state, SurfaceHealth::kHealthy);
+      }
+      break;
+  }
+}
+
+SurfaceHealth HealthMonitor::health(std::size_t surface) const {
+  if (surface >= states_.size())
+    throw std::out_of_range{"HealthMonitor: surface index out of range"};
+  return states_[surface].health;
+}
+
+bool HealthMonitor::serving(std::size_t surface) const {
+  return health(surface) != SurfaceHealth::kQuarantined;
+}
+
+}  // namespace llama::fault

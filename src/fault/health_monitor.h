@@ -1,0 +1,86 @@
+// Per-surface health state machine for fleet serving.
+//
+// The fleet driver feeds one evidence sample per surface per tick (how many
+// of the surface's devices were in outage). Streaks of all-devices-out
+// ticks walk a surface healthy -> degraded -> quarantined; a quarantined
+// surface is taken out of serving (its devices get reassigned) and, after a
+// probation delay, re-admitted on trial: one canary device is moved back,
+// and a streak of clean canary ticks restores the surface to healthy while
+// any bad canary tick re-quarantines it. All transitions are driven by the
+// serial per-tick health pass in FleetTracker, so the machine needs no
+// locking and the fleet's determinism contract holds with faults enabled.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace llama::fault {
+
+enum class SurfaceHealth {
+  kHealthy = 0,
+  /// Suspicious streak building; still serving.
+  kDegraded = 1,
+  /// Out of serving; devices are reassigned away.
+  kQuarantined = 2,
+  /// Re-admission trial: serving a canary only.
+  kProbation = 3,
+};
+
+[[nodiscard]] const char* to_string(SurfaceHealth health);
+
+class HealthMonitor {
+ public:
+  struct Options {
+    /// Consecutive all-devices-out ticks before healthy -> degraded.
+    int degrade_after = 2;
+    /// Consecutive all-devices-out ticks before degraded -> quarantined
+    /// (counted from the start of the streak, so > degrade_after).
+    int quarantine_after = 5;
+    /// Quarantine dwell before a probation trial starts [s].
+    double probation_delay_s = 2.0;
+    /// Consecutive clean canary ticks before probation -> healthy.
+    int readmit_after = 5;
+  };
+
+  /// One tick's worth of evidence about one surface.
+  struct TickEvidence {
+    /// Devices currently served by the surface (0 = no information).
+    std::size_t devices = 0;
+    /// How many of them were in power outage this tick.
+    std::size_t in_outage = 0;
+  };
+
+  /// Throws std::invalid_argument on zero surfaces or non-positive
+  /// thresholds.
+  explicit HealthMonitor(std::size_t n_surfaces);
+  HealthMonitor(std::size_t n_surfaces, Options options);
+
+  /// Serial per-tick update for one surface. Evidence with devices == 0
+  /// leaves streaks untouched (an empty surface proves nothing) but still
+  /// advances time-based transitions (quarantine -> probation).
+  void observe(std::size_t surface, const TickEvidence& evidence, double t_s);
+
+  [[nodiscard]] SurfaceHealth health(std::size_t surface) const;
+  /// True when the surface may carry devices (healthy, degraded, or on
+  /// probation trial).
+  [[nodiscard]] bool serving(std::size_t surface) const;
+  [[nodiscard]] std::size_t surface_count() const { return states_.size(); }
+  /// Total state transitions so far (observability for reports/benches).
+  [[nodiscard]] long transition_count() const { return transitions_; }
+
+ private:
+  struct State {
+    SurfaceHealth health = SurfaceHealth::kHealthy;
+    int bad_streak = 0;
+    int good_streak = 0;
+    double probation_due_s = 0.0;
+  };
+
+  void transition(State& state, SurfaceHealth next);
+
+  Options options_;
+  std::vector<State> states_;
+  long transitions_ = 0;
+};
+
+}  // namespace llama::fault

@@ -1,0 +1,102 @@
+// ResilientPolicy — a degraded-mode retune ladder for faulty plants.
+//
+// The healthy fast path is the compiled codebook: one O(1) lookup, one
+// 20 ms supply switch. Every hardware fault the injection layer models
+// shows up to a codebook policy the same way — the power measured after
+// programming the compiled bias falls short of the codebook's prediction
+// (stuck cells shift the optimum, brownout under-biases the lattice, a
+// crashed surface removes the gain entirely). ResilientPolicy turns that
+// deviation signal into a fallback ladder:
+//
+//   L0 kCodebook    pure lookup on a timer (plus a fade trigger)
+//   L1 kRefine      lookup + local fine sweep over the cell's refinement
+//                   window (recovers from stuck cells / brownout, whose
+//                   optimum moved but still exists nearby)
+//   L2 kResweep     full Algorithm-1 re-sweep from scratch (recovers from
+//                   anything a surface can still serve through)
+//   L3 kDirectOnly  stop retuning entirely: the surface is not helping, so
+//                   stop burning airtime on it (a crashed surface turns
+//                   every switch into pure blackout) and let the direct
+//                   path carry what it can; periodically probe L0 again in
+//                   case the surface came back.
+//
+// Escalation: `escalate_after` consecutive retunes whose achieved power
+// undershoots the codebook prediction by more than `deviation_threshold`.
+// De-escalation: a retune that meets its prediction again drops the ladder
+// straight back to L0. Transient supply switch failures are retried with
+// bounded backoff inside the retune paths; an exhausted retry counts as a
+// failed attempt and escalates instead of crashing the loop. Dropped
+// measurements (obs.measurement_valid == false) trigger nothing: stale
+// telemetry is not evidence.
+#pragma once
+
+#include <optional>
+
+#include "src/track/retune_policy.h"
+
+namespace llama::fault {
+
+class ResilientPolicy final : public track::RetunePolicy {
+ public:
+  enum class Level {
+    kCodebook = 0,
+    kRefine = 1,
+    kResweep = 2,
+    kDirectOnly = 3,
+  };
+
+  struct Options {
+    /// Codebook refresh period [s] (the PeriodicCodebook cadence).
+    double period_s = 0.5;
+    /// A retune "met its prediction" when achieved >= predicted - this.
+    common::GainDb deviation_threshold{3.0};
+    /// Off-schedule retune trigger: measured power fell this far below the
+    /// last achieved level (a fade between periodic expiries).
+    common::GainDb fade_threshold{6.0};
+    /// Consecutive deviating retunes before escalating one level.
+    int escalate_after = 2;
+    /// Dwell at kDirectOnly before probing the codebook path again [s].
+    double direct_holdoff_s = 3.0;
+    /// Lookup options for L0/L1 (L0 forces the fine sweep off, L1 on).
+    core::CodebookLinkOptions lookup{};
+    /// L2 controller options; unset adopts the bound system's configured
+    /// controller options, like HysteresisResweep.
+    std::optional<control::Controller::Options> controller;
+    /// Worker threads for batched grids (1 keeps fleet shards from nesting
+    /// parallelism).
+    int threads = 1;
+  };
+
+  /// `book` must outlive the policy. Throws std::invalid_argument on a
+  /// non-positive period or non-positive escalate_after.
+  explicit ResilientPolicy(const codebook::Codebook& book);
+  ResilientPolicy(const codebook::Codebook& book, Options options);
+
+  [[nodiscard]] const char* name() const override {
+    return "resilient_codebook";
+  }
+  void bind(core::LlamaSystem& system) override;
+  track::PolicyAction on_tick(core::LlamaSystem& system,
+                              const track::TickObservation& obs) override;
+
+  [[nodiscard]] Level level() const { return level_; }
+
+ private:
+  /// One retune attempt at the current level. Returns the achieved power,
+  /// or nullopt when the supply swallowed the retune (exhausted retries).
+  std::optional<common::PowerDbm> retune(core::LlamaSystem& system,
+                                         const track::TickObservation& obs,
+                                         track::PolicyAction& action);
+  void escalate(const track::TickObservation& obs);
+
+  const codebook::Codebook& book_;
+  Options options_;
+  Level level_ = Level::kCodebook;
+  int deviation_streak_ = 0;
+  double next_due_s_ = 0.0;
+  double direct_until_s_ = 0.0;
+  std::optional<common::PowerDbm> last_achieved_;
+  std::optional<control::Controller> controller_;
+};
+
+}  // namespace llama::fault

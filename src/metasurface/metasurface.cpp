@@ -1,5 +1,8 @@
 #include "src/metasurface/metasurface.h"
 
+#include <cmath>
+#include <stdexcept>
+
 #include "src/common/math_utils.h"
 #include "src/common/parallel.h"
 
@@ -9,7 +12,11 @@ Metasurface::Metasurface(RotatorStack stack, LatticeSpec spec)
     : stack_(std::move(stack)), spec_(spec) {}
 
 Metasurface::Metasurface(const Metasurface& other)
-    : stack_(other.stack_), spec_(other.spec_), vx_(other.vx_), vy_(other.vy_) {
+    : stack_(other.stack_),
+      spec_(other.spec_),
+      vx_(other.vx_),
+      vy_(other.vy_),
+      stuck_(other.stuck_) {
   if (other.cache_)
     cache_ = std::make_unique<ResponseCache>(other.cache_->config());
 }
@@ -20,6 +27,7 @@ Metasurface& Metasurface::operator=(const Metasurface& other) {
   spec_ = other.spec_;
   vx_ = other.vx_;
   vy_ = other.vy_;
+  stuck_ = other.stuck_;
   cache_ = other.cache_
                ? std::make_unique<ResponseCache>(other.cache_->config())
                : nullptr;
@@ -35,6 +43,18 @@ Metasurface Metasurface::llama_prototype() {
 void Metasurface::set_bias(common::Voltage vx, common::Voltage vy) {
   vx_ = common::Voltage{common::clamp(vx.value(), 0.0, 30.0)};
   vy_ = common::Voltage{common::clamp(vy.value(), 0.0, 30.0)};
+}
+
+void Metasurface::set_stuck_cells(std::optional<StuckCellFault> fault) {
+  if (fault) {
+    if (!std::isfinite(fault->fraction) || !(fault->fraction > 0.0) ||
+        fault->fraction > 1.0)
+      throw std::invalid_argument{
+          "Metasurface: stuck-cell fraction must lie in (0, 1]"};
+    fault->vx = common::Voltage{common::clamp(fault->vx.value(), 0.0, 30.0)};
+    fault->vy = common::Voltage{common::clamp(fault->vy.value(), 0.0, 30.0)};
+  }
+  stuck_ = fault;
 }
 
 void Metasurface::enable_response_cache(ResponseCacheConfig config) {
@@ -64,6 +84,19 @@ em::JonesMatrix Metasurface::planned_response(common::Frequency f,
 
 em::JonesMatrix Metasurface::response(common::Frequency f,
                                       SurfaceMode mode) const {
+  const em::JonesMatrix healthy = healthy_response(f, mode);
+  if (!stuck_) return healthy;
+  // Coherent sub-aperture mixture: the stuck fraction keeps radiating at
+  // its frozen bias. Mixing happens outside the cache, which memoizes only
+  // the pure healthy responses.
+  const em::JonesMatrix stuck =
+      planned_response(f, mode, stuck_->vx, stuck_->vy);
+  return em::Complex{1.0 - stuck_->fraction, 0.0} * healthy +
+         em::Complex{stuck_->fraction, 0.0} * stuck;
+}
+
+em::JonesMatrix Metasurface::healthy_response(common::Frequency f,
+                                              SurfaceMode mode) const {
   if (cache_) {
     // Cached path: evaluate at the quantized bias so every cache cell is a
     // pure function of its key (see the contract in response_cache.h).
@@ -116,6 +149,17 @@ JonesGrid Metasurface::response_grid(common::Frequency f, SurfaceMode mode,
         grid[iy][ix] = stack_.reflection(plan, clamp_bias(vx_values[ix]), vy);
     });
   }
+  if (stuck_) {
+    // Serial post-pass: matrix blends are trivially cheap next to the
+    // cascade evaluations above, and keeping the parallel rows pure keeps
+    // the grid byte-identical for any thread count.
+    const em::JonesMatrix stuck =
+        planned_response(f, mode, stuck_->vx, stuck_->vy);
+    const em::Complex keep{1.0 - stuck_->fraction, 0.0};
+    const em::Complex frac{stuck_->fraction, 0.0};
+    for (auto& row : grid)
+      for (em::JonesMatrix& cell : row) cell = keep * cell + frac * stuck;
+  }
   return grid;
 }
 
@@ -136,6 +180,13 @@ std::vector<em::JonesMatrix> Metasurface::response_batch(
       out[i] = stack_.reflection(plan, clamp_bias(points[i].first.value()),
                                  clamp_bias(points[i].second.value()));
     });
+  }
+  if (stuck_) {
+    const em::JonesMatrix stuck =
+        planned_response(f, mode, stuck_->vx, stuck_->vy);
+    const em::Complex keep{1.0 - stuck_->fraction, 0.0};
+    const em::Complex frac{stuck_->fraction, 0.0};
+    for (em::JonesMatrix& cell : out) cell = keep * cell + frac * stuck;
   }
   return out;
 }

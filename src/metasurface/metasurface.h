@@ -40,6 +40,19 @@ struct CostBreakdown {
   double per_unit_usd = 0.0;
 };
 
+/// Stuck bias cells (src/fault): a fraction of the lattice's unit cells no
+/// longer follows the shared bias rails and holds a fixed bias pair — a
+/// dead varactor driver, a cracked via, a diode stuck at its last charge.
+/// The aperture's aggregate response becomes the coherent mixture of the
+/// healthy sub-aperture at the commanded bias and the stuck sub-aperture at
+/// the stuck bias, which is exactly the measured-vs-predicted deviation the
+/// resilient retune path detects.
+struct StuckCellFault {
+  double fraction = 0.0;  ///< fraction of unit cells stuck, in (0, 1]
+  common::Voltage vx{0.0};
+  common::Voltage vy{0.0};
+};
+
 /// Row-major grid of Jones responses: grid[iy][ix] is the response at
 /// (vy_values[iy], vx_values[ix]) — same layout as FullGridSweep::grid_dbm.
 using JonesGrid = std::vector<std::vector<em::JonesMatrix>>;
@@ -96,13 +109,26 @@ class Metasurface {
   /// that keep counting after this returns.
   [[nodiscard]] std::optional<ResponseCacheStats> response_cache_stats() const;
 
+  /// Injects / clears a stuck-cell fault. The aggregate response of every
+  /// query (response, response_grid, response_batch) becomes
+  /// (1 - fraction) * response(commanded) + fraction * response(stuck) —
+  /// the cache keeps memoizing only the pure healthy responses, so enabling
+  /// a fault never poisons it. Throws std::invalid_argument when the
+  /// fraction is non-finite or outside (0, 1]; the stuck bias pair is
+  /// clamped to the supply range like set_bias.
+  void set_stuck_cells(std::optional<StuckCellFault> fault);
+  [[nodiscard]] const std::optional<StuckCellFault>& stuck_cells() const {
+    return stuck_;
+  }
+
   /// Batched evaluation of a whole bias plane at one frequency: returns
   /// grid[iy][ix] = response at (vx_values[ix], vy_values[iy]). Biases are
   /// clamped to the supply range like set_bias. Rows are distributed over
   /// `threads` workers (<= 0 picks a default); every cell is a pure planned
   /// evaluation, so the grid is byte-identical for any thread count and
   /// equal to pointwise response() calls. Does not touch the current bias
-  /// or the response cache.
+  /// or the response cache. A stuck-cell fault mixes into every cell, so
+  /// batched sweeps see the same degraded plane pointwise probes do.
   [[nodiscard]] JonesGrid response_grid(common::Frequency f, SurfaceMode mode,
                                         const std::vector<double>& vx_values,
                                         const std::vector<double>& vy_values,
@@ -136,10 +162,16 @@ class Metasurface {
                                                 common::Voltage vx,
                                                 common::Voltage vy) const;
 
+  /// Healthy (no-fault) response at the given bias, cache-aware — the body
+  /// of response() before fault mixing.
+  [[nodiscard]] em::JonesMatrix healthy_response(common::Frequency f,
+                                                 SurfaceMode mode) const;
+
   RotatorStack stack_;
   LatticeSpec spec_;
   common::Voltage vx_{0.0};
   common::Voltage vy_{0.0};
+  std::optional<StuckCellFault> stuck_;
   /// Opt-in memo for response(); mutable because caching is invisible to
   /// callers of the const query API.
   mutable std::unique_ptr<ResponseCache> cache_;

@@ -1,6 +1,8 @@
 #include "src/radio/transceiver.h"
 
 #include <cmath>
+#include <stdexcept>
+#include <string>
 
 #include "src/common/constants.h"
 #include "src/channel/capacity.h"
@@ -14,8 +16,23 @@ common::PowerDbm Receiver::noise_floor_dbm() const {
   return channel::noise_floor(config_.noise_bandwidth, config_.noise_figure);
 }
 
+namespace {
+
+/// The class input contract: finite dBm or -inf (zero signal). NaN and +inf
+/// would otherwise propagate through the mW conversion into every consumer
+/// of the measurement (TrackReport outage accounting included).
+void require_real_signal(common::PowerDbm signal_power, const char* who) {
+  const double v = signal_power.value();
+  if (std::isnan(v) || (std::isinf(v) && v > 0.0))
+    throw std::invalid_argument{std::string{who} +
+                                ": signal power must be finite or -inf"};
+}
+
+}  // namespace
+
 IqCapture Receiver::capture(common::PowerDbm signal_power, int n,
                             double start_time_s) {
+  require_real_signal(signal_power, "Receiver::capture");
   IqCapture iq;
   iq.sample_rate_hz = config_.sample_rate_hz;
   iq.start_time_s = start_time_s;
@@ -50,6 +67,7 @@ common::PowerDbm Receiver::estimate_power(const IqCapture& iq) {
 
 common::PowerDbm Receiver::expected_measure(
     common::PowerDbm signal_power) const {
+  require_real_signal(signal_power, "Receiver::expected_measure");
   const double p_mw = signal_power.to_mw().value();
   const double n_mw = noise_floor_dbm().to_mw().value();
   return common::PowerMw{std::max(p_mw + n_mw, 1e-15)}.to_dbm();
@@ -57,6 +75,7 @@ common::PowerDbm Receiver::expected_measure(
 
 common::PowerDbm Receiver::measure(common::PowerDbm signal_power,
                                    double window_s, double start_time_s) {
+  require_real_signal(signal_power, "Receiver::measure");
   // Cap the synthesized block: beyond ~100k samples the estimator variance
   // is negligible, so longer windows only waste cycles.
   const int n = static_cast<int>(

@@ -38,6 +38,13 @@ struct IqCapture {
 
 /// Simulated receive chain: synthesizes the tone at the power the channel
 /// delivers, adds thermal noise, and estimates received power from samples.
+///
+/// Input contract: `signal_power` must be a real power level — any finite
+/// dBm value or -inf (no signal at all; the chain then measures pure
+/// noise). NaN and +inf are programming errors upstream (a broken channel
+/// model) and are rejected with std::invalid_argument by capture(),
+/// measure() and expected_measure() rather than silently flowing into
+/// outage accounting as non-finite power.
 class Receiver {
  public:
   explicit Receiver(ReceiverConfig config, common::Rng rng);
@@ -49,6 +56,8 @@ class Receiver {
 
   /// Synthesizes `n` samples of the tone arriving at `signal_power` (the
   /// channel's output) plus receiver noise, starting at `start_time_s`.
+  /// Throws std::invalid_argument on NaN or +inf signal power (see the
+  /// class input contract).
   [[nodiscard]] IqCapture capture(common::PowerDbm signal_power, int n,
                                   double start_time_s = 0.0);
 
@@ -58,7 +67,8 @@ class Receiver {
 
   /// Convenience: capture-and-estimate over a measurement window
   /// [seconds]; the paper averages 30 s for baselines, ~20 ms per voltage
-  /// step during sweeps.
+  /// step during sweeps. Throws std::invalid_argument on NaN or +inf
+  /// signal power.
   [[nodiscard]] common::PowerDbm measure(common::PowerDbm signal_power,
                                          double window_s,
                                          double start_time_s = 0.0);
@@ -68,6 +78,7 @@ class Receiver {
   /// batched sweep engine uses this so a grid cell costs arithmetic instead
   /// of tens of thousands of synthesized IQ samples, and so grids are pure
   /// functions of the bias plane (byte-identical across thread counts).
+  /// Throws std::invalid_argument on NaN or +inf signal power.
   [[nodiscard]] common::PowerDbm expected_measure(
       common::PowerDbm signal_power) const;
 

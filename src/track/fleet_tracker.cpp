@@ -1,11 +1,13 @@
 #include "src/track/fleet_tracker.h"
 
 #include <memory>
+#include <optional>
 #include <stdexcept>
 #include <utility>
 
 #include "src/common/parallel.h"
 #include "src/core/scenarios.h"
+#include "src/fault/fault_injector.h"
 
 namespace llama::track {
 
@@ -43,6 +45,11 @@ FleetTracker::FleetTracker(FleetConfig config) : config_(std::move(config)) {
     throw std::invalid_argument{"FleetTracker: need >= 1 surface"};
   if (config_.loop.dt_s <= 0.0)
     throw std::invalid_argument{"FleetTracker: loop tick must be positive"};
+  if (config_.faults && config_.deployment.interference.enable_leakage)
+    throw std::invalid_argument{
+        "FleetTracker: a fault plan and cross-surface leakage cannot be "
+        "combined (the lockstep snapshot path has no health machinery)"};
+  if (config_.faults) fault::validate(*config_.faults);
 }
 
 void FleetTracker::run_independent(const std::vector<FleetDeviceSpec>& devices,
@@ -60,6 +67,7 @@ void FleetTracker::run_independent(const std::vector<FleetDeviceSpec>& devices,
         DeviceTrackResult& out = report.devices[i];
         out.name = devices[i].name;
         out.surface = shard.surface;
+        out.home_surface = shard.surface;
         out.report = loop.run(ticks);
       });
 }
@@ -135,8 +143,118 @@ void FleetTracker::run_lockstep(const std::vector<FleetDeviceSpec>& devices,
     DeviceTrackResult& out = report.devices[i];
     out.name = devices[i].name;
     out.surface = shards[i].surface;
+    out.home_surface = shards[i].surface;
     out.report = shards[i].loop->finish();
   }
+}
+
+void FleetTracker::run_faulted(const std::vector<FleetDeviceSpec>& devices,
+                               const PolicyFactory& make_policy, long ticks,
+                               FleetReport& report) const {
+  const std::size_t n_surfaces = config_.deployment.n_surfaces;
+  const fault::FaultInjector injector{*config_.faults};
+  fault::HealthMonitor monitor{n_surfaces, config_.health};
+
+  // Plants are built serially, in device order (same rationale as the
+  // lockstep mode: construction interleaving must not matter).
+  std::vector<Shard> shards;
+  shards.reserve(devices.size());
+  std::vector<std::size_t> current;  // serving surface, may drift from home
+  current.reserve(devices.size());
+  for (std::size_t i = 0; i < devices.size(); ++i) {
+    Shard shard = make_shard(config_, devices[i], i);
+    shard.policy = make_policy();
+    shard.loop = std::make_unique<TrackingLoop>(*shard.system, *shard.process,
+                                                *shard.policy, config_.loop);
+    shard.loop->begin(ticks);
+    shard.loop->set_fault_context({&injector, i, shard.surface});
+    current.push_back(shard.surface);
+    shards.push_back(std::move(shard));
+  }
+
+  // Lowest-index serving surface, healthy rungs first; refugees are never
+  // parked on a probation surface (it serves its canary only).
+  const auto pick_target =
+      [&monitor, n_surfaces](std::size_t avoid) -> std::optional<std::size_t> {
+    for (const fault::SurfaceHealth want :
+         {fault::SurfaceHealth::kHealthy, fault::SurfaceHealth::kDegraded})
+      for (std::size_t s = 0; s < n_surfaces; ++s)
+        if (s != avoid && monitor.health(s) == want) return s;
+    return std::nullopt;
+  };
+
+  const auto move_device = [&](std::size_t i, std::size_t target) {
+    current[i] = target;
+    shards[i].loop->set_fault_context({&injector, i, target});
+    // Fresh policy episode on the new surface: a ladder parked in
+    // direct-only against the dead surface must start over on the live one.
+    shards[i].loop->rebind_policy();
+    ++report.reassignments;
+  };
+
+  std::vector<fault::SurfaceHealth> prev_health(
+      n_surfaces, fault::SurfaceHealth::kHealthy);
+
+  for (long t = 0; t < ticks; ++t) {
+    common::parallel_for(devices.size(), config_.deployment.threads,
+                         [&](std::size_t i) { shards[i].loop->step(); });
+
+    // Serial health pass. Evidence is power-based (below the outage floor),
+    // NOT duty-based: a surface whose devices all happen to burn a tick
+    // re-sweeping is busy, not broken.
+    const double t_s = static_cast<double>(t) * config_.loop.dt_s;
+    std::vector<fault::HealthMonitor::TickEvidence> evidence(n_surfaces);
+    for (std::size_t i = 0; i < shards.size(); ++i) {
+      const std::optional<TrackTrace> last = shards[i].loop->last_tick();
+      fault::HealthMonitor::TickEvidence& ev = evidence[current[i]];
+      ++ev.devices;
+      if (last && last->power < shards[i].loop->power_floor()) ++ev.in_outage;
+    }
+    for (std::size_t s = 0; s < n_surfaces; ++s)
+      monitor.observe(s, evidence[s], t_s);
+
+    // React to this tick's transitions (serial, surface order then device
+    // order — deterministic).
+    for (std::size_t s = 0; s < n_surfaces; ++s) {
+      const fault::SurfaceHealth now = monitor.health(s);
+      const fault::SurfaceHealth was = prev_health[s];
+      prev_health[s] = now;
+      if (now == was) continue;
+      if (now == fault::SurfaceHealth::kQuarantined) {
+        // Evacuate everyone currently on the surface (covers both the
+        // first quarantine and a failed canary trial).
+        const std::optional<std::size_t> target = pick_target(s);
+        if (!target) continue;  // whole fleet sick; nowhere better
+        for (std::size_t i = 0; i < shards.size(); ++i)
+          if (current[i] == s) move_device(i, *target);
+      } else if (now == fault::SurfaceHealth::kProbation) {
+        // Trial re-admission: send the lowest-index displaced home device
+        // back as the canary.
+        for (std::size_t i = 0; i < shards.size(); ++i)
+          if (shards[i].surface == s && current[i] != s) {
+            move_device(i, s);
+            break;
+          }
+      } else if (now == fault::SurfaceHealth::kHealthy &&
+                 was == fault::SurfaceHealth::kProbation) {
+        // Surface earned its way back: every displaced device goes home.
+        for (std::size_t i = 0; i < shards.size(); ++i)
+          if (shards[i].surface == s && current[i] != s) move_device(i, s);
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < devices.size(); ++i) {
+    DeviceTrackResult& out = report.devices[i];
+    out.name = devices[i].name;
+    out.surface = current[i];
+    out.home_surface = shards[i].surface;
+    out.report = shards[i].loop->finish();
+  }
+  report.health_transitions = monitor.transition_count();
+  report.surface_health.resize(n_surfaces);
+  for (std::size_t s = 0; s < n_surfaces; ++s)
+    report.surface_health[s] = monitor.health(s);
 }
 
 FleetReport FleetTracker::run(const std::vector<FleetDeviceSpec>& devices,
@@ -162,7 +280,9 @@ FleetReport FleetTracker::run(const std::vector<FleetDeviceSpec>& devices,
 
   const bool lockstep = config_.deployment.interference.enable_leakage &&
                         config_.deployment.n_surfaces > 1;
-  if (lockstep)
+  if (config_.faults)
+    run_faulted(devices, make_policy, ticks, report);
+  else if (lockstep)
     run_lockstep(devices, make_policy, ticks, report);
   else
     run_independent(devices, make_policy, ticks, report);
@@ -183,6 +303,7 @@ FleetReport FleetTracker::run(const std::vector<FleetDeviceSpec>& devices,
     report.retune_count += d.report.retune_count;
     report.retune_airtime_s += d.report.retune_airtime_s;
     report.sum_delivered_mbps += d.report.mean_delivered_mbps;
+    report.dropped_measurements += d.report.dropped_measurements;
   }
   for (SurfaceTrackSummary& sr : report.surfaces)
     if (sr.device_count > 0)

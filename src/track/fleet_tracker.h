@@ -20,6 +20,8 @@
 
 #include "src/channel/mobility.h"
 #include "src/deploy/deployment_engine.h"
+#include "src/fault/fault_plan.h"
+#include "src/fault/health_monitor.h"
 #include "src/track/tracking_loop.h"
 
 namespace llama::track {
@@ -47,12 +49,24 @@ struct FleetDeviceSpec {
 struct FleetConfig {
   deploy::DeploymentConfig deployment{};
   TrackingLoop::Options loop{};
+  /// Scheduled fault plan driving every shard's fault layer; nullptr runs
+  /// the fleet healthy. Shared so scenario builders hand the identical plan
+  /// to the tracker, benches, and serialization round-trips. Mutually
+  /// exclusive with interference.enable_leakage (the lockstep snapshot path
+  /// does not carry the health/reassignment machinery).
+  std::shared_ptr<const fault::FaultPlan> faults;
+  /// Health state-machine thresholds for the faulted run.
+  fault::HealthMonitor::Options health{};
 };
 
 /// One device's tracking outcome.
 struct DeviceTrackResult {
   std::string name;
+  /// Surface serving the device at the end of the run (may differ from
+  /// home_surface after a health reassignment).
   std::size_t surface = 0;
+  /// Surface the roster originally assigned.
+  std::size_t home_surface = 0;
   TrackReport report;
 };
 
@@ -76,6 +90,14 @@ struct FleetReport {
   double retune_airtime_s = 0.0;
   double mean_retune_latency_s = 0.0;
   double sum_delivered_mbps = 0.0;
+  /// Fault-layer observability (all zero/empty for a healthy run).
+  long dropped_measurements = 0;
+  /// Device -> surface moves the health monitor triggered (evacuations,
+  /// canary trials, and probation homecomings).
+  long reassignments = 0;
+  long health_transitions = 0;
+  /// Final per-surface health; empty when no fault plan was installed.
+  std::vector<fault::SurfaceHealth> surface_health;
 };
 
 class FleetTracker {
@@ -113,6 +135,15 @@ class FleetTracker {
   void run_lockstep(const std::vector<FleetDeviceSpec>& devices,
                     const PolicyFactory& make_policy, long ticks,
                     FleetReport& report) const;
+  /// Faulted mode: parallel per-tick stepping under the configured fault
+  /// plan, followed by a serial health pass that walks the per-surface
+  /// state machines and reassigns devices away from quarantined surfaces
+  /// (and back, through the probation canary protocol). The health pass is
+  /// serial and evidence is read from each shard's completed tick, so the
+  /// run stays byte-identical for any thread count.
+  void run_faulted(const std::vector<FleetDeviceSpec>& devices,
+                   const PolicyFactory& make_policy, long ticks,
+                   FleetReport& report) const;
 
   FleetConfig config_;
 };

@@ -31,6 +31,10 @@ PolicyAction HysteresisResweep::on_tick(core::LlamaSystem& system,
                                         const TickObservation& obs) {
   if (!controller_.has_value())
     throw std::logic_error{"HysteresisResweep: on_tick before bind"};
+  // A dropped measurement carries no fade information; feeding the stale
+  // reading to the hysteresis would either mask a real fade or re-trigger
+  // on an old one. Skip the tick and decide on the next real sample.
+  if (!obs.measurement_valid) return {};
   const std::optional<control::OptimizationReport> report =
       options_.batched
           ? controller_->on_power_report_batched(
@@ -113,8 +117,13 @@ PolicyAction PredictiveCodebook::retune_at(core::LlamaSystem& system,
       return {};
     }
   }
-  system.supply().set_outputs(hit.vx, hit.vy);
-  system.surface().set_bias(hit.vx, hit.vy);
+  // Retry transient switch failures with bounded backoff (airtime lands on
+  // the supply clock either way), and program the surface at what the
+  // supply actually delivers so a brownout clamp is felt, not hidden.
+  control::set_outputs_with_retry(system.supply(), hit.vx, hit.vy,
+                                  options_.retry);
+  system.surface().set_bias(system.supply().output_x(),
+                            system.supply().output_y());
   programmed_ = orientation;
   last_bias_ = {hit.vx.value(), hit.vy.value()};
   PolicyAction action;

@@ -49,6 +49,10 @@ struct TickObservation {
   /// Power measured at the current bias after the orientation update and
   /// before any retune — the policy's fade signal.
   common::PowerDbm measured{-120.0};
+  /// False when the fault layer dropped this tick's measurement; `measured`
+  /// then carries the last valid reading (stale telemetry). Policies that
+  /// trigger on measured power should not treat a stale reading as a fade.
+  bool measurement_valid = true;
 };
 
 /// What a policy did on one tick. Airtime is accounted by the loop from the
@@ -156,6 +160,10 @@ class PredictiveCodebook final : public RetunePolicy {
     /// the hold band is the angle theta with -20*log10(cos theta) equal to
     /// this (the paper's cos^2 polarization loss model).
     common::GainDb hold_loss{1.0};
+    /// Transient-switch-failure retry (see the RetunePolicy contract:
+    /// retries and backoff dwell on the supply clock, so the loop charges
+    /// them to this tick's retune airtime).
+    control::SupplyRetryOptions retry{};
   };
 
   /// `book` must outlive the policy.

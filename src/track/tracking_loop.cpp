@@ -4,6 +4,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "src/fault/fault_injector.h"
+
 namespace llama::track {
 
 TrackingLoop::TrackingLoop(core::LlamaSystem& system,
@@ -56,6 +58,11 @@ void TrackingLoop::step() {
   const double t = static_cast<double>(i) * dt;
   const common::Angle orientation = process_.orientation_at(t);
   system_.link().set_rx_antenna(ep.rx_template.oriented(orientation));
+  // Physics first: the scheduled faults reshape the plant before anything
+  // is measured this tick (an offline surface stops reflecting even while
+  // the controller is busy). Pure state writes — no supply airtime.
+  if (fault_.injector)
+    fault_.injector->apply_to(system_, fault_.device, fault_.surface, t);
 
   TrackTrace tick;
   tick.tick = i;
@@ -69,12 +76,36 @@ void TrackingLoop::step() {
   if (ep.busy_s < 1e-9) ep.busy_s = 0.0;
   PolicyAction action;
   if (ep.busy_s < dt) {
+    // Telemetry the policy sees: the true reading unless the fault layer
+    // drops it (stale last-valid replayed, flagged invalid) or spikes it.
+    // The physical tick.power below is untouched — only the observation
+    // channel is corrupted.
+    common::PowerDbm observed = before;
+    bool valid = true;
+    if (fault_.injector) {
+      if (fault_.injector->measurement_dropped(fault_.device, fault_.surface,
+                                               i, t)) {
+        valid = false;
+        observed = ep.last_valid;
+      } else {
+        const double spike_db = fault_.injector->measurement_spike_db(
+            fault_.device, fault_.surface, i, t);
+        if (spike_db != 0.0) observed = observed + common::GainDb{spike_db};
+      }
+    }
+    if (valid)
+      ep.last_valid = observed;
+    else
+      ++ep.report.dropped_measurements;
+    tick.measurement_valid = valid;
+
     TickObservation obs;
     obs.tick = i;
     obs.t_s = t;
     obs.dt_s = dt;
     obs.orientation = orientation;
-    obs.measured = before;
+    obs.measured = observed;
+    obs.measurement_valid = valid;
     const double supply0 = system_.supply().elapsed_s();
     action = policy_.on_tick(system_, obs);
     tick.retune_airtime_s = system_.supply().elapsed_s() - supply0;
@@ -99,7 +130,20 @@ void TrackingLoop::step() {
   ep.delivered_sum += tick.delivered_mbps;
   ep.report.min_power_dbm =
       std::min(ep.report.min_power_dbm, tick.power.value());
+  ep.last = tick;
   if (options_.keep_trace) ep.report.trace.push_back(tick);
+}
+
+void TrackingLoop::rebind_policy() {
+  if (!episode_)
+    throw std::logic_error{
+        "TrackingLoop: rebind_policy() outside begin()/finish()"};
+  policy_.bind(system_);
+}
+
+std::optional<TrackTrace> TrackingLoop::last_tick() const {
+  if (!episode_) return std::nullopt;
+  return episode_->last;
 }
 
 TrackReport TrackingLoop::finish() {

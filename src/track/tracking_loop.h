@@ -27,6 +27,10 @@
 #include "src/core/llama_system.h"
 #include "src/track/retune_policy.h"
 
+namespace llama::fault {
+class FaultInjector;
+}  // namespace llama::fault
+
 namespace llama::track {
 
 /// One tick of the loop's trace.
@@ -47,6 +51,9 @@ struct TrackTrace {
   double delivered_mbps = 0.0;
   /// Below the power floor, or the whole tick was consumed by retuning.
   bool outage = false;
+  /// False when the fault layer dropped this tick's measurement (the policy
+  /// saw the last valid reading instead).
+  bool measurement_valid = true;
 };
 
 /// Aggregates over one run.
@@ -64,6 +71,9 @@ struct TrackReport {
   double min_power_dbm = 0.0;
   /// Mean per-tick delivered link-layer throughput.
   double mean_delivered_mbps = 0.0;
+  /// Measurements the fault layer dropped (policy consulted with stale
+  /// telemetry). Always 0 without a fault context.
+  long dropped_measurements = 0;
   /// Per-tick records; empty when Options::keep_trace is false.
   std::vector<TrackTrace> trace;
 };
@@ -114,6 +124,32 @@ class TrackingLoop {
 
   [[nodiscard]] const Options& options() const { return options_; }
 
+  /// Which fault schedule (if any) this loop's ticks run under, and which
+  /// (device, surface) identity the draws and surface faults key on.
+  struct FaultContext {
+    /// Must outlive the loop; nullptr disables the fault layer.
+    const fault::FaultInjector* injector = nullptr;
+    std::size_t device = 0;
+    std::size_t surface = 0;
+  };
+
+  /// Installs (or clears, with a null injector) the fault context. May be
+  /// updated mid-episode: the fleet driver re-points a device at another
+  /// surface when health quarantines its home surface.
+  void set_fault_context(FaultContext context) { fault_ = context; }
+  [[nodiscard]] const FaultContext& fault_context() const { return fault_; }
+
+  /// Re-binds the policy to the system mid-episode, resetting the policy's
+  /// episode state — used when a fleet reassignment hands the device to a
+  /// different surface. Throws std::logic_error outside an episode.
+  void rebind_policy();
+
+  /// The last completed tick, regardless of Options::keep_trace (the fleet
+  /// health pass reads per-tick outage evidence here without paying for a
+  /// full trace). nullopt before the first step of an episode or outside
+  /// one.
+  [[nodiscard]] std::optional<TrackTrace> last_tick() const;
+
  private:
   /// Accumulator state of one in-flight episode.
   struct Episode {
@@ -128,6 +164,10 @@ class TrackingLoop {
     double delivered_sum = 0.0;
     /// Retune airtime not yet absorbed by past ticks (mid-retune blackout).
     double busy_s = 0.0;
+    /// Last reading the receiver actually returned; replayed to the policy
+    /// on dropped-measurement ticks.
+    common::PowerDbm last_valid{-120.0};
+    std::optional<TrackTrace> last;
     TrackReport report;
   };
 
@@ -135,6 +175,7 @@ class TrackingLoop {
   channel::OrientationProcess& process_;
   RetunePolicy& policy_;
   Options options_;
+  FaultContext fault_;
   std::optional<Episode> episode_;
 };
 

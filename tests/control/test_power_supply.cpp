@@ -2,10 +2,18 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
 namespace llama::control {
 namespace {
 
 using common::Voltage;
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
 
 TEST(PowerSupply, DefaultsMatchTektronix2230G) {
   const PowerSupply psu;
@@ -51,13 +59,199 @@ TEST(PowerSupply, RejectsOutOfRangeCommands) {
 }
 
 TEST(PowerSupply, RejectsNonPhysicalConstruction) {
-  EXPECT_THROW(PowerSupply(Voltage{0.0}, 50.0), SupplyRangeError);
-  EXPECT_THROW(PowerSupply(Voltage{30.0}, 0.0), SupplyRangeError);
+  // Contract: non-positive or non-finite instrument parameters are
+  // configuration errors (std::invalid_argument), caught at construction —
+  // a zero or infinite switch rate would poison switch_period_s() and every
+  // airtime account built on it.
+  EXPECT_THROW(PowerSupply(Voltage{0.0}, 50.0), std::invalid_argument);
+  EXPECT_THROW(PowerSupply(Voltage{-1.0}, 50.0), std::invalid_argument);
+  EXPECT_THROW(PowerSupply(Voltage{30.0}, 0.0), std::invalid_argument);
+  EXPECT_THROW(PowerSupply(Voltage{30.0}, -50.0), std::invalid_argument);
+  EXPECT_THROW(PowerSupply(Voltage{kNaN}, 50.0), std::invalid_argument);
+  EXPECT_THROW(PowerSupply(Voltage{kInf}, 50.0), std::invalid_argument);
+  EXPECT_THROW(PowerSupply(Voltage{30.0}, kNaN), std::invalid_argument);
+  EXPECT_THROW(PowerSupply(Voltage{30.0}, kInf), std::invalid_argument);
+}
+
+TEST(PowerSupply, RejectsNaNCommandsWithoutChargingClock) {
+  PowerSupply psu;
+  psu.set_outputs(Voltage{5.0}, Voltage{7.0});
+  EXPECT_THROW(psu.set_outputs(Voltage{kNaN}, Voltage{0.0}),
+               SupplyRangeError);
+  EXPECT_THROW(psu.set_outputs(Voltage{0.0}, Voltage{kNaN}),
+               SupplyRangeError);
+  // The rejected commands never reached the instrument: clock and outputs
+  // reflect only the one good switch.
+  EXPECT_DOUBLE_EQ(psu.elapsed_s(), psu.switch_period_s());
+  EXPECT_EQ(psu.switch_count(), 1);
+  EXPECT_DOUBLE_EQ(psu.output_x().value(), 5.0);
+  EXPECT_DOUBLE_EQ(psu.output_y().value(), 7.0);
 }
 
 TEST(PowerSupply, CustomRateChangesPeriod) {
   const PowerSupply fast{Voltage{30.0}, 100.0};
   EXPECT_DOUBLE_EQ(fast.switch_period_s(), 0.01);
+}
+
+TEST(PowerSupply, WaitDwellsWithoutSwitching) {
+  PowerSupply psu;
+  psu.wait(0.3);
+  EXPECT_DOUBLE_EQ(psu.elapsed_s(), 0.3);
+  EXPECT_EQ(psu.switch_count(), 0);
+  psu.wait(0.0);  // zero dwell is a no-op, not an error
+  EXPECT_DOUBLE_EQ(psu.elapsed_s(), 0.3);
+  EXPECT_THROW(psu.wait(-0.1), std::invalid_argument);
+  EXPECT_THROW(psu.wait(kNaN), std::invalid_argument);
+  EXPECT_THROW(psu.wait(kInf), std::invalid_argument);
+  EXPECT_DOUBLE_EQ(psu.elapsed_s(), 0.3);
+}
+
+TEST(PowerSupplyFaults, BrownoutClampsOutputsButHonorsCommand) {
+  PowerSupply psu;
+  SupplyFaultState faults;
+  faults.brownout_clamp = Voltage{10.0};
+  psu.set_fault_state(faults);
+  psu.set_outputs(Voltage{25.0}, Voltage{8.0});
+  // The command is in range and "succeeds", but the rail can only deliver
+  // the clamp.
+  EXPECT_DOUBLE_EQ(psu.output_x().value(), 10.0);
+  EXPECT_DOUBLE_EQ(psu.output_y().value(), 8.0);
+  EXPECT_EQ(psu.switch_count(), 1);
+  // Clearing the fault state restores full range from the next switch.
+  psu.set_fault_state(std::nullopt);
+  psu.set_outputs(Voltage{25.0}, Voltage{8.0});
+  EXPECT_DOUBLE_EQ(psu.output_x().value(), 25.0);
+}
+
+TEST(PowerSupplyFaults, CertainSwitchFailureSpendsPeriodKeepsOutputs) {
+  PowerSupply psu;
+  psu.set_outputs(Voltage{3.0}, Voltage{4.0});
+  SupplyFaultState faults;
+  faults.switch_fail_probability = 1.0;
+  faults.fault_seed = 0x5EEDULL;
+  psu.set_fault_state(faults);
+  EXPECT_THROW(psu.set_outputs(Voltage{20.0}, Voltage{20.0}),
+               SupplySwitchError);
+  // The command went out — its period is spent and counted — but the
+  // instrument never acted on it.
+  EXPECT_EQ(psu.switch_count(), 2);
+  EXPECT_NEAR(psu.elapsed_s(), 2 * psu.switch_period_s(), 1e-12);
+  EXPECT_DOUBLE_EQ(psu.output_x().value(), 3.0);
+  EXPECT_DOUBLE_EQ(psu.output_y().value(), 4.0);
+}
+
+TEST(PowerSupplyFaults, FailureDrawsAreSeededAndStateless) {
+  // Two supplies with the same seed replay the same failure pattern; the
+  // draw is a pure function of (seed, switch counter).
+  const auto pattern = [](std::uint64_t seed) {
+    PowerSupply psu;
+    SupplyFaultState faults;
+    faults.switch_fail_probability = 0.5;
+    faults.fault_seed = seed;
+    psu.set_fault_state(faults);
+    std::vector<bool> lost;
+    for (int i = 0; i < 32; ++i) {
+      try {
+        psu.set_outputs(Voltage{1.0}, Voltage{1.0});
+        lost.push_back(false);
+      } catch (const SupplySwitchError&) {
+        lost.push_back(true);
+      }
+    }
+    return lost;
+  };
+  const std::vector<bool> a = pattern(0xABCDULL);
+  EXPECT_EQ(a, pattern(0xABCDULL));
+  EXPECT_NE(a, pattern(0xABCEULL));
+  // p = 0.5 over 32 draws: both outcomes must occur.
+  EXPECT_NE(std::count(a.begin(), a.end(), true), 0);
+  EXPECT_NE(std::count(a.begin(), a.end(), true), 32);
+}
+
+TEST(PowerSupplyFaults, SetFaultStateValidatesItsParameters) {
+  PowerSupply psu;
+  SupplyFaultState faults;
+  faults.switch_fail_probability = 1.5;
+  EXPECT_THROW(psu.set_fault_state(faults), std::invalid_argument);
+  faults.switch_fail_probability = -0.1;
+  EXPECT_THROW(psu.set_fault_state(faults), std::invalid_argument);
+  faults.switch_fail_probability = kNaN;
+  EXPECT_THROW(psu.set_fault_state(faults), std::invalid_argument);
+  faults.switch_fail_probability = 0.0;
+  faults.brownout_clamp = Voltage{-1.0};
+  EXPECT_THROW(psu.set_fault_state(faults), std::invalid_argument);
+  faults.brownout_clamp = Voltage{kNaN};
+  EXPECT_THROW(psu.set_fault_state(faults), std::invalid_argument);
+  faults.brownout_clamp = Voltage{0.0};  // dead rail is a valid fault
+  EXPECT_NO_THROW(psu.set_fault_state(faults));
+}
+
+TEST(PowerSupplyRetry, HealthySupplyCostsExactlyOneSwitch) {
+  PowerSupply psu;
+  set_outputs_with_retry(psu, Voltage{12.0}, Voltage{13.0});
+  EXPECT_EQ(psu.switch_count(), 1);
+  EXPECT_NEAR(psu.elapsed_s(), psu.switch_period_s(), 1e-12);
+  EXPECT_DOUBLE_EQ(psu.output_x().value(), 12.0);
+  EXPECT_DOUBLE_EQ(psu.output_y().value(), 13.0);
+}
+
+TEST(PowerSupplyRetry, RecoversFromTransientFailuresAndChargesBackoff) {
+  PowerSupply psu;
+  SupplyFaultState faults;
+  faults.switch_fail_probability = 0.5;
+  faults.fault_seed = 0xFA17ULL;
+  psu.set_fault_state(faults);
+  SupplyRetryOptions retry;
+  retry.max_attempts = 64;  // generous: p=0.5 per try
+  set_outputs_with_retry(psu, Voltage{9.0}, Voltage{11.0}, retry);
+  EXPECT_DOUBLE_EQ(psu.output_x().value(), 9.0);
+  EXPECT_DOUBLE_EQ(psu.output_y().value(), 11.0);
+  // Every attempt spent its switch period and every failure also dwelt a
+  // backoff — with any failed attempt the clock must exceed the pure
+  // switching cost; with none it equals one period.
+  const long n = psu.switch_count();
+  EXPECT_GE(n, 1);
+  if (n > 1)
+    EXPECT_GT(psu.elapsed_s(), n * psu.switch_period_s());
+  else
+    EXPECT_NEAR(psu.elapsed_s(), psu.switch_period_s(), 1e-12);
+}
+
+TEST(PowerSupplyRetry, ExhaustedRetriesRethrowWithFullAirtimeAccounted) {
+  PowerSupply psu;
+  SupplyFaultState faults;
+  faults.switch_fail_probability = 1.0;
+  faults.fault_seed = 0x1ULL;
+  psu.set_fault_state(faults);
+  SupplyRetryOptions retry;
+  retry.max_attempts = 3;
+  retry.initial_backoff_s = 0.05;
+  retry.backoff_factor = 2.0;
+  retry.max_backoff_s = 0.25;
+  EXPECT_THROW(set_outputs_with_retry(psu, Voltage{1.0}, Voltage{2.0}, retry),
+               SupplySwitchError);
+  // 3 attempts at one period each + backoffs of 0.05 and 0.10 s between
+  // them (no dwell after the final failure).
+  EXPECT_EQ(psu.switch_count(), 3);
+  EXPECT_NEAR(psu.elapsed_s(), 3 * psu.switch_period_s() + 0.05 + 0.10,
+              1e-12);
+  EXPECT_DOUBLE_EQ(psu.output_x().value(), 0.0);
+}
+
+TEST(PowerSupplyRetry, RangeErrorsAreNeverRetried) {
+  PowerSupply psu;
+  EXPECT_THROW(set_outputs_with_retry(psu, Voltage{31.0}, Voltage{0.0}),
+               SupplyRangeError);
+  EXPECT_EQ(psu.switch_count(), 0);
+  EXPECT_DOUBLE_EQ(psu.elapsed_s(), 0.0);
+}
+
+TEST(PowerSupplyRetry, RejectsNonPositiveAttemptBudget) {
+  PowerSupply psu;
+  SupplyRetryOptions retry;
+  retry.max_attempts = 0;
+  EXPECT_THROW(set_outputs_with_retry(psu, Voltage{1.0}, Voltage{1.0}, retry),
+               std::invalid_argument);
 }
 
 }  // namespace

@@ -3,6 +3,11 @@
 // fallback, and hard rejection of mismatched or stale codebooks.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
 #include "src/channel/capacity.h"
 #include "src/codebook/codebook.h"
 #include "src/codebook/compiler.h"
@@ -143,6 +148,85 @@ TEST(CodebookLink, LiveGeometryDriftInvalidatesTheHash) {
   tracker.link().set_rx_antenna(
       channel::Antenna::iot_dipole(Angle::degrees(160.0)));
   EXPECT_NO_THROW((void)tracker.optimize_link_codebook(book));
+}
+
+// --- Runtime codebook-file path: degraded mode on artifact failures ------
+
+std::string write_bytes(const std::string& name,
+                        const std::vector<std::uint8_t>& bytes) {
+  const std::string path = ::testing::TempDir() + name;
+  std::ofstream out{path, std::ios::binary | std::ios::trunc};
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  return path;
+}
+
+TEST(CodebookFilePath, HealthyArtifactServesTheLookup) {
+  const SystemConfig cfg = tracked_config();
+  const codebook::Codebook book = tracked_book(cfg);
+  const std::string path = write_bytes("llama_file_ok.codebook",
+                                       book.serialize());
+  LlamaSystem sys{cfg};
+  const auto outcome = sys.optimize_link_codebook_file(path);
+  EXPECT_TRUE(outcome.used_codebook);
+  EXPECT_TRUE(outcome.fallback_reason.empty());
+  LlamaSystem direct{cfg};
+  EXPECT_DOUBLE_EQ(outcome.report.sweep.best_power.value(),
+                   direct.optimize_link_codebook(book)
+                       .sweep.best_power.value());
+}
+
+TEST(CodebookFilePath, MissingFileFallsBackToFullOptimization) {
+  const SystemConfig cfg = tracked_config();
+  LlamaSystem sys{cfg};
+  const auto outcome = sys.optimize_link_codebook_file(
+      ::testing::TempDir() + "llama_file_missing.codebook");
+  EXPECT_FALSE(outcome.used_codebook);
+  EXPECT_FALSE(outcome.fallback_reason.empty());
+  // The degraded path is the real batched Algorithm-1 round: identical to
+  // running it directly on a twin system (both are deterministic).
+  LlamaSystem twin{cfg};
+  EXPECT_DOUBLE_EQ(outcome.report.sweep.best_power.value(),
+                   twin.optimize_link_batched().sweep.best_power.value());
+}
+
+TEST(CodebookFilePath, TruncatedArtifactFallsBack) {
+  const SystemConfig cfg = tracked_config();
+  std::vector<std::uint8_t> bytes = tracked_book(cfg).serialize();
+  bytes.resize(bytes.size() / 2);
+  const std::string path = write_bytes("llama_file_trunc.codebook", bytes);
+  LlamaSystem sys{cfg};
+  const auto outcome = sys.optimize_link_codebook_file(path);
+  EXPECT_FALSE(outcome.used_codebook);
+  EXPECT_FALSE(outcome.fallback_reason.empty());
+  LlamaSystem twin{cfg};
+  EXPECT_DOUBLE_EQ(outcome.report.sweep.best_power.value(),
+                   twin.optimize_link_batched().sweep.best_power.value());
+}
+
+TEST(CodebookFilePath, CorruptArtifactFallsBack) {
+  const SystemConfig cfg = tracked_config();
+  std::vector<std::uint8_t> bytes = tracked_book(cfg).serialize();
+  bytes[bytes.size() / 2] ^= 0x40;  // single bit flip -> checksum mismatch
+  const std::string path = write_bytes("llama_file_flip.codebook", bytes);
+  LlamaSystem sys{cfg};
+  const auto outcome = sys.optimize_link_codebook_file(path);
+  EXPECT_FALSE(outcome.used_codebook);
+  EXPECT_FALSE(outcome.fallback_reason.empty());
+}
+
+TEST(CodebookFilePath, HashStaleArtifactFallsBack) {
+  // A codebook compiled for a different link (other tx power) is loadable
+  // but stale for this system: the file path must degrade, not serve it.
+  SystemConfig drifted = tracked_config();
+  drifted.tx_power = PowerDbm{14.0};
+  const std::string path = write_bytes("llama_file_stale.codebook",
+                                       tracked_book(drifted).serialize());
+  LlamaSystem sys{tracked_config()};
+  const auto outcome = sys.optimize_link_codebook_file(path);
+  EXPECT_FALSE(outcome.used_codebook);
+  EXPECT_NE(outcome.fallback_reason.find("config-hash"), std::string::npos)
+      << outcome.fallback_reason;
 }
 
 }  // namespace

@@ -4,6 +4,11 @@
 // mismatched codebooks rejected up front.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
 #include "src/codebook/codebook.h"
 #include "src/codebook/compiler.h"
 #include "src/core/scenarios.h"
@@ -114,6 +119,92 @@ TEST(DeployCodebook, StaleOrMismatchedCodebookIsRejected) {
   bad[0].surface = 7;
   DeploymentEngine engine{scenario.config};
   EXPECT_THROW((void)engine.run_codebook(bad, book), std::out_of_range);
+}
+
+// --- run_codebook_file: mid-fleet artifact failures degrade, not abort ---
+
+std::string write_book_bytes(const std::string& name,
+                             const std::vector<std::uint8_t>& bytes) {
+  const std::string path = ::testing::TempDir() + name;
+  std::ofstream out{path, std::ios::binary | std::ios::trunc};
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  return path;
+}
+
+TEST(DeployCodebookFile, HealthyArtifactServesEveryDevice) {
+  const core::DenseDeploymentScenario scenario =
+      core::dense_deployment_scenario(4, 2);
+  const codebook::Codebook book = book_for(scenario.config);
+  const std::string path =
+      write_book_bytes("llama_deploy_ok.codebook", book.serialize());
+
+  DeploymentEngine engine{scenario.config};
+  const DeploymentReport report =
+      engine.run_codebook_file(scenario.devices, path);
+  EXPECT_TRUE(report.used_codebook);
+  EXPECT_TRUE(report.codebook_fallback_reason.empty());
+
+  DeploymentEngine direct{scenario.config};
+  const DeploymentReport expected =
+      direct.run_codebook(scenario.devices, book);
+  ASSERT_EQ(report.devices.size(), expected.devices.size());
+  for (std::size_t i = 0; i < report.devices.size(); ++i)
+    EXPECT_DOUBLE_EQ(report.devices[i].sweep.best_power.value(),
+                     expected.devices[i].sweep.best_power.value());
+}
+
+TEST(DeployCodebookFile, CorruptArtifactDegradesToFullSweep) {
+  const core::DenseDeploymentScenario scenario =
+      core::dense_deployment_scenario(4, 2);
+  std::vector<std::uint8_t> bytes = book_for(scenario.config).serialize();
+  bytes[bytes.size() / 3] ^= 0x01;  // bit flip -> checksum mismatch
+  const std::string path =
+      write_book_bytes("llama_deploy_flip.codebook", bytes);
+
+  DeploymentEngine engine{scenario.config};
+  const DeploymentReport report =
+      engine.run_codebook_file(scenario.devices, path);
+  EXPECT_FALSE(report.used_codebook);
+  EXPECT_FALSE(report.codebook_fallback_reason.empty());
+  // The degraded path is the real Algorithm-1 deployment round.
+  DeploymentEngine direct{scenario.config};
+  EXPECT_DOUBLE_EQ(report.sum_capacity_bits_per_hz,
+                   direct.run(scenario.devices).sum_capacity_bits_per_hz);
+}
+
+TEST(DeployCodebookFile, TruncatedAndStaleArtifactsDegrade) {
+  const core::DenseDeploymentScenario scenario =
+      core::dense_deployment_scenario(4, 2);
+  DeploymentEngine engine{scenario.config};
+
+  std::vector<std::uint8_t> bytes = book_for(scenario.config).serialize();
+  bytes.resize(bytes.size() - 1);
+  const DeploymentReport truncated = engine.run_codebook_file(
+      scenario.devices,
+      write_book_bytes("llama_deploy_trunc.codebook", bytes));
+  EXPECT_FALSE(truncated.used_codebook);
+  EXPECT_FALSE(truncated.codebook_fallback_reason.empty());
+
+  // Hash-stale: a book compiled for a different deployment (other tx
+  // power) loads fine but must not serve this one.
+  core::DenseDeploymentScenario other = scenario;
+  other.config.tx_power = common::PowerDbm{0.0};
+  const DeploymentReport stale = engine.run_codebook_file(
+      scenario.devices,
+      write_book_bytes("llama_deploy_stale.codebook",
+                       book_for(other.config).serialize()));
+  EXPECT_FALSE(stale.used_codebook);
+  EXPECT_NE(stale.codebook_fallback_reason.find("recompile"),
+            std::string::npos)
+      << stale.codebook_fallback_reason;
+
+  // Roster errors are not artifact failures: they still throw (before the
+  // file is even touched — the path here does not exist).
+  std::vector<DeviceSpec> bad = scenario.devices;
+  bad[0].surface = 9;
+  EXPECT_THROW((void)engine.run_codebook_file(bad, "unused"),
+               std::out_of_range);
 }
 
 }  // namespace

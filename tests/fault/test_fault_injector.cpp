@@ -1,0 +1,185 @@
+#include "src/fault/fault_injector.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/core/llama_system.h"
+#include "src/core/scenarios.h"
+
+namespace llama::fault {
+namespace {
+
+using common::Voltage;
+
+TEST(FaultInjector, OverlappingEventsAggregateConservatively) {
+  FaultPlan plan;
+  plan.events = {
+      stuck_cells_event(0, 0.02, Voltage{0.0}, Voltage{0.0}),
+      stuck_cells_event(0, 0.10, Voltage{5.0}, Voltage{5.0}),
+      supply_brownout_event(0, Voltage{20.0}, 0.0, 10.0),
+      supply_brownout_event(0, Voltage{12.0}, 0.0, 10.0),
+      flaky_switch_event(0, 0.1, 0.0, 10.0),
+      flaky_switch_event(kAllSurfaces, 0.4, 0.0, 10.0),
+  };
+  const FaultInjector injector{plan};
+  const SurfaceFaultState s0 = injector.surface_state(0, 1.0);
+  ASSERT_TRUE(s0.stuck.has_value());
+  EXPECT_DOUBLE_EQ(s0.stuck->fraction, 0.10);  // largest fraction wins
+  ASSERT_TRUE(s0.brownout_clamp.has_value());
+  EXPECT_DOUBLE_EQ(s0.brownout_clamp->value(), 12.0);  // lowest clamp wins
+  EXPECT_DOUBLE_EQ(s0.switch_fail_probability, 0.4);   // highest odds win
+  EXPECT_FALSE(s0.offline);
+
+  // Surface 1 only sees the wildcard event.
+  const SurfaceFaultState s1 = injector.surface_state(1, 1.0);
+  EXPECT_FALSE(s1.stuck.has_value());
+  EXPECT_FALSE(s1.brownout_clamp.has_value());
+  EXPECT_DOUBLE_EQ(s1.switch_fail_probability, 0.4);
+
+  // Outside every window the state is clean.
+  const SurfaceFaultState late = injector.surface_state(0, 10.0);
+  EXPECT_TRUE(late.stuck.has_value());  // stuck event never ends
+  EXPECT_FALSE(late.brownout_clamp.has_value());
+  EXPECT_DOUBLE_EQ(late.switch_fail_probability, 0.0);
+}
+
+TEST(FaultInjector, DropoutDrawsAreSeededStatelessAndPerDevice) {
+  FaultPlan plan;
+  plan.seed = 0xBEEFULL;
+  plan.events = {measurement_dropout_event(0.3)};
+  const FaultInjector a{plan};
+  const FaultInjector b{plan};
+
+  int dropped = 0;
+  for (long tick = 0; tick < 200; ++tick) {
+    // Pure function of (seed, device, tick): independent instances agree,
+    // and query order is irrelevant.
+    EXPECT_EQ(a.measurement_dropped(0, 0, tick, 1.0),
+              b.measurement_dropped(0, 0, tick, 1.0));
+    if (a.measurement_dropped(0, 0, tick, 1.0)) ++dropped;
+  }
+  // p = 0.3 over 200 ticks: comfortably between "never" and "always".
+  EXPECT_GT(dropped, 20);
+  EXPECT_LT(dropped, 120);
+
+  // Devices draw from decorrelated streams.
+  std::vector<bool> d0, d1;
+  for (long tick = 0; tick < 64; ++tick) {
+    d0.push_back(a.measurement_dropped(0, 0, tick, 1.0));
+    d1.push_back(a.measurement_dropped(1, 0, tick, 1.0));
+  }
+  EXPECT_NE(d0, d1);
+
+  // A different seed replays a different schedule.
+  FaultPlan reseeded = plan;
+  reseeded.seed = 0xBEE0ULL;
+  const FaultInjector c{reseeded};
+  std::vector<bool> d0c;
+  for (long tick = 0; tick < 64; ++tick)
+    d0c.push_back(c.measurement_dropped(0, 0, tick, 1.0));
+  EXPECT_NE(d0, d0c);
+}
+
+TEST(FaultInjector, ProbabilityEndpointsAreExact) {
+  FaultPlan plan;
+  plan.events = {measurement_dropout_event(1.0),
+                 measurement_spike_event(0.0, 10.0)};
+  const FaultInjector injector{plan};
+  for (long tick = 0; tick < 32; ++tick) {
+    EXPECT_TRUE(injector.measurement_dropped(3, 0, tick, 0.5));
+    EXPECT_DOUBLE_EQ(injector.measurement_spike_db(3, 0, tick, 0.5), 0.0);
+  }
+}
+
+TEST(FaultInjector, SpikesRespectWindowAndMagnitude) {
+  FaultPlan plan;
+  plan.events = {measurement_spike_event(1.0, 12.0, 2.0)};
+  plan.events[0].t_end_s = 4.0;
+  const FaultInjector injector{plan};
+  EXPECT_DOUBLE_EQ(injector.measurement_spike_db(0, 0, 0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(injector.measurement_spike_db(0, 0, 20, 2.0), 12.0);
+  EXPECT_DOUBLE_EQ(injector.measurement_spike_db(0, 0, 40, 4.0), 0.0);
+}
+
+TEST(FaultInjector, CodebookCorruptWinsOverStale) {
+  FaultPlan plan;
+  plan.events = {codebook_corrupt_event(0, 0.0, 5.0)};
+  FaultEvent stale = codebook_corrupt_event(0, 0.0, 10.0);
+  stale.kind = FaultKind::kCodebookStale;
+  plan.events.push_back(stale);
+  const FaultInjector injector{plan};
+  EXPECT_EQ(injector.codebook_fault(0, 1.0), FaultKind::kCodebookCorrupt);
+  EXPECT_EQ(injector.codebook_fault(0, 7.0), FaultKind::kCodebookStale);
+  EXPECT_EQ(injector.codebook_fault(0, 12.0), std::nullopt);
+  EXPECT_EQ(injector.codebook_fault(1, 1.0), std::nullopt);
+}
+
+TEST(FaultInjector, ApplyToPushesAndClearsThePlantState) {
+  FaultPlan plan;
+  plan.seed = 0x1234ULL;
+  plan.events = {
+      stuck_cells_event(0, 0.25, Voltage{3.0}, Voltage{4.0}, 0.0),
+      supply_brownout_event(0, Voltage{9.0}, 0.0, 5.0),
+      flaky_switch_event(0, 0.5, 0.0, 5.0),
+  };
+  plan.events[0].t_end_s = 5.0;
+  const FaultInjector injector{plan};
+
+  core::LlamaSystem system{core::transmissive_mismatch_config()};
+  injector.apply_to(system, /*device=*/2, /*surface=*/0, /*t_s=*/1.0);
+  EXPECT_TRUE(system.surface_online());
+  ASSERT_TRUE(system.surface().stuck_cells().has_value());
+  EXPECT_DOUBLE_EQ(system.surface().stuck_cells()->fraction, 0.25);
+  ASSERT_TRUE(system.supply().fault_state().has_value());
+  EXPECT_DOUBLE_EQ(system.supply().fault_state()->brownout_clamp->value(),
+                   9.0);
+  EXPECT_DOUBLE_EQ(system.supply().fault_state()->switch_fail_probability,
+                   0.5);
+  // Supply draws are keyed per device so shards stay independent.
+  EXPECT_EQ(system.supply().fault_state()->fault_seed,
+            plan.seed ^ (0x9E3779B97F4A7C15ULL * 3ULL));
+
+  // After every window closes the same call scrubs the plant clean.
+  injector.apply_to(system, 2, 0, 6.0);
+  EXPECT_TRUE(system.surface_online());
+  EXPECT_FALSE(system.surface().stuck_cells().has_value());
+  EXPECT_FALSE(system.supply().fault_state().has_value());
+}
+
+TEST(FaultInjector, OfflineSurfaceDropsOutOfItsOwnChannel) {
+  FaultPlan plan;
+  plan.events = {surface_offline_event(0, 2.0)};
+  const FaultInjector injector{plan};
+
+  core::LlamaSystem faulted{core::transmissive_mismatch_config()};
+  (void)faulted.optimize_link();
+
+  // Reference: an identical link whose surface is marked offline directly.
+  core::LlamaSystem direct{core::transmissive_mismatch_config()};
+  direct.set_surface_online(false);
+  const double direct_dbm = direct.expected_measure_with_surface().value();
+
+  injector.apply_to(faulted, 0, 0, 3.0);
+  EXPECT_FALSE(faulted.surface_online());
+  // A crashed surface contributes nothing: the expected measurement equals
+  // the direct-path-only figure regardless of the optimized bias.
+  EXPECT_DOUBLE_EQ(faulted.expected_measure_with_surface().value(),
+                   direct_dbm);
+
+  // The crash is time-gated: before t_start the surface serves normally.
+  injector.apply_to(faulted, 0, 0, 1.0);
+  EXPECT_TRUE(faulted.surface_online());
+  EXPECT_GT(faulted.expected_measure_with_surface().value(),
+            direct_dbm + 5.0);
+}
+
+TEST(FaultInjector, RejectsInvalidPlansAtConstruction) {
+  FaultPlan plan;
+  plan.events = {measurement_dropout_event(0.5)};
+  plan.events[0].probability = 2.0;
+  EXPECT_THROW(FaultInjector{plan}, FaultPlanFormatError);
+}
+
+}  // namespace
+}  // namespace llama::fault

@@ -1,0 +1,128 @@
+#include "src/fault/fault_plan.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace llama::fault {
+namespace {
+
+using common::Voltage;
+
+FaultPlan make_test_plan() {
+  FaultPlan plan;
+  plan.seed = 0xD811'11A0ULL;
+  plan.events = {
+      measurement_dropout_event(0.05),
+      measurement_spike_event(0.02, 12.0, 1.5),
+      stuck_cells_event(0, 0.01, Voltage{0.0}, Voltage{0.0}),
+      supply_brownout_event(1, Voltage{12.0}, 2.0, 4.0),
+      flaky_switch_event(kAllSurfaces, 0.1, 0.0, 3.0),
+      codebook_corrupt_event(0, 1.0, 2.0),
+      surface_offline_event(1, 6.0),
+  };
+  return plan;
+}
+
+TEST(FaultEvent, ActiveWindowIsHalfOpen) {
+  const FaultEvent e = supply_brownout_event(0, Voltage{5.0}, 1.0, 2.0);
+  EXPECT_FALSE(e.active_at(0.999));
+  EXPECT_TRUE(e.active_at(1.0));
+  EXPECT_TRUE(e.active_at(1.999));
+  EXPECT_FALSE(e.active_at(2.0));
+}
+
+TEST(FaultEventFactories, ValidateTheirShapes) {
+  // Factories run the same structural validation as (de)serialization, so
+  // a malformed event fails with the format's typed error at build time.
+  EXPECT_THROW((void)stuck_cells_event(0, 0.0, Voltage{0.0}, Voltage{0.0}),
+               FaultPlanFormatError);
+  EXPECT_THROW((void)stuck_cells_event(0, 1.5, Voltage{0.0}, Voltage{0.0}),
+               FaultPlanFormatError);
+  EXPECT_THROW((void)measurement_dropout_event(-0.1), FaultPlanFormatError);
+  EXPECT_THROW((void)measurement_dropout_event(1.1), FaultPlanFormatError);
+  EXPECT_THROW((void)supply_brownout_event(0, Voltage{-1.0}, 0.0, 1.0),
+               FaultPlanFormatError);
+  EXPECT_THROW((void)flaky_switch_event(0, 0.5, 2.0, 1.0),
+               FaultPlanFormatError);
+}
+
+TEST(FaultPlanPersistence, RoundTripPreservesEveryField) {
+  const FaultPlan plan = make_test_plan();
+  const std::vector<std::uint8_t> bytes = plan.serialize();
+  const FaultPlan reloaded = FaultPlan::deserialize(bytes);
+  EXPECT_EQ(reloaded, plan);
+  // Re-serialization is byte-identical (canonical encoding).
+  EXPECT_EQ(reloaded.serialize(), bytes);
+}
+
+TEST(FaultPlanPersistence, EmptyPlanRoundTrips) {
+  const FaultPlan plan;  // default seed, no events
+  EXPECT_EQ(FaultPlan::deserialize(plan.serialize()), plan);
+}
+
+TEST(FaultPlanPersistence, EveryTruncationIsRejectedWithTypedError) {
+  const std::vector<std::uint8_t> bytes = make_test_plan().serialize();
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    const std::span<const std::uint8_t> prefix{bytes.data(), len};
+    EXPECT_THROW((void)FaultPlan::deserialize(prefix), FaultPlanFormatError)
+        << "prefix of " << len << " bytes";
+  }
+}
+
+TEST(FaultPlanPersistence, EverySingleBitFlipIsRejected) {
+  const std::vector<std::uint8_t> bytes = make_test_plan().serialize();
+  for (std::size_t pos = 0; pos < bytes.size(); ++pos) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::vector<std::uint8_t> corrupt = bytes;
+      corrupt[pos] = static_cast<std::uint8_t>(corrupt[pos] ^ (1u << bit));
+      EXPECT_THROW((void)FaultPlan::deserialize(corrupt),
+                   FaultPlanFormatError)
+          << "byte " << pos << " bit " << bit;
+    }
+  }
+}
+
+TEST(FaultPlanPersistence, TrailingGarbageIsRejected) {
+  std::vector<std::uint8_t> bytes = make_test_plan().serialize();
+  bytes.push_back(0x00);
+  EXPECT_THROW((void)FaultPlan::deserialize(bytes), FaultPlanFormatError);
+}
+
+TEST(FaultPlanPersistence, FileRoundTripThroughDisk) {
+  const FaultPlan plan = make_test_plan();
+  const std::string path = ::testing::TempDir() + "llama_test.faultplan";
+  plan.save(path);
+  EXPECT_EQ(FaultPlan::load(path), plan);
+  EXPECT_THROW((void)FaultPlan::load(path + ".missing"), std::runtime_error);
+}
+
+TEST(FaultPlanValidation, RejectsStructurallyInvalidPlans) {
+  FaultPlan plan = make_test_plan();
+  plan.events[0].probability = 1.5;
+  EXPECT_THROW(validate(plan), FaultPlanFormatError);
+  EXPECT_THROW((void)plan.serialize(), FaultPlanFormatError);
+
+  plan = make_test_plan();
+  plan.events[0].t_start_s = 5.0;
+  plan.events[0].t_end_s = 1.0;  // end before start
+  EXPECT_THROW(validate(plan), FaultPlanFormatError);
+
+  plan = make_test_plan();
+  plan.events[0].t_start_s = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(validate(plan), FaultPlanFormatError);
+
+  plan = make_test_plan();
+  plan.events[2].magnitude = 2.0;  // stuck fraction > 1
+  EXPECT_THROW(validate(plan), FaultPlanFormatError);
+
+  EXPECT_NO_THROW(validate(make_test_plan()));
+}
+
+}  // namespace
+}  // namespace llama::fault

@@ -1,0 +1,133 @@
+#include "src/fault/health_monitor.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace llama::fault {
+namespace {
+
+using Evidence = HealthMonitor::TickEvidence;
+
+constexpr Evidence kAllOut{/*devices=*/4, /*in_outage=*/4};
+constexpr Evidence kAllGood{/*devices=*/4, /*in_outage=*/0};
+constexpr Evidence kEmpty{};  // no devices: proves nothing
+
+TEST(HealthMonitor, ValidatesItsParameters) {
+  EXPECT_THROW(HealthMonitor{0}, std::invalid_argument);
+  HealthMonitor::Options bad;
+  bad.degrade_after = 0;
+  EXPECT_THROW((HealthMonitor{1, bad}), std::invalid_argument);
+  bad = {};
+  bad.quarantine_after = bad.degrade_after;  // must be strictly beyond
+  EXPECT_THROW((HealthMonitor{1, bad}), std::invalid_argument);
+  bad = {};
+  bad.readmit_after = 0;
+  EXPECT_THROW((HealthMonitor{1, bad}), std::invalid_argument);
+  bad = {};
+  bad.probation_delay_s = -1.0;
+  EXPECT_THROW((HealthMonitor{1, bad}), std::invalid_argument);
+  EXPECT_THROW(HealthMonitor(1).observe(1, kAllGood, 0.0),
+               std::out_of_range);
+}
+
+TEST(HealthMonitor, StartsHealthyAndServing) {
+  const HealthMonitor monitor{3};
+  for (std::size_t s = 0; s < 3; ++s) {
+    EXPECT_EQ(monitor.health(s), SurfaceHealth::kHealthy);
+    EXPECT_TRUE(monitor.serving(s));
+  }
+  EXPECT_EQ(monitor.transition_count(), 0);
+}
+
+TEST(HealthMonitor, PartialOutageNeverDegrades) {
+  HealthMonitor monitor{1};
+  // 3-of-4 devices out for a long time: a struggling surface is not a dead
+  // one — only unanimous outage is hardware-crash evidence.
+  for (int i = 0; i < 50; ++i)
+    monitor.observe(0, Evidence{4, 3}, 0.1 * i);
+  EXPECT_EQ(monitor.health(0), SurfaceHealth::kHealthy);
+}
+
+TEST(HealthMonitor, UnanimousOutageWalksDegradedThenQuarantined) {
+  HealthMonitor::Options opts;
+  opts.degrade_after = 2;
+  opts.quarantine_after = 5;
+  HealthMonitor monitor{2, opts};
+  double t = 0.0;
+  monitor.observe(0, kAllOut, t += 0.1);
+  EXPECT_EQ(monitor.health(0), SurfaceHealth::kHealthy);  // one tick: noise
+  monitor.observe(0, kAllOut, t += 0.1);
+  EXPECT_EQ(monitor.health(0), SurfaceHealth::kDegraded);
+  EXPECT_TRUE(monitor.serving(0));  // degraded still serves
+  monitor.observe(0, kAllOut, t += 0.1);
+  monitor.observe(0, kAllOut, t += 0.1);
+  EXPECT_EQ(monitor.health(0), SurfaceHealth::kDegraded);
+  monitor.observe(0, kAllOut, t += 0.1);  // 5th consecutive bad tick
+  EXPECT_EQ(monitor.health(0), SurfaceHealth::kQuarantined);
+  EXPECT_FALSE(monitor.serving(0));
+  // The other surface is untouched.
+  EXPECT_EQ(monitor.health(1), SurfaceHealth::kHealthy);
+  EXPECT_EQ(monitor.transition_count(), 2);
+}
+
+TEST(HealthMonitor, GoodTickRecoversADegradedSurface) {
+  HealthMonitor monitor{1};
+  monitor.observe(0, kAllOut, 0.0);
+  monitor.observe(0, kAllOut, 0.1);
+  ASSERT_EQ(monitor.health(0), SurfaceHealth::kDegraded);
+  monitor.observe(0, kAllGood, 0.2);
+  EXPECT_EQ(monitor.health(0), SurfaceHealth::kHealthy);
+  // ... and the streak restarts from zero afterwards.
+  monitor.observe(0, kAllOut, 0.3);
+  EXPECT_EQ(monitor.health(0), SurfaceHealth::kHealthy);
+}
+
+TEST(HealthMonitor, EmptyEvidenceFreezesStreaksButAdvancesTime) {
+  HealthMonitor::Options opts;
+  opts.probation_delay_s = 1.0;
+  HealthMonitor monitor{1, opts};
+  double t = 0.0;
+  for (int i = 0; i < opts.quarantine_after; ++i)
+    monitor.observe(0, kAllOut, t += 0.1);
+  ASSERT_EQ(monitor.health(0), SurfaceHealth::kQuarantined);
+  // Evacuated surface: no devices, so only time passes. After the
+  // probation delay it goes on trial.
+  monitor.observe(0, kEmpty, t + 0.5);
+  EXPECT_EQ(monitor.health(0), SurfaceHealth::kQuarantined);
+  monitor.observe(0, kEmpty, t + 1.2);
+  EXPECT_EQ(monitor.health(0), SurfaceHealth::kProbation);
+  EXPECT_TRUE(monitor.serving(0));  // canary may be placed
+}
+
+TEST(HealthMonitor, CanaryWalksProbationToHealthyOrBackToQuarantine) {
+  HealthMonitor::Options opts;
+  opts.probation_delay_s = 1.0;
+  opts.readmit_after = 3;
+  HealthMonitor monitor{1, opts};
+  double t = 0.0;
+  for (int i = 0; i < opts.quarantine_after; ++i)
+    monitor.observe(0, kAllOut, t += 0.1);
+  monitor.observe(0, kEmpty, t += 1.5);
+  ASSERT_EQ(monitor.health(0), SurfaceHealth::kProbation);
+
+  // A bad canary tick re-quarantines immediately (fresh dwell).
+  monitor.observe(0, Evidence{1, 1}, t += 0.1);
+  EXPECT_EQ(monitor.health(0), SurfaceHealth::kQuarantined);
+  // The dwell restarted: probation only after another full delay.
+  monitor.observe(0, kEmpty, t + 0.5);
+  EXPECT_EQ(monitor.health(0), SurfaceHealth::kQuarantined);
+  monitor.observe(0, kEmpty, t += 1.5);
+  ASSERT_EQ(monitor.health(0), SurfaceHealth::kProbation);
+
+  // Clean canary streak readmits.
+  monitor.observe(0, Evidence{1, 0}, t += 0.1);
+  monitor.observe(0, Evidence{1, 0}, t += 0.1);
+  EXPECT_EQ(monitor.health(0), SurfaceHealth::kProbation);
+  monitor.observe(0, Evidence{1, 0}, t += 0.1);
+  EXPECT_EQ(monitor.health(0), SurfaceHealth::kHealthy);
+  EXPECT_TRUE(monitor.serving(0));
+}
+
+}  // namespace
+}  // namespace llama::fault

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
+#include <stdexcept>
 
 namespace llama::radio {
 namespace {
@@ -94,6 +96,31 @@ TEST(Receiver, WindowCapKeepsMeasureFast) {
   // samples; the estimate is still accurate.
   const double p = rx.measure(PowerDbm{-40.0}, 30.0).value();
   EXPECT_NEAR(p, -40.0, 0.5);
+}
+
+TEST(Receiver, NonFiniteSignalPowerIsRejectedNotMeasured) {
+  // Input contract: -inf means "no signal" (pure noise), but NaN and +inf
+  // are upstream channel-model bugs and must fail loudly instead of
+  // flowing into outage accounting as non-finite power.
+  Receiver rx = make_rx();
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_THROW((void)rx.capture(PowerDbm{nan}, 16), std::invalid_argument);
+  EXPECT_THROW((void)rx.capture(PowerDbm{inf}, 16), std::invalid_argument);
+  EXPECT_THROW((void)rx.measure(PowerDbm{nan}, 0.02), std::invalid_argument);
+  EXPECT_THROW((void)rx.measure(PowerDbm{inf}, 0.02), std::invalid_argument);
+  EXPECT_THROW((void)rx.expected_measure(PowerDbm{nan}),
+               std::invalid_argument);
+  EXPECT_THROW((void)rx.expected_measure(PowerDbm{inf}),
+               std::invalid_argument);
+}
+
+TEST(Receiver, MinusInfinitySignalMeansPureNoise) {
+  Receiver rx = make_rx();
+  const double inf = std::numeric_limits<double>::infinity();
+  const double floor = rx.noise_floor_dbm().value();
+  EXPECT_NEAR(rx.measure(PowerDbm{-inf}, 0.05).value(), floor, 1.0);
+  EXPECT_NEAR(rx.expected_measure(PowerDbm{-inf}).value(), floor, 1e-9);
 }
 
 }  // namespace
