@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "src/common/constants.h"
+#include "src/common/contracts.h"
 
 namespace llama::channel {
 
@@ -186,6 +187,15 @@ void PropagationScene::rebuild_paths() {
     p.coupling_scale = relay.coupling;
     paths_.push_back(std::move(p));
   }
+
+  LLAMA_ENSURES(!paths_.empty() && surface_count_ >= 1,
+                "a rebuilt scene always carries the home-surface topology");
+#if LLAMA_CONTRACTS_ARMED
+  for (const PropagationPath& p : paths_)
+    for (std::size_t s : p.surfaces)
+      LLAMA_INVARIANT(s < surface_count_,
+                      "every path references only scene surface ids");
+#endif
 }
 
 em::JonesVector PropagationScene::launch_state(
@@ -371,7 +381,8 @@ PropagationScene::FrozenEval PropagationScene::freeze_except(
         }
         break;
       case PathKind::kDirect:
-        break;  // unreachable: direct paths traverse no surface
+        LLAMA_INVARIANT(false, "direct paths traverse no surface");
+        break;
     }
     fz.terms.push_back(std::move(term));
   }
@@ -388,6 +399,8 @@ PropagationScene::FrozenEval PropagationScene::freeze_except(
       }
     }
   }
+  LLAMA_ENSURES(fz.revision == revision_,
+                "a fresh freeze is stamped with the current scene revision");
   return fz;
 }
 

@@ -6,6 +6,7 @@
 #include <iterator>
 
 #include "src/common/constants.h"
+#include "src/common/contracts.h"
 #include "src/common/math_utils.h"
 #include "src/common/serde.h"
 
@@ -67,6 +68,7 @@ struct AxisPos {
 };
 
 AxisPos locate(const AxisSpec& a, double value) {
+  LLAMA_EXPECTS(a.count >= 1, "axis has at least one lattice point");
   if (a.count == 1) return {};
   const double steps = static_cast<double>(a.count - 1);
   const double pos =
@@ -75,6 +77,8 @@ AxisPos locate(const AxisSpec& a, double value) {
   p.i0 = std::min(static_cast<std::size_t>(pos), a.count - 2);
   p.i1 = p.i0 + 1;
   p.t = pos - static_cast<double>(p.i0);
+  LLAMA_ENSURES(p.i1 < a.count && p.t >= 0.0 && p.t <= 1.0,
+                "bracketing indices lie on the axis with a unit weight");
   return p;
 }
 
@@ -95,6 +99,7 @@ BiasPoint get_point(common::ByteReader& r) {
 }  // namespace
 
 double AxisSpec::at(std::size_t i) const {
+  LLAMA_EXPECTS(i < count || count <= 1, "lattice index lies on the axis");
   if (count <= 1) return min;
   // Index-based lattice, the same form as common::stepped_range (point =
   // min + i * step with one shared step). The historical (max - min) * i /
@@ -149,6 +154,11 @@ BiasPoint Codebook::lookup(common::Frequency f,
   out.predicted_power = common::PowerDbm{
       blend(p00.predicted_power.value(), p01.predicted_power.value(),
             p10.predicted_power.value(), p11.predicted_power.value())};
+  LLAMA_ENSURES(out.vx.value() >= header_.v_min_v &&
+                    out.vx.value() <= header_.v_max_v &&
+                    out.vy.value() >= header_.v_min_v &&
+                    out.vy.value() <= header_.v_max_v,
+                "interpolated bias stays inside the compiled bias grid");
   return out;
 }
 
@@ -159,6 +169,8 @@ const CellEntry& Codebook::nearest(common::Frequency f,
       locate(header_.orientation_rad, fold_orientation(orientation));
   const std::size_t fi = pf.t < 0.5 ? pf.i0 : pf.i1;
   const std::size_t oi = po.t < 0.5 ? po.i0 : po.i1;
+  LLAMA_INVARIANT(fi * header_.orientation_rad.count + oi < cells_.size(),
+                  "nearest cell lies inside the lattice");
   return cells_[fi * header_.orientation_rad.count + oi];
 }
 
@@ -188,6 +200,9 @@ RefinementWindow Codebook::refinement_window(const CellEntry& c) const {
       common::clamp(lo_y - pad, header_.v_min_v, header_.v_max_v)};
   w.vy_max = common::Voltage{
       common::clamp(hi_y + pad, header_.v_min_v, header_.v_max_v)};
+  LLAMA_ENSURES(w.vx_min.value() <= w.vx_max.value() &&
+                    w.vy_min.value() <= w.vy_max.value(),
+                "refinement window is an ordered box");
   return w;
 }
 

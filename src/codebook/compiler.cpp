@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "src/common/contracts.h"
 #include "src/common/math_utils.h"
 #include "src/common/parallel.h"
 #include "src/common/serde.h"
@@ -233,11 +234,15 @@ Codebook CodebookCompiler::compile(const CompilerOptions& options) const {
         p.predicted_power = common::PowerDbm{powers[flat]};
         return p;
       };
+      LLAMA_INVARIANT(fi * n_o + oi < cells.size(),
+                      "shard writes only its own lattice slot");
       CellEntry& cell = cells[fi * n_o + oi];
       cell.best = to_point(order[0]);
       cell.refinement.reserve(keep - 1);
       for (std::size_t k = 1; k < keep; ++k)
         cell.refinement.push_back(to_point(order[k]));
+      LLAMA_ENSURES(cell.refinement.size() == header.top_k,
+                    "every cell carries exactly top_k refinement points");
     });
   }
 

@@ -1,0 +1,24 @@
+#include "src/common/contracts.h"
+
+#include <string>
+
+namespace llama::common::detail {
+
+void contract_failed(const char* kind, const char* condition,
+                     const char* message, const char* file, int line) {
+  std::string what;
+  what.reserve(128);
+  what += kind;
+  what += " failed at ";
+  what += file;
+  what += ':';
+  what += std::to_string(line);
+  what += ": ";
+  what += condition;
+  what += " (";
+  what += message;
+  what += ')';
+  throw ContractViolation(what);
+}
+
+}  // namespace llama::common::detail

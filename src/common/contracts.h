@@ -1,0 +1,79 @@
+// Executable contracts for the invariants the repo otherwise enforces by
+// review: precondition / postcondition / invariant macros that are armed by
+// the LLAMA_CHECKED CMake option and compile to nothing in a plain Release
+// build.
+//
+// Usage:
+//
+//   LLAMA_EXPECTS(fi < header_.frequency_hz.count, "frequency index in axis");
+//   LLAMA_ENSURES(duty >= 0.0 && duty <= 1.0, "duty is a fraction");
+//   LLAMA_INVARIANT(elapsed_s_ >= 0.0, "supply clock never runs backwards");
+//
+// Armed (LLAMA_CHECKED=ON), a failed check throws common::ContractViolation
+// (a std::logic_error) carrying the check kind, the stringified condition,
+// the message and the source location — tests assert on it with
+// EXPECT_THROW and CI runs the whole suite with contracts armed. Disarmed,
+// the macros expand to a no-op that does not evaluate the condition, so
+// contract expressions must be side-effect free (and cheap enough to run on
+// hot paths when armed: CI budget, not production budget).
+//
+// These macros guard *programmer* errors — broken preconditions, violated
+// internal invariants. Conditions reachable from bad user input or bad
+// bytes on disk (codebook files, fault plans, out-of-range supply commands)
+// keep their typed always-on exceptions; a contract never replaces one.
+#pragma once
+
+#include <stdexcept>
+
+namespace llama::common {
+
+/// Thrown by an armed LLAMA_EXPECTS / LLAMA_ENSURES / LLAMA_INVARIANT whose
+/// condition evaluated false.
+class ContractViolation : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+/// Out-of-line slow path: formats "<kind> failed at <file>:<line>: <cond>
+/// (<message>)" and throws ContractViolation.
+[[noreturn]] void contract_failed(const char* kind, const char* condition,
+                                  const char* message, const char* file,
+                                  int line);
+}  // namespace detail
+
+}  // namespace llama::common
+
+#if defined(LLAMA_CHECKED) && LLAMA_CHECKED
+#define LLAMA_CONTRACT_IMPL_(kind, condition, message)                     \
+  do {                                                                     \
+    if (!(condition)) {                                                    \
+      ::llama::common::detail::contract_failed(kind, #condition, message,  \
+                                               __FILE__, __LINE__);        \
+    }                                                                      \
+  } while (false)
+#else
+#define LLAMA_CONTRACT_IMPL_(kind, condition, message) \
+  do {                                                 \
+  } while (false)
+#endif
+
+/// Precondition: what the caller owes the callee on entry.
+#define LLAMA_EXPECTS(condition, message) \
+  LLAMA_CONTRACT_IMPL_("LLAMA_EXPECTS", condition, message)
+
+/// Postcondition: what the callee owes the caller on exit.
+#define LLAMA_ENSURES(condition, message) \
+  LLAMA_CONTRACT_IMPL_("LLAMA_ENSURES", condition, message)
+
+/// Internal consistency that must hold at this point regardless of inputs.
+#define LLAMA_INVARIANT(condition, message) \
+  LLAMA_CONTRACT_IMPL_("LLAMA_INVARIANT", condition, message)
+
+/// True when contracts are armed; lets tests skip violation cases in
+/// unchecked builds and lets hot paths hoist a per-element check.
+#if defined(LLAMA_CHECKED) && LLAMA_CHECKED
+#define LLAMA_CONTRACTS_ARMED 1
+#else
+#define LLAMA_CONTRACTS_ARMED 0
+#endif

@@ -6,6 +6,8 @@
 #include <thread>
 #include <vector>
 
+#include "src/common/contracts.h"
+
 namespace llama::common {
 
 int default_parallelism() {
@@ -15,6 +17,7 @@ int default_parallelism() {
 
 void parallel_for(std::size_t count, int threads,
                   const std::function<void(std::size_t)>& body) {
+  LLAMA_EXPECTS(static_cast<bool>(body), "parallel_for needs a callable body");
   if (count == 0) return;
   // Below this many items the fork-join overhead (tens of microseconds per
   // std::thread) exceeds the work of a typical coarse-to-fine window, so
@@ -42,6 +45,8 @@ void parallel_for(std::size_t count, int threads,
   std::vector<std::thread> pool;
   pool.reserve(workers - 1);
   const std::size_t chunk = (count + workers - 1) / workers;
+  LLAMA_INVARIANT(chunk >= 1 && chunk * workers >= count,
+                  "the static partition covers every index in [0, count)");
   for (std::size_t w = 1; w < workers; ++w) {
     const std::size_t begin = std::min(w * chunk, count);
     const std::size_t end = std::min(begin + chunk, count);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/common/contracts.h"
 #include "src/common/rng.h"
 
 namespace llama::control {
@@ -28,6 +29,8 @@ void PowerSupply::set_outputs(common::Voltage vx, common::Voltage vy) {
   // delivered one does.
   elapsed_s_ += switch_period_s();
   ++switches_;
+  LLAMA_INVARIANT(elapsed_s_ > 0.0 && switches_ > 0,
+                  "the supply clock and switch counter only run forward");
   if (faults_ && faults_->switch_fail_probability > 0.0 &&
       common::hash_unit_draw(faults_->fault_seed, 0x5F17C4ULL,
                              static_cast<std::uint64_t>(switches_)) <
@@ -47,6 +50,8 @@ void PowerSupply::wait(double seconds) {
     throw std::invalid_argument{
         "PowerSupply: wait duration must be finite and non-negative"};
   elapsed_s_ += seconds;
+  LLAMA_ENSURES(elapsed_s_ >= seconds,
+                "waiting never rewinds the supply clock");
 }
 
 void PowerSupply::set_fault_state(std::optional<SupplyFaultState> faults) {

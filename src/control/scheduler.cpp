@@ -5,6 +5,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "src/common/contracts.h"
+
 namespace llama::control {
 
 PolarizationScheduler::PolarizationScheduler(Options options)
@@ -55,6 +57,16 @@ std::vector<ScheduleSlot> PolarizationScheduler::build_schedule(
       w += devices[i].traffic_weight;
     slot.slot_fraction = total_weight > 0.0 ? w / total_weight : 0.0;
   }
+#if LLAMA_CONTRACTS_ARMED
+  std::size_t assigned = 0;
+  for (const ScheduleSlot& slot : slots) {
+    assigned += slot.device_indices.size();
+    LLAMA_ENSURES(slot.slot_fraction >= 0.0 && slot.slot_fraction <= 1.0,
+                  "each airtime share is a fraction of the schedule");
+  }
+  LLAMA_ENSURES(assigned == devices.size(),
+                "every roster device lands in exactly one slot");
+#endif
   return slots;
 }
 
@@ -88,6 +100,8 @@ std::vector<common::PowerDbm> PolarizationScheduler::expected_power(
         fraction[i] * opt_mw + (1.0 - fraction[i]) * raw_mw;
     out.push_back(common::PowerMw{std::max(mean_mw, 1e-15)}.to_dbm());
   }
+  LLAMA_ENSURES(out.size() == devices.size(),
+                "one expected power per roster device");
   return out;
 }
 

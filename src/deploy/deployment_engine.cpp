@@ -8,6 +8,7 @@
 #include "src/channel/capacity.h"
 #include "src/codebook/codebook.h"
 #include "src/codebook/compiler.h"
+#include "src/common/contracts.h"
 #include "src/common/math_utils.h"
 #include "src/common/parallel.h"
 #include "src/common/rng.h"
@@ -215,6 +216,7 @@ DeploymentReport DeploymentEngine::run(
   // final schedules (finalize_report).
   const channel::SceneSpec scene_spec =
       device_scene_spec(config_.n_surfaces, config_.interference);
+  // Each shard writes only its own results[i] slot.
   common::parallel_for(devices.size(), config_.threads, [&](std::size_t i) {
     const DeviceSpec& spec = devices[i];
     const channel::PropagationScene scene =
@@ -238,9 +240,13 @@ DeploymentReport DeploymentEngine::run(
         };
     control::PowerSupply supply;  // per-device instrument-time accounting
     control::CoarseToFineSweep sweep{supply, config_.sweep};
+    LLAMA_INVARIANT(i < report.devices.size(),
+                    "each shard writes only its own result slot");
     DeviceResult& out = report.devices[i];
     out.name = spec.name;
     out.surface = assigned_surface(spec.surface, i, config_.n_surfaces);
+    LLAMA_ENSURES(out.surface < config_.n_surfaces,
+                  "assigned surfaces lie inside the deployment");
     out.sweep = sweep.run_batched(probe);
     out.optimized_power = out.sweep.best_power;
     out.unoptimized_power = receiver_.expected_measure(
@@ -288,6 +294,7 @@ DeploymentReport DeploymentEngine::run_codebook(
   // coinciding optima hit).
   const channel::SceneSpec scene_spec =
       device_scene_spec(config_.n_surfaces, config_.interference);
+  // Each shard writes only its own results[i] slot.
   common::parallel_for(devices.size(), config_.threads, [&](std::size_t i) {
     const DeviceSpec& spec = devices[i];
     const channel::PropagationScene scene =

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/common/contracts.h"
 #include "src/common/rng.h"
 #include "src/core/llama_system.h"
 
@@ -26,6 +27,10 @@ FaultInjector::FaultInjector(const FaultPlan& plan) : plan_(plan) {
 
 bool FaultInjector::applies(const FaultEvent& e, std::size_t surface,
                             double t_s) {
+  // Every event reaching this point came through validate(): the window is
+  // ordered, so active_at() describes a real (possibly open-ended) interval.
+  LLAMA_EXPECTS(!(e.t_end_s < e.t_start_s),
+                "validated fault events carry ordered windows");
   return (e.surface == kAllSurfaces ||
           e.surface == static_cast<std::uint32_t>(surface)) &&
          e.active_at(t_s);
@@ -59,6 +64,11 @@ SurfaceFaultState FaultInjector::surface_state(std::size_t surface,
         break;  // measurement/codebook kinds are queried separately
     }
   }
+  LLAMA_ENSURES((!state.stuck ||
+                 (state.stuck->fraction > 0.0 && state.stuck->fraction <= 1.0)) &&
+                    state.switch_fail_probability >= 0.0 &&
+                    state.switch_fail_probability <= 1.0,
+                "aggregated fault state stays inside each knob's range");
   return state;
 }
 

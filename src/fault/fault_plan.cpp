@@ -5,6 +5,7 @@
 #include <fstream>
 #include <iterator>
 
+#include "src/common/contracts.h"
 #include "src/common/serde.h"
 
 namespace llama::fault {
@@ -193,6 +194,9 @@ std::vector<std::uint8_t> FaultPlan::serialize() const {
   common::ByteWriter trailer;
   trailer.u64(common::fnv1a64(out));
   out.insert(out.end(), trailer.data().begin(), trailer.data().end());
+  LLAMA_ENSURES(
+      out.size() == kHeaderBytes + events.size() * kEventBytes + kTrailerBytes,
+      "serialized plan length matches the fixed wire layout");
   return out;
 }
 
@@ -240,6 +244,8 @@ FaultPlan FaultPlan::deserialize(std::span<const std::uint8_t> bytes) {
     plan.events.push_back(e);
   }
   validate(plan);
+  LLAMA_ENSURES(plan.events.size() == n_events,
+                "decoded event count matches the validated header");
   return plan;
 }
 

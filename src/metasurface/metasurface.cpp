@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "src/common/contracts.h"
 #include "src/common/math_utils.h"
 #include "src/common/parallel.h"
 
@@ -89,6 +90,8 @@ em::JonesMatrix Metasurface::response(common::Frequency f,
   // Coherent sub-aperture mixture: the stuck fraction keeps radiating at
   // its frozen bias. Mixing happens outside the cache, which memoizes only
   // the pure healthy responses.
+  LLAMA_INVARIANT(stuck_->fraction > 0.0 && stuck_->fraction <= 1.0,
+                  "set_stuck_cells admits only fractions in (0, 1]");
   const em::JonesMatrix stuck =
       planned_response(f, mode, stuck_->vx, stuck_->vy);
   return em::Complex{1.0 - stuck_->fraction, 0.0} * healthy +
@@ -135,6 +138,7 @@ JonesGrid Metasurface::response_grid(common::Frequency f, SurfaceMode mode,
   if (vx_values.empty() || vy_values.empty()) return grid;
   if (mode == SurfaceMode::kTransmissive) {
     const RotatorStack::TransmissionPlan plan = stack_.plan_transmission(f);
+    // Each shard writes only its own grid[iy] row.
     common::parallel_for(vy_values.size(), threads, [&](std::size_t iy) {
       const common::Voltage vy = clamp_bias(vy_values[iy]);
       for (std::size_t ix = 0; ix < vx_values.size(); ++ix)
@@ -143,6 +147,7 @@ JonesGrid Metasurface::response_grid(common::Frequency f, SurfaceMode mode,
     });
   } else {
     const RotatorStack::ReflectionPlan plan = stack_.plan_reflection(f);
+    // Each shard writes only its own grid[iy] row.
     common::parallel_for(vy_values.size(), threads, [&](std::size_t iy) {
       const common::Voltage vy = clamp_bias(vy_values[iy]);
       for (std::size_t ix = 0; ix < vx_values.size(); ++ix)
@@ -160,6 +165,9 @@ JonesGrid Metasurface::response_grid(common::Frequency f, SurfaceMode mode,
     for (auto& row : grid)
       for (em::JonesMatrix& cell : row) cell = keep * cell + frac * stuck;
   }
+  LLAMA_ENSURES(grid.size() == vy_values.size() &&
+                    (grid.empty() || grid.front().size() == vx_values.size()),
+                "bias-plane grid shape matches the requested axes");
   return grid;
 }
 
@@ -170,12 +178,14 @@ std::vector<em::JonesMatrix> Metasurface::response_batch(
   if (points.empty()) return out;
   if (mode == SurfaceMode::kTransmissive) {
     const RotatorStack::TransmissionPlan plan = stack_.plan_transmission(f);
+    // Each shard writes only its own out[i] slot.
     common::parallel_for(points.size(), threads, [&](std::size_t i) {
       out[i] = stack_.transmission(plan, clamp_bias(points[i].first.value()),
                                    clamp_bias(points[i].second.value()));
     });
   } else {
     const RotatorStack::ReflectionPlan plan = stack_.plan_reflection(f);
+    // Each shard writes only its own out[i] slot.
     common::parallel_for(points.size(), threads, [&](std::size_t i) {
       out[i] = stack_.reflection(plan, clamp_bias(points[i].first.value()),
                                  clamp_bias(points[i].second.value()));
@@ -188,6 +198,8 @@ std::vector<em::JonesMatrix> Metasurface::response_batch(
     const em::Complex frac{stuck_->fraction, 0.0};
     for (em::JonesMatrix& cell : out) cell = keep * cell + frac * stuck;
   }
+  LLAMA_ENSURES(out.size() == points.size(),
+                "batched responses line up with the requested bias list");
   return out;
 }
 

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "src/common/contracts.h"
 #include "src/common/parallel.h"
 #include "src/core/scenarios.h"
 #include "src/fault/fault_injector.h"
@@ -35,6 +36,8 @@ Shard make_shard(const FleetConfig& config, const FleetDeviceSpec& spec,
   shard.process = spec.process();
   shard.surface = deploy::assigned_surface(spec.surface, index,
                                            config.deployment.n_surfaces);
+  LLAMA_ENSURES(shard.surface < config.deployment.n_surfaces,
+                "every shard serves a surface inside the deployment");
   return shard;
 }
 
@@ -105,6 +108,8 @@ void FleetTracker::run_lockstep(const std::vector<FleetDeviceSpec>& devices,
   std::vector<std::optional<em::JonesMatrix>> aired(n_surfaces);
 
   for (long t = 0; t < ticks; ++t) {
+    // Each shard writes only its own shards[i] plant; `aired` is read-only
+    // inside the tick and republished serially after the join below.
     common::parallel_for(
         devices.size(), config_.deployment.threads, [&](std::size_t i) {
           Shard& shard = shards[i];
@@ -196,6 +201,8 @@ void FleetTracker::run_faulted(const std::vector<FleetDeviceSpec>& devices,
       n_surfaces, fault::SurfaceHealth::kHealthy);
 
   for (long t = 0; t < ticks; ++t) {
+    // Each shard writes only its own shards[i] plant; health evidence is
+    // gathered by the serial pass below, after the join.
     common::parallel_for(devices.size(), config_.deployment.threads,
                          [&](std::size_t i) { shards[i].loop->step(); });
 
@@ -293,6 +300,8 @@ FleetReport FleetTracker::run(const std::vector<FleetDeviceSpec>& devices,
     report.surfaces[s].surface = s;
   double outage_sum = 0.0;
   for (const DeviceTrackResult& d : report.devices) {
+    LLAMA_INVARIANT(d.surface < report.surfaces.size(),
+                    "device results roll up onto deployment surfaces");
     SurfaceTrackSummary& sr = report.surfaces[d.surface];
     ++sr.device_count;
     sr.mean_outage_fraction += d.report.outage_fraction;  // sum, for now

@@ -23,6 +23,12 @@
 // of one policy object are independent. Policies measure through the
 // deterministic expected-power model (no RNG state), which is what keeps
 // FleetTracker byte-identical for any thread count.
+//
+// The loop enforces its half of this contract with LLAMA_ENSURES
+// (src/common/contracts.h, armed via -DLLAMA_CHECKED=ON): a policy whose
+// on_tick rewinds the supply clock, or leaves a tick with duty outside
+// [0, 1], throws common::ContractViolation in checked builds instead of
+// silently corrupting the airtime accounting.
 #pragma once
 
 #include <optional>

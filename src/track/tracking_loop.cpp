@@ -4,6 +4,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "src/common/contracts.h"
 #include "src/fault/fault_injector.h"
 
 namespace llama::track {
@@ -109,11 +110,18 @@ void TrackingLoop::step() {
     const double supply0 = system_.supply().elapsed_s();
     action = policy_.on_tick(system_, obs);
     tick.retune_airtime_s = system_.supply().elapsed_s() - supply0;
+    // The airtime invariant: all policy work is charged through the supply
+    // clock, which only runs forward — a negative delta means a policy
+    // swapped the supply out from under the loop.
+    LLAMA_ENSURES(tick.retune_airtime_s >= 0.0,
+                  "retune airtime is a forward supply-clock delta");
     ep.busy_s += tick.retune_airtime_s;
   }
   const double consumed = std::min(ep.busy_s, dt);
   ep.busy_s -= consumed;
   tick.duty = 1.0 - consumed / dt;
+  LLAMA_ENSURES(tick.duty >= 0.0 && tick.duty <= 1.0,
+                "duty is the traffic fraction of one tick");
   tick.retuned = action.retuned;
   tick.probes = action.probes;
 
@@ -132,6 +140,8 @@ void TrackingLoop::step() {
       std::min(ep.report.min_power_dbm, tick.power.value());
   ep.last = tick;
   if (options_.keep_trace) ep.report.trace.push_back(tick);
+  LLAMA_INVARIANT(ep.tick == i + 1 && ep.tick <= ep.planned_ticks,
+                  "ticks advance one at a time inside the planned episode");
 }
 
 void TrackingLoop::rebind_policy() {
@@ -165,6 +175,11 @@ TrackReport TrackingLoop::finish() {
       report.retune_count > 0
           ? report.retune_airtime_s / static_cast<double>(report.retune_count)
           : 0.0;
+  LLAMA_ENSURES(report.outage_fraction >= 0.0 &&
+                    report.outage_fraction <= 1.0 &&
+                    report.retune_airtime_s >= 0.0,
+                "sealed report carries a fractional outage and non-negative "
+                "airtime");
   episode_.reset();
   return report;
 }

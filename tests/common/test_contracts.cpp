@@ -1,0 +1,105 @@
+#include "src/common/contracts.h"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <stdexcept>
+#include <string>
+
+#include "src/codebook/codebook.h"
+#include "src/common/parallel.h"
+
+namespace llama::common {
+namespace {
+
+TEST(Contracts, ArmedFlagIsAlwaysDefined) {
+  // LLAMA_CONTRACTS_ARMED is the seam tests and loop bodies branch on; it
+  // must be usable in #if and as a plain constant in either build flavor.
+  EXPECT_TRUE(LLAMA_CONTRACTS_ARMED == 0 || LLAMA_CONTRACTS_ARMED == 1);
+}
+
+TEST(Contracts, ViolationIsALogicError) {
+  const ContractViolation v{"boom"};
+  EXPECT_NE(dynamic_cast<const std::logic_error*>(&v), nullptr);
+  EXPECT_STREQ(v.what(), "boom");
+}
+
+TEST(Contracts, PassingConditionsNeverThrow) {
+  EXPECT_NO_THROW(LLAMA_EXPECTS(1 + 1 == 2, "arithmetic works"));
+  EXPECT_NO_THROW(LLAMA_ENSURES(true, "trivially true"));
+  EXPECT_NO_THROW(LLAMA_INVARIANT(2 > 1, "ordering works"));
+}
+
+TEST(Contracts, FailingConditionThrowsOnlyWhenArmed) {
+#if LLAMA_CONTRACTS_ARMED
+  EXPECT_THROW(LLAMA_EXPECTS(false, "precondition"), ContractViolation);
+  EXPECT_THROW(LLAMA_ENSURES(false, "postcondition"), ContractViolation);
+  EXPECT_THROW(LLAMA_INVARIANT(false, "invariant"), ContractViolation);
+#else
+  EXPECT_NO_THROW(LLAMA_EXPECTS(false, "precondition"));
+  EXPECT_NO_THROW(LLAMA_ENSURES(false, "postcondition"));
+  EXPECT_NO_THROW(LLAMA_INVARIANT(false, "invariant"));
+#endif
+}
+
+TEST(Contracts, MessageNamesKindConditionAndLocation) {
+#if !LLAMA_CONTRACTS_ARMED
+  GTEST_SKIP() << "contracts compiled out (build with -DLLAMA_CHECKED=ON)";
+#else
+  try {
+    LLAMA_INVARIANT(0 == 1, "zero is not one");
+    FAIL() << "armed contract did not throw";
+  } catch (const ContractViolation& v) {
+    const std::string what = v.what();
+    EXPECT_NE(what.find("LLAMA_INVARIANT"), std::string::npos) << what;
+    EXPECT_NE(what.find("0 == 1"), std::string::npos) << what;
+    EXPECT_NE(what.find("zero is not one"), std::string::npos) << what;
+    EXPECT_NE(what.find("test_contracts.cpp"), std::string::npos) << what;
+  }
+#endif
+}
+
+TEST(Contracts, UnarmedConditionIsNotEvaluated) {
+#if LLAMA_CONTRACTS_ARMED
+  GTEST_SKIP() << "contracts armed; the condition must run in this flavor";
+#else
+  // The Release contract is free: the condition expression itself is
+  // compiled out, not just the throw.
+  int evaluations = 0;
+  const auto touch = [&evaluations] {
+    ++evaluations;
+    return true;
+  };
+  LLAMA_EXPECTS(touch(), "never evaluated when disarmed");
+  EXPECT_EQ(evaluations, 0);
+#endif
+}
+
+// Armed-seam checks: a real API whose contract (not input validation)
+// catches a programmer error. These document that the macros are live in
+// product code, not just in this file.
+
+TEST(Contracts, ParallelForRejectsEmptyBodyWhenArmed) {
+#if !LLAMA_CONTRACTS_ARMED
+  GTEST_SKIP() << "contracts compiled out (build with -DLLAMA_CHECKED=ON)";
+#else
+  const std::function<void(std::size_t)> empty;
+  EXPECT_THROW(parallel_for(4, 1, empty), ContractViolation);
+#endif
+}
+
+TEST(Contracts, AxisLookupPastTheEndFiresWhenArmed) {
+#if !LLAMA_CONTRACTS_ARMED
+  GTEST_SKIP() << "contracts compiled out (build with -DLLAMA_CHECKED=ON)";
+#else
+  codebook::AxisSpec axis;
+  axis.min = 0.0;
+  axis.max = 10.0;
+  axis.count = 5;
+  EXPECT_NO_THROW((void)axis.at(4));
+  EXPECT_THROW((void)axis.at(5), ContractViolation);
+#endif
+}
+
+}  // namespace
+}  // namespace llama::common

@@ -100,11 +100,14 @@ TEST(BandwidthEq12, TwoLayerDesignExceedsIsmBand) {
 }
 
 TEST(BandwidthEq12, RejectsBadArguments) {
-  EXPECT_THROW(phase_shifter_bandwidth_hz(2.44e9, 0.0, 0.2, 377.0, 188.0),
+  EXPECT_THROW((void)phase_shifter_bandwidth_hz(2.44e9, 0.0, 0.2, 377.0,
+                                                188.0),
                std::invalid_argument);
-  EXPECT_THROW(phase_shifter_bandwidth_hz(2.44e9, 4.0, 1.5, 377.0, 188.0),
+  EXPECT_THROW((void)phase_shifter_bandwidth_hz(2.44e9, 4.0, 1.5, 377.0,
+                                                188.0),
                std::invalid_argument);
-  EXPECT_THROW(phase_shifter_bandwidth_hz(2.44e9, 4.0, 0.2, 377.0, 377.0),
+  EXPECT_THROW((void)phase_shifter_bandwidth_hz(2.44e9, 4.0, 0.2, 377.0,
+                                                377.0),
                std::invalid_argument);
 }
 

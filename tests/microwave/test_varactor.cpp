@@ -72,7 +72,8 @@ TEST(Varactor, DeratingOneIsIdentity) {
 TEST(Varactor, RejectsBadParameters) {
   EXPECT_THROW(Varactor(0.0, 1.0, 0.5, 0.0, 1.0), std::invalid_argument);
   EXPECT_THROW(Varactor(1e-12, -1.0, 0.5, 0.0, 1.0), std::invalid_argument);
-  EXPECT_THROW(Varactor::smv1233().derated(0.0), std::invalid_argument);
+  EXPECT_THROW((void)Varactor::smv1233().derated(0.0),
+               std::invalid_argument);
 }
 
 /// Property: the tuning ratio over the paper's bias range covers the

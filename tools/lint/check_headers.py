@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Header self-containment check.
+
+Compiles every header under src/ standalone (``-fsyntax-only``) so a header
+that silently leans on a transitive include — compiling only because every
+current consumer happens to include its dependency first — fails here
+instead of breaking the next refactor.
+
+Usage:
+    check_headers.py --compiler <c++> --include <repo-root> [--define K=V] SRC_DIR
+"""
+from __future__ import annotations
+
+import argparse
+import concurrent.futures
+import pathlib
+import subprocess
+import sys
+
+
+def check_one(compiler: str, header: pathlib.Path, include: str,
+              defines: list[str]) -> tuple[pathlib.Path, str]:
+    cmd = [compiler, "-std=c++20", "-fsyntax-only", "-Wall", "-Wextra",
+           "-I", include]
+    for d in defines:
+        cmd += ["-D", d]
+    # -x c++: compile the .h as a translation unit, not a precompiled header.
+    cmd += ["-x", "c++", str(header)]
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    return header, "" if proc.returncode == 0 else proc.stderr.strip()
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--compiler", required=True)
+    parser.add_argument("--include", required=True,
+                        help="repo root the src/... includes resolve against")
+    parser.add_argument("--define", action="append", default=[],
+                        help="extra -D macro (repeatable)")
+    parser.add_argument("src_dir")
+    args = parser.parse_args(argv)
+
+    headers = sorted(pathlib.Path(args.src_dir).rglob("*.h"))
+    if not headers:
+        print(f"check_headers: no headers under {args.src_dir}",
+              file=sys.stderr)
+        return 2
+
+    failures = []
+    with concurrent.futures.ThreadPoolExecutor() as pool:
+        for header, err in pool.map(
+                lambda h: check_one(args.compiler, h, args.include,
+                                    args.define),
+                headers):
+            if err:
+                failures.append((header, err))
+
+    for header, err in failures:
+        print(f"NOT SELF-CONTAINED: {header}\n{err}\n", file=sys.stderr)
+    print(f"check_headers: {len(headers) - len(failures)}/{len(headers)} "
+          "headers are self-contained")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,13 @@
+// Clean fixture: common/rng is the one home for RNG machinery; the
+// path-scoped allowance covers engine declarations and entropy plumbing
+// living here. Zero findings.
+#include <random>
+
+namespace llama::common {
+
+struct FixtureRng {
+  std::mt19937_64 engine_;
+  explicit FixtureRng(unsigned long long seed) : engine_(seed) {}
+};
+
+}  // namespace llama::common

@@ -1,0 +1,14 @@
+// Clean fixture: the PowerSupply instrument model is the one place allowed
+// to reference a wall clock — the whole airtime invariant is that all other
+// code charges time through it. Path-scoped allowance, zero findings.
+#include <chrono>
+
+namespace llama::control {
+
+double instrument_reference_now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace llama::control

@@ -1,0 +1,54 @@
+// Clean fixture: the deterministic counterparts of every rule's violation.
+// Must produce zero findings.
+#include <cstddef>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/parallel.h"
+
+namespace llama::deploy {
+
+struct CleanAggregator {
+  // Ordered container: iteration order is the key order, deterministic.
+  std::map<std::string, double> ordered_weights;
+  // Unordered lookup tables are fine as long as results never depend on
+  // their iteration order.
+  std::unordered_map<std::string, double> index;
+
+  double stable_total() const {
+    double total = 0.0;
+    for (const auto& kv : ordered_weights) {
+      total += kv.second;
+    }
+    return total;
+  }
+
+  double keyed_lookup(const std::string& key) const {
+    auto it = index.find(key);
+    return it == index.end() ? 0.0 : it->second;
+  }
+};
+
+std::vector<double> sharded_square(const std::vector<double>& values,
+                                   int threads) {
+  std::vector<double> out(values.size());
+  // Each shard writes only its own output slot, so the result is
+  // byte-identical for any thread count.
+  common::parallel_for(values.size(), threads, [&](std::size_t i) {
+    out[i] = values[i] * values[i];
+  });
+  return out;
+}
+
+// By-value capture shares nothing mutable; no ownership comment needed.
+std::size_t counted(std::size_t n, int threads) {
+  common::parallel_for(n, threads, [n](std::size_t i) {
+    (void)n;
+    (void)i;
+  });
+  return n;
+}
+
+}  // namespace llama::deploy

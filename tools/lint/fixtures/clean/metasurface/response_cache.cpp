@@ -1,0 +1,18 @@
+// Clean fixture: the response-cache stats counters are the blessed
+// memory_order_relaxed site — pure monotonic counters whose readers only
+// ever snapshot. Path-scoped allowance, zero findings.
+#include <atomic>
+#include <cstdint>
+
+namespace llama::metasurface {
+
+struct FixtureStats {
+  std::atomic<std::uint64_t> hits{0};
+
+  void record_hit() { hits.fetch_add(1, std::memory_order_relaxed); }
+  std::uint64_t snapshot() const {
+    return hits.load(std::memory_order_relaxed);
+  }
+};
+
+}  // namespace llama::metasurface

@@ -1,0 +1,26 @@
+// Seeded violations: by-reference capture into parallel_for with nothing
+// adjacent saying what each worker is allowed to touch.
+#include <cstddef>
+#include <vector>
+
+#include "src/common/parallel.h"
+
+namespace llama::channel {
+
+double racy_sum(const std::vector<double>& values, int threads) {
+  double total = 0.0;
+  common::parallel_for(values.size(), threads, [&](std::size_t i) {  // expect-lint: parallel-capture
+    total += values[i];  // data race: every worker mutates `total`
+  });
+  return total;
+}
+
+double racy_sum_multiline(const std::vector<double>& values, int threads) {
+  double total = 0.0;
+  common::parallel_for(  // expect-lint: parallel-capture
+      values.size(), threads,
+      [&](std::size_t i) { total += values[i]; });
+  return total;
+}
+
+}  // namespace llama::channel

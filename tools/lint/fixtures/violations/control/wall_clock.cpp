@@ -1,0 +1,24 @@
+// Seeded violations: wall-clock sources outside PowerSupply. Every line
+// marked expect-lint must be flagged by exactly that rule.
+#include <chrono>
+#include <ctime>
+
+namespace llama::control {
+
+double sneaky_dwell() {
+  auto t0 = std::chrono::steady_clock::now();  // expect-lint: wall-clock
+  auto wall = std::chrono::system_clock::now();  // expect-lint: wall-clock
+  auto hr = std::chrono::high_resolution_clock::now();  // expect-lint: wall-clock
+  (void)wall;
+  (void)hr;
+  auto t1 = std::chrono::steady_clock::now();  // expect-lint: wall-clock
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+long sneaky_epoch() {
+  long seconds = time(nullptr);  // expect-lint: wall-clock
+  long ticks = clock();  // expect-lint: wall-clock
+  return seconds + ticks;
+}
+
+}  // namespace llama::control

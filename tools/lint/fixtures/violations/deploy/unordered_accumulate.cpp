@@ -1,0 +1,41 @@
+// Seeded violations: unordered-container iteration feeding accumulation in
+// a deploy-path file. Iteration order over a hash table is unspecified, so
+// any order-sensitive reduction is nondeterministic.
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace llama::deploy {
+
+struct Aggregator {
+  std::unordered_map<std::string, double> weights;
+  std::unordered_set<int> active;
+
+  double unstable_total() const {
+    double total = 0.0;
+    for (const auto& kv : weights) {  // expect-lint: unordered-iter
+      total += kv.second;  // float accumulation is order-sensitive
+    }
+    return total;
+  }
+
+  std::vector<int> unstable_order() const {
+    std::vector<int> out;
+    for (int id : active) {  // expect-lint: unordered-iter
+      out.push_back(id);
+    }
+    return out;
+  }
+
+  // Iteration with no accumulation in the body is not flagged: a pure
+  // existence scan cannot leak iteration order into a result.
+  bool any_negative() const {
+    for (const auto& kv : weights) {
+      if (kv.second < 0.0) return true;
+    }
+    return false;
+  }
+};
+
+}  // namespace llama::deploy

@@ -1,0 +1,22 @@
+// Seeded violations: ambient or unseeded randomness outside common/rng.
+#include <cstdlib>
+#include <random>
+
+namespace llama::track {
+
+double ambient_jitter() {
+  std::random_device rd;  // expect-lint: rng
+  std::mt19937 gen;  // expect-lint: rng
+  std::mt19937_64 gen64{};  // expect-lint: rng
+  std::default_random_engine legacy;  // expect-lint: rng
+  (void)gen64;
+  (void)legacy;
+  srand(42);  // expect-lint: rng
+  return static_cast<double>(rand()) / RAND_MAX;  // expect-lint: rng
+}
+
+// A *seeded* engine is not ambient entropy: the rng rule leaves it to code
+// review / common::Rng adoption, so this declaration must NOT be flagged.
+std::mt19937_64 seeded_engine(0x11A011A0ULL);
+
+}  // namespace llama::track

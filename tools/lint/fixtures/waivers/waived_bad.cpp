@@ -1,0 +1,21 @@
+// Waiver fixture: malformed waivers are themselves findings, and a waiver
+// suppresses exactly one rule at one site.
+#include <chrono>
+#include <random>
+
+namespace llama::waivers {
+
+double bad_waivers() {
+  // Unknown rule name: the waiver is a bad-waiver finding AND the original
+  // wall-clock finding stands.
+  auto t0 = std::chrono::steady_clock::now();  // llama-lint: allow(wallclock) typo in rule name; expect-lint: bad-waiver expect-lint: wall-clock
+
+  // A waiver for one rule does not silence a different rule on the same
+  // line: rng is waived, wall-clock is still flagged.
+  std::random_device rd; auto t1 = std::chrono::steady_clock::now();  // llama-lint: allow(rng) entropy feeds a label only; expect-lint: wall-clock
+
+  return std::chrono::duration<double>(t1 - t0).count() +
+         static_cast<double>(rd.entropy());
+}
+
+}  // namespace llama::waivers

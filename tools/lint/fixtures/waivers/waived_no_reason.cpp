@@ -1,0 +1,14 @@
+// Waiver fixture: a waiver without a reason is a bad-waiver finding and the
+// waived rule still fires. Expectations for this file are hardcoded in
+// test_llama_lint.py (an inline expect marker would read as the reason).
+#include <chrono>
+
+namespace llama::waivers {
+
+double no_reason() {
+  // llama-lint: allow(wall-clock)
+  auto t0 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t0.time_since_epoch()).count();
+}
+
+}  // namespace llama::waivers

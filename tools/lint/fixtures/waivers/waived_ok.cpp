@@ -1,0 +1,22 @@
+// Waiver fixture: each violation below is waived for exactly its rule with
+// a reason, trailing or standalone-above. Must produce zero findings.
+#include <atomic>
+#include <chrono>
+
+namespace llama::waivers {
+
+double bench_probe() {
+  auto t0 = std::chrono::steady_clock::now();  // llama-lint: allow(wall-clock) bench-only diagnostic, not airtime
+  // llama-lint: allow(wall-clock) standalone waiver covers the next line
+  auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+struct Counter {
+  std::atomic<long> n{0};
+  void bump() {
+    n.fetch_add(1, std::memory_order_relaxed);  // llama-lint: allow(relaxed-atomic) pure stats counter, snapshot readers only
+  }
+};
+
+}  // namespace llama::waivers
