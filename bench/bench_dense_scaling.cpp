@@ -18,12 +18,13 @@ namespace {
 
 /// One full deployment optimization round; returns a checksum so the
 /// optimizer cannot drop the work.
-double run_engine(const core::DenseDeploymentScenario& scenario,
-                  int threads) {
+double run_engine(const core::DenseDeploymentScenario& scenario, int threads,
+                  metasurface::ResponseCacheStats* stats_out = nullptr) {
   deploy::DeploymentConfig cfg = scenario.config;
   cfg.threads = threads;
   deploy::DeploymentEngine engine{cfg};
   const deploy::DeploymentReport report = engine.run(scenario.devices);
+  if (stats_out != nullptr) *stats_out = report.cache_stats;
   double sum = 0.0;
   for (const deploy::DeviceResult& d : report.devices)
     sum += d.sweep.best_power.value();
@@ -65,9 +66,13 @@ int main(int argc, char** argv) {
     const bench::BenchResult engine_serial = bench::run_bench(
         "dense_engine_serial_" + tag,
         [&] { sink = sink + run_engine(scenario, 1); });
+    // Contention tally of the last round's shared-engine locks (plan
+    // registry + cache): the signal that sharding the fan-out is starting
+    // to serialize on the memo.
+    metasurface::ResponseCacheStats parallel_stats;
     const bench::BenchResult engine_parallel = bench::run_bench(
         "dense_engine_parallel_" + tag,
-        [&] { sink = sink + run_engine(scenario, 0); });
+        [&] { sink = sink + run_engine(scenario, 0, &parallel_stats); });
 
     const double speedup_serial =
         baseline.ns_per_op / engine_serial.ns_per_op;
@@ -80,7 +85,8 @@ int main(int argc, char** argv) {
     bench::print_result(engine_parallel, json,
                         ",\"speedup_vs_llama_system\":" +
                             std::to_string(speedup_parallel) +
-                            ",\"threads\":0");
+                            ",\"threads\":0,\"lock_contention\":" +
+                            std::to_string(parallel_stats.lock_contention));
     if (!json)
       std::printf("  -> %zu devices x %zu surfaces: shared engine %.1fx"
                   " (serial), %.1fx (parallel shard)\n",

@@ -163,6 +163,44 @@ DenseDeploymentScenario dense_deployment_scenario(std::size_t n_devices,
   return s;
 }
 
+ServingScenario serving_scenario(std::size_t n_devices,
+                                 std::size_t m_surfaces) {
+  ServingScenario s;
+  DenseDeploymentScenario base =
+      dense_deployment_scenario(n_devices, m_surfaces);
+  s.config = std::move(base.config);
+  s.devices = std::move(base.devices);
+
+  s.topology.n_shards = 4;
+  s.topology.queue_depth = 1024;
+  s.topology.admission = serve::AdmissionConfig{512, 896};
+
+  // Overload layout: shallow rings and a tight admission ladder, so a flood
+  // hits the degrade tier (16) and then the shed tier (48) long before the
+  // physical capacity (64) — the bench's overload gate asserts both engage.
+  s.overload_topology = s.topology;
+  s.overload_topology.queue_depth = 64;
+  s.overload_topology.admission = serve::AdmissionConfig{16, 48};
+
+  s.read_heavy.seed = 0x5E11'0001ULL;
+  s.read_heavy.rate_hz = 20'000.0;
+  s.read_heavy.duration_s = 0.25;
+  s.read_heavy.n_devices = n_devices;
+  s.read_heavy.frequency = s.config.frequency;
+  s.read_heavy.mix = serve::LoadMix::read_heavy();
+
+  s.retune_heavy = s.read_heavy;
+  s.retune_heavy.seed = 0x5E11'0002ULL;
+  s.retune_heavy.rate_hz = 10'000.0;
+  s.retune_heavy.mix = serve::LoadMix::retune_heavy();
+
+  s.overload = s.retune_heavy;
+  s.overload.seed = 0x5E11'0003ULL;
+  s.overload.rate_hz = 50'000.0;
+  s.overload.duration_s = 0.2;
+  return s;
+}
+
 SystemConfig device_system_config(const deploy::DeploymentConfig& config,
                                   common::Angle rx_orientation) {
   SystemConfig cfg;

@@ -7,6 +7,8 @@
 #include "src/deploy/deployment_engine.h"
 #include "src/sensing/breathing_target.h"
 #include "src/sensing/respiration_detector.h"
+#include "src/serve/load_generator.h"
+#include "src/serve/serve_topology.h"
 #include "src/track/fleet_tracker.h"
 
 namespace llama::core {
@@ -107,6 +109,27 @@ struct SceneSweepResult {
 };
 [[nodiscard]] SceneSweepResult sweep_scene_biases(
     const SystemConfig& config, common::Voltage v_step = common::Voltage{3.0});
+
+/// Serving-runtime scenario: the dense-deployment fleet fronted by the
+/// thread-per-core serving layer. One source of truth for the topology and
+/// the generator configs shared by tests, bench_serving and the example:
+/// `topology` is the steady-state layout (deep queues, default admission),
+/// `overload_topology` shrinks the queues and tightens the admission ladder
+/// so a flood provably engages the degrade and shed tiers, and the three
+/// generator configs cover the YCSB-style read-heavy mix, the retune-heavy
+/// churn mix, and the overload flood (retune-heavy so the degrade tier has
+/// work to downgrade).
+struct ServingScenario {
+  deploy::DeploymentConfig config;
+  std::vector<deploy::DeviceSpec> devices;
+  serve::ServeTopology topology;
+  serve::ServeTopology overload_topology;
+  serve::LoadGeneratorConfig read_heavy;
+  serve::LoadGeneratorConfig retune_heavy;
+  serve::LoadGeneratorConfig overload;
+};
+[[nodiscard]] ServingScenario serving_scenario(std::size_t n_devices = 32,
+                                               std::size_t m_surfaces = 4);
 
 /// Mobile-fleet scenario: the dense-deployment link parameters (Section 7
 /// outlook) with every endpoint swinging — N wearables at golden-angle mean

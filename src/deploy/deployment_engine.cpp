@@ -61,7 +61,7 @@ em::JonesMatrix SharedResponseEngine::response(common::Frequency f,
   const metasurface::ResponseCache::Key key =
       cache_.make_key(f, vxq, vyq, static_cast<int>(mode));
   {
-    const std::lock_guard<std::mutex> lock(cache_mutex_);
+    const std::lock_guard<CountedMutex> lock(cache_mutex_);
     if (auto hit = cache_.find(key)) return *hit;
   }
   // Miss: fetch (or build, once per frequency+mode) the shared plan, then
@@ -73,7 +73,7 @@ em::JonesMatrix SharedResponseEngine::response(common::Frequency f,
           ? stack_.transmission(*transmission_plan(f), vxq, vyq)
           : stack_.reflection(*reflection_plan(f), vxq, vyq);
   {
-    const std::lock_guard<std::mutex> lock(cache_mutex_);
+    const std::lock_guard<CountedMutex> lock(cache_mutex_);
     cache_.insert(key, j);
   }
   return j;
@@ -81,7 +81,7 @@ em::JonesMatrix SharedResponseEngine::response(common::Frequency f,
 
 std::shared_ptr<const metasurface::RotatorStack::TransmissionPlan>
 SharedResponseEngine::transmission_plan(common::Frequency f) {
-  const std::lock_guard<std::mutex> lock(plan_mutex_);
+  const std::lock_guard<CountedMutex> lock(plan_mutex_);
   auto& slot = transmission_plans_[plan_key(f)];
   if (!slot)
     slot = std::make_shared<const metasurface::RotatorStack::TransmissionPlan>(
@@ -91,7 +91,7 @@ SharedResponseEngine::transmission_plan(common::Frequency f) {
 
 std::shared_ptr<const metasurface::RotatorStack::ReflectionPlan>
 SharedResponseEngine::reflection_plan(common::Frequency f) {
-  const std::lock_guard<std::mutex> lock(plan_mutex_);
+  const std::lock_guard<CountedMutex> lock(plan_mutex_);
   auto& slot = reflection_plans_[plan_key(f)];
   if (!slot)
     slot = std::make_shared<const metasurface::RotatorStack::ReflectionPlan>(
@@ -118,7 +118,7 @@ metasurface::JonesGrid SharedResponseEngine::response_grid(
   // Pass 1, one lock: drain every hit, remember the misses.
   std::vector<std::pair<std::size_t, std::size_t>> misses;
   {
-    const std::lock_guard<std::mutex> lock(cache_mutex_);
+    const std::lock_guard<CountedMutex> lock(cache_mutex_);
     for (std::size_t iy = 0; iy < vys.size(); ++iy)
       for (std::size_t ix = 0; ix < vxs.size(); ++ix) {
         const metasurface::ResponseCache::Key key =
@@ -144,7 +144,7 @@ metasurface::JonesGrid SharedResponseEngine::response_grid(
 
   // Pass 2, one lock: publish the new cells.
   {
-    const std::lock_guard<std::mutex> lock(cache_mutex_);
+    const std::lock_guard<CountedMutex> lock(cache_mutex_);
     for (const auto& [iy, ix] : misses)
       cache_.insert(cache_.make_key(f, vxq[ix], vyq[iy], mode_key),
                     grid[iy][ix]);
@@ -153,29 +153,36 @@ metasurface::JonesGrid SharedResponseEngine::response_grid(
 }
 
 std::size_t SharedResponseEngine::plan_count() const {
-  const std::lock_guard<std::mutex> lock(plan_mutex_);
+  const std::lock_guard<CountedMutex> lock(plan_mutex_);
   return transmission_plans_.size() + reflection_plans_.size();
 }
 
 metasurface::ResponseCacheStats SharedResponseEngine::cache_stats() const {
   // The counters are relaxed atomics, so a monitor polling statistics never
   // serializes against device shards inside the two-lock grid path.
-  return cache_.stats();
+  metasurface::ResponseCacheStats stats = cache_.stats();
+  stats.lock_contention = plan_mutex_.contended() + cache_mutex_.contended();
+  return stats;
 }
 
 std::size_t SharedResponseEngine::cache_size() const {
-  const std::lock_guard<std::mutex> lock(cache_mutex_);
+  const std::lock_guard<CountedMutex> lock(cache_mutex_);
   return cache_.size();
 }
 
 void SharedResponseEngine::clear() {
   {
-    const std::lock_guard<std::mutex> lock(plan_mutex_);
+    const std::lock_guard<CountedMutex> lock(plan_mutex_);
     transmission_plans_.clear();
     reflection_plans_.clear();
   }
-  const std::lock_guard<std::mutex> lock(cache_mutex_);
-  cache_.clear();
+  {
+    const std::lock_guard<CountedMutex> lock(cache_mutex_);
+    cache_.clear();
+  }
+  // clear() zeroes ALL statistics, the contention tallies included.
+  plan_mutex_.reset();
+  cache_mutex_.reset();
 }
 
 DeploymentEngine::DeploymentEngine(DeploymentConfig config,

@@ -25,7 +25,9 @@
 // are byte-identical for any thread count — only the hit/miss split varies.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -44,6 +46,38 @@ class Codebook;
 }  // namespace llama::codebook
 
 namespace llama::deploy {
+
+/// std::mutex with a contention tally: a lock() that cannot acquire
+/// immediately counts one contended acquisition before blocking. The tally
+/// is a monotone stats counter read through snapshots (never a
+/// synchronization input), so relaxed ordering is exactly right — the lock
+/// itself provides every happens-before edge the protected state needs.
+/// Satisfies Lockable, so std::lock_guard/std::unique_lock work unchanged.
+class CountedMutex {
+ public:
+  void lock() {
+    if (mutex_.try_lock()) return;
+    // llama-lint: allow(relaxed-atomic) monotone stats tally, not ordering
+    contended_.fetch_add(1, std::memory_order_relaxed);
+    mutex_.lock();
+  }
+  void unlock() { mutex_.unlock(); }
+  [[nodiscard]] bool try_lock() { return mutex_.try_lock(); }
+
+  /// Contended acquisitions since construction / the last reset().
+  [[nodiscard]] std::uint64_t contended() const {
+    // llama-lint: allow(relaxed-atomic) racy snapshot of a stats counter
+    return contended_.load(std::memory_order_relaxed);
+  }
+  void reset() {
+    // llama-lint: allow(relaxed-atomic) stats counter zeroing, no ordering
+    contended_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::mutex mutex_;
+  std::atomic<std::uint64_t> contended_{0};
+};
 
 /// Thread-safe shared plan registry + response memo for one stack design.
 /// All M surfaces of a deployment are the same fabricated hardware, so one
@@ -73,7 +107,10 @@ class SharedResponseEngine {
 
   /// Number of distinct (frequency, mode) plans built so far.
   [[nodiscard]] std::size_t plan_count() const;
-  /// Snapshot of the shared cache's hit/miss/eviction counters.
+  /// Snapshot of the shared cache's hit/miss/eviction counters plus the
+  /// engine's lock_contention tally (contended acquisitions of the plan
+  /// and cache mutexes combined). Lock-free: safe to poll from a monitor
+  /// while device shards are inside the two-lock grid path.
   [[nodiscard]] metasurface::ResponseCacheStats cache_stats() const;
   [[nodiscard]] std::size_t cache_size() const;
   /// Drops all plans and cached responses and zeroes the statistics.
@@ -92,14 +129,14 @@ class SharedResponseEngine {
   reflection_plan(common::Frequency f);
 
   const metasurface::RotatorStack stack_;
-  mutable std::mutex plan_mutex_;
+  mutable CountedMutex plan_mutex_;
   std::map<double, std::shared_ptr<const metasurface::RotatorStack::
                                        TransmissionPlan>>
       transmission_plans_;
   std::map<double,
            std::shared_ptr<const metasurface::RotatorStack::ReflectionPlan>>
       reflection_plans_;
-  mutable std::mutex cache_mutex_;
+  mutable CountedMutex cache_mutex_;
   metasurface::ResponseCache cache_;
 };
 

@@ -39,6 +39,11 @@ struct ResponseCacheStats {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
   std::uint64_t evictions = 0;
+  /// Contended acquisitions of the locks guarding the shared registry/memo
+  /// (deploy::CountedMutex tallies; 0 for a privately owned cache). A
+  /// rising rate under fan-out says the two-lock window pattern is getting
+  /// crowded — the signal to shard the memo, batch wider, or both.
+  std::uint64_t lock_contention = 0;
 };
 
 class ResponseCache {

@@ -1,0 +1,30 @@
+// The serving runtime's single monotonic time source.
+//
+// Everything simulated charges time through control::PowerSupply's
+// instrument clock — that invariant is lint-enforced (tools/lint,
+// `wall-clock`). The serving layer is different in kind: it measures how
+// long the *runtime itself* takes to answer a request on real hardware, a
+// quantity that has no simulated analogue. This header is the one blessed
+// wall-clock site of src/serve (see ALLOWED_PATHS in tools/lint/
+// llama_lint.py); every timestamp the load generator or a worker shard
+// takes flows through now_ns(), so latency math is consistent and the rest
+// of the subsystem stays clock-free.
+//
+// Timestamps are monotonic nanoseconds with an arbitrary epoch: only
+// differences are meaningful, and they never go backwards.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace llama::serve {
+
+/// Monotonic timestamp [ns]; arbitrary epoch, differences only.
+[[nodiscard]] inline std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace llama::serve

@@ -1,0 +1,98 @@
+// Log2-bucketed latency histogram: constant memory, O(1) record, p50/p99/
+// p999 by bucket walk with linear interpolation inside the winning bucket.
+//
+// A serving run records millions of per-request latencies; keeping the raw
+// samples would dominate memory and sorting them would dominate shutdown.
+// Bucketing by bit width (bucket b holds values in [2^(b-1), 2^b) ns)
+// bounds the relative quantile error at 2x worst case — plenty for the
+// "did p999 blow past the ceiling" question CI asks — while record() is a
+// couple of instructions on the worker hot path.
+//
+// Concurrency contract: a histogram is SINGLE-WRITER. Each worker shard
+// owns one and records into it with plain (non-atomic) counters; the
+// runtime merges the per-shard histograms after the workers have joined.
+// That keeps the hot path free of even relaxed atomics and keeps the
+// subsystem inside the repo's atomics invariant (stats counters only).
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+#include "src/common/contracts.h"
+
+namespace llama::serve {
+
+class LatencyHistogram {
+ public:
+  /// Bucket b (1..64) holds values with bit width b, i.e. [2^(b-1), 2^b);
+  /// bucket 0 holds exactly the value 0.
+  static constexpr int kBuckets = 65;
+
+  /// O(1), branch-light; safe to call on the worker hot path.
+  void record(std::uint64_t ns) {
+    ++counts_[std::bit_width(ns)];
+    ++count_;
+    sum_ns_ += ns;
+  }
+
+  /// Folds another (joined) shard's histogram into this one.
+  void merge(const LatencyHistogram& other) {
+    for (int b = 0; b < kBuckets; ++b) counts_[b] += other.counts_[b];
+    count_ += other.count_;
+    sum_ns_ += other.sum_ns_;
+  }
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+
+  [[nodiscard]] double mean_ns() const {
+    return count_ == 0 ? 0.0
+                       : static_cast<double>(sum_ns_) /
+                             static_cast<double>(count_);
+  }
+
+  /// Quantile in nanoseconds, p in [0, 1]: the bucket containing the
+  /// p-th-ranked sample, linearly interpolated across the bucket's value
+  /// range. 0 when nothing was recorded. p outside [0, 1] is a programmer
+  /// error (contract).
+  [[nodiscard]] double percentile_ns(double p) const {
+    LLAMA_EXPECTS(p >= 0.0 && p <= 1.0,
+                  "percentile rank must be a fraction in [0, 1]");
+    if (count_ == 0) return 0.0;
+    const double rank = p * static_cast<double>(count_);
+    std::uint64_t cumulative = 0;
+    for (int b = 0; b < kBuckets; ++b) {
+      if (counts_[b] == 0) continue;
+      cumulative += counts_[b];
+      if (static_cast<double>(cumulative) < rank) continue;
+      const double lo = bucket_floor_ns(b);
+      const double hi = bucket_ceiling_ns(b);
+      const double into =
+          rank - static_cast<double>(cumulative - counts_[b]);
+      return lo + (hi - lo) * (into / static_cast<double>(counts_[b]));
+    }
+    return bucket_ceiling_ns(kBuckets - 1);  // unreachable: counts sum up
+  }
+
+  [[nodiscard]] double p50_ns() const { return percentile_ns(0.50); }
+  [[nodiscard]] double p99_ns() const { return percentile_ns(0.99); }
+  [[nodiscard]] double p999_ns() const { return percentile_ns(0.999); }
+
+ private:
+  /// Smallest value landing in bucket b.
+  [[nodiscard]] static double bucket_floor_ns(int b) {
+    return b <= 1 ? 0.0 : static_cast<double>(1ULL << (b - 1));
+  }
+  /// One past the largest value landing in bucket b.
+  [[nodiscard]] static double bucket_ceiling_ns(int b) {
+    if (b == 0) return 1.0;
+    // Bucket 64 tops out at 2^64; fold through double to avoid the
+    // undefined 1 << 64.
+    return 2.0 * static_cast<double>(1ULL << (b - 1));
+  }
+
+  std::uint64_t counts_[kBuckets] = {};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ns_ = 0;
+};
+
+}  // namespace llama::serve

@@ -1,0 +1,100 @@
+#include "src/serve/load_generator.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <thread>
+
+#include "src/common/rng.h"
+#include "src/serve/clock.h"
+#include "src/serve/serve_runtime.h"
+
+namespace llama::serve {
+namespace {
+
+RequestKind pick_kind(common::Rng& rng, const LoadMix& mix) {
+  const double draw = rng.uniform(0.0, mix.total());
+  double edge = mix.lookup;
+  if (draw < edge) return RequestKind::kCodebookLookup;
+  edge += mix.retune;
+  if (draw < edge) return RequestKind::kRetune;
+  edge += mix.measure;
+  if (draw < edge) return RequestKind::kMeasure;
+  return RequestKind::kFleetQuery;
+}
+
+}  // namespace
+
+std::vector<TimedRequest> generate_schedule(const LoadGeneratorConfig& config) {
+  if (!(config.rate_hz > 0.0) || !(config.duration_s > 0.0))
+    throw std::invalid_argument(
+        "generate_schedule: rate_hz and duration_s must be positive");
+  if (config.n_devices == 0)
+    throw std::invalid_argument("generate_schedule: n_devices must be >= 1");
+  if (!(config.mix.total() > 0.0) || config.mix.lookup < 0.0 ||
+      config.mix.retune < 0.0 || config.mix.measure < 0.0 ||
+      config.mix.fleet_query < 0.0)
+    throw std::invalid_argument(
+        "generate_schedule: mix needs non-negative weights, positive total");
+  common::Rng rng{config.seed};
+  std::vector<TimedRequest> schedule;
+  schedule.reserve(
+      static_cast<std::size_t>(config.rate_hz * config.duration_s * 1.1) + 16);
+  double t = 0.0;
+  std::uint64_t id = 0;
+  for (;;) {
+    // Exponential inter-arrival gap; uniform() is in [0, 1) so log1p(-u)
+    // never hits log(0).
+    const double u = rng.uniform(0.0, 1.0);
+    t += -std::log1p(-u) / config.rate_hz;
+    if (t > config.duration_s) break;
+    TimedRequest timed;
+    timed.t_s = t;
+    timed.request.id = id++;
+    timed.request.kind = pick_kind(rng, config.mix);
+    timed.request.device = static_cast<std::size_t>(rng.uniform_int(
+        0, static_cast<int>(config.n_devices) - 1));
+    timed.request.frequency = config.frequency;
+    timed.request.orientation =
+        common::Angle::degrees(rng.uniform(0.0, 180.0));
+    schedule.push_back(timed);
+  }
+  return schedule;
+}
+
+OfferedLoad drive(ServeRuntime& runtime,
+                  const std::vector<TimedRequest>& schedule, bool paced) {
+  OfferedLoad load;
+  if (schedule.empty()) return load;
+  const std::uint64_t t0 = now_ns();
+  for (const TimedRequest& timed : schedule) {
+    if (paced) {
+      const std::uint64_t target =
+          t0 + static_cast<std::uint64_t>(timed.t_s * 1e9);
+      // Open-loop pacing: yield while far out, spin the last stretch. The
+      // generator never blocks on the server, so overload shows up as
+      // queue depth, not as a slowed arrival process.
+      while (now_ns() + 50'000 < target) std::this_thread::yield();
+      while (now_ns() < target) {
+      }
+    }
+    switch (runtime.submit(timed.request)) {
+      case ServeRuntime::Admit::kEnqueued:
+        ++load.enqueued;
+        break;
+      case ServeRuntime::Admit::kDegraded:
+        ++load.degraded;
+        break;
+      case ServeRuntime::Admit::kShed:
+        ++load.shed;
+        break;
+    }
+    ++load.submitted;
+  }
+  load.elapsed_s = static_cast<double>(now_ns() - t0) / 1e9;
+  if (load.elapsed_s > 0.0)
+    load.offered_rps =
+        static_cast<double>(load.submitted) / load.elapsed_s;
+  return load;
+}
+
+}  // namespace llama::serve

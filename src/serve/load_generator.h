@@ -1,0 +1,68 @@
+// Seeded open-loop load generator: a Poisson arrival process over the
+// topology's request mix, materialized as a SCHEDULE (a pure function of
+// the config, so two runs with the same seed submit byte-identical request
+// streams) and then driven against a ServeRuntime either paced — arrivals
+// held to their wall-clock offsets, the open-loop discipline where a slow
+// server cannot push back on the generator and queues genuinely back up —
+// or unpaced, submitting flat-out to measure peak service throughput and
+// to feed the determinism gate.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/units.h"
+#include "src/serve/request.h"
+#include "src/serve/serve_topology.h"
+
+namespace llama::serve {
+
+class ServeRuntime;
+
+struct LoadGeneratorConfig {
+  std::uint64_t seed = 0x10ADULL;
+  /// Mean Poisson arrival rate [requests/s] — the OFFERED load.
+  double rate_hz = 20'000.0;
+  /// Virtual schedule horizon [s]; the expected request count is
+  /// rate_hz * duration_s.
+  double duration_s = 0.25;
+  /// Devices addressed uniformly at random.
+  std::size_t n_devices = 32;
+  common::Frequency frequency = common::Frequency::ghz(2.44);
+  LoadMix mix = LoadMix::read_heavy();
+};
+
+/// One scheduled arrival: the request plus its offset from the run start.
+struct TimedRequest {
+  double t_s = 0.0;
+  Request request{};
+};
+
+/// Materializes the arrival schedule: exponential inter-arrival gaps at
+/// rate_hz, kinds drawn by mix weight, devices uniform, orientations
+/// uniform over the pi-periodic [0, 180) deg band. Deterministic in the
+/// config alone. Throws std::invalid_argument on a degenerate config.
+[[nodiscard]] std::vector<TimedRequest> generate_schedule(
+    const LoadGeneratorConfig& config);
+
+/// What the generator offered and how admission answered, submit-side.
+struct OfferedLoad {
+  std::uint64_t submitted = 0;
+  std::uint64_t enqueued = 0;
+  std::uint64_t degraded = 0;  ///< admitted into the degraded tier
+  std::uint64_t shed = 0;      ///< refused at submit
+  /// First to last submission [s] (paced: ~the schedule horizon).
+  double elapsed_s = 0.0;
+  /// submitted / elapsed_s — the realized offered rate.
+  double offered_rps = 0.0;
+};
+
+/// Submits the schedule to a started runtime from the calling thread.
+/// Paced mode spin/yield-waits each request to its wall-clock offset
+/// (open loop: no backpressure on the generator); unpaced mode submits
+/// back-to-back.
+OfferedLoad drive(ServeRuntime& runtime,
+                  const std::vector<TimedRequest>& schedule, bool paced);
+
+}  // namespace llama::serve

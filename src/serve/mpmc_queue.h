@@ -1,0 +1,170 @@
+// Bounded lock-free MPMC queue (Vyukov ring) — the request channel between
+// the serving runtime's submitters and its pinned worker shards.
+//
+// Each slot carries a sequence number that encodes, relative to the two
+// monotonically growing positions, whether the slot is free, full, or being
+// operated on by another producer/consumer. Producers claim a slot by CAS
+// on the enqueue position, write the value, then publish it by bumping the
+// slot's sequence; consumers mirror that on the dequeue side. No mutex, no
+// condition variable, no allocation after construction — the serve-hot-path
+// rule (tools/lint `serve-hot-path-blocking`) holds by construction. All
+// atomics use acquire/release ordering: the repo reserves relaxed ordering
+// for stats counters, and the ordering cost is noise next to the CAS.
+//
+// Per-producer FIFO: slots are claimed in CAS-ticket order, so the pushes
+// of any single producer are consumed in the order they were pushed. With
+// one producer and one consumer per queue — the serving runtime's normal
+// topology — the queue is strictly FIFO, which is what makes a device's
+// request stream arrive at its owner shard in submission order (the
+// determinism contract of serve_runtime.h).
+//
+// Shutdown drain: close() permanently flips the queue into draining mode.
+// The caller contract is that producers stop BEFORE close() (the runtime
+// waits for its in-flight counter to reach zero first), so once a consumer
+// observes closed() and an empty ring, no later push can appear: pop()
+// returning false means fully drained, and no request is lost or consumed
+// twice (tests/serve/test_mpmc_queue.cpp stresses exactly this).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace llama::serve {
+
+template <typename T>
+class MpmcQueue {
+ public:
+  /// Capacity must be a power of two >= 2 (the ring index is position &
+  /// mask; a non-power-of-two would alias slots). Throws
+  /// std::invalid_argument otherwise.
+  explicit MpmcQueue(std::size_t capacity)
+      : cells_(capacity), mask_(capacity - 1) {
+    if (capacity < 2 || (capacity & (capacity - 1)) != 0)
+      throw std::invalid_argument(
+          "MpmcQueue capacity must be a power of two >= 2");
+    for (std::size_t i = 0; i < capacity; ++i)
+      cells_[i].sequence.store(i, std::memory_order_release);
+  }
+
+  MpmcQueue(const MpmcQueue&) = delete;
+  MpmcQueue& operator=(const MpmcQueue&) = delete;
+
+  [[nodiscard]] std::size_t capacity() const { return mask_ + 1; }
+
+  /// Non-blocking push; false when the ring is full or the queue closed.
+  bool try_push(const T& value) {
+    if (closed_.load(std::memory_order_acquire)) return false;
+    std::size_t pos = enqueue_pos_.load(std::memory_order_acquire);
+    Cell* cell = nullptr;
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      const std::size_t seq = cell->sequence.load(std::memory_order_acquire);
+      const auto diff = static_cast<std::intptr_t>(seq) -
+                        static_cast<std::intptr_t>(pos);
+      if (diff == 0) {
+        if (enqueue_pos_.compare_exchange_weak(pos, pos + 1,
+                                               std::memory_order_acq_rel))
+          break;
+      } else if (diff < 0) {
+        return false;  // slot still owned by a lagging consumer: full
+      } else {
+        pos = enqueue_pos_.load(std::memory_order_acquire);
+      }
+    }
+    cell->value = value;
+    cell->sequence.store(pos + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Non-blocking pop; false when no published item is available.
+  bool try_pop(T& out) {
+    std::size_t pos = dequeue_pos_.load(std::memory_order_acquire);
+    Cell* cell = nullptr;
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      const std::size_t seq = cell->sequence.load(std::memory_order_acquire);
+      const auto diff = static_cast<std::intptr_t>(seq) -
+                        static_cast<std::intptr_t>(pos + 1);
+      if (diff == 0) {
+        if (dequeue_pos_.compare_exchange_weak(pos, pos + 1,
+                                               std::memory_order_acq_rel))
+          break;
+      } else if (diff < 0) {
+        return false;  // slot not yet published: empty
+      } else {
+        pos = dequeue_pos_.load(std::memory_order_acquire);
+      }
+    }
+    out = cell->value;
+    cell->sequence.store(pos + mask_ + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Blocking pop: spins briefly, then yields (this repo's CI includes
+  /// single-core machines — a worker must never monopolize the core its
+  /// producer needs). Returns false only when the queue is closed AND
+  /// drained; the producers-stop-before-close contract makes that final.
+  bool pop(T& out) {
+    int spins = 0;
+    for (;;) {
+      if (try_pop(out)) return true;
+      if (closed_.load(std::memory_order_acquire)) {
+        // One more attempt after observing closed: a push that completed
+        // before close() is already published by the release/acquire pair.
+        return try_pop(out);
+      }
+      if (++spins < kSpinsBeforeYield) {
+        cpu_relax();
+      } else {
+        spins = 0;
+        std::this_thread::yield();
+      }
+    }
+  }
+
+  /// Flips the queue into draining mode: pushes start failing, pop()
+  /// returns false once the remaining items are consumed. Idempotent.
+  void close() { closed_.store(true, std::memory_order_release); }
+
+  [[nodiscard]] bool closed() const {
+    return closed_.load(std::memory_order_acquire);
+  }
+
+  /// Racy occupancy estimate — admission control input, never a guarantee.
+  [[nodiscard]] std::size_t size_approx() const {
+    const std::size_t head = enqueue_pos_.load(std::memory_order_acquire);
+    const std::size_t tail = dequeue_pos_.load(std::memory_order_acquire);
+    return head >= tail ? head - tail : 0;
+  }
+
+ private:
+  struct Cell {
+    std::atomic<std::size_t> sequence{0};
+    T value{};
+  };
+
+  /// Short pre-yield spin; tuned low because CI shares cores.
+  static constexpr int kSpinsBeforeYield = 64;
+
+  static void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#elif defined(__aarch64__)
+    asm volatile("yield");
+#endif
+  }
+
+  std::vector<Cell> cells_;
+  const std::size_t mask_;
+  /// Producers and consumers hammer their own position word; keep them on
+  /// separate cache lines so the two sides don't false-share.
+  alignas(64) std::atomic<std::size_t> enqueue_pos_{0};
+  alignas(64) std::atomic<std::size_t> dequeue_pos_{0};
+  alignas(64) std::atomic<bool> closed_{false};
+};
+
+}  // namespace llama::serve

@@ -1,0 +1,45 @@
+#include "src/serve/request.h"
+
+#include "src/common/serde.h"
+
+namespace llama::serve {
+
+std::string to_string(RequestKind kind) {
+  switch (kind) {
+    case RequestKind::kCodebookLookup:
+      return "codebook_lookup";
+    case RequestKind::kRetune:
+      return "retune";
+    case RequestKind::kMeasure:
+      return "measure";
+    case RequestKind::kFleetQuery:
+      return "fleet_query";
+  }
+  return "unknown";
+}
+
+std::uint64_t Response::payload_hash() const {
+  common::Hasher64 h;
+  h.mix_u64(id);
+  h.mix_u64(static_cast<std::uint64_t>(kind));
+  h.mix_u64(static_cast<std::uint64_t>(status));
+  h.mix_f64(vx.value());
+  h.mix_f64(vy.value());
+  h.mix_f64(power.value());
+  h.mix_u64(counter);
+  return h.digest();
+}
+
+Response shed_response(const Request& request) {
+  Response r;
+  r.id = request.id;
+  r.kind = request.kind;
+  r.status = ResponseStatus::kShed;
+  r.vx = common::Voltage{0.0};
+  r.vy = common::Voltage{0.0};
+  r.power = common::PowerDbm{-120.0};
+  r.counter = 0;
+  return r;
+}
+
+}  // namespace llama::serve

@@ -1,0 +1,93 @@
+// Typed requests and responses of the serving runtime.
+//
+// A Request is what a device (or the fleet controller acting for it) asks
+// of the serving layer; a Response is what comes back. The four kinds map
+// onto the operations every engine in the tree already exposes in batch
+// form:
+//
+//   kCodebookLookup  read the compiled bias for (f, orientation) — pure,
+//                    touches no device state (YCSB-style "read").
+//   kRetune          the device moved: re-orient its link, look up and
+//                    program the new bias, report the resulting power —
+//                    the only kind that MUTATES the device's owned state.
+//   kMeasure         expected received power at the device's current
+//                    orientation/bias (telemetry read of owned state).
+//   kFleetQuery      control-plane read: the device's programmed bias,
+//                    last optimized power and retune count, served from
+//                    the owner shard's tracked state without touching the
+//                    physics pipeline.
+//
+// Responses carry their payload inline plus payload_hash(), a
+// platform-stable digest of the payload fields (status, bias pair, power,
+// counter — everything EXCEPT timing). Summing the digests over a run
+// gives an order-independent fingerprint of "what the fleet was told",
+// which is how the determinism gate asserts byte-identical payloads for
+// any shard count without retaining every response.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "src/common/units.h"
+
+namespace llama::serve {
+
+enum class RequestKind : std::uint8_t {
+  kCodebookLookup = 0,
+  kRetune = 1,
+  kMeasure = 2,
+  kFleetQuery = 3,
+};
+
+inline constexpr std::size_t kRequestKinds = 4;
+
+/// Human-readable kind tag for reports and bench output.
+[[nodiscard]] std::string to_string(RequestKind kind);
+
+struct Request {
+  /// Submission-order id assigned by the load generator; unique per run.
+  std::uint64_t id = 0;
+  RequestKind kind = RequestKind::kCodebookLookup;
+  /// Target device; ownership (which shard serves it) is device % shards.
+  std::size_t device = 0;
+  common::Frequency frequency = common::Frequency::ghz(2.44);
+  /// Device orientation the request reports (retunes adopt it; lookups
+  /// query at it).
+  common::Angle orientation = common::Angle::degrees(0.0);
+  /// Monotonic serve::now_ns() timestamp stamped at submission; workers
+  /// subtract it from completion time for the latency histogram.
+  std::uint64_t submit_ns = 0;
+  /// True when admission control downgraded a kRetune to a codebook
+  /// lookup instead of shedding it.
+  bool degraded = false;
+};
+
+enum class ResponseStatus : std::uint8_t {
+  kOk = 0,
+  /// Served, but as the degraded (lookup-only) form of a retune.
+  kDegraded = 1,
+  /// Rejected by admission control; payload fields are the shed sentinel.
+  kShed = 2,
+};
+
+struct Response {
+  std::uint64_t id = 0;
+  RequestKind kind = RequestKind::kCodebookLookup;
+  ResponseStatus status = ResponseStatus::kOk;
+  /// Bias pair the payload refers to (looked-up, programmed, or current).
+  common::Voltage vx{0.0};
+  common::Voltage vy{0.0};
+  /// Predicted / measured / last-known power, by kind.
+  common::PowerDbm power{-120.0};
+  /// Kind-specific counter (retune count for state reads; 0 for lookups).
+  std::uint64_t counter = 0;
+
+  /// Platform-stable digest of the payload fields (not the timing).
+  [[nodiscard]] std::uint64_t payload_hash() const;
+};
+
+/// The shed sentinel: what a rejected request is answered with.
+[[nodiscard]] Response shed_response(const Request& request);
+
+}  // namespace llama::serve

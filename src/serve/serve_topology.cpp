@@ -1,0 +1,58 @@
+#include "src/serve/serve_topology.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace llama::serve {
+
+double LoadMix::weight(RequestKind kind) const {
+  switch (kind) {
+    case RequestKind::kCodebookLookup:
+      return lookup;
+    case RequestKind::kRetune:
+      return retune;
+    case RequestKind::kMeasure:
+      return measure;
+    case RequestKind::kFleetQuery:
+      return fleet_query;
+  }
+  return 0.0;
+}
+
+void ServeTopology::validate() const {
+  if (n_shards == 0)
+    throw std::invalid_argument("ServeTopology: n_shards must be >= 1");
+  if (queue_depth < 2 || (queue_depth & (queue_depth - 1)) != 0)
+    throw std::invalid_argument(
+        "ServeTopology: queue_depth must be a power of two >= 2");
+  if (admission.shed_depth < admission.degrade_depth)
+    throw std::invalid_argument(
+        "ServeTopology: shed_depth below degrade_depth would shed load the "
+        "degrade tier could still have served");
+  if (!(mix.total() > 0.0) || mix.lookup < 0.0 || mix.retune < 0.0 ||
+      mix.measure < 0.0 || mix.fleet_query < 0.0)
+    throw std::invalid_argument(
+        "ServeTopology: request mix needs non-negative weights with a "
+        "positive total");
+}
+
+std::string ServeTopology::describe() const {
+  char buf[512];
+  const double total = mix.total();
+  std::snprintf(
+      buf, sizeof(buf),
+      "serve_topology:\n"
+      "  shards:      %zu (ownership: device %% %zu, pin=%s)\n"
+      "  queue_depth: %zu per shard (bounded MPMC)\n"
+      "  admission:   degrade@%zu shed@%zu%s\n"
+      "  mix:         lookup %.0f%% / retune %.0f%% / measure %.0f%% / "
+      "fleet_query %.0f%%\n",
+      n_shards, n_shards, pin_threads ? "yes" : "no", queue_depth,
+      admission.degrade_depth, admission.shed_depth,
+      admission.shed_depth == SIZE_MAX ? " (unlimited)" : "",
+      100.0 * mix.lookup / total, 100.0 * mix.retune / total,
+      100.0 * mix.measure / total, 100.0 * mix.fleet_query / total);
+  return buf;
+}
+
+}  // namespace llama::serve

@@ -1,0 +1,195 @@
+#include "src/serve/worker_shard.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "src/codebook/codebook.h"
+#include "src/common/contracts.h"
+#include "src/core/llama_system.h"
+#include "src/serve/clock.h"
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace llama::serve {
+
+void pin_current_thread(std::size_t core) {
+#if defined(__linux__)
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(core % CPU_SETSIZE, &set);
+  // Best effort: containers and cgroup-restricted CI runners may refuse;
+  // placement is a tail-latency optimization, never a correctness input.
+  (void)pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+#else
+  (void)core;
+#endif
+}
+
+WorkerShard::WorkerShard(std::size_t shard_id, std::size_t n_shards,
+                         std::size_t queue_depth,
+                         const codebook::Codebook& book,
+                         channel::Antenna rx_template)
+    : shard_id_(shard_id),
+      n_shards_(n_shards),
+      book_(book),
+      rx_template_(std::move(rx_template)),
+      queue_(queue_depth) {
+  if (n_shards == 0 || shard_id >= n_shards)
+    throw std::invalid_argument("WorkerShard: shard_id outside topology");
+}
+
+WorkerShard::~WorkerShard() = default;
+
+bool WorkerShard::owns(std::size_t device_id) const {
+  return device_id % n_shards_ == shard_id_;
+}
+
+void WorkerShard::adopt_device(std::size_t device_id,
+                               std::unique_ptr<core::LlamaSystem> system,
+                               common::Angle orientation) {
+  if (!owns(device_id))
+    throw std::invalid_argument(
+        "WorkerShard::adopt_device: device belongs to another shard");
+  // Owned devices are stored densely at local index device_id / n_shards,
+  // so adoption must proceed in increasing device order.
+  if (device_id / n_shards_ != devices_.size())
+    throw std::invalid_argument(
+        "WorkerShard::adopt_device: devices must be adopted in order");
+  DeviceState state;
+  state.device_id = device_id;
+  state.system = std::move(system);
+  state.orientation = orientation;
+  state.vx = state.system->supply().output_x();
+  state.vy = state.system->supply().output_y();
+  devices_.push_back(std::move(state));
+}
+
+WorkerShard::DeviceState& WorkerShard::owned_state(std::size_t device_id) {
+  const std::size_t local = device_id / n_shards_;
+  if (!owns(device_id) || local >= devices_.size())
+    throw std::out_of_range("WorkerShard: request for a device not owned");
+  return devices_[local];
+}
+
+Response WorkerShard::serve(const Request& request) {
+  Response response;
+  response.id = request.id;
+  response.kind = request.kind;
+  response.status =
+      request.degraded ? ResponseStatus::kDegraded : ResponseStatus::kOk;
+  switch (request.kind) {
+    case RequestKind::kCodebookLookup: {
+      // Pure read of the shared immutable codebook: no device state is
+      // touched, so a degraded retune collapses to exactly this.
+      const codebook::BiasPoint hit =
+          book_.lookup(request.frequency, request.orientation);
+      response.vx = hit.vx;
+      response.vy = hit.vy;
+      response.power = hit.predicted_power;
+      break;
+    }
+    case RequestKind::kRetune: {
+      DeviceState& device = owned_state(request.device);
+      device.orientation = request.orientation;
+      device.system->link().set_rx_antenna(
+          rx_template_.oriented(device.orientation));
+      const codebook::BiasPoint hit =
+          book_.lookup(request.frequency, device.orientation);
+      control::PowerSupply& supply = device.system->supply();
+      supply.set_outputs(hit.vx, hit.vy);
+      // Program what the supply actually delivers (mirrors the codebook
+      // fast path in core::LlamaSystem).
+      device.system->surface().set_bias(supply.output_x(), supply.output_y());
+      device.vx = supply.output_x();
+      device.vy = supply.output_y();
+      device.last_power = device.system->expected_measure_with_surface();
+      ++device.retunes;
+      response.vx = device.vx;
+      response.vy = device.vy;
+      response.power = device.last_power;
+      response.counter = device.retunes;
+      break;
+    }
+    case RequestKind::kMeasure: {
+      DeviceState& device = owned_state(request.device);
+      response.vx = device.vx;
+      response.vy = device.vy;
+      response.power = device.system->expected_measure_with_surface();
+      response.counter = device.retunes;
+      break;
+    }
+    case RequestKind::kFleetQuery: {
+      // Control-plane read: tracked state only, no physics evaluation.
+      const DeviceState& device = owned_state(request.device);
+      response.vx = device.vx;
+      response.vy = device.vy;
+      response.power = device.last_power;
+      response.counter = device.retunes;
+      break;
+    }
+  }
+  return response;
+}
+
+void WorkerShard::record(const Response& response, std::uint64_t submit_ns,
+                         bool keep_responses) {
+  latency_.record(now_ns() - submit_ns);
+  fingerprint_ += response.payload_hash();
+  ++counters_.served;
+  switch (response.status) {
+    case ResponseStatus::kOk:
+      ++counters_.ok;
+      break;
+    case ResponseStatus::kDegraded:
+      ++counters_.degraded;
+      break;
+    case ResponseStatus::kShed:
+      ++counters_.shed;
+      break;
+  }
+  if (keep_responses) responses_.push_back(response);
+}
+
+void WorkerShard::run(const RunContext& context) {
+  LLAMA_EXPECTS(context.queues.size() == n_shards_,
+                "run context must carry one queue per shard");
+  LLAMA_EXPECTS(context.in_flight != nullptr,
+                "run context must carry the in-flight counter");
+  if (context.pin) pin_current_thread(shard_id_);
+  Request request;
+  while (queue_.pop(request)) {
+    if (!owns(request.device)) {
+      // Misrouted: forward to the owner, never touch foreign state. A full
+      // (or already-draining) owner queue sheds the request instead of
+      // blocking — a response is still produced, so nothing is lost.
+      MpmcQueue<Request>* owner =
+          context.queues[request.device % n_shards_];
+      if (owner->try_push(request)) {
+        ++counters_.forwarded;
+        continue;  // still in flight; the owner will respond
+      }
+      record(shed_response(request), request.submit_ns,
+             context.keep_responses);
+      context.in_flight->fetch_sub(1);
+      continue;
+    }
+    Response response;
+    try {
+      response = serve(request);
+    } catch (const std::exception& e) {
+      // A per-request failure must not wedge the drain protocol: answer
+      // with the shed sentinel so conservation holds, remember the first
+      // error for the report.
+      ++counters_.errors;
+      if (error_.empty()) error_ = e.what();
+      response = shed_response(request);
+    }
+    record(response, request.submit_ns, context.keep_responses);
+    context.in_flight->fetch_sub(1);
+  }
+}
+
+}  // namespace llama::serve

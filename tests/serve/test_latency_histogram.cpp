@@ -1,0 +1,77 @@
+// Log2 latency histogram: bucket placement, percentile interpolation
+// bounds, merge arithmetic.
+#include "src/serve/latency_histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+namespace llama::serve {
+namespace {
+
+TEST(LatencyHistogram, EmptyReportsZero) {
+  const LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.mean_ns(), 0.0);
+  EXPECT_EQ(h.p50_ns(), 0.0);
+  EXPECT_EQ(h.p999_ns(), 0.0);
+}
+
+TEST(LatencyHistogram, MeanIsExactPercentilesBucketBounded) {
+  LatencyHistogram h;
+  h.record(100);
+  h.record(200);
+  h.record(300);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.mean_ns(), 200.0);  // the sum is tracked exactly
+  // Every sample lives in [64, 512); percentiles interpolate inside their
+  // bucket so they must stay within the covering range.
+  for (double p : {0.1, 0.5, 0.9, 0.99, 0.999}) {
+    EXPECT_GE(h.percentile_ns(p), 64.0);
+    EXPECT_LE(h.percentile_ns(p), 512.0);
+  }
+}
+
+TEST(LatencyHistogram, PercentilesAreMonotone) {
+  LatencyHistogram h;
+  for (std::uint64_t ns = 1; ns <= 4096; ns *= 2)
+    for (int i = 0; i < 10; ++i) h.record(ns);
+  EXPECT_LE(h.p50_ns(), h.p99_ns());
+  EXPECT_LE(h.p99_ns(), h.p999_ns());
+  EXPECT_GT(h.p50_ns(), 0.0);
+}
+
+TEST(LatencyHistogram, TailLandsInTopBucket) {
+  LatencyHistogram h;
+  for (int i = 0; i < 999; ++i) h.record(100);   // bucket [64, 128)
+  h.record(1'000'000);                            // ~1 ms outlier
+  // p50 stays with the bulk; p999+ must see the outlier's bucket.
+  EXPECT_LT(h.p50_ns(), 128.0);
+  EXPECT_GE(h.percentile_ns(0.9995), 524'288.0);  // 2^19 <= 1e6 < 2^20
+}
+
+TEST(LatencyHistogram, MergeAddsCountsAndSums) {
+  LatencyHistogram a;
+  LatencyHistogram b;
+  a.record(100);
+  a.record(200);
+  b.record(400);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_DOUBLE_EQ(a.mean_ns(), (100.0 + 200.0 + 400.0) / 3.0);
+  const LatencyHistogram empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 3u);
+}
+
+TEST(LatencyHistogram, ZeroNanosecondSampleIsCounted) {
+  LatencyHistogram h;
+  h.record(0);
+  EXPECT_EQ(h.count(), 1u);
+  // Bucket 0 covers exactly the value 0 over [0, 1): interpolation stays
+  // below one nanosecond.
+  EXPECT_LT(h.p50_ns(), 1.0);
+}
+
+}  // namespace
+}  // namespace llama::serve

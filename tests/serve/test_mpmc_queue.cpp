@@ -1,0 +1,167 @@
+// MPMC queue contract: bounded capacity with backpressure, per-producer
+// FIFO, close()-then-drain with no lost and no duplicated items — including
+// under multi-producer/multi-consumer stress, which is what the TSan CI job
+// exists to x-ray.
+#include "src/serve/mpmc_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace llama::serve {
+namespace {
+
+TEST(MpmcQueue, RejectsNonPowerOfTwoCapacity) {
+  EXPECT_THROW(MpmcQueue<int>(0), std::invalid_argument);
+  EXPECT_THROW(MpmcQueue<int>(1), std::invalid_argument);
+  EXPECT_THROW(MpmcQueue<int>(3), std::invalid_argument);
+  EXPECT_THROW(MpmcQueue<int>(100), std::invalid_argument);
+  EXPECT_NO_THROW(MpmcQueue<int>(2));
+  EXPECT_NO_THROW(MpmcQueue<int>(1024));
+}
+
+TEST(MpmcQueue, FifoSingleThread) {
+  MpmcQueue<int> q(8);
+  for (int i = 0; i < 8; ++i) EXPECT_TRUE(q.try_push(i));
+  int out = -1;
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(q.try_pop(out));
+    EXPECT_EQ(out, i);
+  }
+  EXPECT_FALSE(q.try_pop(out));
+}
+
+TEST(MpmcQueue, BoundedCapacityBackpressure) {
+  MpmcQueue<int> q(4);
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(q.try_push(i));
+  // Full ring: pushes fail (backpressure), nothing is overwritten.
+  EXPECT_FALSE(q.try_push(99));
+  EXPECT_EQ(q.size_approx(), 4u);
+  int out = -1;
+  ASSERT_TRUE(q.try_pop(out));
+  EXPECT_EQ(out, 0);
+  // One slot freed: exactly one push succeeds again.
+  EXPECT_TRUE(q.try_push(4));
+  EXPECT_FALSE(q.try_push(5));
+  for (int expect : {1, 2, 3, 4}) {
+    ASSERT_TRUE(q.try_pop(out));
+    EXPECT_EQ(out, expect);
+  }
+}
+
+TEST(MpmcQueue, CloseDrainsRemainingThenStops) {
+  MpmcQueue<int> q(8);
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(q.try_push(i));
+  q.close();
+  EXPECT_TRUE(q.closed());
+  EXPECT_FALSE(q.try_push(99));  // no pushes after close
+  int out = -1;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(q.pop(out));  // drains what was already published
+    EXPECT_EQ(out, i);
+  }
+  EXPECT_FALSE(q.pop(out));  // closed AND empty: terminal
+}
+
+TEST(MpmcQueue, MultiProducerSingleConsumerKeepsPerProducerFifo) {
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 1500;
+  MpmcQueue<std::uint64_t> q(256);
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&q, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        const std::uint64_t item =
+            (static_cast<std::uint64_t>(p) << 32) |
+            static_cast<std::uint64_t>(i);
+        while (!q.try_push(item)) std::this_thread::yield();
+      }
+    });
+  }
+  std::vector<std::uint64_t> next(kProducers, 0);
+  std::uint64_t item = 0;
+  std::uint64_t drained = 0;
+  while (drained < static_cast<std::uint64_t>(kProducers) * kPerProducer) {
+    if (!q.try_pop(item)) {
+      std::this_thread::yield();
+      continue;
+    }
+    const std::uint64_t producer = item >> 32;
+    const std::uint64_t seq = item & 0xFFFF'FFFFULL;
+    ASSERT_LT(producer, static_cast<std::uint64_t>(kProducers));
+    // The single consumer must see each producer's items in push order.
+    EXPECT_EQ(seq, next[producer]) << "per-producer FIFO violated";
+    next[producer] = seq + 1;
+    ++drained;
+  }
+  for (std::thread& t : producers) t.join();
+  EXPECT_FALSE(q.try_pop(item));
+}
+
+TEST(MpmcQueue, MpmcStressShutdownLosesAndDuplicatesNothing) {
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  constexpr int kPerProducer = 1500;
+  constexpr int kTotal = kProducers * kPerProducer;
+  MpmcQueue<std::uint64_t> q(128);
+
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&q, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        const std::uint64_t item =
+            (static_cast<std::uint64_t>(p) << 32) |
+            static_cast<std::uint64_t>(i);
+        while (!q.try_push(item)) std::this_thread::yield();
+      }
+    });
+  }
+
+  std::mutex collect_mutex;  // test-side aggregation, not the queue's path
+  std::vector<std::uint64_t> collected;
+  collected.reserve(kTotal);
+  std::vector<std::thread> consumers;
+  consumers.reserve(kConsumers);
+  for (int c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&q, &collect_mutex, &collected] {
+      std::vector<std::uint64_t> mine;
+      std::uint64_t item = 0;
+      // pop() blocks until an item arrives or the queue is closed+drained,
+      // exactly the worker-shard loop.
+      while (q.pop(item)) mine.push_back(item);
+      const std::lock_guard<std::mutex> lock(collect_mutex);
+      collected.insert(collected.end(), mine.begin(), mine.end());
+    });
+  }
+
+  // The runtime's shutdown protocol: producers stop BEFORE close().
+  for (std::thread& t : producers) t.join();
+  q.close();
+  for (std::thread& t : consumers) t.join();
+
+  ASSERT_EQ(collected.size(), static_cast<std::size_t>(kTotal))
+      << "shutdown drain lost or duplicated items";
+  std::sort(collected.begin(), collected.end());
+  EXPECT_EQ(std::adjacent_find(collected.begin(), collected.end()),
+            collected.end())
+      << "duplicated item";
+  for (int p = 0; p < kProducers; ++p)
+    for (int i = 0; i < kPerProducer; ++i) {
+      const std::uint64_t expect = (static_cast<std::uint64_t>(p) << 32) |
+                                   static_cast<std::uint64_t>(i);
+      ASSERT_TRUE(std::binary_search(collected.begin(), collected.end(),
+                                     expect))
+          << "lost item from producer " << p << " seq " << i;
+    }
+}
+
+}  // namespace
+}  // namespace llama::serve

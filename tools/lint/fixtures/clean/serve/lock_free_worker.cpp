@@ -1,0 +1,24 @@
+// Clean fixture for the serve scope: the idioms a real worker shard uses —
+// acquire/release atomics, queue hand-off, yielding — none of which the
+// serve-hot-path-blocking rule may flag. Mentioning "lock-free" or
+// "unlock" in comments must not trip it either.
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+namespace fixture {
+
+struct Shard {
+  std::atomic<std::uint64_t> served{0};
+  std::atomic<bool> closed{false};
+};
+
+// The hot path stays lock-free: forwarding, never locking (no .lock()).
+inline bool drain_once(Shard& shard) {
+  if (shard.closed.load(std::memory_order_acquire)) return false;
+  shard.served.fetch_add(1, std::memory_order_acq_rel);
+  std::this_thread::yield();
+  return true;
+}
+
+}  // namespace fixture

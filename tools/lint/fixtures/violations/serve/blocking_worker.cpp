@@ -1,0 +1,29 @@
+// Seeded violations for serve-hot-path-blocking: every blocking primitive
+// the rule guards against, inside a /serve/ path. A real worker must route
+// cross-shard work through the MPMC queues instead.
+#include <mutex>
+#include <condition_variable>
+#include <shared_mutex>
+
+namespace fixture {
+
+struct BadShard {
+  std::mutex state_mutex;             // expect-lint: serve-hot-path-blocking
+  std::shared_mutex registry_mutex;   // expect-lint: serve-hot-path-blocking
+  std::condition_variable wakeup;     // expect-lint: serve-hot-path-blocking
+};
+
+inline void serve_locked(BadShard& shard) {
+  std::lock_guard<std::mutex> guard(shard.state_mutex);  // expect-lint: serve-hot-path-blocking
+}
+
+inline void serve_manual(BadShard& shard) {
+  shard.state_mutex.lock();    // expect-lint: serve-hot-path-blocking
+  shard.state_mutex.unlock();  // expect-lint: serve-hot-path-blocking
+}
+
+inline bool serve_try(BadShard* shard) {
+  return shard->state_mutex.try_lock();  // expect-lint: serve-hot-path-blocking
+}
+
+}  // namespace fixture

@@ -34,6 +34,14 @@ rules over src/:
                    comment forces each site to state which slots each shard
                    owns (markers: "writes only", "own slot", "owns its",
                    "own result", "own output", "per-shard").
+  serve-hot-path-blocking
+                   std::mutex / condition_variable / lock adapters (or their
+                   pthread equivalents) anywhere in src/serve. The serving
+                   runtime's worker hot path is lock-free BY DESIGN: shards
+                   exclusively own their devices' state and cross-shard
+                   requests are forwarded through the MPMC queues, so a
+                   blocking primitive in src/serve means the ownership
+                   partition was broken somewhere.
 
 Waivers: a site silences exactly one rule with an inline comment carrying a
 reason, either trailing the line or on the line directly above it:
@@ -62,11 +70,18 @@ RULES = {
     "relaxed-atomic": "memory_order_relaxed outside blessed stats counters",
     "parallel-capture": ("by-reference parallel_for capture without an "
                          "adjacent per-shard ownership comment"),
+    "serve-hot-path-blocking": ("blocking synchronization primitive inside "
+                                "the lock-free src/serve worker path"),
 }
 
 # Files (path substrings, '/'-normalized) where a rule does not apply.
+# serve/clock. is the serving runtime's ONE blessed wall-clock site: request
+# latency is wall time by definition, and funneling every serve-side read
+# through that shim keeps the rest of src/serve accountable to the supply
+# clock like everything else.
 ALLOWED_PATHS = {
-    "wall-clock": ("control/power_supply.", "bench_harness.h"),
+    "wall-clock": ("control/power_supply.", "bench_harness.h",
+                   "serve/clock."),
     "rng": ("common/rng.",),
     "relaxed-atomic": ("metasurface/response_cache.",),
 }
@@ -103,6 +118,19 @@ ACCUMULATION = re.compile(
     r"\bemplace\b|\bappend\b|std::min\b|std::max\b|\bmin\(|\bmax\()")
 
 RELAXED = re.compile(r"\bmemory_order_relaxed\b")
+
+# serve-hot-path-blocking guards every file of the serving runtime: the
+# ownership partition (device d served only by shard d % n_shards) makes
+# blocking primitives unnecessary, so any appearance is a design regression.
+SERVE_SCOPE = ("/serve/",)
+SERVE_BLOCKING_PATTERNS = [
+    re.compile(r"std::(?:recursive_|timed_|recursive_timed_|shared_)?mutex\b"),
+    re.compile(r"std::condition_variable(?:_any)?\b"),
+    re.compile(r"std::(?:lock_guard|unique_lock|scoped_lock|shared_lock)\b"),
+    re.compile(r"\bpthread_(?:mutex|cond|rwlock)\w*"),
+    re.compile(r"(?:\.|->)\s*(?:try_)?lock\s*\("),
+    re.compile(r"(?:\.|->)\s*unlock\s*\("),
+]
 
 PARALLEL_FOR = re.compile(r"\bparallel_for\s*(?:<[^>]*>)?\s*\(")
 BYREF_CAPTURE = re.compile(r"\[\s*&")
@@ -245,6 +273,15 @@ def scan_file(path: Path, extra_unordered: set[str] | None = None,
             report(i, "relaxed-atomic",
                    "memory_order_relaxed outside the blessed stats "
                    "counters; use seq_cst or bless the site with a waiver")
+
+        if any(frag in norm for frag in SERVE_SCOPE):
+            for pat in SERVE_BLOCKING_PATTERNS:
+                if pat.search(code):
+                    report(i, "serve-hot-path-blocking",
+                           "blocking primitive in src/serve; the worker hot "
+                           "path is lock-free by the shard-ownership rule "
+                           "(forward cross-shard requests, never lock)")
+                    break
 
         if in_scope_unordered and unordered_names:
             m = RANGE_FOR.search(code)
