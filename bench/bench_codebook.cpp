@@ -7,7 +7,8 @@
 //   sweep_round           — optimize_link_batched per re-optimization
 //   codebook_round        — optimize_link_codebook per re-optimization,
 //                           with `speedup_vs_batched_sweep` (CI asserts
-//                           >= 50x) and `capacity_ratio_vs_sweep` (the
+//                           >= 20x against the SoA-kernel sweep; ~30x
+//                           typical) and `capacity_ratio_vs_sweep` (the
 //                           codebook bias must deliver >= 97% of the full
 //                           sweep's spectral efficiency on average).
 // Rounds cycle a set of off-lattice device orientations, so the codebook

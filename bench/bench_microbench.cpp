@@ -109,6 +109,41 @@ int main(int argc, char** argv) {
   }
 
   {
+    // SoA kernel gate (ROADMAP item 5): scalar planned per-cell vs the SoA
+    // grid path, BOTH single-threaded so the ratio isolates the kernel
+    // layer's per-cell efficiency rather than core count. CI asserts
+    // speedup_vs_scalar_planned >= 4.
+    const metasurface::Metasurface surface =
+        metasurface::Metasurface::llama_prototype();
+    const metasurface::RotatorStack& pstack = surface.stack();
+    const auto plan = pstack.plan_transmission(f0);
+    const bench::BenchResult scalar =
+        bench::run_bench("grid_scalar_planned_31x31", [&] {
+          for (const double vy : axis)
+            for (const double vx : axis)
+              consume(pstack.transmission(plan, common::Voltage{vx},
+                                          common::Voltage{vy}));
+        });
+    const double scalar_cell_ns = scalar.ns_per_op / cells;
+    char extra[96];
+    std::snprintf(extra, sizeof extra, ",\"per_cell_ns\":%.2f",
+                  scalar_cell_ns);
+    bench::print_result(scalar, json, extra);
+
+    const bench::BenchResult soa = bench::run_bench("grid_soa_31x31", [&] {
+      const auto grid = surface.response_grid(
+          f0, metasurface::SurfaceMode::kTransmissive, axis, axis,
+          /*threads=*/1);
+      consume(grid.back().back());
+    });
+    const double soa_cell_ns = soa.ns_per_op / cells;
+    std::snprintf(extra, sizeof extra,
+                  ",\"per_cell_ns\":%.2f,\"speedup_vs_scalar_planned\":%.2f",
+                  soa_cell_ns, scalar_cell_ns / soa_cell_ns);
+    bench::print_result(soa, json, extra);
+  }
+
+  {
     core::LlamaSystem sys{core::transmissive_mismatch_config()};
     const auto probe = sys.make_probe(0.02);
     bench::print_result(bench::run_bench("probe_unbatched", [&] {

@@ -88,6 +88,7 @@ std::size_t PropagationScene::add_leakage_surface(
         "(adding one now would renumber existing relay ids)"};
   spec_.leakage.push_back(spec);
   ++revision_;
+  ++structural_revision_;
   rebuild_paths();
   return spec_.leakage.size();
 }
@@ -95,6 +96,7 @@ std::size_t PropagationScene::add_leakage_surface(
 std::size_t PropagationScene::add_relay_surface(const RelaySurfaceSpec& spec) {
   spec_.relays.push_back(spec);
   ++revision_;
+  ++structural_revision_;
   rebuild_paths();
   return spec_.leakage.size() + spec_.relays.size();
 }
@@ -102,17 +104,21 @@ std::size_t PropagationScene::add_relay_surface(const RelaySurfaceSpec& spec) {
 void PropagationScene::set_geometry(const LinkGeometry& g) {
   geometry_ = g;
   ++revision_;
+  ++structural_revision_;
   rebuild_paths();
 }
 
 void PropagationScene::set_tx_antenna(Antenna a) {
   tx_ = std::move(a);
   ++revision_;
+  ++structural_revision_;
   rebuild_paths();
 }
 
 void PropagationScene::set_rx_antenna(Antenna a) {
   rx_ = std::move(a);
+  // Deliberately not a structural_revision_ bump: re-orienting the tracked
+  // device must keep structural memos (codebook hash prefix) warm.
   ++revision_;
   rebuild_paths();
 }

@@ -140,6 +140,16 @@ class PropagationScene {
   /// are rejected.
   [[nodiscard]] std::uint64_t revision() const { return revision_; }
 
+  /// Like revision(), but set_rx_antenna does NOT bump it: the rx antenna
+  /// is a tracked device's fast-changing end, while everything else in the
+  /// scene is structural. Consumers that exclude the rx antenna from a
+  /// derived value (the codebook config hash memoizes its expensive
+  /// stack/scene prefix) key their memo on this counter so per-round
+  /// re-orientation stays cache-hot.
+  [[nodiscard]] std::uint64_t structural_revision() const {
+    return structural_revision_;
+  }
+
   [[nodiscard]] const Antenna& tx_antenna() const { return tx_; }
   [[nodiscard]] const Antenna& rx_antenna() const { return rx_; }
   /// Home-surface geometry (anchors the direct path and the multipath
@@ -262,6 +272,7 @@ class PropagationScene {
   std::size_t surface_count_ = 1;
   std::vector<PropagationPath> paths_;
   std::uint64_t revision_ = 0;
+  std::uint64_t structural_revision_ = 0;
 };
 
 }  // namespace llama::channel

@@ -44,25 +44,23 @@ void mix_stack(common::Hasher64& h, const metasurface::RotatorStack& s) {
 
 }  // namespace
 
-std::uint64_t link_config_hash(common::PowerDbm tx_power,
-                               const channel::LinkGeometry& geometry,
-                               const channel::Antenna& tx_antenna,
-                               const channel::Antenna& rx_antenna,
-                               const channel::Environment& environment,
-                               const radio::ReceiverConfig& receiver,
-                               const metasurface::RotatorStack& stack,
-                               const channel::SceneSpec& scene) {
+common::Hasher64 link_config_prefix(common::PowerDbm tx_power,
+                                    const channel::LinkGeometry& geometry,
+                                    const channel::Antenna& tx_antenna,
+                                    const channel::Environment& environment,
+                                    const radio::ReceiverConfig& receiver,
+                                    const metasurface::RotatorStack& stack,
+                                    const channel::SceneSpec& scene) {
   common::Hasher64 h;
-  // v2: the scene topology joined the configuration.
-  h.mix_string("llama-codebook-config-v2");
+  // v2: the scene topology joined the configuration. v3: the rx antenna
+  // moved to the digest tail (finish_link_config_hash) so servers can
+  // memoize this prefix across per-round device re-orientation.
+  h.mix_string("llama-codebook-config-v3");
   h.mix_f64(tx_power.value());
   h.mix_f64(geometry.tx_rx_distance_m);
   h.mix_f64(geometry.tx_surface_distance_m);
   h.mix_u64(static_cast<std::uint64_t>(geometry.mode));
   mix_antenna(h, tx_antenna, /*include_orientation=*/true);
-  // The rx orientation is the codebook's query axis — exclude it so a
-  // tracked device re-orienting does not read as a configuration change.
-  mix_antenna(h, rx_antenna, /*include_orientation=*/false);
   h.mix_f64(environment.interference_floor().value());
   h.mix_f64(environment.interference_burst_std_db());
   h.mix_u64(environment.rays().size());
@@ -88,7 +86,29 @@ std::uint64_t link_config_hash(common::PowerDbm tx_power,
     h.mix_f64(relay.relay_rx_m);
     h.mix_f64(relay.coupling);
   }
-  return h.digest();
+  return h;
+}
+
+std::uint64_t finish_link_config_hash(common::Hasher64 prefix,
+                                      const channel::Antenna& rx_antenna) {
+  // The rx orientation is the codebook's query axis — exclude it so a
+  // tracked device re-orienting does not read as a configuration change.
+  mix_antenna(prefix, rx_antenna, /*include_orientation=*/false);
+  return prefix.digest();
+}
+
+std::uint64_t link_config_hash(common::PowerDbm tx_power,
+                               const channel::LinkGeometry& geometry,
+                               const channel::Antenna& tx_antenna,
+                               const channel::Antenna& rx_antenna,
+                               const channel::Environment& environment,
+                               const radio::ReceiverConfig& receiver,
+                               const metasurface::RotatorStack& stack,
+                               const channel::SceneSpec& scene) {
+  return finish_link_config_hash(
+      link_config_prefix(tx_power, geometry, tx_antenna, environment,
+                         receiver, stack, scene),
+      rx_antenna);
 }
 
 std::uint64_t system_config_hash(const core::SystemConfig& cfg,
@@ -181,7 +201,8 @@ Codebook CodebookCompiler::compile(const CompilerOptions& options) const {
 
   for (std::size_t fi = 0; fi < n_f; ++fi) {
     const common::Frequency f{header.frequency_hz.at(fi)};
-    // One batched Jones grid per frequency: the surface response does not
+    // One batched Jones grid per frequency, evaluated through the SoA lane
+    // kernels (src/kernel via response_grid): the surface response does not
     // depend on the device orientation, so every orientation cell below
     // re-projects this grid through its own propagation scene.
     const metasurface::JonesGrid responses =

@@ -4,9 +4,9 @@
 // The compiled quantity is the received-power bias plane — a pure function
 // of (frequency, quantized bias pair, surface mode, link configuration) —
 // evaluated through the same batched plan/grid machinery the online sweeps
-// use (RotatorStack plans via Metasurface::response_grid, rows and lattice
-// cells sharded over common::parallel_for, the receiver's expected-power
-// measurement model). Because the Jones response grid does not depend on
+// use (RotatorStack plans fed to the SoA lane kernels in src/kernel via
+// Metasurface::response_grid, rows and lattice cells sharded over
+// common::parallel_for, the receiver's expected-power measurement model). Because the Jones response grid does not depend on
 // the device orientation, each frequency's grid is evaluated once and
 // re-projected through the link budget per orientation, so a full lattice
 // compiles in seconds where naive per-cell sweeps would take minutes.
@@ -22,6 +22,7 @@
 
 #include "src/channel/propagation_scene.h"
 #include "src/codebook/codebook.h"
+#include "src/common/serde.h"
 #include "src/core/llama_system.h"
 #include "src/deploy/deployment_engine.h"
 
@@ -76,6 +77,28 @@ struct CompilerOptions {
     const radio::ReceiverConfig& receiver,
     const metasurface::RotatorStack& stack,
     const channel::SceneSpec& scene = {});
+
+/// The expensive, rx-antenna-independent part of link_config_hash: the
+/// stack design, scene topology, environment rays and receiver chain are
+/// mixed here; the hasher state is a trivially copyable 8-byte value.
+/// Serving paths that validate a codebook per round memoize this prefix
+/// (keyed on PropagationScene::structural_revision) and pay only
+/// finish_link_config_hash per call — the rx antenna is the one input that
+/// changes as a tracked device moves.
+[[nodiscard]] common::Hasher64 link_config_prefix(
+    common::PowerDbm tx_power, const channel::LinkGeometry& geometry,
+    const channel::Antenna& tx_antenna,
+    const channel::Environment& environment,
+    const radio::ReceiverConfig& receiver,
+    const metasurface::RotatorStack& stack,
+    const channel::SceneSpec& scene = {});
+
+/// Completes a link_config_prefix into the full config hash by mixing the
+/// rx antenna (orientation excluded — it is the codebook's query axis).
+/// finish_link_config_hash(link_config_prefix(...), rx) ==
+/// link_config_hash(..., rx, ...), by construction.
+[[nodiscard]] std::uint64_t finish_link_config_hash(
+    common::Hasher64 prefix, const channel::Antenna& rx_antenna);
 
 /// link_config_hash over a LlamaSystem configuration. `stack` must be the
 /// surface the codebook is compiled for / used with; it defaults to the

@@ -1,0 +1,115 @@
+// 64-byte-aligned storage for the SoA kernel lanes (src/kernel).
+//
+// The lane kernels walk contiguous double arrays with auto-vectorized loops;
+// aligning every lane to a cache line (which is also the widest vector
+// register any mainstream x86/ARM core loads) lets the compiler emit aligned
+// packed loads and keeps two lanes from false-sharing a line when adjacent
+// shards write neighbouring planes. The helpers here are the ONE blessed
+// over-aligned allocation path: kernels build lanes from AlignedVector and
+// never call the aligned operator new directly.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <new>
+#include <vector>
+
+#include "src/common/contracts.h"
+
+namespace llama::common {
+
+/// Alignment of every SoA kernel lane: one cache line, and a multiple of
+/// every vector width the compilers we target can use (SSE2 16 B, AVX 32 B,
+/// AVX-512/SVE 64 B).
+inline constexpr std::size_t kLaneAlignment = 64;
+
+[[nodiscard]] constexpr bool is_power_of_two(std::size_t x) {
+  return x != 0 && (x & (x - 1)) == 0;
+}
+
+/// True when p sits on an `alignment`-byte boundary.
+[[nodiscard]] inline bool is_aligned(const void* p,
+                                     std::size_t alignment = kLaneAlignment) {
+  LLAMA_EXPECTS(is_power_of_two(alignment),
+                "alignment must be a power of two");
+  return (reinterpret_cast<std::uintptr_t>(p) & (alignment - 1)) == 0;
+}
+
+/// Allocates `bytes` of storage on an `alignment`-byte boundary through the
+/// aligned global operator new (so sanitizers and replacement allocators
+/// still see it). Throws std::bad_alloc on exhaustion like any allocation.
+[[nodiscard]] inline void* aligned_alloc(
+    std::size_t bytes, std::size_t alignment = kLaneAlignment) {
+  LLAMA_EXPECTS(bytes > 0, "zero-byte aligned allocations are a caller bug");
+  LLAMA_EXPECTS(is_power_of_two(alignment),
+                "alignment must be a power of two");
+  void* p = ::operator new(bytes, std::align_val_t{alignment});
+  LLAMA_ENSURES(is_aligned(p, alignment),
+                "aligned operator new honoured the requested boundary");
+  return p;
+}
+
+/// Releases storage obtained from aligned_alloc with the SAME alignment
+/// (mismatched alignment is undefined behaviour in the underlying operator
+/// delete, hence the explicit parameter).
+inline void aligned_free(void* p,
+                         std::size_t alignment = kLaneAlignment) noexcept {
+  if (p == nullptr) return;
+  ::operator delete(p, std::align_val_t{alignment});
+}
+
+/// Minimal C++17-style allocator backed by aligned_alloc. All instances of
+/// one (T, Alignment) pair are interchangeable (stateless), so containers
+/// can swap/move storage freely.
+template <typename T, std::size_t Alignment = kLaneAlignment>
+struct AlignedAllocator {
+  static_assert(is_power_of_two(Alignment),
+                "alignment must be a power of two");
+  static_assert(Alignment >= alignof(T),
+                "requested alignment must not weaken the type's own");
+
+  using value_type = T;
+
+  AlignedAllocator() = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}  // NOLINT
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    if (n > std::numeric_limits<std::size_t>::max() / sizeof(T))
+      throw std::bad_alloc{};
+    return static_cast<T*>(aligned_alloc(n * sizeof(T), Alignment));
+  }
+
+  void deallocate(T* p, std::size_t /*n*/) noexcept {
+    aligned_free(p, Alignment);
+  }
+
+  friend bool operator==(const AlignedAllocator&,
+                         const AlignedAllocator&) noexcept {
+    return true;
+  }
+};
+
+/// A std::vector whose storage starts on a 64-byte boundary — the backing
+/// store of every SoA kernel lane.
+template <typename T>
+using AlignedVector = std::vector<T, AlignedAllocator<T>>;
+
+/// Tells the optimizer (and asserts, when contracts are armed) that a lane
+/// pointer is 64-byte aligned; use on the data() pointers inside kernel
+/// loops so the compiler can emit aligned packed accesses.
+template <std::size_t Alignment = kLaneAlignment, typename T>
+[[nodiscard]] inline T* assume_lane_aligned(T* p) {
+  LLAMA_EXPECTS(is_aligned(p, Alignment),
+                "lane pointer must sit on the lane alignment boundary");
+  return std::assume_aligned<Alignment>(p);
+}
+
+}  // namespace llama::common

@@ -163,15 +163,28 @@ std::uint64_t LlamaSystem::codebook_config_hash() const {
   // Hash the *live* link state, not the construction-time snapshot: a
   // set_geometry() or set_tx_antenna() since construction is real drift a
   // stale codebook must not survive. The rx antenna's orientation is the
-  // codebook's query axis and is excluded inside link_config_hash; this
-  // system's actual stack design is included, so a codebook compiled for a
+  // codebook's query axis and is excluded inside the hash; this system's
+  // actual stack design is included, so a codebook compiled for a
   // different fabrication never validates here. The scene topology is
   // included too: extra surfaces reshape the power landscape, so a
   // codebook compiled for another topology must not be served.
-  return codebook::link_config_hash(config_.tx_power, scene_.geometry(),
-                                    scene_.tx_antenna(), scene_.rx_antenna(),
-                                    scene_.environment(), config_.receiver,
-                                    surface_.stack(), scene_.spec());
+  //
+  // The rx-independent prefix (stack boards, scene topology, environment
+  // rays) dominates the hashing cost and only changes when the scene's
+  // structural state does, so it is memoized on structural_revision():
+  // the per-round path of a tracked device re-orienting pays only the
+  // final rx-antenna mix. config_.tx_power/.receiver are construction-time
+  // constants, so the scene counter alone keys the memo.
+  if (!config_hash_prefix_ ||
+      config_hash_prefix_->first != scene_.structural_revision())
+    config_hash_prefix_.emplace(
+        scene_.structural_revision(),
+        codebook::link_config_prefix(config_.tx_power, scene_.geometry(),
+                                     scene_.tx_antenna(),
+                                     scene_.environment(), config_.receiver,
+                                     surface_.stack(), scene_.spec()));
+  return codebook::finish_link_config_hash(config_hash_prefix_->second,
+                                           scene_.rx_antenna());
 }
 
 void LlamaSystem::validate_codebook(const codebook::Codebook& book,

@@ -12,10 +12,12 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <utility>
 
 #include "src/channel/capacity.h"
 #include "src/channel/propagation_scene.h"
 #include "src/common/rng.h"
+#include "src/common/serde.h"
 #include "src/common/units.h"
 #include "src/control/controller.h"
 #include "src/control/power_supply.h"
@@ -249,6 +251,12 @@ class LlamaSystem {
   metasurface::Metasurface surface_;
   bool surface_online_ = true;
   channel::PropagationScene scene_;
+  /// Memoized rx-independent half of codebook_config_hash, keyed on the
+  /// scene's structural revision: per-round device re-orientation (the
+  /// tracking/serving hot path) re-mixes only the rx antenna instead of
+  /// re-hashing the whole stack and scene topology.
+  mutable std::optional<std::pair<std::uint64_t, common::Hasher64>>
+      config_hash_prefix_;
   std::vector<std::optional<em::JonesMatrix>> external_responses_;
   control::PowerSupply supply_;
   control::Controller controller_;

@@ -1,0 +1,131 @@
+#include "src/kernel/board_kernels.h"
+
+#include <cstddef>
+
+#include "src/microwave/two_port.h"
+
+namespace llama::kernel {
+
+void face_admittance_lanes(const metasurface::FacePlan& face, double omega,
+                           const microwave::Varactor& varactor,
+                           std::span<const double> biases, ComplexLanes& y) {
+  const std::size_t n = biases.size();
+  if (!face.present) {
+    // No pattern: zero shunt admittance, i.e. the identity two-port — the
+    // composition loop can then apply both shunts unconditionally.
+    y.fill(n, {0.0, 0.0});
+    return;
+  }
+  if (!face.dynamic) {
+    // Static pattern: the plan already baked the full admittance.
+    y.fill(n, face.y_static);
+    return;
+  }
+  y.resize(n);
+  const double rs = varactor.series_resistance();
+  const double zfr = face.z_fixed.real();
+  const double zfi = face.z_fixed.imag();
+  const double ysr = face.y_static.real();
+  const double ysi = face.y_static.imag();
+  double* yr = common::assume_lane_aligned(y.re.data());
+  double* yi = common::assume_lane_aligned(y.im.data());
+  // Mirrors FacePlan::admittance: z_c = z_fixed + (rs - j/(omega C(V))),
+  // guarded away from zero, then y = y_static + 1/z_c. capacitance() is the
+  // lone transcendental (pow) in the hot path; running it on a lane of
+  // nx (or ny) biases instead of nx*ny cells is the kernel layer's
+  // asymptotic win.
+  for (std::size_t i = 0; i < n; ++i) {
+    const double c = varactor.capacitance(common::Voltage{biases[i]});
+    double zr = zfr + rs;
+    double zi = zfi - 1.0 / (omega * c);
+    if (zr * zr + zi * zi < 1e-18) {  // |z_c| < 1e-9 guard, squared
+      zr = 1e-9;
+      zi = 0.0;
+    }
+    const double inv = 1.0 / (zr * zr + zi * zi);
+    yr[i] = ysr + zr * inv;
+    yi[i] = ysi - zi * inv;
+  }
+}
+
+namespace {
+
+/// Composition + ABCD->S loop, templated on which outputs to materialize so
+/// the single-output variants stay tight vectorizable loops.
+template <bool WantS21, bool WantS11>
+void compose_and_convert(const metasurface::BoardAxisPlan& axis,
+                         const ComplexLanes& yf, const ComplexLanes& yb,
+                         std::size_t n, ComplexLanes* s21, ComplexLanes* s11) {
+  // Symbolic chain shunt(yf) * slab * shunt(yb) (see Abcd::operator* in
+  // src/microwave/two_port.cpp):
+  //   D = yf*Bs + Ds            A = As + Bs*yb
+  //   C = yf*As + Cs + D*yb     B = Bs
+  // Absent faces carry y = 0, which reduces these to the slab terms.
+  const double asr = axis.slab.a().real(), asi = axis.slab.a().imag();
+  const double bsr = axis.slab.b().real(), bsi = axis.slab.b().imag();
+  const double csr = axis.slab.c().real(), csi = axis.slab.c().imag();
+  const double dsr = axis.slab.d().real(), dsi = axis.slab.d().imag();
+  const double z0 = microwave::kZ0;
+  const double* yfr = common::assume_lane_aligned(yf.re.data());
+  const double* yfi = common::assume_lane_aligned(yf.im.data());
+  const double* ybr = common::assume_lane_aligned(yb.re.data());
+  const double* ybi = common::assume_lane_aligned(yb.im.data());
+  double* t21r = WantS21 ? common::assume_lane_aligned(s21->re.data()) : nullptr;
+  double* t21i = WantS21 ? common::assume_lane_aligned(s21->im.data()) : nullptr;
+  double* t11r = WantS11 ? common::assume_lane_aligned(s11->re.data()) : nullptr;
+  double* t11i = WantS11 ? common::assume_lane_aligned(s11->im.data()) : nullptr;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double fr = yfr[i], fi = yfi[i], br = ybr[i], bi = ybi[i];
+    // D = yf*Bs + Ds
+    const double dr = fr * bsr - fi * bsi + dsr;
+    const double di = fr * bsi + fi * bsr + dsi;
+    // C = yf*As + Cs + D*yb
+    const double cr = fr * asr - fi * asi + csr + dr * br - di * bi;
+    const double ci = fr * asi + fi * asr + csi + dr * bi + di * br;
+    // A = As + Bs*yb
+    const double ar = asr + bsr * br - bsi * bi;
+    const double ai = asi + bsr * bi + bsi * br;
+    // ABCD -> S exactly as Abcd::to_sparams: denom = A + B/z0 + C*z0 + D.
+    const double dnr = ar + bsr / z0 + cr * z0 + dr;
+    const double dni = ai + bsi / z0 + ci * z0 + di;
+    const double inv = 1.0 / (dnr * dnr + dni * dni);
+    if constexpr (WantS21) {  // s21 = 2/denom
+      t21r[i] = 2.0 * dnr * inv;
+      t21i[i] = -2.0 * dni * inv;
+    }
+    if constexpr (WantS11) {  // s11 = (A + B/z0 - C*z0 - D)/denom
+      const double nr = ar + bsr / z0 - cr * z0 - dr;
+      const double ni = ai + bsi / z0 - ci * z0 - di;
+      t11r[i] = (nr * dnr + ni * dni) * inv;
+      t11i[i] = (ni * dnr - nr * dni) * inv;
+    }
+  }
+}
+
+}  // namespace
+
+void axis_s_lanes(const metasurface::BoardAxisPlan& axis, double omega,
+                  const microwave::Varactor& varactor,
+                  std::span<const double> biases, AxisOutput out,
+                  ComplexLanes* s21, ComplexLanes* s11) {
+  const std::size_t n = biases.size();
+  const bool want21 = out != AxisOutput::kS11;
+  const bool want11 = out != AxisOutput::kS21;
+  LLAMA_EXPECTS(!want21 || s21 != nullptr, "requested s21 lane present");
+  LLAMA_EXPECTS(!want11 || s11 != nullptr, "requested s11 lane present");
+  if (want21) s21->resize(n);
+  if (want11) s11->resize(n);
+  ComplexLanes yf;
+  ComplexLanes yb;
+  face_admittance_lanes(axis.front, omega, varactor, biases, yf);
+  face_admittance_lanes(axis.back, omega, varactor, biases, yb);
+  if (want21 && want11) {
+    compose_and_convert<true, true>(axis, yf, yb, n, s21, s11);
+  } else if (want21) {
+    compose_and_convert<true, false>(axis, yf, yb, n, s21, nullptr);
+  } else {
+    compose_and_convert<false, true>(axis, yf, yb, n, nullptr, s11);
+  }
+}
+
+}  // namespace llama::kernel

@@ -1,0 +1,45 @@
+// Lane kernels over BoardAxisPlan: the varactor admittance solve and the
+// face/slab ABCD composition for a whole bias lane at once.
+//
+// This is where the SoA layer wins asymptotically, not just on vector width:
+// a board's X response depends only on Vx and its Y response only on Vy, so
+// an nx-by-ny bias plane needs nx + ny axis solves instead of nx * ny — the
+// scalar planned path re-runs the varactor pow() and the ABCD -> S division
+// in every cell. The kernels below mirror the scalar chain
+// (FacePlan::admittance, Abcd shunt/slab/shunt composition, Abcd::to_sparams
+// in src/microwave/two_port.cpp) term by term, but reassociate freely inside
+// a lane: the contract with the scalar golden reference is <= 1e-12
+// agreement, not bit-equality (tests/kernel/test_golden_equivalence.cpp).
+#pragma once
+
+#include <span>
+
+#include "src/kernel/lanes.h"
+#include "src/metasurface/board.h"
+#include "src/microwave/varactor.h"
+
+namespace llama::kernel {
+
+/// Shunt admittance of one planned face for every bias voltage in `biases`.
+/// Absent faces fill y = 0 (a zero shunt is the identity two-port, so the
+/// composition kernel can stay branch-free); static faces broadcast their
+/// precomputed admittance; dynamic faces run the per-bias varactor solve —
+/// the only pow() in the whole hot path — once per lane slot.
+void face_admittance_lanes(const metasurface::FacePlan& face, double omega,
+                           const microwave::Varactor& varactor,
+                           std::span<const double> biases, ComplexLanes& y);
+
+/// Which S-parameters axis_s_lanes should produce.
+enum class AxisOutput { kS21, kS11, kBoth };
+
+/// Per-axis two-port solve for a whole bias lane: for every bias in
+/// `biases`, composes shunt(front) | slab | shunt(back) symbolically and
+/// converts to S-parameters exactly as Abcd::to_sparams does (free-space
+/// z0). `s21`/`s11` are resized to the lane length; the one not requested
+/// by `out` is left untouched (and may be null).
+void axis_s_lanes(const metasurface::BoardAxisPlan& axis, double omega,
+                  const microwave::Varactor& varactor,
+                  std::span<const double> biases, AxisOutput out,
+                  ComplexLanes* s21, ComplexLanes* s11);
+
+}  // namespace llama::kernel

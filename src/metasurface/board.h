@@ -111,6 +111,13 @@ class Board {
   }
   [[nodiscard]] double thickness_m() const { return thickness_m_; }
 
+  /// The varactor model loaded into this board's dynamic faces. The SoA
+  /// kernels (src/kernel) need it to run the per-bias admittance solve on
+  /// whole lanes; its parameters feed FacePlan::admittance either way.
+  [[nodiscard]] const microwave::Varactor& varactor() const {
+    return varactor_;
+  }
+
   /// Full two-port of one axis at frequency f and axis bias voltage
   /// (ignored by fixed patterns): front face | slab | back face.
   [[nodiscard]] microwave::SParams axis_sparams(common::Frequency f,

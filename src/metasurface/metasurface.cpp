@@ -1,11 +1,13 @@
 #include "src/metasurface/metasurface.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
 #include "src/common/contracts.h"
 #include "src/common/math_utils.h"
 #include "src/common/parallel.h"
+#include "src/kernel/jones_kernels.h"
 
 namespace llama::metasurface {
 
@@ -69,18 +71,27 @@ std::optional<ResponseCacheStats> Metasurface::response_cache_stats() const {
   return cache_->stats();
 }
 
+const RotatorStack::TransmissionPlan& Metasurface::acquire_transmission_plan(
+    common::Frequency f) const {
+  if (!transmission_plan_ || transmission_plan_->first != f.in_hz())
+    transmission_plan_.emplace(f.in_hz(), stack_.plan_transmission(f));
+  return transmission_plan_->second;
+}
+
+const RotatorStack::ReflectionPlan& Metasurface::acquire_reflection_plan(
+    common::Frequency f) const {
+  if (!reflection_plan_ || reflection_plan_->first != f.in_hz())
+    reflection_plan_.emplace(f.in_hz(), stack_.plan_reflection(f));
+  return reflection_plan_->second;
+}
+
 em::JonesMatrix Metasurface::planned_response(common::Frequency f,
                                               SurfaceMode mode,
                                               common::Voltage vx,
                                               common::Voltage vy) const {
-  if (mode == SurfaceMode::kTransmissive) {
-    if (!transmission_plan_ || transmission_plan_->first != f.in_hz())
-      transmission_plan_.emplace(f.in_hz(), stack_.plan_transmission(f));
-    return stack_.transmission(transmission_plan_->second, vx, vy);
-  }
-  if (!reflection_plan_ || reflection_plan_->first != f.in_hz())
-    reflection_plan_.emplace(f.in_hz(), stack_.plan_reflection(f));
-  return stack_.reflection(reflection_plan_->second, vx, vy);
+  if (mode == SurfaceMode::kTransmissive)
+    return stack_.transmission(acquire_transmission_plan(f), vx, vy);
+  return stack_.reflection(acquire_reflection_plan(f), vx, vy);
 }
 
 em::JonesMatrix Metasurface::response(common::Frequency f,
@@ -123,8 +134,29 @@ em::JonesMatrix Metasurface::healthy_response(common::Frequency f,
 
 namespace {
 
-common::Voltage clamp_bias(double v) {
-  return common::Voltage{common::clamp(v, 0.0, 30.0)};
+/// Clamp a raw bias axis to the supply range, matching set_bias.
+std::vector<double> clamp_bias_lane(const std::vector<double>& values) {
+  std::vector<double> clamped(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i)
+    clamped[i] = common::clamp(values[i], 0.0, 30.0);
+  return clamped;
+}
+
+/// Fixed pair-chunk size for response_batch: the work decomposition is part
+/// of the byte-determinism contract (it must not depend on the worker
+/// count), and chunks amortize the kernel's per-call scratch allocation.
+constexpr std::size_t kPairChunk = 256;
+
+/// Lane-space degraded blend from a stuck-cell fault. `stuck` is the stuck
+/// sub-aperture's response — a single scalar planned evaluation (the golden
+/// path); only the per-cell mixing happens inside the kernels.
+kernel::StuckBlend make_stuck_blend(const StuckCellFault& fault,
+                                    const em::JonesMatrix& stuck) {
+  kernel::StuckBlend blend;
+  blend.keep = em::Complex{1.0 - fault.fraction, 0.0};
+  blend.frac = em::Complex{fault.fraction, 0.0};
+  blend.stuck = stuck;
+  return blend;
 }
 
 }  // namespace
@@ -136,34 +168,36 @@ JonesGrid Metasurface::response_grid(common::Frequency f, SurfaceMode mode,
   JonesGrid grid(vy_values.size(),
                  std::vector<em::JonesMatrix>(vx_values.size()));
   if (vx_values.empty() || vy_values.empty()) return grid;
+  const std::vector<double> vxs = clamp_bias_lane(vx_values);
+  const std::vector<double> vys = clamp_bias_lane(vy_values);
+  // Evaluate the stuck response before handing out plan references: it may
+  // (re)build the memoized plan slot for this (f, mode).
+  std::optional<kernel::StuckBlend> blend;
+  if (stuck_)
+    blend = make_stuck_blend(
+        *stuck_, planned_response(f, mode, stuck_->vx, stuck_->vy));
   if (mode == SurfaceMode::kTransmissive) {
-    const RotatorStack::TransmissionPlan plan = stack_.plan_transmission(f);
-    // Each shard writes only its own grid[iy] row.
-    common::parallel_for(vy_values.size(), threads, [&](std::size_t iy) {
-      const common::Voltage vy = clamp_bias(vy_values[iy]);
-      for (std::size_t ix = 0; ix < vx_values.size(); ++ix)
-        grid[iy][ix] =
-            stack_.transmission(plan, clamp_bias(vx_values[ix]), vy);
+    // Plan acquired ONCE per (f, mode); the kernel factors it into SoA
+    // lanes at construction and the sharded loop below only reads both by
+    // const-ref.
+    const RotatorStack::TransmissionPlan& plan = acquire_transmission_plan(f);
+    kernel::TransmissionKernel k{stack_, plan, vxs, vys};
+    if (blend) k.set_blend(*blend);
+    // Shard ownership: parallel_for hands each shard a disjoint set of row
+    // indices; shard iy writes only grid[iy], the kernel is shared
+    // read-only, and eval scratch is call-local — so the plane is
+    // byte-identical for any thread count.
+    common::parallel_for(vys.size(), threads, [&](std::size_t iy) {
+      k.eval_grid_row(iy, grid[iy].data());
     });
   } else {
-    const RotatorStack::ReflectionPlan plan = stack_.plan_reflection(f);
-    // Each shard writes only its own grid[iy] row.
-    common::parallel_for(vy_values.size(), threads, [&](std::size_t iy) {
-      const common::Voltage vy = clamp_bias(vy_values[iy]);
-      for (std::size_t ix = 0; ix < vx_values.size(); ++ix)
-        grid[iy][ix] = stack_.reflection(plan, clamp_bias(vx_values[ix]), vy);
+    const RotatorStack::ReflectionPlan& plan = acquire_reflection_plan(f);
+    kernel::ReflectionKernel k{stack_, plan, vxs, vys};
+    if (blend) k.set_blend(*blend);
+    // Shard ownership as above: shard iy writes only grid[iy].
+    common::parallel_for(vys.size(), threads, [&](std::size_t iy) {
+      k.eval_grid_row(iy, grid[iy].data());
     });
-  }
-  if (stuck_) {
-    // Serial post-pass: matrix blends are trivially cheap next to the
-    // cascade evaluations above, and keeping the parallel rows pure keeps
-    // the grid byte-identical for any thread count.
-    const em::JonesMatrix stuck =
-        planned_response(f, mode, stuck_->vx, stuck_->vy);
-    const em::Complex keep{1.0 - stuck_->fraction, 0.0};
-    const em::Complex frac{stuck_->fraction, 0.0};
-    for (auto& row : grid)
-      for (em::JonesMatrix& cell : row) cell = keep * cell + frac * stuck;
   }
   LLAMA_ENSURES(grid.size() == vy_values.size() &&
                     (grid.empty() || grid.front().size() == vx_values.size()),
@@ -176,27 +210,39 @@ std::vector<em::JonesMatrix> Metasurface::response_batch(
     int threads) const {
   std::vector<em::JonesMatrix> out(points.size());
   if (points.empty()) return out;
+  std::vector<double> vxs(points.size());
+  std::vector<double> vys(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    vxs[i] = common::clamp(points[i].first.value(), 0.0, 30.0);
+    vys[i] = common::clamp(points[i].second.value(), 0.0, 30.0);
+  }
+  std::optional<kernel::StuckBlend> blend;
+  if (stuck_)
+    blend = make_stuck_blend(
+        *stuck_, planned_response(f, mode, stuck_->vx, stuck_->vy));
+  const std::size_t chunks = (points.size() + kPairChunk - 1) / kPairChunk;
   if (mode == SurfaceMode::kTransmissive) {
-    const RotatorStack::TransmissionPlan plan = stack_.plan_transmission(f);
-    // Each shard writes only its own out[i] slot.
-    common::parallel_for(points.size(), threads, [&](std::size_t i) {
-      out[i] = stack_.transmission(plan, clamp_bias(points[i].first.value()),
-                                   clamp_bias(points[i].second.value()));
+    const RotatorStack::TransmissionPlan& plan = acquire_transmission_plan(f);
+    kernel::TransmissionKernel k{stack_, plan, vxs, vys};
+    if (blend) k.set_blend(*blend);
+    // Shard ownership: chunk c writes only out[c*kPairChunk .. end); the
+    // chunk grid is fixed, so results are byte-identical for any thread
+    // count.
+    common::parallel_for(chunks, threads, [&](std::size_t c) {
+      const std::size_t begin = c * kPairChunk;
+      const std::size_t end = std::min(begin + kPairChunk, points.size());
+      k.eval_pairs(begin, end, out.data() + begin);
     });
   } else {
-    const RotatorStack::ReflectionPlan plan = stack_.plan_reflection(f);
-    // Each shard writes only its own out[i] slot.
-    common::parallel_for(points.size(), threads, [&](std::size_t i) {
-      out[i] = stack_.reflection(plan, clamp_bias(points[i].first.value()),
-                                 clamp_bias(points[i].second.value()));
+    const RotatorStack::ReflectionPlan& plan = acquire_reflection_plan(f);
+    kernel::ReflectionKernel k{stack_, plan, vxs, vys};
+    if (blend) k.set_blend(*blend);
+    // Shard ownership as above: chunk c writes only its own out range.
+    common::parallel_for(chunks, threads, [&](std::size_t c) {
+      const std::size_t begin = c * kPairChunk;
+      const std::size_t end = std::min(begin + kPairChunk, points.size());
+      k.eval_pairs(begin, end, out.data() + begin);
     });
-  }
-  if (stuck_) {
-    const em::JonesMatrix stuck =
-        planned_response(f, mode, stuck_->vx, stuck_->vy);
-    const em::Complex keep{1.0 - stuck_->fraction, 0.0};
-    const em::Complex frac{stuck_->fraction, 0.0};
-    for (em::JonesMatrix& cell : out) cell = keep * cell + frac * stuck;
   }
   LLAMA_ENSURES(out.size() == points.size(),
                 "batched responses line up with the requested bias list");

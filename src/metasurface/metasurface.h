@@ -123,12 +123,19 @@ class Metasurface {
 
   /// Batched evaluation of a whole bias plane at one frequency: returns
   /// grid[iy][ix] = response at (vx_values[ix], vy_values[iy]). Biases are
-  /// clamped to the supply range like set_bias. Rows are distributed over
-  /// `threads` workers (<= 0 picks a default); every cell is a pure planned
-  /// evaluation, so the grid is byte-identical for any thread count and
-  /// equal to pointwise response() calls. Does not touch the current bias
-  /// or the response cache. A stuck-cell fault mixes into every cell, so
-  /// batched sweeps see the same degraded plane pointwise probes do.
+  /// clamped to the supply range like set_bias. Evaluation runs through the
+  /// SoA kernel layer (src/kernel): the per-(f, mode) plan is acquired once,
+  /// axis lanes are built once, and rows are distributed over `threads`
+  /// workers (<= 0 picks a default). Every cell is a pure function of
+  /// (plan, axes, cell index), so the grid is byte-identical for any thread
+  /// count (asserted by ResponseGrid.ThreadCountDoesNotChangeBytes); it
+  /// agrees with pointwise response() calls to <= 1e-12 per component — the
+  /// kernels reassociate relative to the scalar golden path, so bit-equality
+  /// with response() is NOT promised (ResponseGrid.MatchesPointwiseResponses
+  /// and the randomized suite in tests/kernel assert the bound). Does not
+  /// touch the current bias or the response cache. A stuck-cell fault mixes
+  /// into every cell in lane space, so batched sweeps see the same degraded
+  /// plane pointwise probes do.
   [[nodiscard]] JonesGrid response_grid(common::Frequency f, SurfaceMode mode,
                                         const std::vector<double>& vx_values,
                                         const std::vector<double>& vy_values,
@@ -166,6 +173,16 @@ class Metasurface {
   /// of response() before fault mixing.
   [[nodiscard]] em::JonesMatrix healthy_response(common::Frequency f,
                                                  SurfaceMode mode) const;
+
+  /// Acquire (building only when the memoized frequency differs) the
+  /// per-frequency plan. Hoisted out of the batched loops: response_grid /
+  /// response_batch touch the plan slot exactly once per call and hand the
+  /// plan to the kernels by const-ref; the sharded bodies never see the
+  /// mutable slot.
+  [[nodiscard]] const RotatorStack::TransmissionPlan& acquire_transmission_plan(
+      common::Frequency f) const;
+  [[nodiscard]] const RotatorStack::ReflectionPlan& acquire_reflection_plan(
+      common::Frequency f) const;
 
   RotatorStack stack_;
   LatticeSpec spec_;

@@ -33,15 +33,8 @@ JonesMatrix element_jones(const StackElement& e, common::Frequency f,
   return in_eigenbasis.rotated(e.rotation);
 }
 
-/// Fraction of the first face's birefringence that couples into the
-/// specular return (see reflection() below).
-constexpr Complex kFrontBirefringence{0.3, 0.0};
-/// Aperture-spillover attenuation of the deep round-trip component.
-constexpr Complex kDeepPathWeight{0.15, 0.0};
+}  // namespace
 
-/// Bias-independent part of the front-face specular reflection built from
-/// the per-axis reflection coefficients (shared by the direct and planned
-/// reflection paths so the two stay in exact agreement).
 JonesMatrix front_gamma(Complex r0x, Complex r0y, common::Angle rotation) {
   const Complex r_mean = 0.5 * (r0x + r0y);
   const JonesMatrix gamma_aniso =
@@ -49,8 +42,6 @@ JonesMatrix front_gamma(Complex r0x, Complex r0y, common::Angle rotation) {
           .rotated(rotation);
   return r_mean * JonesMatrix::identity() + kFrontBirefringence * gamma_aniso;
 }
-
-}  // namespace
 
 JonesMatrix RotatorStack::transmission(common::Frequency f, common::Voltage vx,
                                        common::Voltage vy) const {

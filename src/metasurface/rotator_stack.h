@@ -10,6 +10,21 @@
 
 namespace llama::metasurface {
 
+/// Fraction of the first face's birefringence that couples into the
+/// specular return (see RotatorStack::reflection). Shared by the scalar
+/// reflection paths and the SoA kernels (src/kernel) so the two models can
+/// never drift apart.
+inline constexpr microwave::Complex kFrontBirefringence{0.3, 0.0};
+/// Aperture-spillover attenuation of the deep round-trip component.
+inline constexpr microwave::Complex kDeepPathWeight{0.15, 0.0};
+
+/// Bias-independent part of the front-face specular reflection built from
+/// the per-axis reflection coefficients (shared by the direct, planned and
+/// SoA-kernel reflection paths so all three stay in exact agreement).
+[[nodiscard]] em::JonesMatrix front_gamma(microwave::Complex r0x,
+                                          microwave::Complex r0y,
+                                          common::Angle rotation);
+
 /// One element of the stack: a board physically rotated in the surface
 /// plane, followed by an air gap to the next board.
 struct StackElement {

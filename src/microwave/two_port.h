@@ -46,6 +46,12 @@ struct SParams {
 /// ABCD (chain) matrix of a two-port. Cascading networks is plain matrix
 /// multiplication, which is why the solver works in this representation and
 /// converts to S-parameters only at the end.
+///
+/// This scalar type is the golden reference for the lane-kernel twin in
+/// src/kernel/board_kernels.cpp, which composes the same shunt-slab-shunt
+/// chain and ABCD->S conversion symbolically over SoA lanes. A change to
+/// the composition or conversion math here must be mirrored there (the
+/// tests/kernel golden suite catches divergence beyond 1e-12).
 class Abcd {
  public:
   constexpr Abcd() = default;

@@ -43,6 +43,9 @@ class Varactor {
   /// reverse bias v: Rs + 1/(j omega C(v)). This is the only bias-dependent
   /// impedance in the whole stack, which is what the per-frequency response
   /// plans exploit: everything else is computed once per frequency.
+  /// The lane twin in src/kernel/board_kernels.cpp solves the same C(V) and
+  /// admittance per bias lane; keep the two in lockstep (the tests/kernel
+  /// golden suite bounds divergence at 1e-12).
   [[nodiscard]] std::complex<double> impedance(double omega,
                                                common::Voltage v) const;
 

@@ -169,6 +169,32 @@ TEST(PropagationSceneRevision, MutationsBumpRevision) {
   EXPECT_THROW((void)scene.add_leakage_surface(leak), std::logic_error);
 }
 
+// structural_revision() tracks every mutation EXCEPT set_rx_antenna: the
+// rx end re-orients every tracking round, and memos that exclude it (the
+// codebook config-hash prefix) must stay warm across those rounds while
+// still invalidating on genuine structural drift.
+TEST(PropagationSceneRevision, RxAntennaDoesNotBumpStructuralRevision) {
+  PropagationScene scene = PropagationScene::single_link(
+      Antenna::directional_10dbi(Angle::degrees(0.0)),
+      Antenna::directional_10dbi(Angle::degrees(90.0)),
+      transmissive_geometry(), Environment::absorber_chamber());
+  const std::uint64_t s0 = scene.structural_revision();
+  scene.set_rx_antenna(Antenna::omni_6dbi(Angle::degrees(45.0)));
+  EXPECT_EQ(scene.structural_revision(), s0);  // fast path stays memo-warm
+
+  scene.set_geometry(transmissive_geometry(0.6));
+  EXPECT_GT(scene.structural_revision(), s0);
+  const std::uint64_t s1 = scene.structural_revision();
+  scene.set_tx_antenna(Antenna::omni_6dbi(Angle::degrees(0.0)));
+  EXPECT_GT(scene.structural_revision(), s1);
+  const std::uint64_t s2 = scene.structural_revision();
+  EXPECT_EQ(scene.add_leakage_surface(LeakageSurfaceSpec{}), 1u);
+  EXPECT_GT(scene.structural_revision(), s2);
+  const std::uint64_t s3 = scene.structural_revision();
+  EXPECT_EQ(scene.add_relay_surface(RelaySurfaceSpec{}), 2u);
+  EXPECT_GT(scene.structural_revision(), s3);
+}
+
 TEST(PropagationSceneRevision, MidRunSetGeometryInvalidatesStalePlans) {
   PropagationScene scene = PropagationScene::single_link(
       Antenna::directional_10dbi(Angle::degrees(0.0)),

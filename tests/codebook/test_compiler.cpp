@@ -178,6 +178,49 @@ TEST(ConfigHash, SceneTopologyBindsTheHash) {
             deployment_config_hash(scenario.config));
 }
 
+TEST(ConfigHash, PrefixPlusRxFinishEqualsTheFullHash) {
+  // The split form LlamaSystem memoizes must be a pure refactoring of the
+  // one-shot hash: prefix (rx-independent) + finish (rx mix) reproduces
+  // link_config_hash exactly, for scene-free and topology-rich configs.
+  for (const bool with_scene : {false, true}) {
+    core::SystemConfig cfg = test_config();
+    if (with_scene) {
+      cfg.scene.leakage.push_back(channel::LeakageSurfaceSpec{0.4, 0.15});
+      cfg.scene.relays.push_back(channel::RelaySurfaceSpec{1.0, 1.0, 0.9});
+    }
+    const metasurface::RotatorStack stack = metasurface::prototype_fr4_design();
+    const std::uint64_t full = link_config_hash(
+        cfg.tx_power, cfg.geometry, cfg.tx_antenna, cfg.rx_antenna,
+        cfg.environment, cfg.receiver, stack, cfg.scene);
+    const std::uint64_t split = finish_link_config_hash(
+        link_config_prefix(cfg.tx_power, cfg.geometry, cfg.tx_antenna,
+                           cfg.environment, cfg.receiver, stack, cfg.scene),
+        cfg.rx_antenna);
+    EXPECT_EQ(split, full) << "with_scene=" << with_scene;
+  }
+}
+
+TEST(ConfigHash, LiveSystemMemoTracksDriftAcrossReorientation) {
+  // codebook_config_hash memoizes its prefix on structural_revision(); the
+  // memo must survive rx re-orientation unchanged (same hash value — the
+  // codebook stays valid) yet observe a real set_geometry immediately.
+  core::LlamaSystem sys{test_config()};
+  const Codebook book = CodebookCompiler{test_config()}.compile(small_options());
+  const std::uint64_t h0 = sys.codebook_config_hash();
+  EXPECT_EQ(h0, book.header().config_hash);
+
+  sys.link().set_rx_antenna(
+      sys.link().rx_antenna().oriented(Angle::degrees(77.0)));
+  EXPECT_EQ(sys.codebook_config_hash(), h0);
+  EXPECT_NO_THROW(sys.validate_codebook(book, "test"));
+
+  channel::LinkGeometry g = sys.link().geometry();
+  g.tx_rx_distance_m *= 2.0;
+  sys.link().set_geometry(g);
+  EXPECT_NE(sys.codebook_config_hash(), h0);
+  EXPECT_THROW(sys.validate_codebook(book, "test"), CodebookStaleError);
+}
+
 TEST(ConfigHash, SceneCodebookRejectedBySceneFreeSystem) {
   core::SystemConfig leaky = test_config();
   leaky.scene.leakage.push_back(channel::LeakageSurfaceSpec{0.4, 0.15});

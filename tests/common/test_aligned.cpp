@@ -1,0 +1,105 @@
+#include "src/common/aligned.h"
+
+#include <gtest/gtest.h>
+
+#include <complex>
+#include <cstdint>
+#include <numeric>
+#include <utility>
+#include <vector>
+
+namespace llama::common {
+namespace {
+
+TEST(Aligned, PowerOfTwoPredicate) {
+  EXPECT_FALSE(is_power_of_two(0));
+  EXPECT_TRUE(is_power_of_two(1));
+  EXPECT_TRUE(is_power_of_two(64));
+  EXPECT_FALSE(is_power_of_two(48));
+  EXPECT_FALSE(is_power_of_two(65));
+}
+
+TEST(Aligned, AllocReturnsLaneAlignedStorage) {
+  for (const std::size_t bytes : {8u, 64u, 100u, 4096u}) {
+    void* p = aligned_alloc(bytes);
+    ASSERT_NE(p, nullptr);
+    EXPECT_TRUE(is_aligned(p, kLaneAlignment));
+    aligned_free(p);
+  }
+}
+
+TEST(Aligned, AllocHonoursWiderAlignments) {
+  void* p = aligned_alloc(256, 256);
+  ASSERT_NE(p, nullptr);
+  EXPECT_TRUE(is_aligned(p, 256));
+  aligned_free(p, 256);
+}
+
+TEST(Aligned, FreeOfNullIsANoOp) { aligned_free(nullptr); }
+
+TEST(AlignedVector, DataStartsOnALaneBoundary) {
+  AlignedVector<double> lane(31);
+  EXPECT_TRUE(is_aligned(lane.data(), kLaneAlignment));
+}
+
+TEST(AlignedVector, StaysAlignedAcrossGrowthAndMove) {
+  AlignedVector<double> lane;
+  for (int i = 0; i < 1000; ++i) {
+    lane.push_back(static_cast<double>(i));
+    ASSERT_TRUE(is_aligned(lane.data(), kLaneAlignment));
+  }
+  AlignedVector<double> moved = std::move(lane);
+  EXPECT_TRUE(is_aligned(moved.data(), kLaneAlignment));
+  EXPECT_EQ(moved.size(), 1000u);
+  EXPECT_DOUBLE_EQ(moved[999], 999.0);
+}
+
+TEST(AlignedVector, BehavesLikeAVector) {
+  AlignedVector<std::complex<double>> v(8, {1.0, -2.0});
+  EXPECT_TRUE(is_aligned(v.data(), kLaneAlignment));
+  v.resize(16, {0.0, 0.0});
+  EXPECT_EQ(v.size(), 16u);
+  EXPECT_EQ(v[7], (std::complex<double>{1.0, -2.0}));
+  EXPECT_EQ(v[15], (std::complex<double>{0.0, 0.0}));
+}
+
+TEST(AlignedVector, AllocatorsCompareEqualSoSwapsAreSafe) {
+  AlignedVector<double> a(4, 1.0);
+  AlignedVector<double> b(8, 2.0);
+  std::swap(a, b);
+  EXPECT_EQ(a.size(), 8u);
+  EXPECT_EQ(b.size(), 4u);
+  EXPECT_TRUE(is_aligned(a.data(), kLaneAlignment));
+  EXPECT_TRUE(is_aligned(b.data(), kLaneAlignment));
+}
+
+TEST(Aligned, AssumeLaneAlignedIsIdentityOnAlignedPointers) {
+  AlignedVector<double> lane(16);
+  std::iota(lane.begin(), lane.end(), 0.0);
+  const double* p = assume_lane_aligned(lane.data());
+  EXPECT_EQ(p, lane.data());
+  EXPECT_DOUBLE_EQ(p[15], 15.0);
+}
+
+#if LLAMA_CONTRACTS_ARMED
+TEST(AlignedContracts, NonPowerOfTwoAlignmentFires) {
+  EXPECT_THROW(aligned_alloc(64, 48), ContractViolation);
+  EXPECT_THROW((void)is_aligned(nullptr, 3), ContractViolation);
+}
+
+TEST(AlignedContracts, ZeroByteAllocationFires) {
+  EXPECT_THROW(aligned_alloc(0), ContractViolation);
+}
+
+TEST(AlignedContracts, MisalignedLanePointerFires) {
+  AlignedVector<double> lane(16);
+  EXPECT_THROW((void)assume_lane_aligned(lane.data() + 1), ContractViolation);
+}
+#else
+TEST(AlignedContracts, SkippedWhenDisarmed) {
+  GTEST_SKIP() << "contracts compiled out (build with -DLLAMA_CHECKED=ON)";
+}
+#endif
+
+}  // namespace
+}  // namespace llama::common

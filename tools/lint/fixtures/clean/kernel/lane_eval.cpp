@@ -1,0 +1,31 @@
+// Clean fixture for the kernel scope: the idioms a real lane kernel uses —
+// lane-wise loops over contiguous SoA storage, calls into the lane-kernel
+// API, split re/im complex math. Mentioning "transmission" or "response"
+// in comments must not trip kernel-purity, and names that merely CONTAIN
+// a banned identifier (lane_response_out, batch_transmission_lanes) are
+// fine: only actual calls into the scalar per-cell cascade are impure.
+#include <cstddef>
+#include <vector>
+
+namespace fixture {
+
+// Evaluates the transmission response for a whole lane of biases at once.
+inline void batch_transmission_lanes(const std::vector<double>& tx_re,
+                                     const std::vector<double>& tx_im,
+                                     std::vector<double>& lane_response_out) {
+  const std::size_t n = tx_re.size();
+  lane_response_out.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Split re/im magnitude-squared: auto-vectorizable, no per-cell calls.
+    lane_response_out[i] = tx_re[i] * tx_re[i] + tx_im[i] * tx_im[i];
+  }
+}
+
+// A free function named like the scalar API is fine to DEFINE here; the
+// rule bans member-call re-entry, not lane-kernel entry points.
+inline void axis_s_lanes_like(const std::vector<double>& biases,
+                              std::vector<double>& out) {
+  out.assign(biases.size(), 0.0);
+}
+
+}  // namespace fixture

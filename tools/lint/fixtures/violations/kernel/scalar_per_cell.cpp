@@ -1,0 +1,45 @@
+// Seeded violations for kernel-purity: every way a kernel could silently
+// fall back to the scalar per-cell cascade. A real kernel evaluates whole
+// lanes through axis_s_lanes / face_admittance_lanes; calling the scalar
+// API per cell reverts the hot path to O(cells) axis solves.
+#include <cstddef>
+#include <vector>
+
+namespace fixture {
+
+// Even DECLARING the free-name scalar entry points under /kernel/ is
+// flagged: the names belong to the scalar cascade, not the lane layer.
+struct FakeStack {
+  double transmission(double f, double vx, double vy) const;
+  double reflection(double f, double vx, double vy) const;
+  double response(double f) const;
+  double jones_transmission(double f, double vx, double vy) const;   // expect-lint: kernel-purity
+  double axis_sparams(double f, double bias, bool y_axis) const;     // expect-lint: kernel-purity
+  double axis_transmission(double f, double bias, bool y_axis) const;  // expect-lint: kernel-purity
+  double axis_reflection(double f, double bias, bool y_axis) const;  // expect-lint: kernel-purity
+};
+
+double planned_response(double f, double vx, double vy);  // expect-lint: kernel-purity
+
+inline void impure_grid(const FakeStack& stack, const std::vector<double>& vxs,
+                        const std::vector<double>& vys,
+                        std::vector<double>& out) {
+  out.clear();
+  for (const double vy : vys)
+    for (const double vx : vxs)
+      out.push_back(stack.transmission(2.44e9, vx, vy));  // expect-lint: kernel-purity
+}
+
+inline double impure_cells(const FakeStack* stack, double vx, double vy) {
+  double acc = 0.0;
+  acc += stack->reflection(2.44e9, vx, vy);              // expect-lint: kernel-purity
+  acc += stack->response(2.44e9);                        // expect-lint: kernel-purity
+  acc += stack->jones_transmission(2.44e9, vx, vy);      // expect-lint: kernel-purity
+  acc += stack->axis_sparams(2.44e9, vx, false);         // expect-lint: kernel-purity
+  acc += stack->axis_transmission(2.44e9, vx, false);    // expect-lint: kernel-purity
+  acc += stack->axis_reflection(2.44e9, vy, true);       // expect-lint: kernel-purity
+  acc += planned_response(2.44e9, vx, vy);               // expect-lint: kernel-purity
+  return acc;
+}
+
+}  // namespace fixture

@@ -42,6 +42,16 @@ rules over src/:
                    requests are forwarded through the MPMC queues, so a
                    blocking primitive in src/serve means the ownership
                    partition was broken somewhere.
+  kernel-purity    per-cell scalar cascade calls (planned_response,
+                   jones_transmission, axis_sparams/axis_transmission/
+                   axis_reflection, or .response()/.transmission()/
+                   .reflection() member calls) inside the kernel dir. The SoA
+                   kernel layer exists to evaluate whole bias planes as
+                   lanes; falling back to the scalar per-cell API inside
+                   src/kernel silently reverts the hot path to O(cells) axis
+                   solves and defeats vectorization. The scalar path stays
+                   the golden REFERENCE, called from tests and consumers —
+                   never from inside a kernel.
 
 Waivers: a site silences exactly one rule with an inline comment carrying a
 reason, either trailing the line or on the line directly above it:
@@ -72,6 +82,8 @@ RULES = {
                          "adjacent per-shard ownership comment"),
     "serve-hot-path-blocking": ("blocking synchronization primitive inside "
                                 "the lock-free src/serve worker path"),
+    "kernel-purity": ("per-cell scalar cascade call inside the SoA kernel "
+                      "layer"),
 }
 
 # Files (path substrings, '/'-normalized) where a rule does not apply.
@@ -130,6 +142,20 @@ SERVE_BLOCKING_PATTERNS = [
     re.compile(r"\bpthread_(?:mutex|cond|rwlock)\w*"),
     re.compile(r"(?:\.|->)\s*(?:try_)?lock\s*\("),
     re.compile(r"(?:\.|->)\s*unlock\s*\("),
+]
+
+# kernel-purity guards every file under a /kernel/ directory: kernels must
+# consume plan/lane data, never re-enter the scalar per-cell cascade API.
+KERNEL_SCOPE = ("/kernel/",)
+KERNEL_SCALAR_PATTERNS = [
+    re.compile(r"\bplanned_response\s*\("),
+    re.compile(r"\bjones_transmission\s*\("),
+    re.compile(r"\baxis_sparams\s*\("),
+    re.compile(r"\baxis_transmission\s*\("),
+    re.compile(r"\baxis_reflection\s*\("),
+    re.compile(r"(?:\.|->)\s*response\s*\("),
+    re.compile(r"(?:\.|->)\s*transmission\s*\("),
+    re.compile(r"(?:\.|->)\s*reflection\s*\("),
 ]
 
 PARALLEL_FOR = re.compile(r"\bparallel_for\s*(?:<[^>]*>)?\s*\(")
@@ -273,6 +299,17 @@ def scan_file(path: Path, extra_unordered: set[str] | None = None,
             report(i, "relaxed-atomic",
                    "memory_order_relaxed outside the blessed stats "
                    "counters; use seq_cst or bless the site with a waiver")
+
+        if any(frag in norm for frag in KERNEL_SCOPE):
+            for pat in KERNEL_SCALAR_PATTERNS:
+                if pat.search(code):
+                    report(i, "kernel-purity",
+                           "scalar per-cell cascade call inside the kernel "
+                           "layer; evaluate through the lane kernels "
+                           "(axis_s_lanes / face_admittance_lanes) and keep "
+                           "the scalar path as the external golden "
+                           "reference")
+                    break
 
         if any(frag in norm for frag in SERVE_SCOPE):
             for pat in SERVE_BLOCKING_PATTERNS:
