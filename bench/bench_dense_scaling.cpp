@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "bench/bench_harness.h"
+#include "src/common/parallel.h"
 #include "src/core/scenarios.h"
 
 using namespace llama;
@@ -81,11 +82,14 @@ int main(int argc, char** argv) {
     bench::print_result(baseline, json);
     bench::print_result(engine_serial, json,
                         ",\"speedup_vs_llama_system\":" +
-                            std::to_string(speedup_serial));
+                            std::to_string(speedup_serial) +
+                            bench::threads_extra_json(1));
     bench::print_result(engine_parallel, json,
                         ",\"speedup_vs_llama_system\":" +
                             std::to_string(speedup_parallel) +
-                            ",\"threads\":0,\"lock_contention\":" +
+                            bench::threads_extra_json(
+                                common::default_parallelism()) +
+                            ",\"lock_contention\":" +
                             std::to_string(parallel_stats.lock_contention));
     if (!json)
       std::printf("  -> %zu devices x %zu surfaces: shared engine %.1fx"

@@ -20,6 +20,7 @@
 #include <cstring>
 #include <functional>
 #include <string>
+#include <thread>
 
 #include "src/serve/latency_histogram.h"
 
@@ -141,6 +142,19 @@ inline std::string latency_extra_json(const serve::LatencyHistogram& h) {
   std::snprintf(buf, sizeof(buf),
                 ",\"p50_us\":%.2f,\"p99_us\":%.2f,\"p999_us\":%.2f",
                 h.p50_ns() / 1e3, h.p99_ns() / 1e3, h.p999_ns() / 1e3);
+  return buf;
+}
+
+/// Scaling keys as an extra_json fragment (starts with a comma):
+/// ,"threads":N,"hw_cores":H — `threads` is the effective worker count the
+/// measured section ran with and `hw_cores` the machine's hardware
+/// concurrency. Scaling gates over bench_trajectory.jsonl need both: a
+/// 1-core container's oversubscribed timings must not be judged against a
+/// parallel-efficiency floor meant for real cores.
+inline std::string threads_extra_json(int threads) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), ",\"threads\":%d,\"hw_cores\":%u", threads,
+                std::thread::hardware_concurrency());
   return buf;
 }
 

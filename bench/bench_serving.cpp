@@ -111,7 +111,8 @@ int main(int argc, char** argv) {
       as_result("serving_determinism", four_shard_report), json,
       ",\"deterministic\":" + bool_json(deterministic) +
           ",\"shards_checked\":3,\"requests\":" +
-          std::to_string(four_shard_report.submitted));
+          std::to_string(four_shard_report.submitted) +
+          bench::threads_extra_json(4));
   if (!json)
     std::printf("  -> fingerprints across 1/2/4 shards: %s\n",
                 deterministic ? "identical" : "DIVERGED");
@@ -128,7 +129,8 @@ int main(int argc, char** argv) {
             ",\"offered_rps\":" + std::to_string(out.offered.offered_rps) +
             ",\"achieved_rps\":" + std::to_string(out.report.achieved_rps) +
             ",\"shards\":4,\"ok\":" + std::to_string(out.report.ok) +
-            ",\"conserved\":" + bool_json(out.report.conserved()));
+            ",\"conserved\":" + bool_json(out.report.conserved()) +
+            bench::threads_extra_json(4));
   }
 
   // Phase 3: the same mix paced open-loop well below saturation, so the
@@ -145,7 +147,8 @@ int main(int argc, char** argv) {
             ",\"offered_rps\":" + std::to_string(out.offered.offered_rps) +
             ",\"achieved_rps\":" + std::to_string(out.report.achieved_rps) +
             ",\"shed\":" + std::to_string(out.report.shed) +
-            ",\"conserved\":" + bool_json(out.report.conserved()));
+            ",\"conserved\":" + bool_json(out.report.conserved()) +
+            bench::threads_extra_json(4));
   }
 
   // Phase 4: overload — shallow rings, tight admission, retune-heavy
@@ -162,7 +165,9 @@ int main(int argc, char** argv) {
             ",\"degraded\":" + std::to_string(out.report.degraded) +
             ",\"shed\":" + std::to_string(out.report.shed) +
             ",\"forwarded\":" + std::to_string(out.report.forwarded) +
-            ",\"conserved\":" + bool_json(out.report.conserved()));
+            ",\"conserved\":" + bool_json(out.report.conserved()) +
+            bench::threads_extra_json(static_cast<int>(
+                scenario.overload_topology.n_shards)));
     if (!json)
       std::printf("  -> overload: ok %llu, degraded %llu, shed %llu (%s)\n",
                   static_cast<unsigned long long>(out.report.ok),

@@ -78,14 +78,14 @@ PropagationScene PropagationScene::from_spec(Antenna tx_antenna,
 
 std::size_t PropagationScene::add_leakage_surface(
     const LeakageSurfaceSpec& spec) {
-  // Leakage surfaces occupy ids [1, leakage.size()] and relays follow, so
-  // inserting a leakage surface under existing relays would renumber ids
-  // callers already hold — and ResponseView indexing has no staleness
-  // guard. Refuse instead (build mixed scenes via from_spec).
-  if (!spec_.relays.empty())
+  // Leakage surfaces occupy ids [1, leakage.size()] and placed/relay ids
+  // follow, so inserting a leakage surface under existing ones would
+  // renumber ids callers already hold — and ResponseView indexing has no
+  // staleness guard. Refuse instead (build mixed scenes via from_spec).
+  if (!spec_.relays.empty() || !spec_.placed.empty())
     throw std::logic_error{
-        "PropagationScene: add leakage surfaces before relay surfaces "
-        "(adding one now would renumber existing relay ids)"};
+        "PropagationScene: add leakage surfaces before placed/relay "
+        "surfaces (adding one now would renumber existing ids)"};
   spec_.leakage.push_back(spec);
   ++revision_;
   ++structural_revision_;
@@ -93,12 +93,29 @@ std::size_t PropagationScene::add_leakage_surface(
   return spec_.leakage.size();
 }
 
+std::size_t PropagationScene::add_leakage_surfaces(
+    std::span<const LeakageSurfaceSpec> specs) {
+  if (!spec_.relays.empty() || !spec_.placed.empty())
+    throw std::logic_error{
+        "PropagationScene: add leakage surfaces before placed/relay "
+        "surfaces (adding them now would renumber existing ids)"};
+  const std::size_t first = spec_.leakage.size() + 1;
+  if (specs.empty()) return first;
+  spec_.leakage.insert(spec_.leakage.end(), specs.begin(), specs.end());
+  // One rebuild for the whole batch: M surfaces cost O(M) paths total,
+  // not the O(M^2) of M incremental rebuilds.
+  ++revision_;
+  ++structural_revision_;
+  rebuild_paths();
+  return first;
+}
+
 std::size_t PropagationScene::add_relay_surface(const RelaySurfaceSpec& spec) {
   spec_.relays.push_back(spec);
   ++revision_;
   ++structural_revision_;
   rebuild_paths();
-  return spec_.leakage.size() + spec_.relays.size();
+  return spec_.leakage.size() + spec_.placed.size() + spec_.relays.size();
 }
 
 void PropagationScene::set_geometry(const LinkGeometry& g) {
@@ -182,6 +199,20 @@ void PropagationScene::rebuild_paths() {
                       .linear() /
                   rx_gain);
     p.coupling_scale = leak.coupling;
+    paths_.push_back(std::move(p));
+  }
+  // City-placed surfaces: geometry already resolved against real mount
+  // positions by build_city_scene_spec, endpoint patterns folded into the
+  // conservative coupling model (pattern_scale stays 1, matching the
+  // pruning bound's <= 1 assumption on both sides of the comparison).
+  for (const PlacedLeakageSpec& placed : spec_.placed) {
+    const std::size_t id = surface_count_++;
+    PropagationPath p;
+    p.kind = PathKind::kLeakage;
+    p.surfaces = {id};
+    p.length_m = placed.path_length_m;
+    p.coupling_scale = placed.coupling;
+    p.cell = placed.cell;
     paths_.push_back(std::move(p));
   }
   for (const RelaySurfaceSpec& relay : spec_.relays) {
@@ -352,14 +383,38 @@ PropagationScene::FrozenEval PropagationScene::freeze_except(
 
   FrozenEval fz;
   fz.revision = revision_;
+  fz.frequency_hz = f.in_hz();
   fz.tx_state = launch_state(tx_power);
   fz.fixed_field = JonesVector{Complex{0.0, 0.0}, Complex{0.0, 0.0}};
 
-  for (const PropagationPath& path : paths_) {
+  // Per-cell bucket lookup in first-encounter path order — a pure function
+  // of the scene, so refreeze_cells can re-sum in the identical order.
+  const auto cell_bucket = [&fz](std::int32_t cell) -> FrozenEval::CellField& {
+    for (FrozenEval::CellField& cf : fz.cell_fields)
+      if (cf.cell == cell) return cf;
+    FrozenEval::CellField cf;
+    cf.cell = cell;
+    cf.field = JonesVector{Complex{0.0, 0.0}, Complex{0.0, 0.0}};
+    fz.cell_fields.push_back(std::move(cf));
+    return fz.cell_fields.back();
+  };
+
+  for (std::size_t pi = 0; pi < paths_.size(); ++pi) {
+    const PropagationPath& path = paths_[pi];
     const bool traverses_swept =
         std::find(path.surfaces.begin(), path.surfaces.end(), swept) !=
         path.surfaces.end();
     if (!traverses_swept) {
+      if (path.cell >= 0) {
+        // Hierarchical aggregation: placed paths pre-sum per spatial cell
+        // (the cell is re-summable alone when its surfaces retune).
+        FrozenEval::CellField& bucket = cell_bucket(path.cell);
+        bucket.path_indices.push_back(pi);
+        JonesVector contribution;
+        if (resolve_path_field(path, f, frozen, fz.tx_state, contribution))
+          bucket.field = bucket.field + contribution;
+        continue;
+      }
       JonesVector contribution;
       if (resolve_path_field(path, f, frozen, fz.tx_state, contribution))
         fz.fixed_field = fz.fixed_field + contribution;
@@ -393,6 +448,10 @@ PropagationScene::FrozenEval PropagationScene::freeze_except(
     fz.terms.push_back(std::move(term));
   }
 
+  fz.fixed_total = fz.fixed_field;
+  for (const FrozenEval::CellField& cf : fz.cell_fields)
+    fz.fixed_total = fz.fixed_total + cf.field;
+
   fz.has_multipath = env_.has_multipath();
   if (fz.has_multipath) {
     fz.ray_ref_base = multipath_reference(f);
@@ -417,7 +476,7 @@ common::PowerDbm PropagationScene::received_power_swept(
         "PropagationScene: frozen evaluation is stale — the scene mutated "
         "(set_geometry/set_tx_antenna/set_rx_antenna or an added surface) "
         "after freeze_except(); rebuild the frozen plan"};
-  JonesVector field = frozen.fixed_field;
+  JonesVector field = frozen.fixed_total;
   for (const FrozenEval::SweptTerm& term : frozen.terms) {
     JonesVector v = response * term.state;
     if (term.has_post) v = term.post * v;
@@ -431,6 +490,49 @@ common::PowerDbm PropagationScene::received_power_swept(
                               frozen.ray_ref_base * ray_scale, env_);
   }
   return power_from_field(field);
+}
+
+void PropagationScene::refreeze_cells(FrozenEval& frozen,
+                                      std::span<const std::int32_t> cells,
+                                      ResponseView responses) const {
+  if (frozen.revision != revision_)
+    throw std::logic_error{
+        "PropagationScene: frozen evaluation is stale — the scene mutated "
+        "after freeze_except(); rebuild the frozen plan"};
+  const common::Frequency f{frozen.frequency_hz};
+  for (std::int32_t cell : cells) {
+    for (FrozenEval::CellField& cf : frozen.cell_fields) {
+      if (cf.cell != cell) continue;
+      // Re-sum the cell's paths in their stored (path) order — the same
+      // additions a fresh freeze performs, so the result is byte-identical.
+      cf.field = JonesVector{Complex{0.0, 0.0}, Complex{0.0, 0.0}};
+      for (std::size_t pi : cf.path_indices) {
+        LLAMA_INVARIANT(pi < paths_.size(),
+                        "frozen cell paths stay within the path table");
+        JonesVector contribution;
+        if (resolve_path_field(paths_[pi], f, responses, frozen.tx_state,
+                               contribution))
+          cf.field = cf.field + contribution;
+      }
+      break;
+    }
+  }
+  frozen.fixed_total = frozen.fixed_field;
+  for (const FrozenEval::CellField& cf : frozen.cell_fields)
+    frozen.fixed_total = frozen.fixed_total + cf.field;
+}
+
+double PropagationScene::pruned_field_bound(common::PowerDbm tx_power,
+                                            common::Frequency f) const {
+  // Each pruned path contributes at most coupling * friis(f, len) *
+  // pattern (<= 1) * ||R|| (<= 1, passive) * |launch|, and the receiver
+  // projection is a contraction onto a unit polarization scaled by
+  // sqrt(rx gain). friis_amplitude(f, len) = friis_amplitude(f, 1) / len,
+  // so the tally of coupling/len closes the bound.
+  const double launch =
+      std::sqrt(tx_power.to_mw().value() * tx_.boresight_gain().linear());
+  return spec_.pruned_coupling_over_length * friis_amplitude(f, 1.0) *
+         launch * std::sqrt(rx_.boresight_gain().linear());
 }
 
 }  // namespace llama::channel

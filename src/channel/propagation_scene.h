@@ -62,6 +62,10 @@ struct PropagationPath {
   double coupling_scale = 1.0;
   /// Excess phase beyond the carrier phase over length_m [rad].
   double excess_phase_rad = 0.0;
+  /// Spatial-index cell ordinal of the path's surface (-1: not a placed
+  /// city path). freeze_except() aggregates frozen paths per cell so a
+  /// retune of one cell's surfaces re-sums only that cell.
+  std::int32_t cell = -1;
 };
 
 /// A non-serving deployment surface seen through its leakage path.
@@ -83,14 +87,40 @@ struct RelaySurfaceSpec {
   double coupling = 0.9;
 };
 
+/// A non-serving surface placed by the city spatial index: its leakage
+/// path geometry is fully resolved (total length through the surface's
+/// actual mount position), unlike the ring-model LeakageSurfaceSpec whose
+/// legs derive from the home geometry.
+struct PlacedLeakageSpec {
+  /// Total Tx -> surface -> device path length [m].
+  double path_length_m = 1.0;
+  /// Amplitude coupling of the off-lobe hop (SurfaceLayout::coupling_at).
+  double coupling = 0.15;
+  /// Spatial-index cell ordinal of the surface's mount (-1: unindexed).
+  std::int32_t cell = -1;
+  /// Deployment surface id this entry represents (scene ids are compact
+  /// after pruning, so the mapping back must travel with the spec).
+  std::size_t external_id = 0;
+};
+
 /// Declarative description of a scene's non-home surfaces. Part of the
 /// codebook-relevant configuration: the compiler hashes it, so a codebook
 /// compiled for one topology is rejected by a scene with another.
 struct SceneSpec {
   std::vector<LeakageSurfaceSpec> leakage;
   std::vector<RelaySurfaceSpec> relays;
+  /// City-scale surfaces placed by build_city_scene_spec (spatial_index.h),
+  /// already pruned to the paths above the layout's amplitude cutoff.
+  std::vector<PlacedLeakageSpec> placed;
+  /// Sum over pruned paths of coupling / path_length [1/m]: multiplied by
+  /// lambda/(4 pi) and the launch amplitude this bounds the field error
+  /// pruning introduced (PropagationScene::pruned_field_bound).
+  double pruned_coupling_over_length = 0.0;
+  std::size_t pruned_count = 0;
 
-  [[nodiscard]] bool empty() const { return leakage.empty() && relays.empty(); }
+  [[nodiscard]] bool empty() const {
+    return leakage.empty() && relays.empty() && placed.empty();
+  }
 };
 
 /// Coherent multi-path propagation graph between one Tx/Rx pair.
@@ -123,9 +153,14 @@ class PropagationScene {
                                                   const SceneSpec& spec);
 
   /// Adds a non-serving surface + its leakage path; returns its scene id.
-  /// Throws std::logic_error when relay surfaces already exist: leakage
-  /// ids precede relay ids, so the insertion would renumber them.
+  /// Throws std::logic_error when relay or placed surfaces already exist:
+  /// leakage ids precede both, so the insertion would renumber them.
   std::size_t add_leakage_surface(const LeakageSurfaceSpec& spec);
+  /// Bulk form: appends every spec with ONE path-table rebuild and ONE
+  /// revision bump, so an M-surface scene builds in O(M) instead of the
+  /// O(M^2) of M incremental add_leakage_surface calls. Returns the scene
+  /// id of the first added surface (ids are consecutive).
+  std::size_t add_leakage_surfaces(std::span<const LeakageSurfaceSpec> specs);
   /// Adds a relay surface chained after the home surface; returns its id.
   std::size_t add_relay_surface(const RelaySurfaceSpec& spec);
 
@@ -208,7 +243,26 @@ class PropagationScene {
   struct FrozenEval {
     std::uint64_t revision = 0;
     em::JonesVector tx_state;
+    /// Frozen contributions of paths with no spatial cell (ring-model
+    /// leakage, relays, the direct path).
     em::JonesVector fixed_field;
+    /// Hierarchical aggregation: frozen placed paths pre-summed per
+    /// spatial cell (order = first encounter in path order, a pure
+    /// function of the scene). refreeze_cells() recomputes single cells.
+    struct CellField {
+      std::int32_t cell = -1;
+      em::JonesVector field;
+      /// Scene path indices summed into `field`.
+      std::vector<std::size_t> path_indices;
+    };
+    std::vector<CellField> cell_fields;
+    /// fixed_field + every cell field, summed in cell_fields order — the
+    /// value received_power_swept starts from. Identical to fixed_field
+    /// when the scene has no placed paths.
+    em::JonesVector fixed_total;
+    /// Carrier the freeze was taken at (refreeze_cells re-evaluates with
+    /// the same carrier).
+    double frequency_hz = 0.0;
     struct SweptTerm {
       em::Complex scale{0.0, 0.0};
       /// Launch state with the cascade before the swept surface applied.
@@ -241,6 +295,27 @@ class PropagationScene {
   /// the scene mutated after the freeze (stale plan).
   [[nodiscard]] common::PowerDbm received_power_swept(
       const FrozenEval& frozen, const em::JonesMatrix& response) const;
+
+  /// Recomputes only the named spatial cells' frozen fields (surfaces in
+  /// those cells retuned; `frozen` supplies the new responses) and re-sums
+  /// fixed_total in the original deterministic order — byte-identical to a
+  /// fresh freeze_except with the same inputs, at O(retuned cells) instead
+  /// of O(M) cost. Unknown cell ordinals are ignored (their surfaces were
+  /// pruned from this device's scene). Throws std::logic_error when the
+  /// scene mutated after the freeze.
+  void refreeze_cells(FrozenEval& frozen,
+                      std::span<const std::int32_t> cells,
+                      ResponseView responses) const;
+
+  /// Worst-case magnitude of the received-field error introduced by scene-
+  /// build pruning (spec().pruned_coupling_over_length), in sqrt-mW at the
+  /// receiver output: sum over pruned paths of coupling/length *
+  /// lambda/(4 pi) * |launch state| * sqrt(rx boresight gain). Valid for
+  /// any passive responses (||R|| <= 1) since endpoint pattern factors are
+  /// <= 1; with powers in mW (interference floor subtracted),
+  /// |sqrt(P_dense) - sqrt(P_pruned)| never exceeds this bound.
+  [[nodiscard]] double pruned_field_bound(common::PowerDbm tx_power,
+                                          common::Frequency f) const;
 
  private:
   PropagationScene(Antenna tx_antenna, Antenna rx_antenna,

@@ -54,8 +54,9 @@ common::Hasher64 link_config_prefix(common::PowerDbm tx_power,
   common::Hasher64 h;
   // v2: the scene topology joined the configuration. v3: the rx antenna
   // moved to the digest tail (finish_link_config_hash) so servers can
-  // memoize this prefix across per-round device re-orientation.
-  h.mix_string("llama-codebook-config-v3");
+  // memoize this prefix across per-round device re-orientation. v4: city
+  // placed surfaces (+ their pruning tally) joined the scene topology.
+  h.mix_string("llama-codebook-config-v4");
   h.mix_f64(tx_power.value());
   h.mix_f64(geometry.tx_rx_distance_m);
   h.mix_f64(geometry.tx_surface_distance_m);
@@ -86,6 +87,16 @@ common::Hasher64 link_config_prefix(common::PowerDbm tx_power,
     h.mix_f64(relay.relay_rx_m);
     h.mix_f64(relay.coupling);
   }
+  h.mix_u64(scene.placed.size());
+  for (const channel::PlacedLeakageSpec& placed : scene.placed) {
+    h.mix_f64(placed.path_length_m);
+    h.mix_f64(placed.coupling);
+    h.mix_u64(static_cast<std::uint64_t>(placed.external_id));
+  }
+  // The pruning tally binds the codebook to the cutoff that built the
+  // scene: two prunings of the same kept set are still distinct configs.
+  h.mix_f64(scene.pruned_coupling_over_length);
+  h.mix_u64(scene.pruned_count);
   return h;
 }
 

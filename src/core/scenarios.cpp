@@ -2,10 +2,12 @@
 
 #include <cmath>
 #include <memory>
+#include <stdexcept>
 #include <utility>
 
 #include "src/common/constants.h"
 #include "src/common/math_utils.h"
+#include "src/common/rng.h"
 
 namespace llama::core {
 
@@ -159,6 +161,121 @@ DenseDeploymentScenario dense_deployment_scenario(std::size_t n_devices,
     d.traffic_weight = (i % 3 == 0) ? 2.0 : 1.0;
     d.surface = -1;  // round-robin
     s.devices.push_back(std::move(d));
+  }
+  return s;
+}
+
+CityScaleScenario city_scale_scenario(std::size_t m_surfaces,
+                                      std::size_t n_devices,
+                                      double cutoff_db) {
+  if (m_surfaces == 0)
+    throw std::invalid_argument{"city_scale_scenario: need >= 1 surface"};
+  CityScaleScenario s;
+  s.config.n_surfaces = m_surfaces;
+  s.config.tx_power = common::PowerDbm{14.0};
+  s.config.geometry.mode = metasurface::SurfaceMode::kTransmissive;
+  // Each AP sits half a meter behind its transmissive surface; the
+  // per-device total distance is overridden from the layout at assign
+  // time, so the template value only seeds the config hash.
+  s.config.geometry.tx_surface_distance_m = 0.5;
+  s.config.geometry.tx_rx_distance_m = 6.5;
+  s.config.environment = channel::Environment::absorber_chamber();
+  s.config.tx_antenna =
+      channel::Antenna::iot_dipole(common::Angle::degrees(0.0));
+  s.config.rx_antenna =
+      channel::Antenna::iot_dipole(common::Angle::degrees(0.0));
+
+  // Street grid with mounting jitter: surfaces land near — never exactly
+  // on — the lattice points, so no two mount distances are degenerate.
+  const double spacing_m = 14.0;
+  const std::size_t side = static_cast<std::size_t>(
+      std::ceil(std::sqrt(static_cast<double>(m_surfaces))));
+  common::Rng rng{0xC117ULL ^ (static_cast<std::uint64_t>(m_surfaces) << 20) ^
+                  static_cast<std::uint64_t>(n_devices)};
+  s.config.layout.positions.reserve(m_surfaces);
+  for (std::size_t i = 0; i < m_surfaces; ++i) {
+    channel::Point2 p;
+    p.x_m = static_cast<double>(i % side) * spacing_m +
+            rng.uniform(-2.5, 2.5);
+    p.y_m = static_cast<double>(i / side) * spacing_m +
+            rng.uniform(-2.5, 2.5);
+    s.config.layout.positions.push_back(p);
+  }
+  // Off-lobe leakage model: -20 dB coupling at the 8 m reference, then a
+  // quadratic rolloff (side lobes + street clutter), so leakage amplitude
+  // falls as 1/r^3 and the pruned-tail energy converges — that is what
+  // lets a finite cutoff meet a fleet-wide 0.1 dB error budget.
+  s.config.layout.coupling0 = 0.1;
+  s.config.layout.sidelobe_ref_m = 8.0;
+  s.config.layout.sidelobe_exponent = 2.0;
+  s.config.layout.prune.cutoff_db = cutoff_db;
+  s.config.layout.prune.cell_size_m = 2.0 * spacing_m;
+
+  // Devices cluster by street: each surface serves a sector of similarly
+  // mounted endpoints (golden-angle sector orientation +/- 15 deg), the
+  // deployed-city premise that also keeps every serving link well out of
+  // the cross-polarization null once the surface is programmed for its own
+  // sector below. Serving assignment here mirrors CityFleetEngine::assign
+  // (nearest surface through the same index parameters).
+  const channel::SpatialSurfaceIndex index{s.config.layout.positions,
+                                           s.config.layout.prune.cell_size_m};
+  const double extent_m =
+      std::max(static_cast<double>(side - 1) * spacing_m, spacing_m);
+  s.devices.reserve(n_devices);
+  for (std::size_t i = 0; i < n_devices; ++i) {
+    deploy::DeviceSpec d;
+    d.name = "city" + std::to_string(i);
+    d.traffic_weight = (i % 3 == 0) ? 2.0 : 1.0;
+    d.surface = -1;  // nearest-surface serving
+    d.position = channel::Point2{rng.uniform(0.0, extent_m),
+                                 rng.uniform(0.0, extent_m)};
+    const std::size_t serving = index.nearest(*d.position);
+    d.orientation = common::Angle::degrees(
+        golden_angle_orientation(serving).deg() + rng.uniform(-15.0, 15.0));
+    s.devices.push_back(std::move(d));
+  }
+
+  // Fleet-wide programming: each surface is tuned FOR ITS OWN SECTOR — the
+  // best bias pair over a coarse supply grid for a representative device at
+  // the sector orientation. A deployed fleet runs matched, not random,
+  // rails; random rails would leave some sectors cross-polarized with
+  // near-null serving power, where any dB-domain comparison diverges.
+  deploy::SharedResponseEngine rails{metasurface::prototype_fr4_design(),
+                                     s.config.cache};
+  std::vector<em::JonesMatrix> grid;
+  std::vector<deploy::SurfaceBias> grid_biases;
+  for (double vx = 0.0; vx <= 30.0; vx += 3.0)
+    for (double vy = 0.0; vy <= 30.0; vy += 3.0) {
+      grid_biases.push_back(deploy::SurfaceBias{common::Voltage{vx},
+                                                common::Voltage{vy}});
+      grid.push_back(rails.response(s.config.frequency,
+                                    s.config.geometry.mode,
+                                    common::Voltage{vx},
+                                    common::Voltage{vy}));
+    }
+  s.biases.reserve(m_surfaces);
+  for (std::size_t i = 0; i < m_surfaces; ++i) {
+    const channel::PropagationScene sector_link =
+        channel::PropagationScene::single_link(
+            s.config.tx_antenna,
+            s.config.rx_antenna.oriented(golden_angle_orientation(i)),
+            s.config.geometry, s.config.environment);
+    std::size_t best = 0;
+    double best_mw = -1.0;
+    for (std::size_t g = 0; g < grid.size(); ++g) {
+      const double mw =
+          sector_link
+              .received_power_with_response(s.config.tx_power,
+                                            s.config.frequency, grid[g])
+              .to_mw()
+              .value();
+      // Strict > : ties resolve to the first grid point, deterministically.
+      if (mw > best_mw) {
+        best_mw = mw;
+        best = g;
+      }
+    }
+    s.biases.push_back(grid_biases[best]);
   }
   return s;
 }

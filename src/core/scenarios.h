@@ -4,6 +4,7 @@
 #pragma once
 
 #include "src/core/llama_system.h"
+#include "src/deploy/city_fleet.h"
 #include "src/deploy/deployment_engine.h"
 #include "src/sensing/breathing_target.h"
 #include "src/sensing/respiration_detector.h"
@@ -64,6 +65,23 @@ struct DenseDeploymentScenario {
     std::size_t n_devices, std::size_t m_surfaces,
     common::PowerDbm tx_power = common::PowerDbm{14.0},
     double tx_rx_distance_m = 1.0);
+
+/// City-scale scenario (ROADMAP item 1): M surfaces mounted on a jittered
+/// sqrt(M) x sqrt(M) street grid (~12 m spacing, so each AP covers a
+/// storefront-sized patch), N devices dropped uniformly over the covered
+/// area and served by their nearest surface, and one deterministic
+/// pseudo-random bias programming per surface for fleet-wide evaluation.
+/// Everything is seeded: the scenario is a pure function of
+/// (m_surfaces, n_devices, cutoff_db). cutoff_db = -infinity builds the
+/// dense (unpruned) counterpart of the same city.
+struct CityScaleScenario {
+  deploy::DeploymentConfig config;          ///< layout + link parameters
+  std::vector<deploy::DeviceSpec> devices;  ///< positioned, nearest-served
+  std::vector<deploy::SurfaceBias> biases;  ///< per-surface programming
+};
+[[nodiscard]] CityScaleScenario city_scale_scenario(std::size_t m_surfaces,
+                                                    std::size_t n_devices,
+                                                    double cutoff_db = -40.0);
 
 /// Mirror of one deployment device as a standalone LlamaSystem
 /// configuration — the per-link mapping DeploymentEngine applies (shared AP

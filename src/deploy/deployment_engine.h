@@ -31,10 +31,12 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "src/channel/propagation_scene.h"
+#include "src/channel/spatial_index.h"
 #include "src/common/units.h"
 #include "src/control/scheduler.h"
 #include "src/control/sweep.h"
@@ -178,8 +180,13 @@ struct DeviceSpec {
   /// rx antenna template).
   common::Angle orientation = common::Angle::degrees(0.0);
   double traffic_weight = 1.0;  ///< relative airtime demand
-  /// Surface this device is served by; -1 assigns round-robin by index.
+  /// Surface this device is served by; -1 assigns round-robin by index
+  /// (or, in a city deployment with a surface layout, nearest-surface).
   int surface = -1;
+  /// Device position on the deployment plane; required by the city-scale
+  /// path (CityFleetEngine / a FleetTracker with a layout), ignored by the
+  /// ring-model paths.
+  std::optional<channel::Point2> position;
 };
 
 /// Deployment-wide parameters shared by every link.
@@ -204,6 +211,13 @@ struct DeploymentConfig {
   common::PowerDbm rate_noise{-62.0};
   /// Cross-surface leakage (scene topology of every device's link).
   InterferenceModel interference{};
+  /// City-scale surface placement. Empty (the default) keeps the classic
+  /// ring-model paths; non-empty (positions.size() == n_surfaces) routes
+  /// CityFleetEngine and FleetTracker through the spatial index: nearest-
+  /// surface serving, per-device geometry from real mount positions,
+  /// build-time leakage pruning at layout.prune.cutoff_db, and device
+  /// loops sharded by spatial cell.
+  channel::SurfaceLayout layout{};
   /// Per-device Algorithm 1 parameters (paper: N = 2, T = 5).
   control::CoarseToFineSweep::Options sweep{};
   control::PolarizationScheduler::Options scheduler{};

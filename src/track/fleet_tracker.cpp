@@ -1,10 +1,12 @@
 #include "src/track/fleet_tracker.h"
 
+#include <algorithm>
 #include <memory>
 #include <optional>
 #include <stdexcept>
 #include <utility>
 
+#include "src/channel/spatial_index.h"
 #include "src/common/contracts.h"
 #include "src/common/parallel.h"
 #include "src/core/scenarios.h"
@@ -25,17 +27,25 @@ struct Shard {
 };
 
 Shard make_shard(const FleetConfig& config, const FleetDeviceSpec& spec,
-                 std::size_t index) {
+                 std::size_t index,
+                 std::optional<std::size_t> serving = std::nullopt,
+                 const std::optional<channel::LinkGeometry>& geometry =
+                     std::nullopt) {
   Shard shard;
   core::SystemConfig cfg = core::device_system_config(
       config.deployment, common::Angle::degrees(0.0));
+  // City path: the device's real serving distance replaces the template
+  // geometry (the layout decided it, deterministically, before the fan-out).
+  if (geometry) cfg.geometry = *geometry;
   shard.system = std::make_unique<core::LlamaSystem>(std::move(cfg));
   // Tracking revisits quantized biases constantly (codebook hits, the
   // re-sweep's coarse window); the memo keeps per-tick probes cheap.
   shard.system->enable_fast_probes(config.deployment.cache);
   shard.process = spec.process();
-  shard.surface = deploy::assigned_surface(spec.surface, index,
-                                           config.deployment.n_surfaces);
+  shard.surface = serving ? *serving
+                          : deploy::assigned_surface(
+                                spec.surface, index,
+                                config.deployment.n_surfaces);
   LLAMA_ENSURES(shard.surface < config.deployment.n_surfaces,
                 "every shard serves a surface inside the deployment");
   return shard;
@@ -52,12 +62,65 @@ FleetTracker::FleetTracker(FleetConfig config) : config_(std::move(config)) {
     throw std::invalid_argument{
         "FleetTracker: a fault plan and cross-surface leakage cannot be "
         "combined (the lockstep snapshot path has no health machinery)"};
+  if (!config_.deployment.layout.empty()) {
+    if (config_.deployment.layout.positions.size() !=
+        config_.deployment.n_surfaces)
+      throw std::invalid_argument{
+          "FleetTracker: layout.positions.size() must equal n_surfaces"};
+    if (config_.faults || config_.deployment.interference.enable_leakage)
+      throw std::invalid_argument{
+          "FleetTracker: the city layout path runs independent shards only "
+          "(no fault plan or leakage lockstep)"};
+  }
   if (config_.faults) fault::validate(*config_.faults);
 }
 
 void FleetTracker::run_independent(const std::vector<FleetDeviceSpec>& devices,
                                    const PolicyFactory& make_policy,
                                    long ticks, FleetReport& report) const {
+  const channel::SurfaceLayout& layout = config_.deployment.layout;
+  if (!layout.empty()) {
+    // City path. Serving assignment, per-device geometry and the cell ->
+    // device grouping are all computed serially from the layout alone, so
+    // the fan-out below inherits them identically for any thread count.
+    const channel::SpatialSurfaceIndex index{layout.positions,
+                                             layout.prune.cell_size_m};
+    std::vector<std::size_t> serving(devices.size());
+    std::vector<channel::LinkGeometry> geometry(devices.size());
+    std::vector<std::vector<std::size_t>> cells(index.cell_count());
+    for (std::size_t i = 0; i < devices.size(); ++i) {
+      serving[i] = devices[i].surface >= 0
+                       ? static_cast<std::size_t>(devices[i].surface)
+                       : index.nearest(*devices[i].position);
+      channel::LinkGeometry g = config_.deployment.geometry;
+      g.tx_rx_distance_m =
+          g.tx_surface_distance_m +
+          std::max(channel::distance_m(*devices[i].position,
+                                       layout.positions[serving[i]]),
+                   1e-3);
+      geometry[i] = g;
+      cells[static_cast<std::size_t>(index.cell_of(serving[i]))].push_back(i);
+    }
+    // Shard = spatial cell: each worker owns its cells' whole plants and
+    // writes only its own devices' result slots.
+    common::parallel_for(
+        cells.size(), config_.deployment.threads, [&](std::size_t c) {
+          for (std::size_t i : cells[c]) {
+            Shard shard =
+                make_shard(config_, devices[i], i, serving[i], geometry[i]);
+            const std::unique_ptr<RetunePolicy> policy = make_policy();
+            TrackingLoop loop{*shard.system, *shard.process, *policy,
+                              config_.loop};
+            DeviceTrackResult& out = report.devices[i];
+            out.name = devices[i].name;
+            out.surface = shard.surface;
+            out.home_surface = shard.surface;
+            out.report = loop.run(ticks);
+          }
+        });
+    return;
+  }
+
   // Each shard owns its whole plant (system, process, policy) and writes
   // only its own result slot, so the fan-out is embarrassingly parallel and
   // deterministic for any thread count.
@@ -280,6 +343,10 @@ FleetReport FleetTracker::run(const std::vector<FleetDeviceSpec>& devices,
                               "' names surface " +
                               std::to_string(spec.surface) + " of " +
                               std::to_string(config_.deployment.n_surfaces)};
+    if (!config_.deployment.layout.empty() && !spec.position)
+      throw std::invalid_argument{
+          "FleetTracker: device '" + spec.name +
+          "' needs a position (the deployment carries a city layout)"};
   }
 
   FleetReport report;

@@ -15,6 +15,7 @@
 #include <cstddef>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -39,8 +40,13 @@ using PolicyFactory = std::function<std::unique_ptr<RetunePolicy>()>;
 struct FleetDeviceSpec {
   std::string name;
   ProcessFactory process;
-  /// Surface serving this device; -1 assigns round-robin by index.
+  /// Surface serving this device; -1 assigns round-robin by index (or
+  /// nearest-surface when the deployment carries a city layout).
   int surface = -1;
+  /// Device position on the deployment plane; required when
+  /// deployment.layout is non-empty (the city-scale path), ignored
+  /// otherwise.
+  std::optional<channel::Point2> position;
 };
 
 /// Fleet-wide parameters: the deployment's shared link configuration
@@ -121,6 +127,15 @@ class FleetTracker {
   /// tick — the paper's scaling question made observable — while the
   /// one-tick-delayed snapshot keeps the run byte-identical for any
   /// thread count.
+  ///
+  /// With a city layout (deployment.layout non-empty) the independent
+  /// path serves each device from its nearest placed surface, overrides
+  /// the link geometry with the device's real serving distance, and
+  /// shards the device loop over spatial cells (each worker owns whole
+  /// cells). Cell assignment is a function of the layout only, so the
+  /// byte-identity contract is unchanged. Devices then need positions
+  /// (std::invalid_argument otherwise); combining a layout with leakage
+  /// lockstep or a fault plan is rejected at construction.
   [[nodiscard]] FleetReport run(const std::vector<FleetDeviceSpec>& devices,
                                 const PolicyFactory& make_policy, long ticks);
 

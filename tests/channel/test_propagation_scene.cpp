@@ -7,6 +7,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <cstring>
 #include <stdexcept>
 #include <vector>
 
@@ -357,6 +359,188 @@ TEST(PropagationSceneLeakage, FrozenSweepWithExternalsMatchesFullEval) {
     EXPECT_NEAR(scene.received_power_swept(frozen, r).value(),
                 scene.received_power(kTx, kF0, full_view).value(), kTol);
   }
+}
+
+
+// ---------------------------------------------------------------------------
+// Bulk scene construction + placed city paths + per-cell refreeze.
+// ---------------------------------------------------------------------------
+
+TEST(PropagationSceneBulk, BulkLeakageAddIsOneRebuildNotM) {
+  const LinkGeometry g = transmissive_geometry();
+  const Environment env = Environment::absorber_chamber();
+  const Antenna ant = Antenna::iot_dipole(Angle::degrees(0.0));
+
+  constexpr std::size_t kM = 24;
+  std::vector<LeakageSurfaceSpec> specs(kM);
+  for (std::size_t i = 0; i < kM; ++i)
+    specs[i].lateral_offset_m = 0.3 + 0.05 * static_cast<double>(i);
+
+  // Incremental: one revision bump (and one O(paths) rebuild) per surface
+  // — the O(M^2) construction this regression test pins down.
+  PropagationScene incremental{ant, ant, g, env};
+  const std::uint64_t inc_r0 = incremental.revision();
+  for (const LeakageSurfaceSpec& s : specs)
+    (void)incremental.add_leakage_surface(s);
+  EXPECT_EQ(incremental.revision(), inc_r0 + kM);
+
+  // Bulk: the whole batch is ONE rebuild, whatever M is.
+  PropagationScene bulk{ant, ant, g, env};
+  const std::uint64_t bulk_r0 = bulk.revision();
+  const std::size_t first = bulk.add_leakage_surfaces(specs);
+  EXPECT_EQ(first, 1u);
+  EXPECT_EQ(bulk.revision(), bulk_r0 + 1);
+  EXPECT_EQ(bulk.surface_count(), incremental.surface_count());
+
+  // And from_spec builds the whole scene at construction: ZERO
+  // post-construction rebuilds, whatever M is.
+  SceneSpec spec;
+  spec.leakage = specs;
+  const PropagationScene from_spec =
+      PropagationScene::from_spec(ant, ant, g, env, spec);
+  EXPECT_EQ(from_spec.revision(), 0u);
+
+  // All three spell out the identical physics.
+  const std::vector<em::JonesMatrix> samples =
+      response_samples(metasurface::SurfaceMode::kTransmissive);
+  std::vector<const em::JonesMatrix*> view(kM + 1, nullptr);
+  for (std::size_t i = 0; i <= kM; ++i)
+    view[i] = &samples[i % samples.size()];
+  const PropagationScene::ResponseView rv{view.data(), view.size()};
+  EXPECT_DOUBLE_EQ(incremental.received_power(kTx, kF0, rv).value(),
+                   bulk.received_power(kTx, kF0, rv).value());
+  EXPECT_DOUBLE_EQ(bulk.received_power(kTx, kF0, rv).value(),
+                   from_spec.received_power(kTx, kF0, rv).value());
+
+  // Adding an empty batch is free: ids and revision are untouched.
+  PropagationScene empty_batch{ant, ant, g, env};
+  const std::uint64_t r0 = empty_batch.revision();
+  EXPECT_EQ(empty_batch.add_leakage_surfaces({}), 1u);
+  EXPECT_EQ(empty_batch.revision(), r0);
+}
+
+TEST(PropagationSceneBulk, PlacedPathsCarryExplicitLengthAndCell) {
+  const LinkGeometry g = transmissive_geometry(6.0);
+  const Environment env = Environment::absorber_chamber();
+  const Antenna ant = Antenna::iot_dipole(Angle::degrees(0.0));
+
+  SceneSpec spec;
+  PlacedLeakageSpec near;
+  near.path_length_m = 7.5;
+  near.coupling = 0.12;
+  near.cell = 3;
+  near.external_id = 17;
+  PlacedLeakageSpec far = near;
+  far.path_length_m = 40.0;
+  far.coupling = 0.01;
+  far.cell = 9;
+  far.external_id = 41;
+  spec.placed = {near, far};
+  const PropagationScene scene =
+      PropagationScene::from_spec(ant, ant, g, env, spec);
+  ASSERT_EQ(scene.surface_count(), 3u);
+
+  // Exactly one path per placed surface, carrying the spec's geometry and
+  // the spatial cell the freeze aggregates on.
+  int placed_paths = 0;
+  for (const PropagationPath& p : scene.paths()) {
+    if (p.kind != PathKind::kLeakage) continue;
+    ++placed_paths;
+    ASSERT_EQ(p.surfaces.size(), 1u);
+    const PlacedLeakageSpec& expect =
+        p.surfaces[0] == 1 ? near : far;
+    EXPECT_DOUBLE_EQ(p.length_m, expect.path_length_m);
+    EXPECT_DOUBLE_EQ(p.coupling_scale, expect.coupling);
+    EXPECT_EQ(p.cell, expect.cell);
+  }
+  EXPECT_EQ(placed_paths, 2);
+
+  // A longer, weaker placed path contributes less power on its own.
+  const std::vector<em::JonesMatrix> samples =
+      response_samples(metasurface::SurfaceMode::kTransmissive);
+  std::vector<const em::JonesMatrix*> view{&samples[0], &samples[1],
+                                           &samples[1]};
+  const PropagationScene::ResponseView rv{view.data(), view.size()};
+  double near_mw = 0.0;
+  double far_mw = 0.0;
+  for (std::size_t i = 0; i < scene.paths().size(); ++i) {
+    if (scene.paths()[i].kind != PathKind::kLeakage) continue;
+    const double mw = scene.path_power(i, kTx, kF0, rv).value();
+    if (scene.paths()[i].surfaces[0] == 1)
+      near_mw = mw;
+    else
+      far_mw = mw;
+  }
+  EXPECT_GT(near_mw, far_mw);
+  EXPECT_GT(far_mw, 0.0);
+}
+
+TEST(PropagationSceneBulk, RefreezeCellsMatchesFreshFreeze) {
+  const LinkGeometry g = transmissive_geometry(6.0);
+  const Environment env = Environment::absorber_chamber();
+  const Antenna ant = Antenna::iot_dipole(Angle::degrees(0.0));
+
+  // Nine placed surfaces across three cells, plus the home surface.
+  SceneSpec spec;
+  for (std::size_t i = 0; i < 9; ++i) {
+    PlacedLeakageSpec p;
+    p.path_length_m = 8.0 + 3.0 * static_cast<double>(i);
+    p.coupling = 0.02 + 0.01 * static_cast<double>(i % 4);
+    p.cell = static_cast<std::int32_t>(i / 3);
+    p.external_id = 100 + i;
+    spec.placed.push_back(p);
+  }
+  const PropagationScene scene =
+      PropagationScene::from_spec(ant, ant, g, env, spec);
+  const std::vector<em::JonesMatrix> samples =
+      response_samples(metasurface::SurfaceMode::kTransmissive);
+
+  std::vector<const em::JonesMatrix*> before(10, nullptr);
+  for (std::size_t i = 0; i < 10; ++i) before[i] = &samples[i];
+  // Retune cell 1's three surfaces (scene ids 4..6) to new responses.
+  std::vector<const em::JonesMatrix*> after = before;
+  for (std::size_t i = 4; i <= 6; ++i) after[i] = &samples[i + 10];
+
+  PropagationScene::FrozenEval frozen = scene.freeze_except(
+      PropagationScene::kHomeSurface, kTx, kF0,
+      PropagationScene::ResponseView{before.data(), before.size()});
+  ASSERT_EQ(frozen.cell_fields.size(), 3u);
+  const std::int32_t retuned_cells[] = {1};
+  scene.refreeze_cells(
+      frozen, retuned_cells,
+      PropagationScene::ResponseView{after.data(), after.size()});
+
+  const PropagationScene::FrozenEval fresh = scene.freeze_except(
+      PropagationScene::kHomeSurface, kTx, kF0,
+      PropagationScene::ResponseView{after.data(), after.size()});
+  EXPECT_EQ(std::memcmp(&frozen.fixed_total, &fresh.fixed_total,
+                        sizeof(fresh.fixed_total)),
+            0);
+  for (const em::JonesMatrix& r : samples) {
+    EXPECT_DOUBLE_EQ(scene.received_power_swept(frozen, r).value(),
+                     scene.received_power_swept(fresh, r).value());
+  }
+
+  // Unknown cells are a no-op (the surfaces were pruned from this scene)...
+  const std::int32_t unknown_cells[] = {99};
+  PropagationScene::FrozenEval untouched = fresh;
+  scene.refreeze_cells(
+      untouched, unknown_cells,
+      PropagationScene::ResponseView{after.data(), after.size()});
+  EXPECT_EQ(std::memcmp(&untouched.fixed_total, &fresh.fixed_total,
+                        sizeof(fresh.fixed_total)),
+            0);
+
+  // ...while a stale freeze (scene mutated) is rejected.
+  PropagationScene mutated = scene;
+  PropagationScene::FrozenEval stale = mutated.freeze_except(
+      PropagationScene::kHomeSurface, kTx, kF0,
+      PropagationScene::ResponseView{before.data(), before.size()});
+  mutated.set_geometry(g);
+  EXPECT_THROW(mutated.refreeze_cells(
+                   stale, retuned_cells,
+                   PropagationScene::ResponseView{after.data(), after.size()}),
+               std::logic_error);
 }
 
 }  // namespace

@@ -268,5 +268,100 @@ TEST(FleetTracker, ScenarioIsDeterministicAndWellFormed) {
   }
 }
 
+
+// ---------------------------------------------------------------------------
+// City-layout path: nearest-surface serving, per-device geometry from the
+// real serving distance, device loop sharded over spatial cells.
+// ---------------------------------------------------------------------------
+
+core::MobileFleetScenario city_fleet_scenario(std::size_t n_devices,
+                                              std::size_t m_surfaces) {
+  core::MobileFleetScenario s =
+      core::mobile_fleet_scenario(n_devices, m_surfaces);
+  // Reuse the city generator's layout (street grid + leakage model) so the
+  // tracker and CityFleetEngine agree on what a deployment looks like.
+  s.config.deployment.layout =
+      core::city_scale_scenario(m_surfaces, 1).config.layout;
+  for (std::size_t i = 0; i < n_devices; ++i)
+    s.devices[i].position = channel::Point2{
+        3.0 + 11.0 * static_cast<double>(i % 5),
+        5.0 + 9.0 * static_cast<double>(i / 5)};
+  return s;
+}
+
+TEST(FleetTracker, CityLayoutValidation) {
+  core::MobileFleetScenario scenario = city_fleet_scenario(4, 4);
+  {
+    FleetConfig bad = scenario.config;
+    bad.deployment.layout.positions.pop_back();
+    EXPECT_THROW((FleetTracker{bad}), std::invalid_argument);
+  }
+  {
+    FleetConfig bad = scenario.config;
+    bad.deployment.interference.enable_leakage = true;
+    EXPECT_THROW((FleetTracker{bad}), std::invalid_argument);
+  }
+  FleetTracker tracker{scenario.config};
+  auto devices = scenario.devices;
+  devices[2].position.reset();
+  EXPECT_THROW(
+      (void)tracker.run(devices, null_like_policy_factory(), 3),
+      std::invalid_argument);
+}
+
+TEST(FleetTracker, CityLayoutServesNearestSurface) {
+  const core::MobileFleetScenario scenario = city_fleet_scenario(8, 6);
+  FleetTracker tracker{scenario.config};
+  const FleetReport report =
+      tracker.run(scenario.devices, null_like_policy_factory(), 2);
+  ASSERT_EQ(report.devices.size(), 8u);
+  const auto& positions = scenario.config.deployment.layout.positions;
+  for (std::size_t i = 0; i < report.devices.size(); ++i) {
+    std::size_t best = 0;
+    double best_d = channel::distance_m(*scenario.devices[i].position,
+                                        positions[0]);
+    for (std::size_t s = 1; s < positions.size(); ++s) {
+      const double d = channel::distance_m(*scenario.devices[i].position,
+                                           positions[s]);
+      if (d < best_d) {
+        best_d = d;
+        best = s;
+      }
+    }
+    EXPECT_EQ(report.devices[i].surface, best) << "device " << i;
+  }
+}
+
+TEST(FleetTracker, CityLayoutByteIdenticalForAnyThreadCount) {
+  const core::MobileFleetScenario scenario = city_fleet_scenario(10, 4);
+
+  // HysteresisResweep needs no codebook: the city path gives every device
+  // its own serving geometry, so a codebook compiled from the deployment
+  // template would fail its config-hash check.
+  FleetReport reports[2];
+  const int thread_counts[2] = {1, 4};
+  for (int k = 0; k < 2; ++k) {
+    FleetConfig cfg = scenario.config;
+    cfg.deployment.threads = thread_counts[k];
+    FleetTracker tracker{cfg};
+    reports[k] = tracker.run(
+        scenario.devices,
+        [] { return std::make_unique<HysteresisResweep>(); }, 10);
+  }
+  ASSERT_EQ(reports[0].devices.size(), reports[1].devices.size());
+  for (std::size_t i = 0; i < reports[0].devices.size(); ++i) {
+    const TrackReport& a = reports[0].devices[i].report;
+    const TrackReport& b = reports[1].devices[i].report;
+    EXPECT_EQ(reports[0].devices[i].surface, reports[1].devices[i].surface);
+    EXPECT_DOUBLE_EQ(a.mean_power_dbm, b.mean_power_dbm) << "device " << i;
+    EXPECT_DOUBLE_EQ(a.outage_fraction, b.outage_fraction) << "device " << i;
+    EXPECT_EQ(a.retune_count, b.retune_count) << "device " << i;
+    EXPECT_DOUBLE_EQ(a.mean_delivered_mbps, b.mean_delivered_mbps)
+        << "device " << i;
+  }
+  EXPECT_DOUBLE_EQ(reports[0].mean_outage_fraction,
+                   reports[1].mean_outage_fraction);
+}
+
 }  // namespace
 }  // namespace llama::track
